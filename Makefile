@@ -1,0 +1,45 @@
+# zcorba — build/test/reproduction entry points.
+
+GO ?= go
+
+.PHONY: all build test race bench figures measure examples generate clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerates bench_output.txt (deliverable d).
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Paper figures/tables from the calibrated model (fast, deterministic).
+figures:
+	$(GO) run ./cmd/figures -all
+
+# ... plus measured series from this host (slower).
+measure:
+	$(GO) run ./cmd/figures -all -measure
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/filetransfer
+	$(GO) run ./examples/discovery
+	$(GO) run ./examples/matrix -n 512
+	$(GO) run ./examples/transcoder -workers 3 -frames 40
+
+# Regenerate all idlgen outputs (golden tests keep them honest).
+generate:
+	$(GO) run ./cmd/idlgen -pkg media -o internal/media/media_gen.go internal/media/media.idl
+	$(GO) run ./cmd/idlgen -pkg gentest -o internal/gentest/kitchen_gen.go internal/gentest/kitchen.idl
+	$(GO) run ./cmd/idlgen -pkg main -zerocopy -o examples/matrix/matrix_gen.go examples/matrix/matrix.idl
+	gofmt -w internal/media/media_gen.go internal/gentest/kitchen_gen.go examples/matrix/matrix_gen.go
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,321 @@
+// Package bench is the benchmark harness of EXPERIMENTS.md: one
+// testing.B benchmark per table and figure of the paper's evaluation
+// (§5). Each benchmark reports B/op-style throughput via SetBytes, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the measured MB/s of every configuration on this machine.
+// The absolute 1999-testbed numbers come from internal/simnet (see
+// cmd/figures); these benchmarks establish the *relative* claims on
+// real Go code: the zero-copy ORB tracks raw sockets, the standard ORB
+// trails far behind, and the copying stack costs what the model says
+// it costs.
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"zcorba/internal/framework"
+	"zcorba/internal/media"
+	"zcorba/internal/mpeg"
+	"zcorba/internal/naming"
+	"zcorba/internal/orb"
+	"zcorba/internal/transport"
+	"zcorba/internal/ttcp"
+	"zcorba/internal/zcbuf"
+)
+
+// benchSizes is the subset of the paper's sweep used for benchmarks
+// (the full 13-point sweep runs via cmd/figures -measure).
+var benchSizes = []int{4 << 10, 64 << 10, 1 << 20, 4 << 20}
+
+func sizeName(n int) string {
+	if n >= 1<<20 {
+		return fmt.Sprintf("%dM", n>>20)
+	}
+	return fmt.Sprintf("%dK", n>>10)
+}
+
+// stdStack emulates the standard (copying) kernel TCP path.
+func stdStack() transport.Transport {
+	return &transport.Copying{Inner: &transport.TCP{}, SendCopies: 1, RecvCopies: 1}
+}
+
+// zcStack is the zero-copy stack: plain TCP with gather writes and
+// deposit reads (no user-space copies at all).
+func zcStack() transport.Transport { return &transport.TCP{} }
+
+// benchSocket measures the raw-socket TTCP over the given stack.
+func benchSocket(b *testing.B, tr transport.Transport) {
+	for _, size := range benchSizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			sink, err := ttcp.NewSocketSink(tr, "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sink.Close()
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			if _, err := ttcp.SocketSend(tr, sink.Addr(), size, b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// benchCorba measures the CORBA TTCP for the given stack and ORB path.
+func benchCorba(b *testing.B, mk func() transport.Transport, zeroCopy bool) {
+	for _, size := range benchSizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			sink, err := ttcp.NewCorbaSink(mk(), zeroCopy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sink.Close()
+			client, err := orb.New(orb.Options{Transport: mk(), ZeroCopy: zeroCopy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Shutdown()
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			if _, err := ttcp.CorbaSend(client, sink.IOR, size, b.N, zeroCopy); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if zeroCopy {
+				if n := client.Stats().PayloadCopyBytes.Load() +
+					sink.ORB.Stats().PayloadCopyBytes.Load(); n != 0 {
+					b.Fatalf("zero-copy bench copied %d payload bytes", n)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 5: raw TCP vs unmodified CORBA (standard stack) ---------------
+
+func BenchmarkFig5_RawTCP(b *testing.B)        { benchSocket(b, stdStack()) }
+func BenchmarkFig5_CorbaStandard(b *testing.B) { benchCorba(b, stdStack, false) }
+
+// --- Figure 6 left: standard vs zero-copy TCP stack (sockets) -------------
+
+func BenchmarkFig6Left_StdTCP(b *testing.B) { benchSocket(b, stdStack()) }
+func BenchmarkFig6Left_ZCTCP(b *testing.B)  { benchSocket(b, zcStack()) }
+
+// --- Figure 6 right: standard ORB vs zero-copy ORB -------------------------
+
+func BenchmarkFig6Right_CorbaStandard(b *testing.B)   { benchCorba(b, stdStack, false) }
+func BenchmarkFig6Right_ZCCorbaStdStack(b *testing.B) { benchCorba(b, stdStack, true) }
+func BenchmarkFig6Right_ZCCorbaZCStack(b *testing.B)  { benchCorba(b, zcStack, true) }
+
+// --- E7 ablation: where does the win come from? ----------------------------
+
+// BenchmarkAblation_GeneralMarshalLoop is the unmodified path: the
+// TypeCode interpreter's per-element loop plus the demarshal copy.
+func BenchmarkAblation_GeneralMarshalLoop(b *testing.B) { benchCorba(b, zcStack, false) }
+
+// BenchmarkAblation_ZCTypeFallback sends ZC-typed parameters between
+// ORBs without the extension enabled: the type system falls back to
+// standard marshaling (interoperability path), isolating the cost the
+// deposit machinery removes.
+func BenchmarkAblation_ZCTypeFallback(b *testing.B) {
+	size := 1 << 20
+	sink, err := ttcp.NewCorbaSink(zcStack(), false) // extension off
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sink.Close()
+	client, err := orb.New(orb.Options{Transport: zcStack(), ZeroCopy: false})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Shutdown()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	if _, err := ttcp.CorbaSend(client, sink.IOR, size, b.N, true); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if client.Stats().ZCFallbacks.Load() == 0 {
+		b.Fatal("fallback path was not exercised")
+	}
+}
+
+// BenchmarkAblation_FullZeroCopy is marshal bypass + direct deposit.
+func BenchmarkAblation_FullZeroCopy(b *testing.B) {
+	size := 1 << 20
+	sink, err := ttcp.NewCorbaSink(zcStack(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sink.Close()
+	client, err := orb.New(orb.Options{Transport: zcStack(), ZeroCopy: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Shutdown()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	if _, err := ttcp.CorbaSend(client, sink.IOR, size, b.N, true); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAblation_Collocation is the §2.1 local-call bypass: same
+// process, no marshaling, no wire.
+func BenchmarkAblation_Collocation(b *testing.B) {
+	size := 1 << 20
+	o, err := orb.New(orb.Options{Transport: &transport.InProc{}, Collocation: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer o.Shutdown()
+	impl := &benchStore{}
+	ref, err := o.Activate("store", media.Media_StoreSkeleton{Impl: impl})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stub := media.Media_StoreStub{Ref: ref}
+	payload := zcbuf.Wrap(make([]byte, size))
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stub.Zput(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchStore struct{ n uint64 }
+
+func (s *benchStore) GetReceived() (uint64, error) { return s.n, nil }
+func (s *benchStore) Put(p []byte) (uint32, error) {
+	s.n += uint64(len(p))
+	return uint32(len(p)), nil
+}
+func (s *benchStore) Zput(p *zcbuf.Buffer) (uint32, error) {
+	s.n += uint64(p.Len())
+	return uint32(p.Len()), nil
+}
+func (s *benchStore) Get(n uint32) ([]byte, error) { return make([]byte, n), nil }
+func (s *benchStore) Zget(n uint32) (*zcbuf.Buffer, error) {
+	return zcbuf.Wrap(make([]byte, n)), nil
+}
+func (s *benchStore) Describe(seq uint32) (media.Media_FrameInfo, error) {
+	return media.Media_FrameInfo{Seq: seq}, nil
+}
+func (s *benchStore) Reset() error { s.n = 0; return nil }
+
+// --- E6: the §5.4 transcoder farm ------------------------------------------
+
+func benchTranscoder(b *testing.B, zc bool) {
+	nsORB, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nsORB.Shutdown()
+	nsIOR, err := naming.Serve(nsORB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const workers = 3
+	for i := 0; i < workers; i++ {
+		w, err := orb.New(orb.Options{Transport: &transport.TCP{}, ZeroCopy: zc})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Shutdown()
+		nc, err := naming.Connect(w, nsIOR)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := framework.StartWorker(w, nc, fmt.Sprintf("enc-%d", i), 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+	master, err := orb.New(orb.Options{Transport: &transport.TCP{}, ZeroCopy: zc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer master.Shutdown()
+	nc, err := naming.Connect(master, nsIOR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	farm, err := framework.Discover(master, nc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const w, h = 480, 272
+	b.SetBytes(int64(mpeg.FrameBytes(w, h)))
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		batch := b.N - done
+		if batch > 32 {
+			batch = 32
+		}
+		b.StopTimer()
+		src := mpeg.NewMPEG2Source(w, h)
+		frames, err := framework.SourceFrames(src, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		results, _, err := farm.Transcode(frames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		for _, r := range results {
+			r.Data.Release()
+		}
+		b.StartTimer()
+		done += batch
+	}
+}
+
+func BenchmarkTranscoderZeroCopy(b *testing.B) { benchTranscoder(b, true) }
+func BenchmarkTranscoderStandard(b *testing.B) { benchTranscoder(b, false) }
+
+// --- micro: the marshal engine itself --------------------------------------
+
+// BenchmarkMarshalLoop measures the general per-element interpreter
+// (the copy the paper's Figure 5 blames) against a block copy.
+func BenchmarkMarshalLoop(b *testing.B) {
+	o, err := orb.New(orb.Options{Transport: &transport.InProc{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer o.Shutdown()
+	_ = o
+	b.Run("general-1M", func(b *testing.B) {
+		payload := make([]byte, 1<<20)
+		b.SetBytes(1 << 20)
+		for i := 0; i < b.N; i++ {
+			sinkMarshal(payload)
+		}
+	})
+	b.Run("blockcopy-1M", func(b *testing.B) {
+		payload := make([]byte, 1<<20)
+		dst := make([]byte, 1<<20)
+		b.SetBytes(1 << 20)
+		for i := 0; i < b.N; i++ {
+			copy(dst, payload)
+		}
+	})
+}
+
+//go:noinline
+func sinkMarshal(p []byte) {
+	// Mirror of the interpreter's per-element loop shape.
+	buf := marshalScratch[:0]
+	for _, x := range p {
+		buf = append(buf, x)
+	}
+	marshalScratch = buf
+}
+
+var marshalScratch = make([]byte, 0, 1<<20)

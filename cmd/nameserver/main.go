@@ -1,0 +1,58 @@
+// Command nameserver runs a standalone naming service: the bootstrap
+// object examples and deployments use to discover each other.
+//
+//	nameserver -addr 127.0.0.1:2809 -ior-file /tmp/ns.ior
+//
+// The service's stringified IOR is printed (and optionally written to
+// a file); clients connect with naming.Connect or, when the port is
+// fixed, with the stable corbaloc URL the command also prints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"zcorba/internal/naming"
+	"zcorba/internal/orb"
+	"zcorba/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:2809", "listen address")
+	iorFile := flag.String("ior-file", "", "write the service IOR to this file")
+	store := flag.String("store", "", "persist bindings to this JSON file across restarts")
+	flag.Parse()
+
+	o, err := orb.New(orb.Options{Transport: &transport.TCP{}, ListenAddr: *addr})
+	if err != nil {
+		fatal(err)
+	}
+	defer o.Shutdown()
+	srv := &naming.Server{StorePath: *store}
+	if err := srv.Load(); err != nil {
+		fatal(err)
+	}
+	ref, err := o.Activate(naming.DefaultKey, srv)
+	if err != nil {
+		fatal(err)
+	}
+	iorStr := ref.String()
+	fmt.Printf("nameserver: serving on %s\n", o.Addr())
+	fmt.Printf("nameserver: corbaloc::%s/%s\n", o.Addr(), naming.DefaultKey)
+	fmt.Println(iorStr)
+	if *iorFile != "" {
+		if err := os.WriteFile(*iorFile, []byte(iorStr), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nameserver:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,136 @@
+// Command ttcp is the benchmark driver of §5.1: a TCP/CORBA throughput
+// tester with the paper's four variants.
+//
+// Socket mode (raw TTCP):
+//
+//	ttcp -server -addr :5001                 # receiver
+//	ttcp -addr host:5001 -size 65536 -blocks 512
+//
+// CORBA mode (the Store service):
+//
+//	ttcp -server -corba -ior-file /tmp/sink.ior
+//	ttcp -corba -ior "$(cat /tmp/sink.ior)" -size 65536 -blocks 512
+//
+// Flags -stack copying emulates the standard (copying) kernel stack;
+// -zerocopy selects the zero-copy ORB path (direct deposit) in CORBA
+// mode. A sweep over the paper's block sizes runs with -sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"zcorba/internal/orb"
+	"zcorba/internal/transport"
+	"zcorba/internal/ttcp"
+)
+
+func main() {
+	server := flag.Bool("server", false, "run the receiving side")
+	corba := flag.Bool("corba", false, "benchmark through the CORBA ORB instead of raw sockets")
+	zerocopy := flag.Bool("zerocopy", false, "CORBA mode: use the zero-copy ORB (direct deposit)")
+	stack := flag.String("stack", "plain", "TCP stack model: plain (zero user-space copies) or copying (standard-stack emulation)")
+	addr := flag.String("addr", "127.0.0.1:5001", "socket mode: listen/connect address")
+	iorStr := flag.String("ior", "", "CORBA client: stringified IOR of the sink")
+	iorFile := flag.String("ior-file", "", "CORBA server: write the sink IOR here (default stdout)")
+	size := flag.Int("size", 64<<10, "block size in bytes")
+	blocks := flag.Int("blocks", 256, "number of blocks")
+	sweep := flag.Bool("sweep", false, "client: sweep the paper's block sizes 4K..16M")
+	target := flag.Int64("bytes", 32<<20, "sweep: bytes per point")
+	flag.Parse()
+
+	var tr transport.Transport
+	switch *stack {
+	case "plain":
+		tr = &transport.TCP{}
+	case "copying":
+		tr = &transport.Copying{Inner: &transport.TCP{}, SendCopies: 1, RecvCopies: 1}
+	default:
+		fatal(fmt.Errorf("unknown -stack %q", *stack))
+	}
+
+	switch {
+	case *server && !*corba:
+		sink, err := ttcp.NewSocketSink(tr, *addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ttcp: socket sink listening on %s (stack=%s)\n", sink.Addr(), tr.Name())
+		waitInterrupt()
+		_ = sink.Close()
+
+	case *server && *corba:
+		sink, err := ttcp.NewCorbaSink(tr, *zerocopy)
+		if err != nil {
+			fatal(err)
+		}
+		if *iorFile != "" {
+			if err := os.WriteFile(*iorFile, []byte(sink.IOR), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("ttcp: CORBA sink up (zerocopy=%v), IOR written to %s\n", *zerocopy, *iorFile)
+		} else {
+			fmt.Println(sink.IOR)
+		}
+		waitInterrupt()
+		sink.Close()
+
+	case !*server && !*corba:
+		for _, s := range sizes(*sweep, *size) {
+			b := *blocks
+			if *sweep {
+				b = ttcp.BlocksFor(s, *target, 4)
+			}
+			res, err := ttcp.SocketSend(tr, *addr, s, b)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res)
+		}
+
+	default: // CORBA client
+		if *iorStr == "" {
+			fatal(fmt.Errorf("CORBA client needs -ior"))
+		}
+		client, err := orb.New(orb.Options{Transport: tr, ZeroCopy: *zerocopy})
+		if err != nil {
+			fatal(err)
+		}
+		defer client.Shutdown()
+		for _, s := range sizes(*sweep, *size) {
+			b := *blocks
+			if *sweep {
+				b = ttcp.BlocksFor(s, *target, 4)
+			}
+			res, err := ttcp.CorbaSend(client, *iorStr, s, b, *zerocopy)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(res)
+		}
+		st := client.Stats()
+		fmt.Printf("ttcp: client payload copies=%d (%d bytes), deposits=%d (%d bytes), fallbacks=%d\n",
+			st.PayloadCopies.Load(), st.PayloadCopyBytes.Load(),
+			st.DepositsSent.Load(), st.DepositBytesSent.Load(), st.ZCFallbacks.Load())
+	}
+}
+
+func sizes(sweep bool, one int) []int {
+	if sweep {
+		return ttcp.PaperSweep()
+	}
+	return []int{one}
+}
+
+func waitInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ttcp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// Discovery: invoke a CORBA object with NO compiled stubs. The client
+// knows only two strings — the interface repository's IOR and a target
+// object's IOR — looks the interface definition up at runtime
+// (tk_TypeCode values over the wire), and drives the object through
+// the Dynamic Invocation Interface.
+//
+//	go run ./examples/discovery
+//
+// This is the dynamic half of the CORBA programming model the paper's
+// MICO base supports (DII + Interface Repository), reproduced on the
+// Go ORB.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"zcorba/internal/irepo"
+	"zcorba/internal/orb"
+	"zcorba/internal/transport"
+	"zcorba/internal/typecode"
+)
+
+// The "vendor" side: a thermostat service, its IDL-level contract, and
+// an interface repository — all things the client discovers at runtime.
+var thermostatIface = orb.NewInterface("IDL:acme/Thermostat:1.0", "Thermostat",
+	&orb.Operation{
+		Name:   "temperature",
+		Result: typecode.TCDouble,
+	},
+	&orb.Operation{
+		Name: "set_target",
+		Params: []orb.Param{
+			{Name: "celsius", Type: typecode.TCDouble, Dir: orb.In},
+		},
+		Result: typecode.TCBoolean,
+	},
+	&orb.Operation{
+		Name: "history",
+		Params: []orb.Param{
+			{Name: "n", Type: typecode.TCULong, Dir: orb.In},
+		},
+		Result: typecode.SequenceOf(typecode.TCDouble, 0),
+	},
+)
+
+type thermostat struct {
+	target float64
+}
+
+func (th *thermostat) Interface() *orb.Interface { return thermostatIface }
+func (th *thermostat) Invoke(op string, args []any) (any, []any, error) {
+	switch op {
+	case "temperature":
+		return 21.5, nil, nil
+	case "set_target":
+		th.target = args[0].(float64)
+		return true, nil, nil
+	case "history":
+		n := int(args[0].(uint32))
+		out := make([]any, n)
+		for i := range out {
+			out[i] = 20.0 + float64(i)*0.25
+		}
+		return out, nil, nil
+	default:
+		return nil, nil, &orb.SystemException{Name: "BAD_OPERATION"}
+	}
+}
+
+func main() {
+	// --- vendor process ----------------------------------------------------
+	vendor, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer vendor.Shutdown()
+	irIOR, ir, err := irepo.Serve(vendor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ir.Register(thermostatIface)
+	objRef, err := vendor.Activate("thermo-1", &thermostat{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	objIOR := objRef.String()
+	fmt.Println("vendor: published an object and its interface; the client gets two opaque strings")
+
+	// --- client process: no compiled knowledge of Thermostat ---------------
+	client, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Shutdown()
+	repo, err := irepo.Connect(client, irIOR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj, err := client.StringToObject(objIOR)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// What is this object? Ask it, then ask the repository.
+	ids, err := repo.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client: repository knows %v\n", ids)
+	var repoID string
+	for _, id := range ids {
+		if id == irepo.RepoID {
+			continue
+		}
+		if ok, _ := obj.IsA(id); ok {
+			repoID = id
+			break
+		}
+	}
+	if repoID == "" {
+		log.Fatal("client: object matches no registered interface")
+	}
+	iface, err := repo.Lookup(repoID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client: object is a %s (%s)\n", iface.Name, repoID)
+
+	opNames := make([]string, 0, len(iface.Ops))
+	for n := range iface.Ops {
+		opNames = append(opNames, n)
+	}
+	sort.Strings(opNames)
+	for _, n := range opNames {
+		op := iface.Ops[n]
+		var params []string
+		for _, p := range op.Params {
+			params = append(params, fmt.Sprintf("%s %s %s", p.Dir, p.Type, p.Name))
+		}
+		fmt.Printf("client:   %s %s(%s)\n", op.Result, op.Name, strings.Join(params, ", "))
+	}
+
+	// Drive it through the discovered metadata.
+	res, _, err := obj.Invoke(iface.Ops["temperature"], nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client: temperature() = %.1f°C\n", res)
+	res, _, err = obj.Invoke(iface.Ops["set_target"], []any{22.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client: set_target(22.5) = %v\n", res)
+	res, _, err = obj.Invoke(iface.Ops["history"], []any{uint32(4)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client: history(4) = %v\n", res)
+}

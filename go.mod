@@ -1,0 +1,3 @@
+module zcorba
+
+go 1.22

@@ -1,0 +1,46 @@
+package cdr
+
+import "testing"
+
+func BenchmarkWriteULong(b *testing.B) {
+	e := NewEncoder(NativeOrder, 0)
+	for i := 0; i < b.N; i++ {
+		if e.Len() > 1<<20 {
+			e = NewEncoder(NativeOrder, 0)
+		}
+		e.WriteULong(uint32(i))
+	}
+}
+
+func BenchmarkWriteOctetSeq64K(b *testing.B) {
+	p := make([]byte, 64<<10)
+	b.SetBytes(64 << 10)
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(NativeOrder, 0)
+		e.WriteOctetSeq(p)
+	}
+}
+
+func BenchmarkReadOctetSeqView64K(b *testing.B) {
+	e := NewEncoder(NativeOrder, 0)
+	e.WriteOctetSeq(make([]byte, 64<<10))
+	raw := e.Bytes()
+	b.SetBytes(64 << 10)
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(NativeOrder, 0, raw)
+		if _, err := d.ReadOctetSeqView(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStringRoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(NativeOrder, 0)
+		e.WriteString("IDL:zcorba/Media/Store:1.0")
+		d := NewDecoder(NativeOrder, 0, e.Bytes())
+		if _, err := d.ReadString(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

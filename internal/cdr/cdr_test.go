@@ -1,0 +1,323 @@
+package cdr
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlignmentPaddingBigEndian(t *testing.T) {
+	e := NewEncoder(BigEndian, 0)
+	e.WriteOctet(0xAA)
+	e.WriteULong(0x01020304) // needs 3 pad bytes
+	want := []byte{0xAA, 0, 0, 0, 1, 2, 3, 4}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Fatalf("got % x want % x", e.Bytes(), want)
+	}
+}
+
+func TestAlignmentWithNonZeroBase(t *testing.T) {
+	// A GIOP body starts at stream offset 12, which is 4-aligned but
+	// not 8-aligned; a double written first must insert 4 pad bytes.
+	e := NewEncoder(BigEndian, 12)
+	e.WriteDouble(1.0)
+	if len(e.Bytes()) != 4+8 {
+		t.Fatalf("len=%d want 12", len(e.Bytes()))
+	}
+	d := NewDecoder(BigEndian, 12, e.Bytes())
+	v, err := d.ReadDouble()
+	if err != nil || v != 1.0 {
+		t.Fatalf("got %v,%v", v, err)
+	}
+}
+
+func TestLittleEndianULong(t *testing.T) {
+	e := NewEncoder(LittleEndian, 0)
+	e.WriteULong(0x01020304)
+	want := []byte{4, 3, 2, 1}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Fatalf("got % x want % x", e.Bytes(), want)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "x", "hello world", "with\x01binary"} {
+		e := NewEncoder(BigEndian, 0)
+		e.WriteString(s)
+		d := NewDecoder(BigEndian, 0, e.Bytes())
+		got, err := d.ReadString()
+		if err != nil {
+			t.Fatalf("ReadString(%q): %v", s, err)
+		}
+		if got != s {
+			t.Fatalf("got %q want %q", got, s)
+		}
+		if d.Remaining() != 0 {
+			t.Fatalf("leftover %d bytes", d.Remaining())
+		}
+	}
+}
+
+func TestStringMissingNUL(t *testing.T) {
+	e := NewEncoder(BigEndian, 0)
+	e.WriteULong(3)
+	e.WriteRaw([]byte("abc")) // no NUL
+	d := NewDecoder(BigEndian, 0, e.Bytes())
+	if _, err := d.ReadString(); !errors.Is(err, ErrBadString) {
+		t.Fatalf("want ErrBadString, got %v", err)
+	}
+}
+
+func TestStringZeroLengthRejected(t *testing.T) {
+	e := NewEncoder(BigEndian, 0)
+	e.WriteULong(0)
+	d := NewDecoder(BigEndian, 0, e.Bytes())
+	if _, err := d.ReadString(); !errors.Is(err, ErrBadString) {
+		t.Fatalf("want ErrBadString, got %v", err)
+	}
+}
+
+func TestShortBufferErrors(t *testing.T) {
+	d := NewDecoder(BigEndian, 0, []byte{1, 2})
+	if _, err := d.ReadULong(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("want ErrShortBuffer, got %v", err)
+	}
+	d = NewDecoder(BigEndian, 0, nil)
+	if _, err := d.ReadOctet(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("want ErrShortBuffer, got %v", err)
+	}
+}
+
+func TestHostileSequenceLengthRejected(t *testing.T) {
+	e := NewEncoder(BigEndian, 0)
+	e.WriteULong(0xFFFFFFFF)
+	d := NewDecoder(BigEndian, 0, e.Bytes())
+	if _, err := d.ReadOctetSeq(); err == nil {
+		t.Fatal("want error for hostile length")
+	}
+}
+
+func TestEncapsulationRoundTrip(t *testing.T) {
+	e := NewEncoder(BigEndian, 0)
+	e.WriteOctet(0x7F) // disturb outer alignment
+	e.WriteEncapsulation(LittleEndian, func(inner *Encoder) {
+		inner.WriteULong(42)
+		inner.WriteString("nested")
+	})
+	d := NewDecoder(BigEndian, 0, e.Bytes())
+	if _, err := d.ReadOctet(); err != nil {
+		t.Fatal(err)
+	}
+	inner, err := d.ReadEncapsulation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner.Order() != LittleEndian {
+		t.Fatalf("inner order = %v", inner.Order())
+	}
+	v, err := inner.ReadULong()
+	if err != nil || v != 42 {
+		t.Fatalf("got %v,%v", v, err)
+	}
+	s, err := inner.ReadString()
+	if err != nil || s != "nested" {
+		t.Fatalf("got %q,%v", s, err)
+	}
+}
+
+func TestEmptyEncapsulationRejected(t *testing.T) {
+	e := NewEncoder(BigEndian, 0)
+	e.WriteULong(0)
+	d := NewDecoder(BigEndian, 0, e.Bytes())
+	if _, err := d.ReadEncapsulation(); err == nil {
+		t.Fatal("want error for empty encapsulation")
+	}
+}
+
+func TestOctetSeqViewAliases(t *testing.T) {
+	e := NewEncoder(BigEndian, 0)
+	e.WriteOctetSeq([]byte{9, 8, 7})
+	d := NewDecoder(BigEndian, 0, e.Bytes())
+	v, err := d.ReadOctetSeqView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The view must alias the decoder buffer (zero-copy contract).
+	if &v[0] != &e.Bytes()[4] {
+		t.Fatal("view does not alias the underlying buffer")
+	}
+}
+
+func TestBooleanTolerantDecode(t *testing.T) {
+	d := NewDecoder(BigEndian, 0, []byte{0, 1, 7})
+	for i, want := range []bool{false, true, true} {
+		got, err := d.ReadBoolean()
+		if err != nil || got != want {
+			t.Fatalf("value %d: got %v,%v want %v", i, got, err, want)
+		}
+	}
+}
+
+// roundTrip encodes a mixed record in the given order and base and
+// checks it decodes identically. Used by the property tests below.
+func roundTrip(order ByteOrder, base uint8, o byte, b bool, s16 int16, u32 uint32,
+	i64 int64, f32 float32, f64 float64, str string, blob []byte) bool {
+	e := NewEncoder(order, int(base))
+	e.WriteOctet(o)
+	e.WriteBoolean(b)
+	e.WriteShort(s16)
+	e.WriteULong(u32)
+	e.WriteLongLong(i64)
+	e.WriteFloat(f32)
+	e.WriteDouble(f64)
+	e.WriteString(str)
+	e.WriteOctetSeq(blob)
+
+	d := NewDecoder(order, int(base), e.Bytes())
+	go2, err := d.ReadOctet()
+	if err != nil || go2 != o {
+		return false
+	}
+	gb, err := d.ReadBoolean()
+	if err != nil || gb != b {
+		return false
+	}
+	gs, err := d.ReadShort()
+	if err != nil || gs != s16 {
+		return false
+	}
+	gu, err := d.ReadULong()
+	if err != nil || gu != u32 {
+		return false
+	}
+	gi, err := d.ReadLongLong()
+	if err != nil || gi != i64 {
+		return false
+	}
+	gf, err := d.ReadFloat()
+	if err != nil {
+		return false
+	}
+	if gf != f32 && !(math.IsNaN(float64(gf)) && math.IsNaN(float64(f32))) {
+		return false
+	}
+	gd, err := d.ReadDouble()
+	if err != nil {
+		return false
+	}
+	if gd != f64 && !(math.IsNaN(gd) && math.IsNaN(f64)) {
+		return false
+	}
+	gstr, err := d.ReadString()
+	if err != nil || gstr != str {
+		return false
+	}
+	gblob, err := d.ReadOctetSeq()
+	if err != nil || !bytes.Equal(gblob, blob) {
+		return false
+	}
+	return d.Remaining() == 0
+}
+
+func TestPropertyRoundTripBigEndian(t *testing.T) {
+	f := func(base uint8, o byte, b bool, s16 int16, u32 uint32, i64 int64,
+		f32 float32, f64 float64, str string, blob []byte) bool {
+		if bytes.ContainsRune([]byte(str), 0) {
+			str = "sanitized" // CDR strings cannot contain NUL
+		}
+		return roundTrip(BigEndian, base, o, b, s16, u32, i64, f32, f64, str, blob)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRoundTripLittleEndian(t *testing.T) {
+	f := func(base uint8, o byte, b bool, s16 int16, u32 uint32, i64 int64,
+		f32 float32, f64 float64, str string, blob []byte) bool {
+		if bytes.ContainsRune([]byte(str), 0) {
+			str = "sanitized"
+		}
+		return roundTrip(LittleEndian, base, o, b, s16, u32, i64, f32, f64, str, blob)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The decoder must never panic on arbitrary input, only return errors.
+func TestPropertyDecoderRobustness(t *testing.T) {
+	f := func(order bool, input []byte) bool {
+		ord := BigEndian
+		if order {
+			ord = LittleEndian
+		}
+		d := NewDecoder(ord, 0, input)
+		_, _ = d.ReadString()
+		_, _ = d.ReadULong()
+		_, _ = d.ReadOctetSeq()
+		_, _ = d.ReadEncapsulation()
+		_, _ = d.ReadDouble()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAlignmentInvariant(t *testing.T) {
+	// After WriteULong the offset is always 4-aligned; after
+	// WriteULongLong it is 8-aligned, for any starting base.
+	f := func(base uint16, pre []byte) bool {
+		e := NewEncoder(BigEndian, int(base%64))
+		e.WriteRaw(pre)
+		e.WriteULong(1)
+		if e.Offset()%4 != 0 {
+			return false
+		}
+		e.WriteULongLong(1)
+		return e.Offset()%8 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderAlignPastEnd(t *testing.T) {
+	// One byte of input; aligning to 8 would step past the end.
+	d := NewDecoder(BigEndian, 1, []byte{0xAA})
+	if _, err := d.ReadDouble(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("want ErrShortBuffer, got %v", err)
+	}
+}
+
+func TestReadRaw(t *testing.T) {
+	d := NewDecoder(BigEndian, 0, []byte{1, 2, 3})
+	b, err := d.ReadRaw(2)
+	if err != nil || len(b) != 2 || b[0] != 1 {
+		t.Fatalf("%v %v", b, err)
+	}
+	if _, err := d.ReadRaw(5); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("want ErrShortBuffer, got %v", err)
+	}
+	if _, err := d.ReadRaw(-1); err == nil {
+		t.Fatal("want error for negative length")
+	}
+}
+
+func TestOffsetsTrackBase(t *testing.T) {
+	e := NewEncoder(BigEndian, 12)
+	if e.Offset() != 12 {
+		t.Fatalf("offset %d", e.Offset())
+	}
+	e.WriteULong(1)
+	if e.Offset() != 16 || e.Len() != 4 {
+		t.Fatalf("offset %d len %d", e.Offset(), e.Len())
+	}
+	d := NewDecoder(BigEndian, 12, e.Bytes())
+	if d.Offset() != 12 || d.Remaining() != 4 || d.Pos() != 0 {
+		t.Fatalf("decoder offsets %d %d %d", d.Offset(), d.Remaining(), d.Pos())
+	}
+}

@@ -1,0 +1,36 @@
+package cdr
+
+import "testing"
+
+// FuzzDecoder feeds arbitrary bytes through every decode entry point;
+// the decoder must only ever return errors, never panic. The seed
+// corpus runs as part of the normal test suite.
+func FuzzDecoder(f *testing.F) {
+	e := NewEncoder(NativeOrder, 0)
+	e.WriteString("seed")
+	e.WriteULong(7)
+	e.WriteOctetSeq([]byte{1, 2, 3})
+	f.Add(e.Bytes(), true)
+	f.Add([]byte{}, false)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, true)
+	f.Fuzz(func(t *testing.T, data []byte, little bool) {
+		ord := BigEndian
+		if little {
+			ord = LittleEndian
+		}
+		d := NewDecoder(ord, 0, data)
+		for d.Remaining() > 0 {
+			before := d.Pos()
+			_, _ = d.ReadString()
+			_, _ = d.ReadOctetSeq()
+			_, _ = d.ReadEncapsulation()
+			_, _ = d.ReadDouble()
+			if d.Pos() == before {
+				_, _ = d.ReadOctet()
+			}
+			if d.Pos() == before {
+				break
+			}
+		}
+	})
+}

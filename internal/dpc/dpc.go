@@ -1,0 +1,188 @@
+// Package dpc implements a data-parallel CORBA layer in the direction
+// of the OMG Data Parallel CORBA specification (reference [14] of the
+// paper; §1.2 describes how projects like PARDIS and Cobra "triggered
+// the specification of Data Parallel CORBA"). A Group binds N member
+// object references into one invocation surface with broadcast,
+// scatter, and gather semantics.
+//
+// The zero-copy extension composes naturally: scatter partitions are
+// sub-slices of the caller's buffer, so a scatter over ZC-typed
+// parameters fans a large block out to the whole group without copying
+// a byte in user space on the sending side.
+package dpc
+
+import (
+	"fmt"
+	"sync"
+
+	"zcorba/internal/orb"
+	"zcorba/internal/zcbuf"
+)
+
+// Group is a parallel object: one logical target backed by N members.
+type Group struct {
+	members []*orb.ObjectRef
+}
+
+// NewGroup builds a group from member references.
+func NewGroup(members ...*orb.ObjectRef) (*Group, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("dpc: empty group")
+	}
+	return &Group{members: members}, nil
+}
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.members) }
+
+// Member returns the i-th member reference.
+func (g *Group) Member(i int) *orb.ObjectRef { return g.members[i] }
+
+// Result is one member's outcome of a group invocation.
+type Result struct {
+	Member int
+	Value  any
+	Outs   []any
+	Err    error
+}
+
+// FirstError returns the first member error, if any.
+func FirstError(results []Result) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("dpc: member %d: %w", r.Member, r.Err)
+		}
+	}
+	return nil
+}
+
+// invokeAll runs fn concurrently for every member and collects results
+// in member order.
+func (g *Group) invokeAll(fn func(i int, ref *orb.ObjectRef) (any, []any, error)) []Result {
+	results := make([]Result, len(g.members))
+	var wg sync.WaitGroup
+	for i, ref := range g.members {
+		wg.Add(1)
+		go func(i int, ref *orb.ObjectRef) {
+			defer wg.Done()
+			v, outs, err := fn(i, ref)
+			results[i] = Result{Member: i, Value: v, Outs: outs, Err: err}
+		}(i, ref)
+	}
+	wg.Wait()
+	return results
+}
+
+// Broadcast invokes op with identical arguments on every member.
+func (g *Group) Broadcast(op *orb.Operation, args []any) []Result {
+	return g.invokeAll(func(i int, ref *orb.ObjectRef) (any, []any, error) {
+		return ref.Invoke(op, args)
+	})
+}
+
+// Partitioner selects member i's share of an n-byte payload. The
+// returned bounds must tile [0, n) in member order.
+type Partitioner func(member, members, n int) (lo, hi int)
+
+// BlockPartition splits a payload into contiguous near-equal blocks,
+// the default data distribution of data-parallel CORBA.
+func BlockPartition(member, members, n int) (int, int) {
+	base := n / members
+	rem := n % members
+	lo := member*base + min(member, rem)
+	size := base
+	if member < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// PageAlignedPartition is BlockPartition rounded to deposit-page
+// boundaries, so every member's share stays eligible for page-aligned
+// zero-copy handling (the paper's 4 KiB granularity, §5.1).
+func PageAlignedPartition(member, members, n int) (int, int) {
+	pages := (n + zcbuf.PageSize - 1) / zcbuf.PageSize
+	plo, phi := BlockPartition(member, members, pages)
+	lo, hi := plo*zcbuf.PageSize, phi*zcbuf.PageSize
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Scatter invokes op on every member, replacing the in-parameter at
+// argIndex with that member's partition of data (a sub-slice: no
+// copies). The remaining args are broadcast unchanged.
+func (g *Group) Scatter(op *orb.Operation, args []any, argIndex int,
+	data []byte, part Partitioner) ([]Result, error) {
+	inParams := op.InParams()
+	if argIndex < 0 || argIndex >= len(inParams) {
+		return nil, fmt.Errorf("dpc: scatter arg index %d out of range", argIndex)
+	}
+	if part == nil {
+		part = BlockPartition
+	}
+	// Validate the tiling before any traffic.
+	expect := 0
+	for i := 0; i < len(g.members); i++ {
+		lo, hi := part(i, len(g.members), len(data))
+		if lo != expect || hi < lo || hi > len(data) {
+			return nil, fmt.Errorf("dpc: partitioner does not tile: member %d got [%d,%d) after %d",
+				i, lo, hi, expect)
+		}
+		expect = hi
+	}
+	if expect != len(data) {
+		return nil, fmt.Errorf("dpc: partitioner covers %d of %d bytes", expect, len(data))
+	}
+	return g.invokeAll(func(i int, ref *orb.ObjectRef) (any, []any, error) {
+		lo, hi := part(i, len(g.members), len(data))
+		myArgs := make([]any, len(args))
+		copy(myArgs, args)
+		myArgs[argIndex] = data[lo:hi:hi]
+		return ref.Invoke(op, myArgs)
+	}), nil
+}
+
+// GatherBytes concatenates the members' bulk results in member order.
+// Results may be *zcbuf.Buffer (released after gathering) or []byte.
+func GatherBytes(results []Result) ([]byte, error) {
+	if err := FirstError(results); err != nil {
+		return nil, err
+	}
+	total := 0
+	parts := make([][]byte, len(results))
+	for i, r := range results {
+		switch v := r.Value.(type) {
+		case *zcbuf.Buffer:
+			parts[i] = v.Bytes()
+		case []byte:
+			parts[i] = v
+		case nil:
+			return nil, fmt.Errorf("dpc: member %d returned no value", r.Member)
+		default:
+			return nil, fmt.Errorf("dpc: member %d returned %T, not bytes", r.Member, v)
+		}
+		total += len(parts[i])
+	}
+	out := make([]byte, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	for _, r := range results {
+		if b, ok := r.Value.(*zcbuf.Buffer); ok {
+			b.Release()
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,252 @@
+package dpc
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"zcorba/internal/orb"
+	"zcorba/internal/transport"
+	"zcorba/internal/typecode"
+	"zcorba/internal/zcbuf"
+)
+
+// shard is a group member: stores its partition, serves it back.
+type shard struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+var shardIface = orb.NewInterface("IDL:test/Shard:1.0", "Shard",
+	&orb.Operation{
+		Name:   "store",
+		Params: []orb.Param{{Name: "part", Type: typecode.TCZCOctetSeq, Dir: orb.In}},
+		Result: typecode.TCULong,
+	},
+	&orb.Operation{
+		Name:   "fetch",
+		Result: typecode.TCZCOctetSeq,
+	},
+	&orb.Operation{
+		Name:   "clear",
+		Result: typecode.TCVoid,
+	},
+)
+
+func (s *shard) Interface() *orb.Interface { return shardIface }
+
+func (s *shard) Invoke(op string, args []any) (any, []any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch op {
+	case "store":
+		buf := args[0].(*zcbuf.Buffer)
+		s.data = append([]byte(nil), buf.Bytes()...)
+		return uint32(len(s.data)), nil, nil
+	case "fetch":
+		return append([]byte(nil), s.data...), nil, nil
+	case "clear":
+		s.data = nil
+		return nil, nil, nil
+	default:
+		return nil, nil, &orb.SystemException{Name: "BAD_OPERATION"}
+	}
+}
+
+// newGroup builds a ZC group of n shard servants, each on its own ORB.
+func newGroup(t *testing.T, n int) (*Group, []*shard, *orb.ORB) {
+	t.Helper()
+	client, err := orb.New(orb.Options{Transport: &transport.TCP{}, ZeroCopy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	var refs []*orb.ObjectRef
+	var shards []*shard
+	for i := 0; i < n; i++ {
+		server, err := orb.New(orb.Options{Transport: &transport.TCP{}, ZeroCopy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(server.Shutdown)
+		sh := &shard{}
+		ref, err := server.Activate("shard", sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cref, err := client.StringToObject(ref.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, cref)
+		shards = append(shards, sh)
+	}
+	g, err := NewGroup(refs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, shards, client
+}
+
+func TestEmptyGroupRejected(t *testing.T) {
+	if _, err := NewGroup(); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	g, shards, client := newGroup(t, 3)
+	data := make([]byte, 100001) // deliberately not divisible by 3
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	results, err := g.Scatter(shardIface.Ops["store"], []any{nil}, 0, data, BlockPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	// Every member holds exactly its partition.
+	total := 0
+	for i, sh := range shards {
+		lo, hi := BlockPartition(i, 3, len(data))
+		sh.mu.Lock()
+		if !bytes.Equal(sh.data, data[lo:hi]) {
+			sh.mu.Unlock()
+			t.Fatalf("member %d partition mismatch", i)
+		}
+		total += len(sh.data)
+		sh.mu.Unlock()
+		if results[i].Value.(uint32) != uint32(hi-lo) {
+			t.Fatalf("member %d ack %v", i, results[i].Value)
+		}
+	}
+	if total != len(data) {
+		t.Fatalf("shards hold %d of %d bytes", total, len(data))
+	}
+	// Zero-copy scatter: the client must not have copied payload.
+	if n := client.Stats().PayloadCopyBytes.Load(); n != 0 {
+		t.Fatalf("scatter copied %d bytes", n)
+	}
+
+	// Gather the shards back and compare to the original.
+	fres := g.Broadcast(shardIface.Ops["fetch"], nil)
+	gathered, err := GatherBytes(fres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gathered, data) {
+		t.Fatal("gather does not reconstruct the scatter")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	g, shards, _ := newGroup(t, 4)
+	if _, err := g.Scatter(shardIface.Ops["store"], []any{nil}, 0,
+		make([]byte, 4096), nil); err != nil {
+		t.Fatal(err)
+	}
+	results := g.Broadcast(shardIface.Ops["clear"], nil)
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range shards {
+		sh.mu.Lock()
+		if len(sh.data) != 0 {
+			t.Fatalf("member %d not cleared", i)
+		}
+		sh.mu.Unlock()
+	}
+	if g.Size() != 4 || g.Member(0) == nil {
+		t.Fatal("accessors")
+	}
+}
+
+func TestScatterBadPartitioner(t *testing.T) {
+	g, _, _ := newGroup(t, 2)
+	overlap := func(member, members, n int) (int, int) { return 0, n }
+	if _, err := g.Scatter(shardIface.Ops["store"], []any{nil}, 0,
+		make([]byte, 100), overlap); err == nil {
+		t.Fatal("want tiling error")
+	}
+	short := func(member, members, n int) (int, int) {
+		lo, hi := BlockPartition(member, members, n)
+		if member == members-1 {
+			hi-- // leaves one byte uncovered
+		}
+		return lo, hi
+	}
+	if _, err := g.Scatter(shardIface.Ops["store"], []any{nil}, 0,
+		make([]byte, 100), short); err == nil {
+		t.Fatal("want coverage error")
+	}
+	if _, err := g.Scatter(shardIface.Ops["store"], []any{nil}, 5,
+		make([]byte, 100), nil); err == nil {
+		t.Fatal("want arg-index error")
+	}
+}
+
+func TestPropertyBlockPartitionTiles(t *testing.T) {
+	f := func(rawMembers uint8, rawN uint16) bool {
+		members := int(rawMembers%16) + 1
+		n := int(rawN)
+		expect := 0
+		for i := 0; i < members; i++ {
+			lo, hi := BlockPartition(i, members, n)
+			if lo != expect || hi < lo {
+				return false
+			}
+			expect = hi
+		}
+		return expect == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPageAlignedPartitionTiles(t *testing.T) {
+	f := func(rawMembers uint8, rawN uint32) bool {
+		members := int(rawMembers%8) + 1
+		n := int(rawN % (64 << 20))
+		expect := 0
+		for i := 0; i < members; i++ {
+			lo, hi := PageAlignedPartition(i, members, n)
+			if lo != expect || hi < lo || hi > n {
+				return false
+			}
+			// Every boundary except the last is page aligned.
+			if hi != n && hi%zcbuf.PageSize != 0 {
+				return false
+			}
+			expect = hi
+		}
+		return expect == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherBytesErrors(t *testing.T) {
+	if _, err := GatherBytes([]Result{{Member: 0, Err: errTest}}); err == nil {
+		t.Fatal("want member error")
+	}
+	if _, err := GatherBytes([]Result{{Member: 0, Value: 42}}); err == nil {
+		t.Fatal("want type error")
+	}
+	if _, err := GatherBytes([]Result{{Member: 0}}); err == nil {
+		t.Fatal("want nil-value error")
+	}
+	got, err := GatherBytes([]Result{
+		{Member: 0, Value: []byte("ab")},
+		{Member: 1, Value: zcbuf.Wrap([]byte("cd"))},
+	})
+	if err != nil || string(got) != "abcd" {
+		t.Fatalf("got %q %v", got, err)
+	}
+}
+
+var errTest = &orb.SystemException{Name: "UNKNOWN"}

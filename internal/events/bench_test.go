@@ -1,0 +1,68 @@
+package events
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zcorba/internal/orb"
+	"zcorba/internal/transport"
+	"zcorba/internal/typecode"
+)
+
+// BenchmarkFanout measures end-to-end event delivery through the
+// channel to N consumers (one oneway hop in, N oneway hops out).
+func BenchmarkFanout(b *testing.B) {
+	for _, consumers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("consumers-%d", consumers), func(b *testing.B) {
+			server, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer server.Shutdown()
+			ref, _, err := Serve(server, "events")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var delivered atomic.Int64
+			for i := 0; i < consumers; i++ {
+				c, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Shutdown()
+				p, err := Connect(c, ref.String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := SubscribeFunc(c, p, fmt.Sprint(i),
+					func(typecode.AnyValue) { delivered.Add(1) }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sup, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sup.Shutdown()
+			ps, err := Connect(sup, ref.String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev := typecode.AnyValue{Type: typecode.TCULong, Value: uint32(7)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ps.Push(ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Wait for the oneway pipeline to drain so every benched
+			// push includes its deliveries.
+			want := int64(b.N * consumers)
+			for delivered.Load() < want {
+				time.Sleep(100 * time.Microsecond)
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+// Package events implements a CosEventService-style push event channel
+// served over the ORB: suppliers push self-describing values (CORBA
+// any) into a channel object, which fans them out to subscribed
+// consumer objects with oneway invocations. It is the classic CORBA
+// companion service the paper's era deployments paired with an ORB,
+// and it exercises the dynamic type system (Any), object-reference
+// parameters, and oneway dispatch together.
+package events
+
+import (
+	"fmt"
+	"sync"
+
+	"zcorba/internal/ior"
+	"zcorba/internal/orb"
+	"zcorba/internal/typecode"
+)
+
+// Channel interface contract.
+var (
+	// ChannelIface is served by the event channel object.
+	ChannelIface = orb.NewInterface("IDL:zcorba/Events/Channel:1.0", "Channel",
+		&orb.Operation{
+			Name:   "subscribe",
+			Params: []orb.Param{{Name: "consumer", Type: typecode.TCObjRef, Dir: orb.In}},
+			Result: typecode.TCULong, // subscription id
+		},
+		&orb.Operation{
+			Name:   "unsubscribe",
+			Params: []orb.Param{{Name: "id", Type: typecode.TCULong, Dir: orb.In}},
+			Result: typecode.TCBoolean,
+		},
+		&orb.Operation{
+			Name:   "push",
+			Params: []orb.Param{{Name: "event", Type: typecode.TCAny, Dir: orb.In}},
+			Result: typecode.TCVoid,
+			Oneway: true,
+		},
+		&orb.Operation{
+			Name:   "consumers",
+			Result: typecode.TCULong,
+		},
+	)
+
+	// ConsumerIface is implemented by subscribers.
+	ConsumerIface = orb.NewInterface("IDL:zcorba/Events/Consumer:1.0", "Consumer",
+		&orb.Operation{
+			Name:   "push",
+			Params: []orb.Param{{Name: "event", Type: typecode.TCAny, Dir: orb.In}},
+			Result: typecode.TCVoid,
+			Oneway: true,
+		},
+	)
+)
+
+// Channel is the event channel servant.
+type Channel struct {
+	orb *orb.ORB
+
+	mu     sync.Mutex
+	nextID uint32
+	subs   map[uint32]*orb.ObjectRef
+	// dropped counts events that could not be delivered to a consumer
+	// (push is best-effort, as in the classic event service).
+	dropped int64
+}
+
+// NewChannel creates a channel servant bound to o (used to convert
+// consumer IORs into invocable references).
+func NewChannel(o *orb.ORB) *Channel {
+	return &Channel{orb: o, subs: make(map[uint32]*orb.ObjectRef)}
+}
+
+// Serve activates a channel on o under the given key and returns its
+// reference.
+func Serve(o *orb.ORB, key string) (*orb.ObjectRef, *Channel, error) {
+	ch := NewChannel(o)
+	ref, err := o.Activate(key, ch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ref, ch, nil
+}
+
+// Interface implements orb.Servant.
+func (c *Channel) Interface() *orb.Interface { return ChannelIface }
+
+// Invoke implements orb.Servant.
+func (c *Channel) Invoke(op string, args []any) (any, []any, error) {
+	switch op {
+	case "subscribe":
+		ref, ok := args[0].(ior.IOR)
+		if !ok || ref.Nil() {
+			return nil, nil, &orb.SystemException{Name: "BAD_PARAM"}
+		}
+		c.mu.Lock()
+		c.nextID++
+		id := c.nextID
+		c.subs[id] = c.orb.ObjectFromIOR(ref)
+		c.mu.Unlock()
+		return id, nil, nil
+	case "unsubscribe":
+		id, ok := args[0].(uint32)
+		if !ok {
+			return nil, nil, &orb.SystemException{Name: "BAD_PARAM"}
+		}
+		c.mu.Lock()
+		_, had := c.subs[id]
+		delete(c.subs, id)
+		c.mu.Unlock()
+		return had, nil, nil
+	case "push":
+		ev, ok := args[0].(typecode.AnyValue)
+		if !ok {
+			return nil, nil, &orb.SystemException{Name: "BAD_PARAM"}
+		}
+		c.fanout(ev)
+		return nil, nil, nil
+	case "consumers":
+		c.mu.Lock()
+		n := uint32(len(c.subs))
+		c.mu.Unlock()
+		return n, nil, nil
+	default:
+		return nil, nil, &orb.SystemException{Name: "BAD_OPERATION"}
+	}
+}
+
+// fanout delivers one event to every subscriber (best effort).
+func (c *Channel) fanout(ev typecode.AnyValue) {
+	c.mu.Lock()
+	targets := make([]*orb.ObjectRef, 0, len(c.subs))
+	for _, ref := range c.subs {
+		targets = append(targets, ref)
+	}
+	c.mu.Unlock()
+	pushOp := ConsumerIface.Ops["push"]
+	for _, ref := range targets {
+		if _, _, err := ref.Invoke(pushOp, []any{ev}); err != nil {
+			c.mu.Lock()
+			c.dropped++
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Dropped reports undeliverable events (for monitoring and tests).
+func (c *Channel) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Proxy is the client-side face of a channel.
+type Proxy struct {
+	Ref *orb.ObjectRef
+}
+
+// Connect wraps a channel reference resolved elsewhere (naming
+// service, stringified IOR, ...).
+func Connect(o *orb.ORB, iorStr string) (Proxy, error) {
+	ref, err := o.StringToObject(iorStr)
+	if err != nil {
+		return Proxy{}, err
+	}
+	return Proxy{Ref: ref}, nil
+}
+
+// Subscribe registers a consumer object and returns the subscription id.
+func (p Proxy) Subscribe(consumer *orb.ObjectRef) (uint32, error) {
+	res, _, err := p.Ref.Invoke(ChannelIface.Ops["subscribe"], []any{consumer.IOR()})
+	if err != nil {
+		return 0, err
+	}
+	id, _ := res.(uint32)
+	return id, nil
+}
+
+// Unsubscribe removes a subscription; it reports whether it existed.
+func (p Proxy) Unsubscribe(id uint32) (bool, error) {
+	res, _, err := p.Ref.Invoke(ChannelIface.Ops["unsubscribe"], []any{id})
+	if err != nil {
+		return false, err
+	}
+	had, _ := res.(bool)
+	return had, nil
+}
+
+// Push publishes one self-describing event (oneway: fire and forget).
+func (p Proxy) Push(ev typecode.AnyValue) error {
+	_, _, err := p.Ref.Invoke(ChannelIface.Ops["push"], []any{ev})
+	return err
+}
+
+// Consumers returns the current subscriber count.
+func (p Proxy) Consumers() (uint32, error) {
+	res, _, err := p.Ref.Invoke(ChannelIface.Ops["consumers"], nil)
+	if err != nil {
+		return 0, err
+	}
+	n, _ := res.(uint32)
+	return n, nil
+}
+
+// ConsumerFunc adapts a Go function into a consumer servant.
+type ConsumerFunc func(ev typecode.AnyValue)
+
+// Interface implements orb.Servant.
+func (ConsumerFunc) Interface() *orb.Interface { return ConsumerIface }
+
+// Invoke implements orb.Servant.
+func (f ConsumerFunc) Invoke(op string, args []any) (any, []any, error) {
+	if op != "push" {
+		return nil, nil, &orb.SystemException{Name: "BAD_OPERATION"}
+	}
+	ev, ok := args[0].(typecode.AnyValue)
+	if !ok {
+		return nil, nil, &orb.SystemException{Name: "BAD_PARAM"}
+	}
+	f(ev)
+	return nil, nil, nil
+}
+
+// SubscribeFunc activates fn as a consumer object on o and subscribes
+// it to the channel; it returns the subscription id and the activated
+// key (for deactivation).
+func SubscribeFunc(o *orb.ORB, p Proxy, name string, fn ConsumerFunc) (uint32, string, error) {
+	key := "events-consumer/" + name
+	ref, err := o.Activate(key, fn)
+	if err != nil {
+		return 0, "", fmt.Errorf("events: activate consumer: %w", err)
+	}
+	id, err := p.Subscribe(ref)
+	if err != nil {
+		o.Deactivate(key)
+		return 0, "", err
+	}
+	return id, key, nil
+}

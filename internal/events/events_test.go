@@ -1,0 +1,211 @@
+package events
+
+import (
+	"testing"
+	"time"
+
+	"zcorba/internal/ior"
+	"zcorba/internal/orb"
+	"zcorba/internal/transport"
+	"zcorba/internal/typecode"
+)
+
+func newORB(t *testing.T) *orb.ORB {
+	t.Helper()
+	o, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Shutdown)
+	return o
+}
+
+func waitFor(t *testing.T, ch <-chan typecode.AnyValue) typecode.AnyValue {
+	t.Helper()
+	select {
+	case ev := <-ch:
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("event never arrived")
+		return typecode.AnyValue{}
+	}
+}
+
+func TestPushFanout(t *testing.T) {
+	server := newORB(t)
+	ref, channel, err := Serve(server, "events")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two consumer processes (separate ORBs).
+	got1 := make(chan typecode.AnyValue, 8)
+	got2 := make(chan typecode.AnyValue, 8)
+	c1 := newORB(t)
+	p1, err := Connect(c1, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SubscribeFunc(c1, p1, "one", func(ev typecode.AnyValue) { got1 <- ev }); err != nil {
+		t.Fatal(err)
+	}
+	c2 := newORB(t)
+	p2, err := Connect(c2, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SubscribeFunc(c2, p2, "two", func(ev typecode.AnyValue) { got2 <- ev }); err != nil {
+		t.Fatal(err)
+	}
+
+	// A supplier on its own ORB.
+	sup := newORB(t)
+	ps, err := Connect(sup, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ps.Consumers()
+	if err != nil || n != 2 {
+		t.Fatalf("consumers=%d err=%v", n, err)
+	}
+	if err := ps.Push(typecode.AnyValue{Type: typecode.TCString, Value: "frame-ready"}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, ch := range []<-chan typecode.AnyValue{got1, got2} {
+		ev := waitFor(t, ch)
+		if ev.Type.Kind() != typecode.String || ev.Value.(string) != "frame-ready" {
+			t.Fatalf("event %+v", ev)
+		}
+	}
+	if channel.Dropped() != 0 {
+		t.Fatalf("dropped %d", channel.Dropped())
+	}
+}
+
+func TestStructuredEventPayload(t *testing.T) {
+	server := newORB(t)
+	ref, _, err := Serve(server, "events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := newORB(t)
+	p, err := Connect(client, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan typecode.AnyValue, 1)
+	if _, _, err := SubscribeFunc(client, p, "s", func(ev typecode.AnyValue) { got <- ev }); err != nil {
+		t.Fatal(err)
+	}
+	frameTC := typecode.StructOf("IDL:zcorba/Events/Frame:1.0", "Frame",
+		typecode.Member{Name: "seq", Type: typecode.TCULong},
+		typecode.Member{Name: "pts", Type: typecode.TCDouble})
+	if err := p.Push(typecode.AnyValue{Type: frameTC, Value: []any{uint32(7), 0.28}}); err != nil {
+		t.Fatal(err)
+	}
+	ev := waitFor(t, got)
+	if !ev.Type.Equal(frameTC) {
+		t.Fatalf("type %s", ev.Type)
+	}
+	fields := ev.Value.([]any)
+	if fields[0].(uint32) != 7 || fields[1].(float64) != 0.28 {
+		t.Fatalf("fields %v", fields)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	server := newORB(t)
+	ref, _, err := Serve(server, "events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := newORB(t)
+	p, err := Connect(client, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan typecode.AnyValue, 8)
+	id, _, err := SubscribeFunc(client, p, "u", func(ev typecode.AnyValue) { got <- ev })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Push(typecode.AnyValue{Type: typecode.TCLong, Value: int32(1)}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, got)
+	had, err := p.Unsubscribe(id)
+	if err != nil || !had {
+		t.Fatalf("unsubscribe %v %v", had, err)
+	}
+	if n, _ := p.Consumers(); n != 0 {
+		t.Fatalf("consumers=%d", n)
+	}
+	if err := p.Push(typecode.AnyValue{Type: typecode.TCLong, Value: int32(2)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-got:
+		t.Fatalf("delivery after unsubscribe: %+v", ev)
+	case <-time.After(300 * time.Millisecond):
+	}
+	// Unsubscribing twice reports absence.
+	had, err = p.Unsubscribe(id)
+	if err != nil || had {
+		t.Fatalf("double unsubscribe %v %v", had, err)
+	}
+}
+
+func TestDeadConsumerCountsDropped(t *testing.T) {
+	server := newORB(t)
+	ref, channel, err := Serve(server, "events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Connect(victim, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SubscribeFunc(victim, p, "dead", func(typecode.AnyValue) {}); err != nil {
+		t.Fatal(err)
+	}
+	victim.Shutdown() // consumer dies
+
+	sup := newORB(t)
+	ps, err := Connect(sup, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Push(typecode.AnyValue{Type: typecode.TCLong, Value: int32(3)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for channel.Dropped() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("drop never recorded")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSubscribeNilReferenceRejected(t *testing.T) {
+	server := newORB(t)
+	ref, _, err := Serve(server, "events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := newORB(t)
+	p, err := Connect(client, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct dynamic call with a nil IOR.
+	_, _, err = p.Ref.Invoke(ChannelIface.Ops["subscribe"], []any{ior.IOR{}})
+	if err == nil {
+		t.Fatal("want BAD_PARAM")
+	}
+}

@@ -1,0 +1,271 @@
+// Package framework implements the service-based framework for
+// transparent parallelization of §5.4 (reference [9] of the paper): a
+// master distributes video frames over CORBA requests to a farm of
+// encoder objects running on cluster nodes, and collects the encoded
+// results. With the zero-copy ORB the frame buffers travel by direct
+// deposit, which is what makes real-time HDTV rates reachable.
+package framework
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zcorba/internal/media"
+	"zcorba/internal/mpeg"
+	"zcorba/internal/naming"
+	"zcorba/internal/orb"
+	"zcorba/internal/zcbuf"
+)
+
+// WorkerPrefix is the naming-service prefix under which encoder
+// workers register.
+const WorkerPrefix = "encoders/"
+
+// Frame is one unit of work: a raw (decoded) frame plus metadata.
+type Frame struct {
+	Info media.Media_FrameInfo
+	Data *zcbuf.Buffer
+}
+
+// Result is one transcoded frame.
+type Result struct {
+	Info media.Media_FrameInfo
+	// Data holds the encoded frame; the caller owns the reference.
+	Data *zcbuf.Buffer
+	// Worker indexes the farm member that produced the result.
+	Worker int
+	Err    error
+}
+
+// Stats summarizes a farm run.
+type Stats struct {
+	Frames   int
+	InBytes  int64
+	OutBytes int64
+	Elapsed  time.Duration
+}
+
+// FPS returns achieved frames per second.
+func (s Stats) FPS() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Frames) / s.Elapsed.Seconds()
+}
+
+// RealTime reports whether the run sustained the paper's real-time
+// target (25 fps).
+func (s Stats) RealTime() bool { return s.FPS() >= mpeg.FrameRate }
+
+// EncoderServant adapts the synthetic MPEG-4 encoder to the generated
+// Media::Encoder handler interface.
+type EncoderServant struct {
+	Enc   mpeg.Encoder
+	depth atomic.Int32
+}
+
+var _ media.Media_EncoderHandler = (*EncoderServant)(nil)
+
+// Encode implements Media_EncoderHandler.
+func (s *EncoderServant) Encode(info media.Media_FrameInfo, frame *zcbuf.Buffer) (*zcbuf.Buffer, error) {
+	s.depth.Add(1)
+	defer s.depth.Add(-1)
+	w, h := int(info.Width), int(info.Height)
+	if mpeg.FrameBytes(w, h) != frame.Len() {
+		return nil, &media.Media_TransferError{
+			Reason: fmt.Sprintf("frame is %d bytes, %dx%d needs %d",
+				frame.Len(), w, h, mpeg.FrameBytes(w, h)),
+			Code: 1,
+		}
+	}
+	coded, err := s.Enc.Encode(frame.Bytes(), w, h)
+	if err != nil {
+		return nil, &media.Media_TransferError{Reason: err.Error(), Code: 2}
+	}
+	return zcbuf.Wrap(coded), nil
+}
+
+// Busy implements Media_EncoderHandler: current queue depth, used for
+// load-aware scheduling.
+func (s *EncoderServant) Busy() (uint32, error) {
+	return uint32(s.depth.Load()), nil
+}
+
+// StartWorker activates an encoder servant on o under the given name
+// and registers it with the naming service.
+func StartWorker(o *orb.ORB, nc *naming.Client, name string, quality int) error {
+	servant := &EncoderServant{Enc: mpeg.Encoder{Quality: quality}}
+	ref, err := o.Activate(name, media.Media_EncoderSkeleton{Impl: servant})
+	if err != nil {
+		return fmt.Errorf("framework: activate %s: %w", name, err)
+	}
+	if err := nc.Rebind(WorkerPrefix+name, ref); err != nil {
+		return fmt.Errorf("framework: bind %s: %w", name, err)
+	}
+	return nil
+}
+
+// Farm is a set of encoder workers fed round-robin with bounded
+// in-flight requests per worker.
+type Farm struct {
+	stubs []media.Media_EncoderStub
+	// InFlight bounds concurrent requests per worker (default 2: one
+	// encoding, one in transfer — the pipeline overlap the deposit
+	// architecture enables).
+	InFlight int
+}
+
+// NewFarm builds a farm from explicit worker stubs.
+func NewFarm(stubs ...media.Media_EncoderStub) *Farm {
+	return &Farm{stubs: stubs, InFlight: 2}
+}
+
+// Discover resolves all workers registered under WorkerPrefix.
+func Discover(o *orb.ORB, nc *naming.Client) (*Farm, error) {
+	names, err := nc.List(WorkerPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("framework: list workers: %w", err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("framework: no workers registered under %q", WorkerPrefix)
+	}
+	stubs := make([]media.Media_EncoderStub, 0, len(names))
+	for _, n := range names {
+		ref, err := nc.Resolve(n)
+		if err != nil {
+			return nil, fmt.Errorf("framework: resolve %s: %w", n, err)
+		}
+		stubs = append(stubs, media.Media_EncoderStub{Ref: ref})
+	}
+	return NewFarm(stubs...), nil
+}
+
+// Size returns the number of workers.
+func (f *Farm) Size() int { return len(f.stubs) }
+
+// Transcode pushes the frames through the farm and returns one result
+// per frame, in input order, plus aggregate statistics. Frame buffers
+// are released by the farm after their transfer completes.
+func (f *Farm) Transcode(frames []Frame) ([]Result, Stats, error) {
+	if len(f.stubs) == 0 {
+		return nil, Stats{}, fmt.Errorf("framework: empty farm")
+	}
+	inflight := f.InFlight
+	if inflight < 1 {
+		inflight = 1
+	}
+	results := make([]Result, len(frames))
+	type job struct {
+		idx int
+		f   Frame
+	}
+	queue := make(chan job)
+	var wg sync.WaitGroup
+	var inBytes, outBytes atomic.Int64
+
+	start := time.Now()
+	for wi, stub := range f.stubs {
+		for k := 0; k < inflight; k++ {
+			wg.Add(1)
+			go func(wi int, stub media.Media_EncoderStub) {
+				defer wg.Done()
+				for j := range queue {
+					inBytes.Add(int64(j.f.Data.Len()))
+					coded, err := stub.Encode(j.f.Info, j.f.Data)
+					j.f.Data.Release()
+					res := Result{Info: j.f.Info, Worker: wi, Err: err}
+					if err == nil {
+						res.Data = coded
+						outBytes.Add(int64(coded.Len()))
+					}
+					results[j.idx] = res
+				}
+			}(wi, stub)
+		}
+	}
+	for i, fr := range frames {
+		queue <- job{idx: i, f: fr}
+	}
+	close(queue)
+	wg.Wait()
+
+	st := Stats{
+		Frames:   len(frames),
+		InBytes:  inBytes.Load(),
+		OutBytes: outBytes.Load(),
+		Elapsed:  time.Since(start),
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			return results, st, fmt.Errorf("framework: frame %d on worker %d: %w",
+				r.Info.Seq, r.Worker, r.Err)
+		}
+	}
+	return results, st, nil
+}
+
+// TranscodeStream is the streaming form of Transcode for live sources
+// (the real-time pipeline of §5.4): frames are consumed from in as they
+// arrive, fanned out to the farm with bounded in-flight work, and
+// results are delivered on the returned channel in completion order
+// (each result carries its sequence number for reordering). The result
+// channel closes after the last frame; callers own the result buffers.
+func (f *Farm) TranscodeStream(in <-chan Frame) (<-chan Result, error) {
+	if len(f.stubs) == 0 {
+		return nil, fmt.Errorf("framework: empty farm")
+	}
+	inflight := f.InFlight
+	if inflight < 1 {
+		inflight = 1
+	}
+	out := make(chan Result, len(f.stubs)*inflight)
+	var wg sync.WaitGroup
+	for wi, stub := range f.stubs {
+		for k := 0; k < inflight; k++ {
+			wg.Add(1)
+			go func(wi int, stub media.Media_EncoderStub) {
+				defer wg.Done()
+				for fr := range in {
+					coded, err := stub.Encode(fr.Info, fr.Data)
+					fr.Data.Release()
+					res := Result{Info: fr.Info, Worker: wi, Err: err}
+					if err == nil {
+						res.Data = coded
+					}
+					out <- res
+				}
+			}(wi, stub)
+		}
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out, nil
+}
+
+// SourceFrames decodes n frames from an MPEG-2 source into farm work
+// items (the master-side decode step of the transcoder pipeline).
+func SourceFrames(src *mpeg.MPEG2Source, n int) ([]Frame, error) {
+	frames := make([]Frame, 0, n)
+	for i := 0; i < n; i++ {
+		seq, coded, err := src.Next()
+		if err != nil {
+			return nil, fmt.Errorf("framework: source frame %d: %w", i, err)
+		}
+		raw, err := src.DecodeFrame(coded)
+		if err != nil {
+			return nil, fmt.Errorf("framework: decode frame %d: %w", i, err)
+		}
+		frames = append(frames, Frame{
+			Info: media.Media_FrameInfo{
+				Seq: seq, Width: uint32(src.Width), Height: uint32(src.Height),
+				Codec: media.Media_MPEG4, Pts: float64(seq) / mpeg.FrameRate,
+			},
+			Data: zcbuf.Wrap(raw),
+		})
+	}
+	return frames, nil
+}

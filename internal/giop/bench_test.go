@@ -1,0 +1,36 @@
+package giop
+
+import (
+	"testing"
+
+	"zcorba/internal/cdr"
+)
+
+func BenchmarkRequestHeaderRoundTrip(b *testing.B) {
+	h := RequestHeader{
+		ServiceContexts: []ServiceContext{
+			DepositInfo{Arch: "amd64/little/go", Token: 1, Sizes: []uint32{1 << 20}}.Encode(),
+		},
+		RequestID: 1, ResponseExpected: true,
+		ObjectKey: []byte("store"), Operation: "zput", Principal: []byte{},
+	}
+	for i := 0; i < b.N; i++ {
+		e := cdr.NewEncoder(cdr.NativeOrder, HeaderSize)
+		h.Marshal(e)
+		d := cdr.NewDecoder(cdr.NativeOrder, HeaderSize, e.Bytes())
+		if _, err := UnmarshalRequestHeader(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeaderEncodeDecode(b *testing.B) {
+	var buf [HeaderSize]byte
+	h := Header{Major: 1, Flags: FlagLittleEndian, Type: MsgRequest, Size: 4096}
+	for i := 0; i < b.N; i++ {
+		EncodeHeader(buf[:], h)
+		if _, err := DecodeHeader(buf[:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

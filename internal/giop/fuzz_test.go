@@ -1,0 +1,32 @@
+package giop
+
+import (
+	"testing"
+
+	"zcorba/internal/cdr"
+)
+
+// FuzzHeaders exercises every GIOP header parser on arbitrary input.
+func FuzzHeaders(f *testing.F) {
+	var buf [HeaderSize]byte
+	EncodeHeader(buf[:], Header{Major: 1, Type: MsgRequest, Size: 100})
+	f.Add(buf[:], false)
+	e := cdr.NewEncoder(cdr.NativeOrder, HeaderSize)
+	(&RequestHeader{RequestID: 1, ObjectKey: []byte("k"), Operation: "op",
+		Principal: []byte{}}).Marshal(e)
+	f.Add(e.Bytes(), true)
+	f.Fuzz(func(t *testing.T, data []byte, little bool) {
+		_, _ = DecodeHeader(data)
+		ord := cdr.BigEndian
+		if little {
+			ord = cdr.LittleEndian
+		}
+		d := cdr.NewDecoder(ord, HeaderSize, data)
+		_, _ = UnmarshalRequestHeader(d)
+		d2 := cdr.NewDecoder(ord, HeaderSize, data)
+		_, _ = UnmarshalReplyHeader(d2)
+		d3 := cdr.NewDecoder(ord, HeaderSize, data)
+		_, _ = UnmarshalLocateRequestHeader(d3)
+		_, _ = DecodeDepositInfo(data)
+	})
+}

@@ -1,0 +1,238 @@
+package giop
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"zcorba/internal/cdr"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	cases := []Header{
+		{Major: 1, Minor: 0, Flags: 0, Type: MsgRequest, Size: 0},
+		{Major: 1, Minor: 0, Flags: FlagLittleEndian, Type: MsgReply, Size: 1234},
+		{Major: 1, Minor: 1, Flags: FlagLittleEndian | FlagMoreFragments, Type: MsgFragment, Size: 1 << 20},
+		{Major: 1, Minor: 0, Flags: 0, Type: MsgCloseConnection, Size: 0},
+	}
+	for _, h := range cases {
+		var buf [HeaderSize]byte
+		EncodeHeader(buf[:], h)
+		got, err := DecodeHeader(buf[:])
+		if err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("got %+v want %+v", got, h)
+		}
+	}
+}
+
+func TestHeaderBadMagic(t *testing.T) {
+	var buf [HeaderSize]byte
+	EncodeHeader(buf[:], Header{Major: 1, Type: MsgRequest})
+	buf[0] = 'X'
+	if _, err := DecodeHeader(buf[:]); err == nil {
+		t.Fatal("want bad-magic error")
+	}
+}
+
+func TestHeaderBadVersionTypeSize(t *testing.T) {
+	var buf [HeaderSize]byte
+	EncodeHeader(buf[:], Header{Major: 1, Type: MsgRequest})
+	buf[4] = 2
+	if _, err := DecodeHeader(buf[:]); err == nil {
+		t.Fatal("want version error")
+	}
+	EncodeHeader(buf[:], Header{Major: 1, Type: MsgType(9)})
+	if _, err := DecodeHeader(buf[:]); err == nil {
+		t.Fatal("want type error")
+	}
+	EncodeHeader(buf[:], Header{Major: 1, Type: MsgRequest, Size: MaxMessageSize + 1})
+	if _, err := DecodeHeader(buf[:]); err == nil {
+		t.Fatal("want size error")
+	}
+	if _, err := DecodeHeader(buf[:5]); err == nil {
+		t.Fatal("want truncation error")
+	}
+}
+
+func TestReadHeader(t *testing.T) {
+	var buf [HeaderSize]byte
+	want := Header{Major: 1, Minor: 0, Flags: FlagLittleEndian, Type: MsgLocateRequest, Size: 77}
+	EncodeHeader(buf[:], want)
+	got, err := ReadHeader(bytes.NewReader(buf[:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v", got)
+	}
+	if _, err := ReadHeader(bytes.NewReader(buf[:4])); err == nil {
+		t.Fatal("want short-read error")
+	}
+}
+
+func TestRequestHeaderRoundTrip(t *testing.T) {
+	h := RequestHeader{
+		ServiceContexts: []ServiceContext{
+			{ID: 7, Data: []byte{1, 2, 3}},
+			DepositInfo{Arch: "amd64/little/go", Token: 0xDEADBEEF01, Sizes: []uint32{4096, 65536}}.Encode(),
+		},
+		RequestID:        42,
+		ResponseExpected: true,
+		ObjectKey:        []byte("obj-key"),
+		Operation:        "transfer",
+		Principal:        []byte{},
+	}
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		e := cdr.NewEncoder(order, HeaderSize)
+		h.Marshal(e)
+		d := cdr.NewDecoder(order, HeaderSize, e.Bytes())
+		got, err := UnmarshalRequestHeader(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.RequestID != 42 || !got.ResponseExpected ||
+			string(got.ObjectKey) != "obj-key" || got.Operation != "transfer" {
+			t.Fatalf("got %+v", got)
+		}
+		if len(got.ServiceContexts) != 2 {
+			t.Fatalf("contexts %+v", got.ServiceContexts)
+		}
+		data, ok := Find(got.ServiceContexts, ZCDepositContextID)
+		if !ok {
+			t.Fatal("deposit context lost")
+		}
+		di, err := DecodeDepositInfo(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if di.Arch != "amd64/little/go" || di.Token != 0xDEADBEEF01 ||
+			len(di.Sizes) != 2 || di.Sizes[1] != 65536 {
+			t.Fatalf("deposit info %+v", di)
+		}
+	}
+}
+
+func TestReplyHeaderRoundTrip(t *testing.T) {
+	for _, status := range []ReplyStatus{ReplyNoException, ReplyUserException,
+		ReplySystemException, ReplyLocationForward} {
+		h := ReplyHeader{RequestID: 9, Status: status}
+		e := cdr.NewEncoder(cdr.NativeOrder, HeaderSize)
+		h.Marshal(e)
+		d := cdr.NewDecoder(cdr.NativeOrder, HeaderSize, e.Bytes())
+		got, err := UnmarshalReplyHeader(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.RequestID != 9 || got.Status != status {
+			t.Fatalf("got %+v", got)
+		}
+	}
+}
+
+func TestReplyHeaderInvalidStatus(t *testing.T) {
+	e := cdr.NewEncoder(cdr.NativeOrder, 0)
+	e.WriteULong(0) // no contexts
+	e.WriteULong(1) // request id
+	e.WriteULong(9) // bad status
+	d := cdr.NewDecoder(cdr.NativeOrder, 0, e.Bytes())
+	if _, err := UnmarshalReplyHeader(d); err == nil {
+		t.Fatal("want invalid-status error")
+	}
+}
+
+func TestLocateRoundTrips(t *testing.T) {
+	lr := LocateRequestHeader{RequestID: 5, ObjectKey: []byte("k")}
+	e := cdr.NewEncoder(cdr.NativeOrder, HeaderSize)
+	lr.Marshal(e)
+	d := cdr.NewDecoder(cdr.NativeOrder, HeaderSize, e.Bytes())
+	glr, err := UnmarshalLocateRequestHeader(d)
+	if err != nil || glr.RequestID != 5 || string(glr.ObjectKey) != "k" {
+		t.Fatalf("%+v %v", glr, err)
+	}
+
+	lp := LocateReplyHeader{RequestID: 5, Status: LocateObjectHere}
+	e2 := cdr.NewEncoder(cdr.NativeOrder, HeaderSize)
+	lp.Marshal(e2)
+	d2 := cdr.NewDecoder(cdr.NativeOrder, HeaderSize, e2.Bytes())
+	glp, err := UnmarshalLocateReplyHeader(d2)
+	if err != nil || glp.Status != LocateObjectHere {
+		t.Fatalf("%+v %v", glp, err)
+	}
+
+	cr := CancelRequestHeader{RequestID: 31}
+	e3 := cdr.NewEncoder(cdr.NativeOrder, HeaderSize)
+	cr.Marshal(e3)
+	d3 := cdr.NewDecoder(cdr.NativeOrder, HeaderSize, e3.Bytes())
+	gcr, err := UnmarshalCancelRequestHeader(d3)
+	if err != nil || gcr.RequestID != 31 {
+		t.Fatalf("%+v %v", gcr, err)
+	}
+}
+
+func TestDepositInfoTotalOverflow(t *testing.T) {
+	di := DepositInfo{Sizes: []uint32{1 << 30, 1 << 30, 1 << 30}}
+	if _, err := di.Total(); err == nil {
+		t.Fatal("want overflow error")
+	}
+	di2 := DepositInfo{Sizes: []uint32{100, 200}}
+	total, err := di2.Total()
+	if err != nil || total != 300 {
+		t.Fatalf("total=%d err=%v", total, err)
+	}
+}
+
+func TestDecodeDepositInfoGarbage(t *testing.T) {
+	if _, err := DecodeDepositInfo(nil); err == nil {
+		t.Fatal("want error for empty body")
+	}
+	if _, err := DecodeDepositInfo([]byte{0, 1, 2}); err == nil {
+		t.Fatal("want error for truncated body")
+	}
+}
+
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	f := func(minor uint8, little, frag bool, typ uint8, size uint32) bool {
+		h := Header{Major: 1, Minor: minor % 2, Type: MsgType(typ % 8), Size: size % MaxMessageSize}
+		if little {
+			h.Flags |= FlagLittleEndian
+		}
+		if frag {
+			h.Flags |= FlagMoreFragments
+		}
+		var buf [HeaderSize]byte
+		EncodeHeader(buf[:], h)
+		got, err := DecodeHeader(buf[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDecodeHeaderRobust(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = DecodeHeader(raw) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRequestHeaderRobust(t *testing.T) {
+	f := func(raw []byte, little bool) bool {
+		ord := cdr.BigEndian
+		if little {
+			ord = cdr.LittleEndian
+		}
+		d := cdr.NewDecoder(ord, HeaderSize, raw)
+		_, _ = UnmarshalRequestHeader(d) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,26 @@
+package idl
+
+import "testing"
+
+// FuzzParse throws arbitrary text at the IDL front end: it must return
+// positioned errors, never panic, and successfully parsed specs must
+// survive code generation.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleIDL)
+	f.Add(`struct S { long a; };`)
+	f.Add(`module M { interface I { void f(in sequence<octet> b); }; };`)
+	f.Add(`const string s = "\x";`)
+	f.Add(`#pragma prefix "p"` + "\n" + `enum E { A, B };`)
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := Parse("fuzz.idl", src)
+		if err != nil {
+			return
+		}
+		if _, err := Generate(spec, GenOptions{Package: "fuzz"}); err != nil {
+			t.Fatalf("parsed spec failed to generate: %v", err)
+		}
+		if _, err := Generate(spec, GenOptions{Package: "fuzz", ZeroCopy: true}); err != nil {
+			t.Fatalf("parsed spec failed zerocopy generation: %v", err)
+		}
+	})
+}

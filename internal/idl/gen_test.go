@@ -1,0 +1,144 @@
+package idl
+
+import (
+	goparser "go/parser"
+	gotoken "go/token"
+	"strings"
+	"testing"
+
+	"zcorba/internal/typecode"
+)
+
+// genAndParse generates Go code and validates it with the Go parser.
+func genAndParse(t *testing.T, src string, opts GenOptions) string {
+	t.Helper()
+	spec := mustParse(t, src)
+	code, err := Generate(spec, opts)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	fset := gotoken.NewFileSet()
+	if _, err := goparser.ParseFile(fset, "gen.go", code, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v\n----\n%s", err, code)
+	}
+	return string(code)
+}
+
+func TestGenerateSampleParses(t *testing.T) {
+	code := genAndParse(t, sampleIDL, GenOptions{Package: "sample"})
+	for _, want := range []string{
+		"package sample",
+		"type Media_Codec uint32",
+		"type Media_FrameHeader struct",
+		"type Media_StoreFull struct",
+		"func (e *Media_StoreFull) Error() string",
+		"var Media_StoreIface = orb.NewInterface",
+		"type Media_StoreHandler interface",
+		"type Media_StoreStub struct",
+		"type Media_StoreSkeleton struct",
+		"func (s Media_StoreStub) Put(",
+		"GetSize() (uint32, error)",
+		"SetTitle(value string) error",
+		"func (s Media_CachingStoreStub) Flush() error",
+		"func (s Media_CachingStoreStub) Put(", // inherited
+	} {
+		if !strings.Contains(code, want) {
+			t.Fatalf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateZeroCopyOptionRewrites(t *testing.T) {
+	src := `
+	  module M {
+	    typedef sequence<octet> Blob;
+	    interface S { Blob fetch(in Blob data); };
+	  };`
+	plain := genAndParse(t, src, GenOptions{Package: "p"})
+	if strings.Contains(plain, "zcbuf") {
+		t.Fatal("plain mode must not reference zcbuf")
+	}
+	if !strings.Contains(plain, "Fetch(data []byte) ([]byte, error)") {
+		t.Fatalf("plain signature missing:\n%s", plain)
+	}
+	zc := genAndParse(t, src, GenOptions{Package: "p", ZeroCopy: true})
+	if !strings.Contains(zc, "Fetch(data *zcbuf.Buffer) (*zcbuf.Buffer, error)") {
+		t.Fatalf("zerocopy signature missing:\n%s", zc)
+	}
+	if !strings.Contains(zc, "typecode.TCZCOctet") {
+		t.Fatal("zerocopy mode must emit the ZC element type")
+	}
+}
+
+func TestGenerateZCKeywordWithoutOption(t *testing.T) {
+	src := `interface S { unsigned long put(in sequence<zcoctet> data); };`
+	code := genAndParse(t, src, GenOptions{Package: "p"})
+	if !strings.Contains(code, "Put(data *zcbuf.Buffer) (uint32, error)") {
+		t.Fatalf("zcoctet keyword ignored:\n%s", code)
+	}
+}
+
+func TestGenerateObjectRefsAndSequences(t *testing.T) {
+	src := `
+	  module N {
+	    struct Pair { string k; long v; };
+	    interface Worker { void go_(in string job); };
+	    interface Pool {
+	      Worker pick(in sequence<Pair> prefs, out sequence<string> log);
+	    };
+	  };`
+	code := genAndParse(t, src, GenOptions{Package: "p"})
+	for _, want := range []string{
+		"Pick(prefs []N_Pair) (ior.IOR, []string, error)",
+		"func n_Pair_toAny(v N_Pair) any",
+		"func n_Pair_fromAny(x any) N_Pair",
+	} {
+		if !strings.Contains(code, want) {
+			t.Fatalf("missing %q in:\n%s", want, code)
+		}
+	}
+}
+
+func TestGenerateKeywordParamName(t *testing.T) {
+	src := `interface I { void f(in long range); };`
+	code := genAndParse(t, src, GenOptions{Package: "p"})
+	if !strings.Contains(code, "F(range_ int32) error") {
+		t.Fatalf("keyword collision not handled:\n%s", code)
+	}
+}
+
+func TestZCRewriteSharedAlias(t *testing.T) {
+	spec := mustParse(t, `
+	  typedef sequence<octet> Blob;
+	  interface A { Blob f(); };
+	  interface B { Blob g(); };`)
+	g := &gen{spec: spec, opts: GenOptions{ZeroCopy: true},
+		tcNames: map[*typecode.TypeCode]string{}, goNames: map[*typecode.TypeCode]string{},
+		convSeen: map[string]string{}, zcCache: map[*typecode.TypeCode]*typecode.TypeCode{}}
+	blob := spec.Typedefs[0].Type
+	r1 := g.zcRewrite(blob)
+	r2 := g.zcRewrite(blob)
+	if r1 != r2 {
+		t.Fatal("rewrite must be memoized so both interfaces share one TypeCode")
+	}
+	if !r1.IsZCOctetSeq() {
+		t.Fatalf("rewrite produced %s", r1)
+	}
+	if blob.IsZCOctetSeq() {
+		t.Fatal("rewrite must not mutate the original TypeCode")
+	}
+}
+
+func TestMethodNameMapping(t *testing.T) {
+	cases := map[string]string{
+		"put":        "Put",
+		"_get_size":  "GetSize",
+		"_set_title": "SetTitle",
+		"zput":       "Zput",
+	}
+	for in, want := range cases {
+		if got := methodName(in); got != want {
+			t.Fatalf("methodName(%q)=%q want %q", in, got, want)
+		}
+	}
+}

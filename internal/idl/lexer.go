@@ -1,0 +1,230 @@
+// Package idl implements a compiler front end for the subset of the
+// OMG Interface Definition Language this ORB supports: modules,
+// interfaces (with single inheritance, attributes and raises clauses),
+// structs, enums, exceptions, typedefs, sequences, arrays, constants,
+// and the zero-copy extension type zcoctet (the paper's ZC_Octet,
+// §4.3). The package resolves declarations to TypeCodes and ORB
+// operation descriptors; cmd/idlgen turns them into Go stubs and
+// skeletons, mirroring the paper's modified MICO IDL compiler.
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokString
+	tokPunct // single-char punctuation and "::"
+)
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// keywords of the supported IDL subset.
+var keywords = map[string]bool{
+	"module": true, "interface": true, "struct": true, "enum": true,
+	"exception": true, "typedef": true, "const": true, "sequence": true,
+	"string": true, "octet": true, "zcoctet": true, "boolean": true,
+	"char": true, "short": true, "long": true, "unsigned": true,
+	"float": true, "double": true, "void": true, "oneway": true,
+	"in": true, "out": true, "inout": true, "raises": true,
+	"attribute": true, "readonly": true, "Object": true, "any": true,
+	"TRUE": true, "FALSE": true,
+}
+
+// Error is a positioned IDL compilation error.
+type Error struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+// lexer converts IDL source into tokens.
+type lexer struct {
+	file   string
+	src    string
+	pos    int
+	line   int
+	col    int
+	prefix string // active #pragma prefix
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return &Error{File: l.file, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace, comments, and preprocessor lines
+// (only "#pragma prefix" is interpreted; other # lines are ignored so
+// headers with includes still parse).
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 < len(l.src) {
+				if l.peekByte() == '*' && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf(line, col, "unterminated block comment")
+			}
+		case c == '#':
+			start := l.pos
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+			lineText := l.src[start:l.pos]
+			fields := strings.Fields(lineText)
+			if len(fields) >= 3 && fields[0] == "#pragma" && fields[1] == "prefix" {
+				l.prefix = strings.Trim(fields[2], `"`)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case c == '_' || unicode.IsLetter(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+
+	case unicode.IsDigit(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.peekByte())) ||
+			l.peekByte() == 'x' || l.peekByte() == 'X' ||
+			('a' <= l.peekByte() && l.peekByte() <= 'f') ||
+			('A' <= l.peekByte() && l.peekByte() <= 'F')) {
+			l.advance()
+		}
+		return token{kind: tokInt, text: l.src[start:l.pos], line: line, col: col}, nil
+
+	case c == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf(line, col, "unterminated string literal")
+			}
+			c := l.advance()
+			if c == '"' {
+				break
+			}
+			if c == '\\' && l.pos < len(l.src) {
+				c = l.advance()
+				switch c {
+				case 'n':
+					c = '\n'
+				case 't':
+					c = '\t'
+				}
+			}
+			b.WriteByte(c)
+		}
+		return token{kind: tokString, text: b.String(), line: line, col: col}, nil
+
+	case c == ':' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ':':
+		l.advance()
+		l.advance()
+		return token{kind: tokPunct, text: "::", line: line, col: col}, nil
+
+	case strings.IndexByte("{}()<>[];,:=+-*/", c) >= 0:
+		l.advance()
+		return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+
+	default:
+		return token{}, l.errf(line, col, "unexpected character %q", c)
+	}
+}

@@ -1,0 +1,815 @@
+package idl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"zcorba/internal/orb"
+	"zcorba/internal/typecode"
+)
+
+// Spec is the result of compiling one IDL source: every named type,
+// interface, and constant, with TypeCodes resolved.
+type Spec struct {
+	File   string
+	Prefix string
+
+	Interfaces []*InterfaceDef
+	Structs    []*NamedType
+	Enums      []*NamedType
+	Typedefs   []*NamedType
+	Exceptions []*NamedType
+	Consts     []*ConstDef
+}
+
+// NamedType is a named, fully resolved type declaration.
+type NamedType struct {
+	Name       string // unscoped
+	ScopedName string // "M::Frame"
+	GoName     string // "MFrame"-style name used by the generator
+	Type       *typecode.TypeCode
+}
+
+// ConstDef is a compile-time constant.
+type ConstDef struct {
+	Name       string
+	ScopedName string
+	GoName     string
+	Type       *typecode.TypeCode
+	Value      any // int64, string, or bool
+}
+
+// AttrDef is an interface attribute; it compiles into implicit _get_
+// and (unless readonly) _set_ operations.
+type AttrDef struct {
+	Name     string
+	Type     *typecode.TypeCode
+	Readonly bool
+}
+
+// InterfaceDef is a fully resolved interface declaration.
+type InterfaceDef struct {
+	Name       string
+	ScopedName string
+	GoName     string
+	RepoID     string
+	Base       *InterfaceDef
+	Ops        []*orb.Operation // declared ops, including attribute ops
+	Attrs      []*AttrDef
+	Type       *typecode.TypeCode
+}
+
+// AllOps returns the interface's operations including inherited ones.
+func (i *InterfaceDef) AllOps() []*orb.Operation {
+	if i.Base == nil {
+		return i.Ops
+	}
+	return append(append([]*orb.Operation{}, i.Base.AllOps()...), i.Ops...)
+}
+
+// ORBInterface builds the runtime contract for the ORB.
+func (i *InterfaceDef) ORBInterface() *orb.Interface {
+	return orb.NewInterface(i.RepoID, i.Name, i.AllOps()...)
+}
+
+// scope entry kinds.
+type entry struct {
+	tc    *typecode.TypeCode
+	iface *InterfaceDef
+	cval  *ConstDef
+}
+
+type scope struct {
+	names map[string]entry
+}
+
+// parser builds a Spec from tokens.
+type parser struct {
+	lex    *lexer
+	tok    token
+	spec   *Spec
+	scopes []*scope
+	path   []string // module nesting
+	// global indexes every declaration by its fully scoped name so
+	// qualified references ("Inner::Knob") resolve after the declaring
+	// module's scope has closed.
+	global map[string]entry
+}
+
+// Parse compiles IDL source text.
+func Parse(file, src string) (*Spec, error) {
+	p := &parser{
+		lex:    newLexer(file, src),
+		spec:   &Spec{File: file},
+		scopes: []*scope{{names: map[string]entry{}}},
+		global: map[string]entry{},
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokEOF {
+		if err := p.definition(); err != nil {
+			return nil, err
+		}
+	}
+	p.spec.Prefix = p.lex.prefix
+	return p.spec, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{File: p.lex.file, Line: p.tok.line, Col: p.tok.col,
+		Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.tok.kind != kind || (text != "" && p.tok.text != text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return token{}, p.errf("expected %q, found %s", want, p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.tok.kind == kind && p.tok.text == text {
+		if err := p.advance(); err != nil {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// scoping ---------------------------------------------------------------
+
+func (p *parser) pushScope() { p.scopes = append(p.scopes, &scope{names: map[string]entry{}}) }
+func (p *parser) popScope()  { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+func (p *parser) declare(name string, e entry) error {
+	s := p.scopes[len(p.scopes)-1]
+	if _, dup := s.names[name]; dup {
+		return p.errf("redeclaration of %q", name)
+	}
+	s.names[name] = e
+	p.global[p.scopedName(name)] = e
+	return nil
+}
+
+// lookup resolves a possibly qualified name: unqualified names walk
+// the enclosing scopes; qualified names resolve against the global
+// index, trying every enclosing module prefix and then the absolute
+// form (so "Inner::Knob" works from a sibling module and
+// "Kitchen::Inner::Knob" works from anywhere).
+func (p *parser) lookup(name string) (entry, bool) {
+	if !strings.Contains(name, "::") {
+		for i := len(p.scopes) - 1; i >= 0; i-- {
+			if e, ok := p.scopes[i].names[name]; ok {
+				return e, true
+			}
+		}
+		return entry{}, false
+	}
+	for i := len(p.path); i >= 0; i-- {
+		prefix := ""
+		for _, m := range p.path[:i] {
+			prefix += m + "::"
+		}
+		if e, ok := p.global[prefix+name]; ok {
+			return e, true
+		}
+	}
+	return entry{}, false
+}
+
+func (p *parser) scopedName(name string) string {
+	out := ""
+	for _, m := range p.path {
+		out += m + "::"
+	}
+	return out + name
+}
+
+func (p *parser) goName(name string) string {
+	out := ""
+	for _, m := range p.path {
+		out += m + "_"
+	}
+	return out + name
+}
+
+func (p *parser) repoID(name string) string {
+	body := ""
+	if p.lex.prefix != "" {
+		body = p.lex.prefix + "/"
+	}
+	for _, m := range p.path {
+		body += m + "/"
+	}
+	return "IDL:" + body + name + ":1.0"
+}
+
+// definitions -----------------------------------------------------------
+
+func (p *parser) definition() error {
+	if p.tok.kind != tokKeyword {
+		return p.errf("expected definition, found %s", p.tok)
+	}
+	switch p.tok.text {
+	case "module":
+		return p.module()
+	case "interface":
+		return p.interfaceDef()
+	case "struct":
+		_, err := p.structDef(false)
+		return err
+	case "enum":
+		return p.enumDef()
+	case "exception":
+		_, err := p.structDef(true)
+		return err
+	case "typedef":
+		return p.typedefDef()
+	case "const":
+		return p.constDef()
+	default:
+		return p.errf("unexpected %s at top of definition", p.tok)
+	}
+}
+
+func (p *parser) module() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return err
+	}
+	p.path = append(p.path, name.text)
+	p.pushScope()
+	for !(p.tok.kind == tokPunct && p.tok.text == "}") {
+		if p.tok.kind == tokEOF {
+			return p.errf("unterminated module %q", name.text)
+		}
+		if err := p.definition(); err != nil {
+			return err
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return err
+	}
+	p.accept(tokPunct, ";")
+	p.popScope()
+	p.path = p.path[:len(p.path)-1]
+	return nil
+}
+
+func (p *parser) interfaceDef() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	idef := &InterfaceDef{
+		Name:       nameTok.text,
+		ScopedName: p.scopedName(nameTok.text),
+		GoName:     p.goName(nameTok.text),
+		RepoID:     p.repoID(nameTok.text),
+	}
+	idef.Type = typecode.ObjRefOf(idef.RepoID, idef.Name)
+
+	if p.accept(tokPunct, ":") {
+		base, err := p.scopedNameRef()
+		if err != nil {
+			return err
+		}
+		e, ok := p.lookup(base)
+		if !ok || e.iface == nil {
+			return p.errf("unknown base interface %q", base)
+		}
+		idef.Base = e.iface
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return err
+	}
+	// Declare the interface before its body so operations can use it.
+	if err := p.declare(nameTok.text, entry{tc: idef.Type, iface: idef}); err != nil {
+		return err
+	}
+	p.pushScope()
+	for !(p.tok.kind == tokPunct && p.tok.text == "}") {
+		if p.tok.kind == tokEOF {
+			return p.errf("unterminated interface %q", idef.Name)
+		}
+		if err := p.export(idef); err != nil {
+			return err
+		}
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	p.accept(tokPunct, ";")
+	p.popScope()
+	p.spec.Interfaces = append(p.spec.Interfaces, idef)
+	return nil
+}
+
+// export parses one interface body item.
+func (p *parser) export(idef *InterfaceDef) error {
+	if p.tok.kind == tokKeyword {
+		switch p.tok.text {
+		case "struct":
+			_, err := p.structDef(false)
+			return err
+		case "enum":
+			return p.enumDef()
+		case "exception":
+			_, err := p.structDef(true)
+			return err
+		case "typedef":
+			return p.typedefDef()
+		case "const":
+			return p.constDef()
+		case "attribute", "readonly":
+			return p.attrDef(idef)
+		}
+	}
+	return p.opDef(idef)
+}
+
+func (p *parser) attrDef(idef *InterfaceDef) error {
+	readonly := p.accept(tokKeyword, "readonly")
+	if _, err := p.expect(tokKeyword, "attribute"); err != nil {
+		return err
+	}
+	tc, err := p.typeSpec()
+	if err != nil {
+		return err
+	}
+	for {
+		nameTok, err := p.expect(tokIdent, "")
+		if err != nil {
+			return err
+		}
+		attr := &AttrDef{Name: nameTok.text, Type: tc, Readonly: readonly}
+		idef.Attrs = append(idef.Attrs, attr)
+		idef.Ops = append(idef.Ops, &orb.Operation{
+			Name:   "_get_" + attr.Name,
+			Result: tc,
+		})
+		if !readonly {
+			idef.Ops = append(idef.Ops, &orb.Operation{
+				Name:   "_set_" + attr.Name,
+				Params: []orb.Param{{Name: "value", Type: tc, Dir: orb.In}},
+				Result: typecode.TCVoid,
+			})
+		}
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	_, err = p.expect(tokPunct, ";")
+	return err
+}
+
+func (p *parser) opDef(idef *InterfaceDef) error {
+	oneway := p.accept(tokKeyword, "oneway")
+	result, err := p.typeSpec()
+	if err != nil {
+		return err
+	}
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	if oneway && result.Kind() != typecode.Void {
+		return p.errf("oneway operation %q must return void", nameTok.text)
+	}
+	op := &orb.Operation{Name: nameTok.text, Result: result, Oneway: oneway}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return err
+	}
+	for !(p.tok.kind == tokPunct && p.tok.text == ")") {
+		var dir orb.Direction
+		switch {
+		case p.accept(tokKeyword, "in"):
+			dir = orb.In
+		case p.accept(tokKeyword, "out"):
+			dir = orb.Out
+		case p.accept(tokKeyword, "inout"):
+			dir = orb.InOut
+		default:
+			return p.errf("expected parameter direction, found %s", p.tok)
+		}
+		if oneway && dir != orb.In {
+			return p.errf("oneway operation %q may only have in parameters", op.Name)
+		}
+		ptc, err := p.typeSpec()
+		if err != nil {
+			return err
+		}
+		pname, err := p.expect(tokIdent, "")
+		if err != nil {
+			return err
+		}
+		op.Params = append(op.Params, orb.Param{Name: pname.text, Type: ptc, Dir: dir})
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return err
+	}
+	if p.accept(tokKeyword, "raises") {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return err
+		}
+		for {
+			exName, err := p.scopedNameRef()
+			if err != nil {
+				return err
+			}
+			e, ok := p.lookup(exName)
+			if !ok || e.tc == nil || e.tc.Kind() != typecode.Struct {
+				return p.errf("raises: %q is not an exception", exName)
+			}
+			op.Exceptions = append(op.Exceptions, e.tc)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return err
+	}
+	idef.Ops = append(idef.Ops, op)
+	return nil
+}
+
+// structDef parses a struct or exception (isException selects the
+// output list).
+func (p *parser) structDef(isException bool) (*NamedType, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var members []typecode.Member
+	for !(p.tok.kind == tokPunct && p.tok.text == "}") {
+		if p.tok.kind == tokEOF {
+			return nil, p.errf("unterminated struct %q", nameTok.text)
+		}
+		mtc, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			mname, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			fieldTC := mtc
+			if p.accept(tokPunct, "[") {
+				n, err := p.intLiteral()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokPunct, "]"); err != nil {
+					return nil, err
+				}
+				fieldTC = typecode.ArrayOf(mtc, int(n))
+			}
+			members = append(members, typecode.Member{Name: mname.text, Type: fieldTC})
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	nt := &NamedType{
+		Name:       nameTok.text,
+		ScopedName: p.scopedName(nameTok.text),
+		GoName:     p.goName(nameTok.text),
+		Type:       typecode.StructOf(p.repoID(nameTok.text), nameTok.text, members...),
+	}
+	if err := p.declare(nameTok.text, entry{tc: nt.Type}); err != nil {
+		return nil, err
+	}
+	if isException {
+		p.spec.Exceptions = append(p.spec.Exceptions, nt)
+	} else {
+		p.spec.Structs = append(p.spec.Structs, nt)
+	}
+	return nt, nil
+}
+
+func (p *parser) enumDef() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return err
+	}
+	var labels []string
+	for {
+		lab, err := p.expect(tokIdent, "")
+		if err != nil {
+			return err
+		}
+		labels = append(labels, lab.text)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, "}"); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return err
+	}
+	nt := &NamedType{
+		Name:       nameTok.text,
+		ScopedName: p.scopedName(nameTok.text),
+		GoName:     p.goName(nameTok.text),
+		Type:       typecode.EnumOf(p.repoID(nameTok.text), nameTok.text, labels...),
+	}
+	if err := p.declare(nameTok.text, entry{tc: nt.Type}); err != nil {
+		return err
+	}
+	// Enum labels become constants in the enclosing scope.
+	for i, lab := range labels {
+		c := &ConstDef{
+			Name:       lab,
+			ScopedName: p.scopedName(lab),
+			GoName:     p.goName(lab),
+			Type:       nt.Type,
+			Value:      int64(i),
+		}
+		if err := p.declare(lab, entry{cval: c}); err != nil {
+			return err
+		}
+	}
+	p.spec.Enums = append(p.spec.Enums, nt)
+	return nil
+}
+
+func (p *parser) typedefDef() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	orig, err := p.typeSpec()
+	if err != nil {
+		return err
+	}
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	target := orig
+	if p.accept(tokPunct, "[") {
+		n, err := p.intLiteral()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return err
+		}
+		target = typecode.ArrayOf(orig, int(n))
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return err
+	}
+	nt := &NamedType{
+		Name:       nameTok.text,
+		ScopedName: p.scopedName(nameTok.text),
+		GoName:     p.goName(nameTok.text),
+		Type:       typecode.AliasOf(p.repoID(nameTok.text), nameTok.text, target),
+	}
+	if err := p.declare(nameTok.text, entry{tc: nt.Type}); err != nil {
+		return err
+	}
+	p.spec.Typedefs = append(p.spec.Typedefs, nt)
+	return nil
+}
+
+func (p *parser) constDef() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	tc, err := p.typeSpec()
+	if err != nil {
+		return err
+	}
+	nameTok, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return err
+	}
+	var val any
+	switch tc.Resolve().Kind() {
+	case typecode.String:
+		s, err := p.expect(tokString, "")
+		if err != nil {
+			return err
+		}
+		val = s.text
+	case typecode.Boolean:
+		switch {
+		case p.accept(tokKeyword, "TRUE"):
+			val = true
+		case p.accept(tokKeyword, "FALSE"):
+			val = false
+		default:
+			return p.errf("expected TRUE or FALSE, found %s", p.tok)
+		}
+	default:
+		n, err := p.intLiteral()
+		if err != nil {
+			return err
+		}
+		val = n
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return err
+	}
+	c := &ConstDef{
+		Name:       nameTok.text,
+		ScopedName: p.scopedName(nameTok.text),
+		GoName:     p.goName(nameTok.text),
+		Type:       tc,
+		Value:      val,
+	}
+	if err := p.declare(nameTok.text, entry{cval: c}); err != nil {
+		return err
+	}
+	p.spec.Consts = append(p.spec.Consts, c)
+	return nil
+}
+
+// intLiteral parses an integer, with optional leading minus.
+func (p *parser) intLiteral() (int64, error) {
+	neg := p.accept(tokPunct, "-")
+	t, err := p.expect(tokInt, "")
+	if err != nil {
+		return 0, err
+	}
+	n, perr := strconv.ParseInt(t.text, 0, 64)
+	if perr != nil {
+		return 0, p.errf("bad integer literal %q", t.text)
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+// scopedNameRef parses "A::B::C" (or a plain identifier) and returns
+// the qualified reference text for lookup.
+func (p *parser) scopedNameRef() (string, error) {
+	p.accept(tokPunct, "::") // a leading :: means "from the root"
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	name := t.text
+	for p.accept(tokPunct, "::") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return "", err
+		}
+		name += "::" + t.text
+	}
+	return name, nil
+}
+
+// typeSpec parses a type reference.
+func (p *parser) typeSpec() (*typecode.TypeCode, error) {
+	if p.tok.kind == tokKeyword {
+		switch p.tok.text {
+		case "void":
+			return p.advanceReturning(typecode.TCVoid)
+		case "octet":
+			return p.advanceReturning(typecode.TCOctet)
+		case "zcoctet":
+			return p.advanceReturning(typecode.TCZCOctet)
+		case "boolean":
+			return p.advanceReturning(typecode.TCBoolean)
+		case "char":
+			return p.advanceReturning(typecode.TCChar)
+		case "float":
+			return p.advanceReturning(typecode.TCFloat)
+		case "double":
+			return p.advanceReturning(typecode.TCDouble)
+		case "string":
+			return p.advanceReturning(typecode.TCString)
+		case "Object":
+			return p.advanceReturning(typecode.TCObjRef)
+		case "any":
+			return p.advanceReturning(typecode.TCAny)
+		case "short":
+			return p.advanceReturning(typecode.TCShort)
+		case "long":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.accept(tokKeyword, "long") {
+				return typecode.TCLongLong, nil
+			}
+			return typecode.TCLong, nil
+		case "unsigned":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			switch {
+			case p.accept(tokKeyword, "short"):
+				return typecode.TCUShort, nil
+			case p.accept(tokKeyword, "long"):
+				if p.accept(tokKeyword, "long") {
+					return typecode.TCULongLong, nil
+				}
+				return typecode.TCULong, nil
+			default:
+				return nil, p.errf("expected short or long after unsigned")
+			}
+		case "sequence":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "<"); err != nil {
+				return nil, err
+			}
+			elem, err := p.typeSpec()
+			if err != nil {
+				return nil, err
+			}
+			bound := 0
+			if p.accept(tokPunct, ",") {
+				n, err := p.intLiteral()
+				if err != nil {
+					return nil, err
+				}
+				bound = int(n)
+			}
+			if _, err := p.expect(tokPunct, ">"); err != nil {
+				return nil, err
+			}
+			return typecode.SequenceOf(elem, bound), nil
+		}
+		return nil, p.errf("unexpected keyword %q in type", p.tok.text)
+	}
+	name, err := p.scopedNameRef()
+	if err != nil {
+		return nil, err
+	}
+	e, ok := p.lookup(name)
+	if !ok || e.tc == nil {
+		return nil, p.errf("unknown type %q", name)
+	}
+	return e.tc, nil
+}
+
+func (p *parser) advanceReturning(tc *typecode.TypeCode) (*typecode.TypeCode, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return tc, nil
+}

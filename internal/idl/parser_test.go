@@ -1,0 +1,341 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+
+	"zcorba/internal/orb"
+	"zcorba/internal/typecode"
+)
+
+const sampleIDL = `
+// The TTCP-style store service used throughout the repository.
+#pragma prefix "zcorba.test"
+
+module Media {
+    typedef sequence<octet> Blob;
+    typedef sequence<zcoctet> ZBlob;
+    typedef long Vec4[4];
+
+    const long MAX_FRAMES = 0x10;
+    const string VERSION = "1.0";
+    const boolean DEBUG = FALSE;
+
+    enum Codec { MPEG2, MPEG4 };
+
+    struct FrameHeader {
+        unsigned long seq;
+        string        label;
+        Codec         codec;
+        double        pts;
+    };
+
+    exception StoreFull {
+        unsigned long capacity;
+    };
+
+    interface Store {
+        readonly attribute unsigned long size;
+        attribute string title;
+
+        unsigned long put(in ZBlob data) raises (StoreFull);
+        ZBlob get(in unsigned long n);
+        void swap(inout string s, out long extra);
+        oneway void notify(in unsigned long tag);
+        boolean supports(in Codec c);
+        FrameHeader describe(in unsigned long seq);
+    };
+
+    interface CachingStore : Store {
+        void flush();
+    };
+};
+`
+
+func mustParse(t *testing.T, src string) *Spec {
+	t.Helper()
+	spec, err := Parse("test.idl", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return spec
+}
+
+func TestParseSample(t *testing.T) {
+	spec := mustParse(t, sampleIDL)
+	if spec.Prefix != "zcorba.test" {
+		t.Fatalf("prefix %q", spec.Prefix)
+	}
+	if len(spec.Interfaces) != 2 {
+		t.Fatalf("%d interfaces", len(spec.Interfaces))
+	}
+	if len(spec.Typedefs) != 3 || len(spec.Structs) != 1 ||
+		len(spec.Enums) != 1 || len(spec.Exceptions) != 1 {
+		t.Fatalf("decl counts: td=%d st=%d en=%d ex=%d",
+			len(spec.Typedefs), len(spec.Structs), len(spec.Enums), len(spec.Exceptions))
+	}
+	if len(spec.Consts) != 3 {
+		t.Fatalf("%d consts", len(spec.Consts))
+	}
+}
+
+func TestRepoIDsIncludePrefixAndModules(t *testing.T) {
+	spec := mustParse(t, sampleIDL)
+	store := spec.Interfaces[0]
+	if store.RepoID != "IDL:zcorba.test/Media/Store:1.0" {
+		t.Fatalf("repo ID %q", store.RepoID)
+	}
+	if spec.Exceptions[0].Type.RepoID() != "IDL:zcorba.test/Media/StoreFull:1.0" {
+		t.Fatalf("exception repo ID %q", spec.Exceptions[0].Type.RepoID())
+	}
+	if store.GoName != "Media_Store" {
+		t.Fatalf("GoName %q", store.GoName)
+	}
+}
+
+func TestZCTypeResolution(t *testing.T) {
+	spec := mustParse(t, sampleIDL)
+	var zblob *NamedType
+	for _, td := range spec.Typedefs {
+		if td.Name == "ZBlob" {
+			zblob = td
+		}
+	}
+	if zblob == nil {
+		t.Fatal("ZBlob not found")
+	}
+	if !zblob.Type.IsZCOctetSeq() {
+		t.Fatalf("ZBlob is %s, want ZC octet stream", zblob.Type)
+	}
+	store := spec.Interfaces[0]
+	var put *orb.Operation
+	for _, op := range store.Ops {
+		if op.Name == "put" {
+			put = op
+		}
+	}
+	if put == nil {
+		t.Fatal("put not found")
+	}
+	if !put.Params[0].Type.IsZCOctetSeq() {
+		t.Fatal("put parameter lost its ZC type")
+	}
+	if len(put.Exceptions) != 1 || put.Exceptions[0].RepoID() != "IDL:zcorba.test/Media/StoreFull:1.0" {
+		t.Fatalf("raises clause: %+v", put.Exceptions)
+	}
+}
+
+func TestAttributesBecomeOps(t *testing.T) {
+	spec := mustParse(t, sampleIDL)
+	store := spec.Interfaces[0]
+	iface := store.ORBInterface()
+	if iface.Ops["_get_size"] == nil {
+		t.Fatal("missing _get_size")
+	}
+	if iface.Ops["_set_size"] != nil {
+		t.Fatal("readonly attribute must not have a setter")
+	}
+	if iface.Ops["_get_title"] == nil || iface.Ops["_set_title"] == nil {
+		t.Fatal("missing title accessor ops")
+	}
+	set := iface.Ops["_set_title"]
+	if len(set.Params) != 1 || set.Params[0].Dir != orb.In {
+		t.Fatalf("setter signature %+v", set.Params)
+	}
+}
+
+func TestInheritanceFlattensOps(t *testing.T) {
+	spec := mustParse(t, sampleIDL)
+	caching := spec.Interfaces[1]
+	if caching.Base == nil || caching.Base.Name != "Store" {
+		t.Fatalf("base %+v", caching.Base)
+	}
+	iface := caching.ORBInterface()
+	if iface.Ops["put"] == nil || iface.Ops["flush"] == nil {
+		t.Fatal("inherited or own op missing")
+	}
+}
+
+func TestEnumAndConstValues(t *testing.T) {
+	spec := mustParse(t, sampleIDL)
+	var max, version, debug *ConstDef
+	for _, c := range spec.Consts {
+		switch c.Name {
+		case "MAX_FRAMES":
+			max = c
+		case "VERSION":
+			version = c
+		case "DEBUG":
+			debug = c
+		}
+	}
+	if max == nil || max.Value.(int64) != 16 {
+		t.Fatalf("MAX_FRAMES %+v", max)
+	}
+	if version == nil || version.Value.(string) != "1.0" {
+		t.Fatalf("VERSION %+v", version)
+	}
+	if debug == nil || debug.Value.(bool) != false {
+		t.Fatalf("DEBUG %+v", debug)
+	}
+	if len(spec.Enums[0].Type.Labels()) != 2 {
+		t.Fatalf("enum labels %v", spec.Enums[0].Type.Labels())
+	}
+}
+
+func TestStructMembers(t *testing.T) {
+	spec := mustParse(t, sampleIDL)
+	fh := spec.Structs[0].Type
+	ms := fh.Members()
+	if len(ms) != 4 {
+		t.Fatalf("%d members", len(ms))
+	}
+	if ms[0].Type.Kind() != typecode.ULong || ms[1].Type.Kind() != typecode.String {
+		t.Fatalf("member types %s %s", ms[0].Type, ms[1].Type)
+	}
+	if ms[2].Type.Kind() != typecode.Enum {
+		t.Fatalf("codec member %s", ms[2].Type)
+	}
+}
+
+func TestArrayTypedef(t *testing.T) {
+	spec := mustParse(t, sampleIDL)
+	for _, td := range spec.Typedefs {
+		if td.Name == "Vec4" {
+			r := td.Type.Resolve()
+			if r.Kind() != typecode.Array || r.Len() != 4 ||
+				r.Elem().Kind() != typecode.Long {
+				t.Fatalf("Vec4 resolved to %s", r)
+			}
+			return
+		}
+	}
+	t.Fatal("Vec4 not found")
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown type", `interface I { Foo bar(); };`, `unknown type "Foo"`},
+		{"unknown type in op", `interface I { void f(in Foo x); };`, `unknown type "Foo"`},
+		{"oneway non-void", `interface I { oneway long f(); };`, "must return void"},
+		{"oneway out param", `interface I { oneway void f(out long x); };`, "only have in"},
+		{"redeclaration", `struct S { long a; }; struct S { long b; };`, "redeclaration"},
+		{"unterminated module", `module M { struct S { long a; };`, "unterminated module"},
+		{"unterminated comment", `/* nope`, "unterminated block comment"},
+		{"bad raises", `interface I { void f() raises (Missing); };`, "not an exception"},
+		{"unterminated string", `const string S = "abc`, "unterminated string"},
+		{"missing semicolon", `struct S { long a; } struct T { long b; };`, "expected"},
+		{"garbage char", `struct S { long a; }; @`, "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t.idl", c.src)
+		if err == nil {
+			t.Fatalf("%s: want error", c.name)
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("%s: error %q does not contain %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	src := "struct S {\n  long a;\n  Bogus b;\n};"
+	_, err := Parse("pos.idl", src)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	e, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if e.Line != 3 {
+		t.Fatalf("line %d, want 3", e.Line)
+	}
+	if !strings.HasPrefix(err.Error(), "pos.idl:3:") {
+		t.Fatalf("formatted error %q", err)
+	}
+}
+
+func TestIncludeLinesIgnored(t *testing.T) {
+	src := "#include <orb.idl>\n#pragma prefix \"x\"\nstruct S { long a; };"
+	spec := mustParse(t, src)
+	if len(spec.Structs) != 1 || spec.Prefix != "x" {
+		t.Fatalf("spec %+v", spec)
+	}
+}
+
+func TestBaseTypeCoverage(t *testing.T) {
+	src := `interface T {
+      void f(in octet a, in boolean b, in char c, in short d,
+             in unsigned short e, in long f, in unsigned long g,
+             in long long h, in unsigned long long i,
+             in float j, in double k, in string l, in Object m,
+             in sequence<string, 8> n);
+    };`
+	spec := mustParse(t, src)
+	op := spec.Interfaces[0].Ops[0]
+	kinds := []typecode.Kind{
+		typecode.Octet, typecode.Boolean, typecode.Char, typecode.Short,
+		typecode.UShort, typecode.Long, typecode.ULong, typecode.LongLong,
+		typecode.ULongLong, typecode.Float, typecode.Double, typecode.String,
+		typecode.ObjRef, typecode.Sequence,
+	}
+	if len(op.Params) != len(kinds) {
+		t.Fatalf("%d params", len(op.Params))
+	}
+	for i, k := range kinds {
+		if op.Params[i].Type.Kind() != k {
+			t.Fatalf("param %d kind %v want %v", i, op.Params[i].Type.Kind(), k)
+		}
+	}
+	if op.Params[13].Type.Len() != 8 {
+		t.Fatalf("bounded sequence bound %d", op.Params[13].Type.Len())
+	}
+}
+
+func TestAttributeMultiDeclarator(t *testing.T) {
+	spec := mustParse(t, `interface I { attribute long a, b; };`)
+	iface := spec.Interfaces[0].ORBInterface()
+	for _, want := range []string{"_get_a", "_set_a", "_get_b", "_set_b"} {
+		if iface.Ops[want] == nil {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestNegativeAndHexConsts(t *testing.T) {
+	spec := mustParse(t, `
+	  const long NEG = -42;
+	  const unsigned long HEX = 0xFF;
+	  typedef long Arr[0x10];`)
+	if spec.Consts[0].Value.(int64) != -42 {
+		t.Fatalf("NEG %v", spec.Consts[0].Value)
+	}
+	if spec.Consts[1].Value.(int64) != 255 {
+		t.Fatalf("HEX %v", spec.Consts[1].Value)
+	}
+	if spec.Typedefs[0].Type.Resolve().Len() != 16 {
+		t.Fatalf("array len %d", spec.Typedefs[0].Type.Resolve().Len())
+	}
+}
+
+func TestStructMemberMultiDeclarator(t *testing.T) {
+	spec := mustParse(t, `struct P { long x, y; double w; };`)
+	ms := spec.Structs[0].Type.Members()
+	if len(ms) != 3 || ms[0].Name != "x" || ms[1].Name != "y" || ms[2].Name != "w" {
+		t.Fatalf("members %+v", ms)
+	}
+}
+
+func TestAnyKeywordInIDL(t *testing.T) {
+	spec := mustParse(t, `interface I { void push(in any ev); any pull(); };`)
+	iface := spec.Interfaces[0].ORBInterface()
+	if iface.Ops["push"].Params[0].Type.Kind() != typecode.Any {
+		t.Fatal("any param type")
+	}
+	if iface.Ops["pull"].Result.Kind() != typecode.Any {
+		t.Fatal("any result type")
+	}
+}

@@ -1,0 +1,34 @@
+package ior
+
+import "testing"
+
+// FuzzParse exercises the stringified-reference parser and the profile
+// and component decoders on arbitrary input.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleIOR().String())
+	f.Add("corbaloc::host:2809/NameService")
+	f.Add("IOR:00")
+	f.Fuzz(func(t *testing.T, s string) {
+		ref, err := Parse(s)
+		if err != nil {
+			return
+		}
+		_, _ = ref.IIOP()
+		_, _ = ref.ZCDeposit()
+		// A successfully parsed reference restringifies losslessly
+		// enough to reparse.
+		if _, err := Parse(ref.String()); err != nil {
+			t.Fatalf("reparse of %q failed: %v", ref.String(), err)
+		}
+	})
+}
+
+// FuzzDecodeComponents covers the raw component decoders.
+func FuzzDecodeComponents(f *testing.F) {
+	dep := ZCDeposit{Arch: "a", Host: "h", Port: 1}.Encode()
+	f.Add(dep.Data)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeZCDeposit(data)
+		_, _ = DecodeIIOP(TaggedProfile{Tag: TagInternetIOP, Data: data})
+	})
+}

@@ -1,0 +1,278 @@
+// Package irepo implements an Interface Repository: the CORBA
+// facility that stores interface definitions and serves them to
+// clients at runtime. MICO ships one as its "ird" daemon; this version
+// is served over the ORB itself and traffics in real TypeCode values
+// (the tk_TypeCode transfer syntax), so a client can look an interface
+// up by repository ID and invoke it through the DII without any
+// compiled stubs — full runtime discovery.
+package irepo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"zcorba/internal/orb"
+	"zcorba/internal/typecode"
+)
+
+// RepoID is the repository ID of the repository interface itself.
+const RepoID = "IDL:zcorba/IR/Repository:1.0"
+
+// DefaultKey is the conventional object key of the repository.
+const DefaultKey = "InterfaceRepository"
+
+// Wire description structs (CORBA-IR flavored, simplified).
+var (
+	// TCParamDesc describes one parameter: name, direction (as the
+	// orb.Direction ordinal), and its TypeCode.
+	TCParamDesc = typecode.StructOf("IDL:zcorba/IR/ParamDesc:1.0", "ParamDesc",
+		typecode.Member{Name: "name", Type: typecode.TCString},
+		typecode.Member{Name: "dir", Type: typecode.TCULong},
+		typecode.Member{Name: "type", Type: typecode.TCTypeCode},
+	)
+	// TCOpDesc describes one operation.
+	TCOpDesc = typecode.StructOf("IDL:zcorba/IR/OpDesc:1.0", "OpDesc",
+		typecode.Member{Name: "name", Type: typecode.TCString},
+		typecode.Member{Name: "oneway", Type: typecode.TCBoolean},
+		typecode.Member{Name: "result", Type: typecode.TCTypeCode},
+		typecode.Member{Name: "params", Type: typecode.SequenceOf(TCParamDesc, 0)},
+		typecode.Member{Name: "exceptions", Type: typecode.SequenceOf(typecode.TCTypeCode, 0)},
+	)
+	// TCIfaceDesc describes one interface.
+	TCIfaceDesc = typecode.StructOf("IDL:zcorba/IR/IfaceDesc:1.0", "IfaceDesc",
+		typecode.Member{Name: "id", Type: typecode.TCString},
+		typecode.Member{Name: "name", Type: typecode.TCString},
+		typecode.Member{Name: "ops", Type: typecode.SequenceOf(TCOpDesc, 0)},
+	)
+	// TCNotRegistered is raised by lookup for unknown IDs.
+	TCNotRegistered = typecode.StructOf("IDL:zcorba/IR/NotRegistered:1.0", "NotRegistered",
+		typecode.Member{Name: "id", Type: typecode.TCString},
+	)
+)
+
+// Iface is the repository's own contract.
+var Iface = orb.NewInterface(RepoID, "Repository",
+	&orb.Operation{
+		Name:       "lookup",
+		Params:     []orb.Param{{Name: "id", Type: typecode.TCString, Dir: orb.In}},
+		Result:     TCIfaceDesc,
+		Exceptions: []*typecode.TypeCode{TCNotRegistered},
+	},
+	&orb.Operation{
+		Name:   "list",
+		Result: typecode.SequenceOf(typecode.TCString, 0),
+	},
+	&orb.Operation{
+		Name:   "contains",
+		Params: []orb.Param{{Name: "id", Type: typecode.TCString, Dir: orb.In}},
+		Result: typecode.TCBoolean,
+	},
+)
+
+// Server is the repository servant. The zero value is ready.
+type Server struct {
+	mu     sync.Mutex
+	ifaces map[string]*orb.Interface
+}
+
+// Register stores an interface definition (replacing any previous one
+// under the same repository ID). The repository registers itself so it
+// is discoverable too.
+func (s *Server) Register(iface *orb.Interface) {
+	s.mu.Lock()
+	if s.ifaces == nil {
+		s.ifaces = make(map[string]*orb.Interface)
+	}
+	s.ifaces[iface.RepoID] = iface
+	s.mu.Unlock()
+}
+
+// Interface implements orb.Servant.
+func (s *Server) Interface() *orb.Interface { return Iface }
+
+// Invoke implements orb.Servant.
+func (s *Server) Invoke(op string, args []any) (any, []any, error) {
+	switch op {
+	case "lookup":
+		id := args[0].(string)
+		s.mu.Lock()
+		iface := s.ifaces[id]
+		s.mu.Unlock()
+		if iface == nil {
+			return nil, nil, &orb.UserException{Type: TCNotRegistered, Fields: []any{id}}
+		}
+		return describe(iface), nil, nil
+	case "list":
+		s.mu.Lock()
+		ids := make([]any, 0, len(s.ifaces))
+		for id := range s.ifaces {
+			ids = append(ids, id)
+		}
+		s.mu.Unlock()
+		sort.Slice(ids, func(i, j int) bool { return ids[i].(string) < ids[j].(string) })
+		return ids, nil, nil
+	case "contains":
+		id := args[0].(string)
+		s.mu.Lock()
+		_, ok := s.ifaces[id]
+		s.mu.Unlock()
+		return ok, nil, nil
+	default:
+		return nil, nil, &orb.SystemException{Name: "BAD_OPERATION"}
+	}
+}
+
+// Serve activates a repository on o under DefaultKey and returns its
+// stringified IOR and the servant for registrations.
+func Serve(o *orb.ORB) (string, *Server, error) {
+	s := &Server{}
+	s.Register(Iface)
+	ref, err := o.Activate(DefaultKey, s)
+	if err != nil {
+		return "", nil, err
+	}
+	return ref.String(), s, nil
+}
+
+// describe converts an interface to its wire description value.
+func describe(iface *orb.Interface) []any {
+	names := make([]string, 0, len(iface.Ops))
+	for n := range iface.Ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ops := make([]any, 0, len(names))
+	for _, n := range names {
+		op := iface.Ops[n]
+		params := make([]any, len(op.Params))
+		for i, p := range op.Params {
+			params[i] = []any{p.Name, uint32(p.Dir), p.Type}
+		}
+		exceptions := make([]any, len(op.Exceptions))
+		for i, ex := range op.Exceptions {
+			exceptions[i] = ex
+		}
+		result := op.Result
+		if result == nil {
+			result = typecode.TCVoid
+		}
+		ops = append(ops, []any{op.Name, op.Oneway, result, params, exceptions})
+	}
+	return []any{iface.RepoID, iface.Name, ops}
+}
+
+// reconstruct builds an orb.Interface back from a wire description.
+func reconstruct(desc []any) (*orb.Interface, error) {
+	if len(desc) != 3 {
+		return nil, fmt.Errorf("irepo: malformed description")
+	}
+	id, _ := desc[0].(string)
+	name, _ := desc[1].(string)
+	rawOps, _ := desc[2].([]any)
+	ops := make([]*orb.Operation, 0, len(rawOps))
+	for _, ro := range rawOps {
+		f, ok := ro.([]any)
+		if !ok || len(f) != 5 {
+			return nil, fmt.Errorf("irepo: malformed operation description")
+		}
+		op := &orb.Operation{}
+		op.Name, _ = f[0].(string)
+		op.Oneway, _ = f[1].(bool)
+		op.Result, _ = f[2].(*typecode.TypeCode)
+		rawParams, _ := f[3].([]any)
+		for _, rp := range rawParams {
+			pf, ok := rp.([]any)
+			if !ok || len(pf) != 3 {
+				return nil, fmt.Errorf("irepo: malformed parameter description")
+			}
+			var p orb.Param
+			p.Name, _ = pf[0].(string)
+			dir, _ := pf[1].(uint32)
+			p.Dir = orb.Direction(dir)
+			p.Type, _ = pf[2].(*typecode.TypeCode)
+			if p.Type == nil {
+				return nil, fmt.Errorf("irepo: parameter %s.%s missing type", op.Name, p.Name)
+			}
+			op.Params = append(op.Params, p)
+		}
+		rawEx, _ := f[4].([]any)
+		for _, re := range rawEx {
+			ex, _ := re.(*typecode.TypeCode)
+			if ex != nil {
+				op.Exceptions = append(op.Exceptions, ex)
+			}
+		}
+		if op.Result == nil {
+			op.Result = typecode.TCVoid
+		}
+		ops = append(ops, op)
+	}
+	return orb.NewInterface(id, name, ops...), nil
+}
+
+// NotRegistered is the typed error for unknown repository IDs.
+type NotRegistered struct{ ID string }
+
+// Error implements the error interface.
+func (e *NotRegistered) Error() string {
+	return fmt.Sprintf("irepo: %q not registered", e.ID)
+}
+
+// Client queries a remote repository.
+type Client struct {
+	ref *orb.ObjectRef
+}
+
+// Connect binds to a repository by stringified IOR.
+func Connect(o *orb.ORB, iorStr string) (*Client, error) {
+	ref, err := o.StringToObject(iorStr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{ref: ref}, nil
+}
+
+// Lookup fetches and reconstructs the interface registered under id.
+func (c *Client) Lookup(id string) (*orb.Interface, error) {
+	res, _, err := c.ref.Invoke(Iface.Ops["lookup"], []any{id})
+	if err != nil {
+		if ue, ok := err.(*orb.UserException); ok && ue.Type.RepoID() == TCNotRegistered.RepoID() {
+			name := ""
+			if len(ue.Fields) == 1 {
+				name, _ = ue.Fields[0].(string)
+			}
+			return nil, &NotRegistered{ID: name}
+		}
+		return nil, err
+	}
+	desc, ok := res.([]any)
+	if !ok {
+		return nil, fmt.Errorf("irepo: unexpected lookup result %T", res)
+	}
+	return reconstruct(desc)
+}
+
+// List returns all registered repository IDs, sorted.
+func (c *Client) List() ([]string, error) {
+	res, _, err := c.ref.Invoke(Iface.Ops["list"], nil)
+	if err != nil {
+		return nil, err
+	}
+	items, _ := res.([]any)
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i], _ = it.(string)
+	}
+	return out, nil
+}
+
+// Contains reports whether id is registered.
+func (c *Client) Contains(id string) (bool, error) {
+	res, _, err := c.ref.Invoke(Iface.Ops["contains"], []any{id})
+	if err != nil {
+		return false, err
+	}
+	b, _ := res.(bool)
+	return b, nil
+}

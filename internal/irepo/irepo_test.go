@@ -1,0 +1,174 @@
+package irepo
+
+import (
+	"errors"
+	"testing"
+
+	"zcorba/internal/orb"
+	"zcorba/internal/transport"
+	"zcorba/internal/typecode"
+)
+
+var calcIface = orb.NewInterface("IDL:test/Calc:1.0", "Calc",
+	&orb.Operation{
+		Name: "add",
+		Params: []orb.Param{
+			{Name: "a", Type: typecode.TCLong, Dir: orb.In},
+			{Name: "b", Type: typecode.TCLong, Dir: orb.In},
+		},
+		Result: typecode.TCLong,
+	},
+	&orb.Operation{
+		Name:   "describe",
+		Params: []orb.Param{{Name: "verbose", Type: typecode.TCBoolean, Dir: orb.In}},
+		Result: typecode.TCString,
+		Exceptions: []*typecode.TypeCode{
+			typecode.StructOf("IDL:test/CalcError:1.0", "CalcError",
+				typecode.Member{Name: "why", Type: typecode.TCString}),
+		},
+	},
+	&orb.Operation{
+		Name:   "ping",
+		Oneway: true,
+		Result: typecode.TCVoid,
+	},
+)
+
+type calcServant struct{}
+
+func (calcServant) Interface() *orb.Interface { return calcIface }
+func (calcServant) Invoke(op string, args []any) (any, []any, error) {
+	switch op {
+	case "add":
+		return args[0].(int32) + args[1].(int32), nil, nil
+	case "describe":
+		return "a calculator", nil, nil
+	case "ping":
+		return nil, nil, nil
+	default:
+		return nil, nil, &orb.SystemException{Name: "BAD_OPERATION"}
+	}
+}
+
+func setup(t *testing.T) (*Client, *orb.ORB, *orb.ORB, *Server) {
+	t.Helper()
+	server, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	iorStr, srv, err := Serve(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	c, err := Connect(client, iorStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, client, server, srv
+}
+
+func TestLookupReconstructsInterface(t *testing.T) {
+	c, _, _, srv := setup(t)
+	srv.Register(calcIface)
+
+	got, err := c.Lookup("IDL:test/Calc:1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RepoID != calcIface.RepoID || got.Name != "Calc" {
+		t.Fatalf("identity %q %q", got.RepoID, got.Name)
+	}
+	if len(got.Ops) != 3 {
+		t.Fatalf("%d ops", len(got.Ops))
+	}
+	add := got.Ops["add"]
+	if add == nil || len(add.Params) != 2 || !add.Params[0].Type.Equal(typecode.TCLong) {
+		t.Fatalf("add op %+v", add)
+	}
+	if add.Params[1].Dir != orb.In || !add.Result.Equal(typecode.TCLong) {
+		t.Fatalf("add signature %+v", add)
+	}
+	desc := got.Ops["describe"]
+	if len(desc.Exceptions) != 1 ||
+		desc.Exceptions[0].RepoID() != "IDL:test/CalcError:1.0" {
+		t.Fatalf("describe exceptions %+v", desc.Exceptions)
+	}
+	if !got.Ops["ping"].Oneway {
+		t.Fatal("oneway flag lost")
+	}
+}
+
+// TestDiscoveryDrivenInvocation is the headline scenario: a client with
+// no compiled stubs discovers an interface from the repository and
+// invokes it dynamically.
+func TestDiscoveryDrivenInvocation(t *testing.T) {
+	c, client, server, srv := setup(t)
+	srv.Register(calcIface)
+	ref, err := server.Activate("calc", calcServant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cref, err := client.StringToObject(ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	iface, err := c.Lookup("IDL:test/Calc:1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := cref.Invoke(iface.Ops["add"], []any{int32(20), int32(22)})
+	if err != nil {
+		t.Fatalf("discovered invocation: %v", err)
+	}
+	if res.(int32) != 42 {
+		t.Fatalf("add=%v", res)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	c, _, _, _ := setup(t)
+	_, err := c.Lookup("IDL:no/Such:1.0")
+	var nr *NotRegistered
+	if !errors.As(err, &nr) || nr.ID != "IDL:no/Such:1.0" {
+		t.Fatalf("want NotRegistered, got %v", err)
+	}
+}
+
+func TestListAndContains(t *testing.T) {
+	c, _, _, srv := setup(t)
+	srv.Register(calcIface)
+	ids, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The repository registers itself plus Calc.
+	if len(ids) != 2 || ids[0] != "IDL:test/Calc:1.0" || ids[1] != RepoID {
+		t.Fatalf("ids %v", ids)
+	}
+	ok, err := c.Contains("IDL:test/Calc:1.0")
+	if err != nil || !ok {
+		t.Fatalf("contains: %v %v", ok, err)
+	}
+	ok, err = c.Contains("IDL:other:1.0")
+	if err != nil || ok {
+		t.Fatalf("contains other: %v %v", ok, err)
+	}
+}
+
+func TestRepositoryDescribesItself(t *testing.T) {
+	c, _, _, _ := setup(t)
+	self, err := c.Lookup(RepoID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self.Ops["lookup"] == nil || self.Ops["list"] == nil {
+		t.Fatal("self description incomplete")
+	}
+}

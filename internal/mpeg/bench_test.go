@@ -1,0 +1,30 @@
+package mpeg
+
+import "testing"
+
+func BenchmarkEncode480p(b *testing.B) {
+	raw := SyntheticFrame(854-854%8, 480, 1)
+	w := 854 - 854%8
+	enc := Encoder{Quality: 4}
+	b.SetBytes(int64(len(raw)))
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(raw, w, 480); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode480p(b *testing.B) {
+	w := 854 - 854%8
+	raw := SyntheticFrame(w, 480, 1)
+	coded, err := (&Encoder{Quality: 4}).Encode(raw, w, 480)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Decode(coded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package mpeg
+
+import "testing"
+
+// FuzzDecode must never panic and never return oversized frames.
+func FuzzDecode(f *testing.F) {
+	raw := SyntheticFrame(64, 64, 1)
+	coded, _ := (&Encoder{Quality: 4}).Encode(raw, 64, 64)
+	f.Add(coded)
+	f.Add([]byte("ZME4 garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, h, out, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if len(out) != w*h {
+			t.Fatalf("decoded %d bytes for %dx%d", len(out), w, h)
+		}
+	})
+}

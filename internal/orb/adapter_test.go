@@ -1,0 +1,107 @@
+package orb
+
+import (
+	"strings"
+	"testing"
+
+	"zcorba/internal/transport"
+	"zcorba/internal/typecode"
+)
+
+func TestActivateAutoUniqueKeys(t *testing.T) {
+	o, err := New(Options{Transport: &transport.InProc{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Shutdown)
+	r1, err := o.ActivateAuto(newStoreServant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := o.ActivateAuto(newStoreServant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := r1.IOR().IIOP()
+	p2, _ := r2.IOR().IIOP()
+	if string(p1.ObjectKey) == string(p2.ObjectKey) {
+		t.Fatalf("duplicate auto keys %q", p1.ObjectKey)
+	}
+	if !strings.HasPrefix(string(p1.ObjectKey), "auto/Store/") {
+		t.Fatalf("key %q", p1.ObjectKey)
+	}
+}
+
+// echoAll is a default servant answering any key with the key itself.
+type echoAll struct{}
+
+var echoIface = NewInterface("IDL:test/Echo:1.0", "Echo",
+	&Operation{Name: "whoami", Result: typecode.TCString})
+
+func (echoAll) Interface() *Interface { return echoIface }
+func (echoAll) Invoke(op string, args []any) (any, []any, error) {
+	if op != "whoami" {
+		return nil, nil, &SystemException{Name: "BAD_OPERATION"}
+	}
+	return "default-servant", nil, nil
+}
+
+func TestDefaultServantServesAnyKey(t *testing.T) {
+	server, err := New(Options{Transport: &transport.TCP{}, DefaultServant: echoAll{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	client, err := New(Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	for _, key := range []string{"minted/1", "minted/2", "whatever"} {
+		ref := server.RefFor(key, "IDL:test/Echo:1.0")
+		cref, err := client.StringToObject(ref.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := cref.Invoke(echoIface.Ops["whoami"], nil)
+		if err != nil {
+			t.Fatalf("key %q: %v", key, err)
+		}
+		if res.(string) != "default-servant" {
+			t.Fatalf("key %q: %v", key, res)
+		}
+		// Locate also sees the default servant.
+		status, err := cref.Locate()
+		if err != nil || status != LocateObjectHere {
+			t.Fatalf("locate %q: %v %v", key, status, err)
+		}
+	}
+}
+
+func TestExplicitActivationShadowsDefaultServant(t *testing.T) {
+	server, err := New(Options{Transport: &transport.TCP{}, DefaultServant: echoAll{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	ref, err := server.Activate("store", newStoreServant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := New(Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	cref, err := client.StringToObject(ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := cref.Invoke(storeIface.Ops["put_std"], []any{[]byte{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(uint32) != 3 {
+		t.Fatalf("explicit servant not used: %v", res)
+	}
+}

@@ -1,0 +1,298 @@
+package orb
+
+import (
+	"strings"
+
+	"zcorba/internal/cdr"
+	"zcorba/internal/giop"
+	"zcorba/internal/ior"
+	"zcorba/internal/typecode"
+	"zcorba/internal/zcbuf"
+)
+
+// ObjectRef is a client-side reference to a (possibly remote) CORBA
+// object: the IIOPProxy role in the paper's Figure 3/4 data path.
+type ObjectRef struct {
+	orb *ORB
+	ior ior.IOR
+}
+
+// IOR returns the underlying interoperable object reference.
+func (r *ObjectRef) IOR() ior.IOR { return r.ior }
+
+// String returns the stringified IOR.
+func (r *ObjectRef) String() string { return r.ior.String() }
+
+// maxForwards bounds LOCATION_FORWARD chains.
+const maxForwards = 4
+
+// Invoke performs a static invocation of op with the given in/inout
+// argument values (declaration order). It returns the result value
+// (nil for void) and the out/inout values (declaration order).
+//
+// Zero-copy parameters (IDL type with ZC octet elements) accept
+// *zcbuf.Buffer or []byte; the caller retains ownership of argument
+// buffers, and owns (must Release) any *zcbuf.Buffer in the results.
+func (r *ObjectRef) Invoke(op *Operation, args []any) (any, []any, error) {
+	return r.invoke(op, args, 0)
+}
+
+func (r *ObjectRef) invoke(op *Operation, args []any, forwards int) (any, []any, error) {
+	o := r.orb
+
+	profile, ok := r.ior.IIOP()
+	if !ok {
+		return nil, nil, &SystemException{Name: "INV_OBJREF", Completed: CompletedNo}
+	}
+	key := string(profile.ObjectKey)
+
+	// Collocation bypass (§2.1): local calls skip marshaling entirely.
+	if o.opts.Collocation && profile.Host == o.ctrlHost && profile.Port == o.ctrlPort {
+		if s, found := o.servant(key); found {
+			return o.invokeLocal(s, op, args)
+		}
+	}
+
+	// Zero-copy eligibility: both ORBs opted in and architectures
+	// match (the homogeneity negotiation of §2.1; on mismatch the
+	// call transparently falls back to standard IIOP marshaling).
+	var zc *ior.ZCDeposit
+	if o.opts.ZeroCopy {
+		if dep, has := r.ior.ZCDeposit(); has && dep.Arch == o.arch {
+			zc = &dep
+		}
+	}
+
+	c, err := o.getConn(dialAddr(profile.Host, profile.Port), zc)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	inParams := op.InParams()
+	inTypes := paramTypes(inParams)
+	if len(args) != len(inParams) {
+		return nil, nil, &SystemException{Name: "BAD_PARAM", Completed: CompletedNo}
+	}
+	useZC := c.data != nil
+
+	req := giop.RequestHeader{
+		RequestID:        o.reqID.Add(1),
+		ResponseExpected: !op.Oneway,
+		ObjectKey:        profile.ObjectKey,
+		Operation:        op.Name,
+		Principal:        []byte{},
+	}
+	var payloads [][]byte
+	if useZC {
+		var sizes []uint32
+		payloads, sizes, err = collectDeposits(inTypes, args)
+		if err != nil {
+			return nil, nil, &SystemException{Name: "MARSHAL", Completed: CompletedNo}
+		}
+		// Announce the data channel on every request (even with no ZC
+		// parameters) so the server can deposit zero-copy replies.
+		req.ServiceContexts = append(req.ServiceContexts, giop.DepositInfo{
+			Arch: o.arch, Token: c.dataToken, Sizes: sizes,
+		}.Encode())
+	}
+	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	req.Marshal(e)
+	if err := o.marshalValues(e, inTypes, args, useZC); err != nil {
+		return nil, nil, &SystemException{Name: "MARSHAL", Completed: CompletedNo}
+	}
+	body := e.Bytes()
+
+	var ch chan *replyMsg
+	if !op.Oneway {
+		ch, err = c.register(req.RequestID)
+		if err != nil {
+			return nil, nil, &SystemException{Name: "COMM_FAILURE", Completed: CompletedNo}
+		}
+	}
+	o.stats.RequestsSent.Add(1)
+	if err := c.sendMessage(giop.MsgRequest, body, payloads); err != nil {
+		if ch != nil {
+			c.unregister(req.RequestID)
+		}
+		c.close(err)
+		return nil, nil, &SystemException{Name: "COMM_FAILURE", Completed: CompletedMaybe}
+	}
+	if o.opts.OnRequestSent != nil {
+		total := 0
+		for _, p := range payloads {
+			total += len(p)
+		}
+		o.opts.OnRequestSent(op.Name, total)
+	}
+	if op.Oneway {
+		return nil, nil, nil
+	}
+
+	msg, err := c.awaitReply(req.RequestID, ch, o.opts.CallTimeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.decodeReply(op, msg, args, forwards)
+}
+
+// decodeReply interprets a reply message for op.
+func (r *ObjectRef) decodeReply(op *Operation, msg *replyMsg, args []any,
+	forwards int) (any, []any, error) {
+	o := r.orb
+	switch msg.hdr.Status {
+	case giop.ReplyNoException:
+		types := replyTypes(op)
+		vals, leftover, err := o.unmarshalValues(msg.dec, types, msg.deposits,
+			len(msg.deposits) > 0)
+		if err != nil {
+			releaseAll(leftover)
+			return nil, nil, &SystemException{Name: "MARSHAL", Completed: CompletedYes}
+		}
+		var result any
+		if op.Result != nil && op.Result.Kind() != typecode.Void {
+			result = vals[0]
+			vals = vals[1:]
+		}
+		return result, vals, nil
+
+	case giop.ReplyUserException:
+		releaseAll(msg.deposits)
+		repoID, err := msg.dec.ReadString()
+		if err != nil {
+			return nil, nil, &SystemException{Name: "MARSHAL", Completed: CompletedYes}
+		}
+		for _, ex := range op.Exceptions {
+			if ex.RepoID() != repoID {
+				continue
+			}
+			fields, err := typecode.UnmarshalValue(msg.dec, ex)
+			if err != nil {
+				return nil, nil, &SystemException{Name: "MARSHAL", Completed: CompletedYes}
+			}
+			fs, _ := fields.([]any)
+			return nil, nil, &UserException{Type: ex, Fields: fs}
+		}
+		return nil, nil, &SystemException{Name: "UNKNOWN", Completed: CompletedYes}
+
+	case giop.ReplySystemException:
+		releaseAll(msg.deposits)
+		repoID, err := msg.dec.ReadString()
+		if err != nil {
+			return nil, nil, &SystemException{Name: "MARSHAL", Completed: CompletedYes}
+		}
+		minor, _ := msg.dec.ReadULong()
+		completed, _ := msg.dec.ReadULong()
+		return nil, nil, &SystemException{
+			Name:      sysexName(repoID),
+			Minor:     minor,
+			Completed: CompletionStatus(completed),
+		}
+
+	case giop.ReplyLocationForward:
+		releaseAll(msg.deposits)
+		if forwards >= maxForwards {
+			return nil, nil, &SystemException{Name: "TRANSIENT", Completed: CompletedNo}
+		}
+		fwd, err := ior.Unmarshal(msg.dec)
+		if err != nil {
+			return nil, nil, &SystemException{Name: "MARSHAL", Completed: CompletedNo}
+		}
+		fr := &ObjectRef{orb: o, ior: fwd}
+		return fr.invoke(op, args, forwards+1)
+
+	default:
+		releaseAll(msg.deposits)
+		return nil, nil, &SystemException{Name: "INTERNAL", Completed: CompletedMaybe}
+	}
+}
+
+// sysexName extracts the unscoped name from a system exception repo ID
+// such as "IDL:omg.org/CORBA/COMM_FAILURE:1.0".
+func sysexName(repoID string) string {
+	s := strings.TrimPrefix(repoID, "IDL:omg.org/CORBA/")
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		s = s[:i]
+	}
+	if s == "" {
+		return "UNKNOWN"
+	}
+	return s
+}
+
+// invokeLocal dispatches a collocated call without marshaling: the
+// argument references are handed to the servant as-is (zero copies,
+// zero wire traffic).
+func (o *ORB) invokeLocal(s Servant, op *Operation, args []any) (any, []any, error) {
+	o.stats.Collocated.Add(1)
+	inParams := op.InParams()
+	if len(args) != len(inParams) {
+		return nil, nil, &SystemException{Name: "BAD_PARAM", Completed: CompletedNo}
+	}
+	vals := make([]any, len(args))
+	for i, p := range inParams {
+		v := args[i]
+		if p.Type.IsZCOctetSeq() {
+			if b, ok := v.([]byte); ok {
+				v = zcbuf.Wrap(b)
+			}
+		}
+		vals[i] = v
+	}
+	result, outs, err := s.Invoke(op.Name, vals)
+	if err != nil {
+		var sysErr *SystemException
+		var usrErr *UserException
+		var fwdErr *LocationForward
+		switch {
+		case asErr(err, &sysErr), asErr(err, &usrErr):
+			return nil, nil, err
+		case asErr(err, &fwdErr):
+			fr := &ObjectRef{orb: o, ior: fwdErr.To}
+			return fr.invoke(op, args, 1)
+		default:
+			return nil, nil, &SystemException{Name: "UNKNOWN", Completed: CompletedMaybe}
+		}
+	}
+	return result, outs, nil
+}
+
+// asErr is a tiny errors.As helper avoiding the import in hot code.
+func asErr[T error](err error, target *T) bool {
+	if e, ok := err.(T); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+// IsA performs the implicit CORBA _is_a operation against the remote
+// object.
+func (r *ObjectRef) IsA(repoID string) (bool, error) {
+	op := &Operation{
+		Name:   "_is_a",
+		Params: []Param{{Name: "id", Type: typecode.TCString, Dir: In}},
+		Result: typecode.TCBoolean,
+	}
+	res, _, err := r.Invoke(op, []any{repoID})
+	if err != nil {
+		return false, err
+	}
+	b, _ := res.(bool)
+	return b, nil
+}
+
+// NonExistent performs the implicit _non_existent operation; it
+// reports true if the target object is not active at the server.
+func (r *ObjectRef) NonExistent() (bool, error) {
+	op := &Operation{Name: "_non_existent", Result: typecode.TCBoolean}
+	res, _, err := r.Invoke(op, nil)
+	if err != nil {
+		var sys *SystemException
+		if asErr(err, &sys) && sys.Name == "OBJECT_NOT_EXIST" {
+			return true, nil
+		}
+		return false, err
+	}
+	b, _ := res.(bool)
+	return b, nil
+}

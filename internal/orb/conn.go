@@ -1,0 +1,484 @@
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"zcorba/internal/cdr"
+	"zcorba/internal/giop"
+	"zcorba/internal/transport"
+	"zcorba/internal/zcbuf"
+)
+
+// conn is one GIOP connection (the paper's GIOPConn): a control
+// byte-stream carrying GIOP messages plus, when the zero-copy path is
+// active, an associated data channel carrying direct-deposit payloads.
+//
+// Client-created conns send Requests and receive Replies; server-
+// accepted conns receive Requests and send Replies. Writes of a control
+// message and its deposit payloads happen under one mutex so both
+// streams observe the same order; the receiver's read loop reads the
+// deposit inline right after parsing the control message (the second
+// callback of §4.5), which preserves that order end to end.
+type conn struct {
+	orb       *ORB
+	ctrl      transport.Conn
+	data      transport.Conn // resolved lazily on the server side
+	dataToken uint64
+	isServer  bool
+
+	sendMu sync.Mutex
+
+	mu            sync.Mutex
+	pending       map[uint32]chan *replyMsg
+	pendingLocate map[uint32]chan giop.LocateReplyHeader
+	err           error
+
+	closeOnce sync.Once
+}
+
+// replyMsg carries a decoded Reply to the waiting invoker.
+type replyMsg struct {
+	hdr      giop.ReplyHeader
+	dec      *cdr.Decoder
+	deposits []*zcbuf.Buffer
+	err      error
+}
+
+func newConn(o *ORB, tc transport.Conn, isServer bool) *conn {
+	return &conn{
+		orb:           o,
+		ctrl:          tc,
+		isServer:      isServer,
+		pending:       make(map[uint32]chan *replyMsg),
+		pendingLocate: make(map[uint32]chan giop.LocateReplyHeader),
+	}
+}
+
+// close tears the connection down exactly once and fails all waiters.
+func (c *conn) close(err error) {
+	c.closeOnce.Do(func() {
+		if err == nil {
+			err = errors.New("orb: connection closed")
+		}
+		c.mu.Lock()
+		c.err = err
+		waiters := c.pending
+		c.pending = map[uint32]chan *replyMsg{}
+		locWaiters := c.pendingLocate
+		c.pendingLocate = map[uint32]chan giop.LocateReplyHeader{}
+		c.mu.Unlock()
+		for _, ch := range locWaiters {
+			close(ch)
+		}
+		_ = c.ctrl.Close()
+		if c.data != nil {
+			_ = c.data.Close()
+		}
+		if c.isServer && c.dataToken != 0 {
+			c.orb.dropDataChan(c.dataToken)
+		}
+		for _, ch := range waiters {
+			ch <- &replyMsg{err: &SystemException{Name: "COMM_FAILURE", Completed: CompletedMaybe}}
+		}
+	})
+}
+
+// healthy reports whether the connection is still usable.
+func (c *conn) healthy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err == nil
+}
+
+// register adds a pending reply slot for a request id.
+func (c *conn) register(id uint32) (chan *replyMsg, error) {
+	ch := make(chan *replyMsg, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	c.pending[id] = ch
+	return ch, nil
+}
+
+// unregister abandons a pending reply slot (timeout path).
+func (c *conn) unregister(id uint32) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// deliver hands a reply to its waiter, releasing deposits if nobody is
+// waiting anymore.
+func (c *conn) deliver(msg *replyMsg) {
+	c.mu.Lock()
+	ch := c.pending[msg.hdr.RequestID]
+	delete(c.pending, msg.hdr.RequestID)
+	c.mu.Unlock()
+	if ch == nil {
+		for _, b := range msg.deposits {
+			b.Release()
+		}
+		return
+	}
+	ch <- msg
+}
+
+// sendMessage writes a GIOP message (header gather-joined with body)
+// and then the deposit payload segments on the data channel, all under
+// the send mutex so control and data streams stay ordered. Request and
+// Reply bodies larger than the ORB's fragment threshold are split into
+// GIOP 1.1-style Fragment messages.
+func (c *conn) sendMessage(t giop.MsgType, body []byte, payloads [][]byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	thresh := c.orb.fragmentThreshold()
+	if (t == giop.MsgRequest || t == giop.MsgReply) && thresh > 0 && len(body) > thresh {
+		if err := c.sendFragmented(t, body, thresh); err != nil {
+			return err
+		}
+	} else {
+		var hdr [giop.HeaderSize]byte
+		giop.EncodeHeader(hdr[:], giop.Header{
+			Major: 1, Minor: 0,
+			Flags: byte(cdr.NativeOrder),
+			Type:  t,
+			Size:  uint32(len(body)),
+		})
+		if _, err := c.ctrl.WriteGather(hdr[:], body); err != nil {
+			return err
+		}
+	}
+	if len(payloads) > 0 {
+		if c.data == nil {
+			return errors.New("orb: deposit payload without data channel")
+		}
+		if _, err := c.data.WriteGather(payloads...); err != nil {
+			return err
+		}
+		var n int64
+		for _, p := range payloads {
+			n += int64(len(p))
+		}
+		c.orb.stats.DepositsSent.Add(1)
+		c.orb.stats.DepositBytesSent.Add(n)
+	}
+	return nil
+}
+
+// sendFragmented emits body as an initial message plus Fragment
+// continuations, chunked at thresh bytes. The caller holds sendMu.
+func (c *conn) sendFragmented(t giop.MsgType, body []byte, thresh int) error {
+	first := true
+	for len(body) > 0 {
+		chunk := body
+		if len(chunk) > thresh {
+			chunk = chunk[:thresh]
+		}
+		body = body[len(chunk):]
+		h := giop.Header{
+			Major: 1, Minor: 1,
+			Flags: byte(cdr.NativeOrder),
+			Type:  t,
+			Size:  uint32(len(chunk)),
+		}
+		if !first {
+			h.Type = giop.MsgFragment
+		}
+		if len(body) > 0 {
+			h.Flags |= giop.FlagMoreFragments
+		}
+		var hdr [giop.HeaderSize]byte
+		giop.EncodeHeader(hdr[:], h)
+		if _, err := c.ctrl.WriteGather(hdr[:], chunk); err != nil {
+			return err
+		}
+		first = false
+	}
+	return nil
+}
+
+// readMessage reads one logical GIOP message, reassembling 1.1-style
+// fragments.
+func (c *conn) readMessage() (giop.Header, []byte, error) {
+	hdr, err := giop.ReadHeader(c.ctrl)
+	if err != nil {
+		return hdr, nil, err
+	}
+	body := make([]byte, hdr.Size)
+	if _, err := io.ReadFull(c.ctrl, body); err != nil {
+		return hdr, nil, fmt.Errorf("orb: reading %v body: %w", hdr.Type, err)
+	}
+	more := hdr.MoreFragments()
+	for more {
+		fh, err := giop.ReadHeader(c.ctrl)
+		if err != nil {
+			return hdr, nil, err
+		}
+		if fh.Type != giop.MsgFragment {
+			return hdr, nil, fmt.Errorf("orb: expected Fragment, got %v", fh.Type)
+		}
+		if int64(len(body))+int64(fh.Size) > giop.MaxMessageSize {
+			return hdr, nil, fmt.Errorf("orb: fragmented message exceeds limit")
+		}
+		frag := make([]byte, fh.Size)
+		if _, err := io.ReadFull(c.ctrl, frag); err != nil {
+			return hdr, nil, fmt.Errorf("orb: reading fragment: %w", err)
+		}
+		body = append(body, frag...)
+		more = fh.MoreFragments()
+	}
+	return hdr, body, nil
+}
+
+// resolveData returns the data channel carrying deposits referenced by
+// token. Clients own their channel; servers look the token up in the
+// registry (waiting out the cross-socket race).
+func (c *conn) resolveData(token uint64) (transport.Conn, error) {
+	if !c.isServer {
+		if c.data == nil || token != c.dataToken {
+			return nil, fmt.Errorf("orb: reply references unknown data channel %#x", token)
+		}
+		return c.data, nil
+	}
+	if c.data != nil && token == c.dataToken {
+		return c.data, nil
+	}
+	dc, err := c.orb.waitDataChan(token, c.orb.opts.CallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.data = dc
+	c.dataToken = token
+	return dc, nil
+}
+
+// readDeposits consumes the direct-deposit payloads announced by a
+// ZCDeposit service context: for each advertised size it takes a
+// page-aligned buffer from the pool and reads the payload straight
+// into it — the zero-copy receive of §4.5.
+func (c *conn) readDeposits(contexts []giop.ServiceContext) ([]*zcbuf.Buffer, error) {
+	data, ok := giop.Find(contexts, giop.ZCDepositContextID)
+	if !ok {
+		return nil, nil
+	}
+	di, err := giop.DecodeDepositInfo(data)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := di.Total(); err != nil {
+		return nil, err
+	}
+	dc, err := c.resolveData(di.Token)
+	if err != nil {
+		return nil, err
+	}
+	if len(di.Sizes) == 0 {
+		// Pure announcement: the client advertised its channel so the
+		// server can use it for zero-copy replies.
+		return nil, nil
+	}
+	bufs := make([]*zcbuf.Buffer, 0, len(di.Sizes))
+	for _, size := range di.Sizes {
+		b, err := c.orb.pool.Get(int(size))
+		if err != nil {
+			releaseAll(bufs)
+			return nil, err
+		}
+		if _, err := io.ReadFull(dc, b.Bytes()); err != nil {
+			b.Release()
+			releaseAll(bufs)
+			return nil, fmt.Errorf("orb: deposit read: %w", err)
+		}
+		bufs = append(bufs, b)
+		c.orb.stats.DepositsReceived.Add(1)
+		c.orb.stats.DepositBytesRecv.Add(int64(size))
+	}
+	return bufs, nil
+}
+
+func releaseAll(bufs []*zcbuf.Buffer) {
+	for _, b := range bufs {
+		b.Release()
+	}
+}
+
+// readLoop processes inbound messages until the connection dies.
+func (c *conn) readLoop() {
+	for {
+		hdr, body, err := c.readMessage()
+		if err != nil {
+			c.close(err)
+			return
+		}
+		order := hdr.Order()
+		dec := cdr.NewDecoder(order, giop.HeaderSize, body)
+		switch hdr.Type {
+		case giop.MsgRequest:
+			if !c.isServer {
+				c.protocolError("Request on client connection")
+				return
+			}
+			req, err := giop.UnmarshalRequestHeader(dec)
+			if err != nil {
+				c.protocolError("bad request header: %v", err)
+				return
+			}
+			deposits, err := c.readDeposits(req.ServiceContexts)
+			if err != nil {
+				// The deposit stream is unrecoverable once desynced.
+				c.protocolError("deposit: %v", err)
+				return
+			}
+			c.orb.wg.Add(1)
+			go func() {
+				defer c.orb.wg.Done()
+				c.orb.handleRequest(c, req, dec, deposits)
+			}()
+
+		case giop.MsgReply:
+			if c.isServer {
+				c.protocolError("Reply on server connection")
+				return
+			}
+			rep, err := giop.UnmarshalReplyHeader(dec)
+			if err != nil {
+				c.protocolError("bad reply header: %v", err)
+				return
+			}
+			deposits, err := c.readDeposits(rep.ServiceContexts)
+			if err != nil {
+				c.protocolError("reply deposit: %v", err)
+				return
+			}
+			c.deliver(&replyMsg{hdr: rep, dec: dec, deposits: deposits})
+
+		case giop.MsgLocateRequest:
+			if !c.isServer {
+				c.protocolError("LocateRequest on client connection")
+				return
+			}
+			lreq, err := giop.UnmarshalLocateRequestHeader(dec)
+			if err != nil {
+				c.protocolError("bad locate request: %v", err)
+				return
+			}
+			status := giop.LocateUnknownObject
+			if _, ok := c.orb.servant(string(lreq.ObjectKey)); ok {
+				status = giop.LocateObjectHere
+			}
+			e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+			lrep := giop.LocateReplyHeader{RequestID: lreq.RequestID, Status: status}
+			lrep.Marshal(e)
+			if err := c.sendMessage(giop.MsgLocateReply, e.Bytes(), nil); err != nil {
+				c.close(err)
+				return
+			}
+
+		case giop.MsgLocateReply:
+			lrep, err := giop.UnmarshalLocateReplyHeader(dec)
+			if err != nil {
+				c.protocolError("bad locate reply: %v", err)
+				return
+			}
+			c.mu.Lock()
+			ch := c.pendingLocate[lrep.RequestID]
+			delete(c.pendingLocate, lrep.RequestID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- lrep
+			}
+
+		case giop.MsgCancelRequest:
+			// Best-effort semantics: the reply is simply discarded by
+			// the client; nothing to do server-side in this ORB.
+
+		case giop.MsgCloseConnection:
+			c.close(io.EOF)
+			return
+
+		case giop.MsgMessageError:
+			c.close(errors.New("orb: peer reported message error"))
+			return
+
+		case giop.MsgFragment:
+			c.protocolError("unexpected Fragment")
+			return
+		}
+	}
+}
+
+// protocolError reports a fatal protocol violation to the peer and
+// closes the connection.
+func (c *conn) protocolError(format string, args ...any) {
+	err := fmt.Errorf("orb: protocol error: "+format, args...)
+	c.orb.logf("%v", err)
+	_ = c.sendMessage(giop.MsgMessageError, nil, nil)
+	c.close(err)
+}
+
+// sendCloseConnection notifies the peer of an orderly shutdown.
+func (c *conn) sendCloseConnection() {
+	_ = c.sendMessage(giop.MsgCloseConnection, nil, nil)
+}
+
+// locate issues a LocateRequest for the given object key and returns
+// the peer's LocateReply status.
+func (c *conn) locate(id uint32, key []byte, timeout time.Duration) (giop.LocateStatus, error) {
+	ch := make(chan giop.LocateReplyHeader, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return 0, err
+	}
+	c.pendingLocate[id] = ch
+	c.mu.Unlock()
+
+	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	(&giop.LocateRequestHeader{RequestID: id, ObjectKey: key}).Marshal(e)
+	if err := c.sendMessage(giop.MsgLocateRequest, e.Bytes(), nil); err != nil {
+		c.mu.Lock()
+		delete(c.pendingLocate, id)
+		c.mu.Unlock()
+		return 0, err
+	}
+	select {
+	case lrep, ok := <-ch:
+		if !ok {
+			return 0, &SystemException{Name: "COMM_FAILURE", Completed: CompletedMaybe}
+		}
+		return lrep.Status, nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.pendingLocate, id)
+		c.mu.Unlock()
+		return 0, &SystemException{Name: "TIMEOUT", Completed: CompletedMaybe}
+	}
+}
+
+// awaitReply blocks for a reply or times out.
+func (c *conn) awaitReply(id uint32, ch chan *replyMsg, timeout time.Duration) (*replyMsg, error) {
+	select {
+	case msg := <-ch:
+		if msg.err != nil {
+			return nil, msg.err
+		}
+		return msg, nil
+	case <-time.After(timeout):
+		c.unregister(id)
+		// Best-effort GIOP CancelRequest so the server can drop the
+		// (now unwanted) reply early.
+		e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+		(&giop.CancelRequestHeader{RequestID: id}).Marshal(e)
+		if err := c.sendMessage(giop.MsgCancelRequest, e.Bytes(), nil); err == nil {
+			c.orb.stats.CancelsSent.Add(1)
+		}
+		return nil, &SystemException{Name: "TIMEOUT", Completed: CompletedMaybe}
+	}
+}

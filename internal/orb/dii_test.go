@@ -1,0 +1,358 @@
+package orb
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zcorba/internal/cdr"
+	"zcorba/internal/giop"
+	"zcorba/internal/transport"
+	"zcorba/internal/typecode"
+)
+
+// calcIface is a contract served dynamically (DSI) and invoked
+// dynamically (DII).
+var calcIface = NewInterface("IDL:test/Calc:1.0", "Calc",
+	&Operation{
+		Name: "add",
+		Params: []Param{
+			{Name: "a", Type: typecode.TCLong, Dir: In},
+			{Name: "b", Type: typecode.TCLong, Dir: In},
+		},
+		Result: typecode.TCLong,
+	},
+	&Operation{
+		Name: "divmod",
+		Params: []Param{
+			{Name: "a", Type: typecode.TCLong, Dir: In},
+			{Name: "b", Type: typecode.TCLong, Dir: In},
+			{Name: "rem", Type: typecode.TCLong, Dir: Out},
+		},
+		Result: typecode.TCLong,
+	},
+)
+
+func dynCalc() DynamicServant {
+	return DynamicServant{
+		Contract: calcIface,
+		Handler: func(op string, args []any) (any, []any, error) {
+			switch op {
+			case "add":
+				return args[0].(int32) + args[1].(int32), nil, nil
+			case "divmod":
+				a, b := args[0].(int32), args[1].(int32)
+				if b == 0 {
+					return nil, nil, &SystemException{Name: "BAD_PARAM", Completed: CompletedNo}
+				}
+				return a / b, []any{a % b}, nil
+			default:
+				return nil, nil, &SystemException{Name: "BAD_OPERATION"}
+			}
+		},
+	}
+}
+
+func calcPair(t *testing.T) (*ObjectRef, *ORB, *ORB) {
+	t.Helper()
+	server, err := New(Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	ref, err := server.Activate("calc", dynCalc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := New(Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	cref, err := client.StringToObject(ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cref, client, server
+}
+
+func TestDIIAgainstDSI(t *testing.T) {
+	ref, _, _ := calcPair(t)
+	res, _, err := ref.Request("add").
+		In(typecode.TCLong, int32(40)).
+		In(typecode.TCLong, int32(2)).
+		Returns(typecode.TCLong).
+		Call()
+	if err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	if res.(int32) != 42 {
+		t.Fatalf("add=%v", res)
+	}
+
+	res, outs, err := ref.Request("divmod").
+		In(typecode.TCLong, int32(17)).
+		In(typecode.TCLong, int32(5)).
+		Out(typecode.TCLong).
+		Returns(typecode.TCLong).
+		Call()
+	if err != nil {
+		t.Fatalf("divmod: %v", err)
+	}
+	if res.(int32) != 3 || outs[0].(int32) != 2 {
+		t.Fatalf("divmod=%v rem=%v", res, outs)
+	}
+}
+
+func TestDIISystemExceptionFromDSI(t *testing.T) {
+	ref, _, _ := calcPair(t)
+	_, _, err := ref.Request("divmod").
+		In(typecode.TCLong, int32(1)).
+		In(typecode.TCLong, int32(0)).
+		Out(typecode.TCLong).
+		Returns(typecode.TCLong).
+		Call()
+	var se *SystemException
+	if !errors.As(err, &se) || se.Name != "BAD_PARAM" {
+		t.Fatalf("want BAD_PARAM, got %v", err)
+	}
+}
+
+func TestLocate(t *testing.T) {
+	ref, client, server := calcPair(t)
+	status, err := ref.Locate()
+	if err != nil {
+		t.Fatalf("Locate: %v", err)
+	}
+	if status != LocateObjectHere {
+		t.Fatalf("status=%v", status)
+	}
+	// Unknown key.
+	ghost := server.refForLocked("nope", "IDL:test/Calc:1.0")
+	gref, err := client.StringToObject(ghost.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err = gref.Locate()
+	if err != nil {
+		t.Fatalf("Locate ghost: %v", err)
+	}
+	if status != LocateUnknownObject {
+		t.Fatalf("ghost status=%v", status)
+	}
+}
+
+func TestSendSideFragmentation(t *testing.T) {
+	// A tiny threshold forces even small bodies to fragment; payloads
+	// must arrive intact.
+	server, err := New(Options{Transport: &transport.TCP{}, FragmentThreshold: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	sv := newStoreServant()
+	ref, err := server.Activate("store", sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := New(Options{Transport: &transport.TCP{}, FragmentThreshold: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	cref, err := client.StringToObject(ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(100_000) // marshaled body ~100 KB -> ~200 fragments
+	res, _, err := cref.Invoke(storeIface.Ops["put_std"], []any{data})
+	if err != nil {
+		t.Fatalf("fragmented put_std: %v", err)
+	}
+	if res.(uint32) != checksum(data) {
+		t.Fatal("checksum mismatch across fragmentation")
+	}
+}
+
+func TestFragmentationDisabled(t *testing.T) {
+	p := newPair(t,
+		Options{Transport: &transport.TCP{}, FragmentThreshold: -1},
+		Options{Transport: &transport.TCP{}, FragmentThreshold: -1})
+	data := pattern(3 << 20) // above the default threshold
+	res, _, err := p.ref.Invoke(storeIface.Ops["put_std"], []any{data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(uint32) != checksum(data) {
+		t.Fatal("checksum mismatch")
+	}
+}
+
+// TestFragmentReassemblyWireLevel speaks raw GIOP to the ORB: a
+// hand-fragmented _is_a request must be reassembled and answered.
+func TestFragmentReassemblyWireLevel(t *testing.T) {
+	server, err := New(Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	if _, err := server.Activate("calc", dynCalc()); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := &transport.TCP{}
+	c, err := tr.Dial(server.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Build the full request body: header + string arg.
+	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	(&giop.RequestHeader{
+		RequestID: 7, ResponseExpected: true,
+		ObjectKey: []byte("calc"), Operation: "_is_a", Principal: []byte{},
+	}).Marshal(e)
+	e.WriteString("IDL:test/Calc:1.0")
+	body := e.Bytes()
+
+	// Send it as three fragments.
+	third := len(body) / 3
+	chunks := [][]byte{body[:third], body[third : 2*third], body[2*third:]}
+	for i, chunk := range chunks {
+		h := giop.Header{Major: 1, Minor: 1, Flags: byte(cdr.NativeOrder),
+			Type: giop.MsgRequest, Size: uint32(len(chunk))}
+		if i > 0 {
+			h.Type = giop.MsgFragment
+		}
+		if i < len(chunks)-1 {
+			h.Flags |= giop.FlagMoreFragments
+		}
+		var hdr [giop.HeaderSize]byte
+		giop.EncodeHeader(hdr[:], h)
+		if _, err := c.WriteGather(hdr[:], chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Read the reply and check the boolean result.
+	rh, err := giop.ReadHeader(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Type != giop.MsgReply {
+		t.Fatalf("got %v", rh.Type)
+	}
+	rbody := make([]byte, rh.Size)
+	if _, err := io.ReadFull(c, rbody); err != nil {
+		t.Fatal(err)
+	}
+	dec := cdr.NewDecoder(rh.Order(), giop.HeaderSize, rbody)
+	rep, err := giop.UnmarshalReplyHeader(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RequestID != 7 || rep.Status != giop.ReplyNoException {
+		t.Fatalf("reply %+v", rep)
+	}
+	ok, err := dec.ReadBoolean()
+	if err != nil || !ok {
+		t.Fatalf("_is_a result %v %v", ok, err)
+	}
+}
+
+func TestInterceptorHooks(t *testing.T) {
+	var sent, served atomic.Int64
+	var mu sync.Mutex
+	var servedOps []string
+
+	server, err := New(Options{
+		Transport: &transport.TCP{},
+		OnRequestServed: func(op string, d time.Duration, err error) {
+			served.Add(1)
+			mu.Lock()
+			servedOps = append(servedOps, op)
+			mu.Unlock()
+			if d < 0 {
+				t.Error("negative duration")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	ref, err := server.Activate("calc", dynCalc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := New(Options{
+		Transport:     &transport.TCP{},
+		OnRequestSent: func(op string, payloadBytes int) { sent.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	cref, err := client.StringToObject(ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := cref.Request("add").
+			In(typecode.TCLong, int32(i)).In(typecode.TCLong, int32(i)).
+			Returns(typecode.TCLong).Call(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sent.Load() != 3 || served.Load() != 3 {
+		t.Fatalf("sent=%d served=%d", sent.Load(), served.Load())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, op := range servedOps {
+		if op != "add" {
+			t.Fatalf("served op %q", op)
+		}
+	}
+}
+
+func TestDIIOneway(t *testing.T) {
+	server, err := New(Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	sv := newStoreServant()
+	ref, err := server.Activate("store", sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := New(Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	cref, err := client.StringToObject(ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = cref.Request("notify").
+		In(typecode.TCULong, uint32(9)).
+		Oneway().
+		Call()
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-sv.notified:
+		if got != 9 {
+			t.Fatalf("notified %d", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("oneway DII never arrived")
+	}
+}

@@ -1,0 +1,61 @@
+package orb_test
+
+import (
+	"fmt"
+	"log"
+
+	"zcorba/internal/orb"
+	"zcorba/internal/transport"
+	"zcorba/internal/typecode"
+	"zcorba/internal/zcbuf"
+)
+
+// Example demonstrates the whole programming model in one page: define
+// a contract, serve it dynamically, and invoke it — first over the
+// standard path, then over the zero-copy deposit path.
+func Example() {
+	contract := orb.NewInterface("IDL:example/Sink:1.0", "Sink",
+		&orb.Operation{
+			Name:   "consume",
+			Params: []orb.Param{{Name: "data", Type: typecode.TCZCOctetSeq, Dir: orb.In}},
+			Result: typecode.TCULong,
+		},
+	)
+
+	server, err := orb.New(orb.Options{Transport: &transport.TCP{}, ZeroCopy: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Shutdown()
+	ref, err := server.Activate("sink", orb.DynamicServant{
+		Contract: contract,
+		Handler: func(op string, args []any) (any, []any, error) {
+			buf := args[0].(*zcbuf.Buffer)
+			return uint32(buf.Len()), nil, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client, err := orb.New(orb.Options{Transport: &transport.TCP{}, ZeroCopy: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Shutdown()
+	obj, err := client.StringToObject(ref.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, _, err := obj.Invoke(contract.Ops["consume"], []any{make([]byte, 1<<20)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consumed %d bytes\n", res)
+	fmt.Printf("payload copies: %d\n",
+		client.Stats().PayloadCopies.Load()+server.Stats().PayloadCopies.Load())
+	// Output:
+	// consumed 1048576 bytes
+	// payload copies: 0
+}

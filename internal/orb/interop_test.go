@@ -1,0 +1,109 @@
+package orb
+
+import (
+	"io"
+	"testing"
+
+	"zcorba/internal/cdr"
+	"zcorba/internal/giop"
+	"zcorba/internal/typecode"
+)
+
+// TestBigEndianClientInterop speaks GIOP in network byte order to the
+// (native little-endian) ORB: the heterogeneity case the paper's
+// standard path must keep working (§2: "maintain standard CORBA
+// interoperability between the subclusters").
+func TestBigEndianClientInterop(t *testing.T) {
+	o := startServer(t, Options{})
+	c := dialRaw(t, o)
+
+	// put_std(data) marshaled big-endian.
+	data := pattern(1000)
+	e := cdr.NewEncoder(cdr.BigEndian, giop.HeaderSize)
+	(&giop.RequestHeader{
+		RequestID: 3, ResponseExpected: true,
+		ObjectKey: []byte("store"), Operation: "put_std", Principal: []byte{},
+	}).Marshal(e)
+	if err := typecode.MarshalValue(e, typecode.TCOctetSeq, data); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [giop.HeaderSize]byte
+	giop.EncodeHeader(hdr[:], giop.Header{
+		Major: 1, Flags: byte(cdr.BigEndian),
+		Type: giop.MsgRequest, Size: uint32(len(e.Bytes())),
+	})
+	if _, err := c.WriteGather(hdr[:], e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	rh, err := giop.ReadHeader(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Type != giop.MsgReply {
+		t.Fatalf("got %v", rh.Type)
+	}
+	body := make([]byte, rh.Size)
+	if _, err := io.ReadFull(c, body); err != nil {
+		t.Fatal(err)
+	}
+	// The server replies in its own (native) order, advertised in the
+	// header flags — the client must honor it.
+	dec := cdr.NewDecoder(rh.Order(), giop.HeaderSize, body)
+	rep, err := giop.UnmarshalReplyHeader(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RequestID != 3 || rep.Status != giop.ReplyNoException {
+		t.Fatalf("reply %+v", rep)
+	}
+	sum, err := dec.ReadULong()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != checksum(data) {
+		t.Fatalf("checksum %d want %d", sum, checksum(data))
+	}
+}
+
+// TestBigEndianStringAndStructInterop covers aligned multi-byte types
+// end to end in network order.
+func TestBigEndianStringAndStructInterop(t *testing.T) {
+	o := startServer(t, Options{})
+	c := dialRaw(t, o)
+
+	e := cdr.NewEncoder(cdr.BigEndian, giop.HeaderSize)
+	(&giop.RequestHeader{
+		RequestID: 4, ResponseExpected: true,
+		ObjectKey: []byte("store"), Operation: "swap", Principal: []byte{},
+	}).Marshal(e)
+	e.WriteString("endian")
+	var hdr [giop.HeaderSize]byte
+	giop.EncodeHeader(hdr[:], giop.Header{
+		Major: 1, Flags: byte(cdr.BigEndian),
+		Type: giop.MsgRequest, Size: uint32(len(e.Bytes())),
+	})
+	if _, err := c.WriteGather(hdr[:], e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	rh, err := giop.ReadHeader(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, rh.Size)
+	if _, err := io.ReadFull(c, body); err != nil {
+		t.Fatal(err)
+	}
+	dec := cdr.NewDecoder(rh.Order(), giop.HeaderSize, body)
+	if _, err := giop.UnmarshalReplyHeader(dec); err != nil {
+		t.Fatal(err)
+	}
+	s, err := dec.ReadString()
+	if err != nil || s != "endian/swapped" {
+		t.Fatalf("swap result %q %v", s, err)
+	}
+	extra, err := dec.ReadLong()
+	if err != nil || extra != 6 {
+		t.Fatalf("extra %d %v", extra, err)
+	}
+}

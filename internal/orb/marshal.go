@@ -1,0 +1,147 @@
+package orb
+
+import (
+	"fmt"
+
+	"zcorba/internal/cdr"
+	"zcorba/internal/typecode"
+	"zcorba/internal/zcbuf"
+)
+
+// This file implements the split marshal path of §4.4: values whose
+// type is a ZC octet stream are diverted to the data channel as
+// payload segments (direct deposit), everything else goes through the
+// general CDR interpreter into the GIOP body. The standard path's
+// octet-stream copies are charged to Stats so experiments can assert
+// the zero-copy property instead of taking it on faith.
+
+// bulkBytes extracts the raw bytes of a bulk value, accepting both the
+// pooled buffer form and a plain byte slice.
+func bulkBytes(v any) ([]byte, bool) {
+	switch x := v.(type) {
+	case *zcbuf.Buffer:
+		return x.Bytes(), true
+	case []byte:
+		return x, true
+	default:
+		return nil, false
+	}
+}
+
+// collectDeposits gathers the payload segments for every ZC octet
+// stream among vals — by reference, never copying (the marshaling
+// bypass of §4.4). It performs no CDR work at all.
+func collectDeposits(types []*typecode.TypeCode, vals []any) (payloads [][]byte, sizes []uint32, err error) {
+	for i, tc := range types {
+		if !tc.IsZCOctetSeq() {
+			continue
+		}
+		b, ok := bulkBytes(vals[i])
+		if !ok {
+			return nil, nil, fmt.Errorf("orb: parameter %d: %T is not a ZC octet stream", i, vals[i])
+		}
+		payloads = append(payloads, b)
+		sizes = append(sizes, uint32(len(b)))
+	}
+	return payloads, sizes, nil
+}
+
+// marshalValues writes vals (described by types) onto e. When skipZC
+// is true, ZC octet streams are omitted from the body (they travel as
+// deposits); when false they fall back to the standard copying path
+// (counted in Stats.ZCFallbacks).
+func (o *ORB) marshalValues(e *cdr.Encoder, types []*typecode.TypeCode, vals []any,
+	skipZC bool) error {
+	if len(types) != len(vals) {
+		return fmt.Errorf("orb: %d values for %d parameters", len(vals), len(types))
+	}
+	for i, tc := range types {
+		v := vals[i]
+		if tc.IsZCOctetSeq() {
+			if skipZC {
+				continue
+			}
+			b, ok := bulkBytes(v)
+			if !ok {
+				return fmt.Errorf("orb: parameter %d: %T is not a ZC octet stream", i, v)
+			}
+			o.stats.ZCFallbacks.Add(1)
+			v = b
+		}
+		if isBulk(tc) {
+			if b, ok := bulkBytes(v); ok {
+				o.stats.PayloadCopies.Add(1)
+				o.stats.PayloadCopyBytes.Add(int64(len(b)))
+				v = b
+			}
+		}
+		if err := typecode.MarshalValue(e, tc, v); err != nil {
+			return fmt.Errorf("orb: parameter %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// isBulk reports whether tc is an octet-stream-like type whose
+// marshaling constitutes a payload copy.
+func isBulk(tc *typecode.TypeCode) bool {
+	return tc.IsOctetSeq() || tc.IsZCOctetSeq()
+}
+
+// unmarshalValues reads values described by types from dec, consuming
+// deposit buffers (in order) for ZC octet streams that traveled on the
+// data channel. ZC-typed values always come back as *zcbuf.Buffer: a
+// deposited buffer on the fast path, or a wrapper around the copied
+// bytes on the fallback path. It returns any deposits it did not
+// consume (so the caller can release them on error).
+func (o *ORB) unmarshalValues(dec *cdr.Decoder, types []*typecode.TypeCode,
+	deposits []*zcbuf.Buffer, haveDeposits bool) ([]any, []*zcbuf.Buffer, error) {
+	vals := make([]any, len(types))
+	di := 0
+	for i, tc := range types {
+		if tc.IsZCOctetSeq() && haveDeposits {
+			if di >= len(deposits) {
+				return nil, nil, fmt.Errorf("orb: parameter %d: missing deposit block", i)
+			}
+			vals[i] = deposits[di]
+			di++
+			continue
+		}
+		v, err := typecode.UnmarshalValue(dec, tc)
+		if err != nil {
+			return nil, deposits[di:], fmt.Errorf("orb: parameter %d: %w", i, err)
+		}
+		if isBulk(tc) {
+			b, _ := v.([]byte)
+			o.stats.PayloadCopies.Add(1)
+			o.stats.PayloadCopyBytes.Add(int64(len(b)))
+			if tc.IsZCOctetSeq() {
+				v = zcbuf.Wrap(b)
+			}
+		}
+		vals[i] = v
+	}
+	if di != len(deposits) {
+		return nil, deposits[di:], fmt.Errorf("orb: %d unclaimed deposit blocks", len(deposits)-di)
+	}
+	return vals, nil, nil
+}
+
+// paramTypes projects the TypeCodes out of a parameter list.
+func paramTypes(params []Param) []*typecode.TypeCode {
+	out := make([]*typecode.TypeCode, len(params))
+	for i, p := range params {
+		out[i] = p.Type
+	}
+	return out
+}
+
+// replyTypes returns the value types a reply body carries: the result
+// (unless void) followed by out/inout parameters.
+func replyTypes(op *Operation) []*typecode.TypeCode {
+	var out []*typecode.TypeCode
+	if op.Result != nil && op.Result.Kind() != typecode.Void {
+		out = append(out, op.Result)
+	}
+	return append(out, paramTypes(op.OutParams())...)
+}

@@ -1,0 +1,554 @@
+package orb
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zcorba/internal/ior"
+	"zcorba/internal/transport"
+	"zcorba/internal/zcbuf"
+)
+
+// DefaultArch returns this process's architecture signature. Direct
+// deposit (marshaling bypass) requires the signatures of client and
+// server to match — the paper's limited-heterogeneity precondition
+// (§2: "we can even count on totally equal systems as a prerequisite
+// for the best possible zero-copy operation").
+func DefaultArch() string {
+	endian := "big"
+	if binary.NativeEndian.Uint16([]byte{1, 0}) == 1 {
+		endian = "little"
+	}
+	return runtime.GOARCH + "/" + endian + "/go"
+}
+
+// Options configures an ORB.
+type Options struct {
+	// Transport supplies connections; defaults to TCP.
+	Transport transport.Transport
+	// ListenAddr is the control (IIOP) endpoint. Empty means the
+	// transport's default ("127.0.0.1:0" for TCP, auto for inproc).
+	ListenAddr string
+	// DataListenAddr is the direct-deposit data endpoint; empty means
+	// pick automatically. Ignored unless ZeroCopy is set.
+	DataListenAddr string
+	// ZeroCopy enables the direct-deposit fast path: the ORB opens a
+	// data listener, advertises it in IORs, and clients of this ORB
+	// route eligible payloads around the marshaling engine.
+	ZeroCopy bool
+	// Collocation short-circuits invocations on objects served by
+	// this same ORB, skipping marshaling entirely (§2.1's local-call
+	// bypass). Off by default so benchmarks measure the wire path.
+	Collocation bool
+	// Arch overrides the architecture signature (tests only).
+	Arch string
+	// Pool supplies deposit buffers; defaults to a private pool.
+	Pool *zcbuf.Pool
+	// CallTimeout bounds synchronous invocations; default 30s.
+	CallTimeout time.Duration
+	// FragmentThreshold splits Request/Reply bodies larger than this
+	// many bytes into GIOP Fragment messages (0 uses the 1 MiB
+	// default; negative disables fragmentation).
+	FragmentThreshold int
+	// DefaultServant, if set, receives requests whose object key has
+	// no explicit activation — a POA default-servant policy, useful
+	// for gateways that mint object keys on the fly.
+	DefaultServant Servant
+	// Logf, if set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+	// OnRequestSent, if set, observes every outbound request after it
+	// is written (a client-side request interceptor).
+	OnRequestSent func(op string, payloadBytes int)
+	// OnRequestServed, if set, observes every dispatched request
+	// after the servant returns (a server-side interceptor).
+	OnRequestServed func(op string, d time.Duration, err error)
+}
+
+// defaultFragmentThreshold splits very large control bodies so a
+// single standard-path bulk transfer cannot monopolize a connection's
+// framing (and so the reassembly path is exercised in production).
+const defaultFragmentThreshold = 1 << 20
+
+// fragmentThreshold resolves the effective threshold.
+func (o *ORB) fragmentThreshold() int {
+	switch {
+	case o.opts.FragmentThreshold < 0:
+		return 0
+	case o.opts.FragmentThreshold == 0:
+		return defaultFragmentThreshold
+	default:
+		return o.opts.FragmentThreshold
+	}
+}
+
+// Stats counts ORB activity; all fields are safe for concurrent reads.
+type Stats struct {
+	// RequestsSent counts client requests issued by this ORB.
+	RequestsSent atomic.Int64
+	// RequestsServed counts requests dispatched to local servants.
+	RequestsServed atomic.Int64
+	// PayloadCopies and PayloadCopyBytes count user-space copies of
+	// bulk parameter bytes made by the marshaling engine (the copies
+	// the zero-copy path eliminates).
+	PayloadCopies    atomic.Int64
+	PayloadCopyBytes atomic.Int64
+	// DepositsSent/DepositsReceived count direct-deposit transfers.
+	DepositsSent     atomic.Int64
+	DepositsReceived atomic.Int64
+	DepositBytesSent atomic.Int64
+	DepositBytesRecv atomic.Int64
+	// ZCFallbacks counts ZC-typed parameters that had to take the
+	// standard path (no data channel or architecture mismatch).
+	ZCFallbacks atomic.Int64
+	// Collocated counts invocations short-circuited locally.
+	Collocated atomic.Int64
+	// CancelsSent counts GIOP CancelRequests issued after timeouts.
+	CancelsSent atomic.Int64
+}
+
+// ORB is an Object Request Broker: object adapter, client connection
+// cache, and — when enabled — the zero-copy deposit machinery.
+type ORB struct {
+	opts  Options
+	tr    transport.Transport
+	pool  *zcbuf.Pool
+	arch  string
+	logf  func(string, ...any)
+	stats Stats
+
+	ctrlLis  transport.Listener
+	dataLis  transport.Listener
+	ctrlHost string
+	ctrlPort uint16
+	dataHost string
+	dataPort uint16
+
+	mu          sync.Mutex
+	servants    map[string]Servant
+	clientConns map[string]*conn
+	serverConns map[*conn]struct{}
+	dataChans   map[uint64]transport.Conn
+	dataWaiters map[uint64][]chan transport.Conn
+	closed      bool
+
+	reqID     atomic.Uint32
+	tokenBase uint64
+	tokenSeq  atomic.Uint64
+	wg        sync.WaitGroup
+}
+
+// New creates an ORB, binds its listeners, and starts serving
+// immediately. Call Shutdown to release resources.
+func New(opts Options) (*ORB, error) {
+	o := &ORB{
+		opts:        opts,
+		tr:          opts.Transport,
+		pool:        opts.Pool,
+		arch:        opts.Arch,
+		servants:    make(map[string]Servant),
+		clientConns: make(map[string]*conn),
+		serverConns: make(map[*conn]struct{}),
+		dataChans:   make(map[uint64]transport.Conn),
+		dataWaiters: make(map[uint64][]chan transport.Conn),
+	}
+	if o.tr == nil {
+		o.tr = &transport.TCP{}
+	}
+	if o.pool == nil {
+		o.pool = &zcbuf.Pool{}
+	}
+	if o.arch == "" {
+		o.arch = DefaultArch()
+	}
+	if o.opts.CallTimeout <= 0 {
+		o.opts.CallTimeout = 30 * time.Second
+	}
+	o.logf = opts.Logf
+	if o.logf == nil {
+		o.logf = func(string, ...any) {}
+	}
+	var tok [8]byte
+	if _, err := rand.Read(tok[:]); err != nil {
+		return nil, fmt.Errorf("orb: token seed: %w", err)
+	}
+	o.tokenBase = binary.BigEndian.Uint64(tok[:])
+
+	addr := opts.ListenAddr
+	if addr == "" && o.tr.Name() == "tcp" {
+		addr = "127.0.0.1:0"
+	}
+	lis, err := o.tr.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("orb: control listener: %w", err)
+	}
+	o.ctrlLis = lis
+	o.ctrlHost, o.ctrlPort = splitEndpoint(lis.Addr())
+
+	if opts.ZeroCopy {
+		daddr := opts.DataListenAddr
+		if daddr == "" && o.tr.Name() == "tcp" {
+			daddr = "127.0.0.1:0"
+		}
+		dlis, err := o.tr.Listen(daddr)
+		if err != nil {
+			_ = lis.Close()
+			return nil, fmt.Errorf("orb: data listener: %w", err)
+		}
+		o.dataLis = dlis
+		o.dataHost, o.dataPort = splitEndpoint(dlis.Addr())
+		o.wg.Add(1)
+		go o.acceptData()
+	}
+
+	o.wg.Add(1)
+	go o.acceptControl()
+	return o, nil
+}
+
+// splitEndpoint separates a transport address into the host and port
+// stored in IIOP profiles. Non-TCP transports use the whole address as
+// the host with port 0.
+func splitEndpoint(addr string) (string, uint16) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr, 0
+	}
+	p, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil {
+		return addr, 0
+	}
+	return host, uint16(p)
+}
+
+// dialAddr reassembles a profile endpoint into a transport address.
+func dialAddr(host string, port uint16) string {
+	if port == 0 {
+		return host
+	}
+	return net.JoinHostPort(host, strconv.Itoa(int(port)))
+}
+
+// Arch returns the ORB's architecture signature.
+func (o *ORB) Arch() string { return o.arch }
+
+// Stats returns the ORB's counters.
+func (o *ORB) Stats() *Stats { return &o.stats }
+
+// Pool returns the deposit buffer pool.
+func (o *ORB) Pool() *zcbuf.Pool { return o.pool }
+
+// Addr returns the control endpoint address.
+func (o *ORB) Addr() string { return o.ctrlLis.Addr() }
+
+// Activate registers servant under the given object key and returns an
+// object reference for it. Keys are arbitrary non-empty strings.
+func (o *ORB) Activate(key string, s Servant) (*ObjectRef, error) {
+	if key == "" {
+		return nil, fmt.Errorf("orb: empty object key")
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return nil, fmt.Errorf("orb: shut down")
+	}
+	if _, dup := o.servants[key]; dup {
+		return nil, fmt.Errorf("orb: object key %q already active", key)
+	}
+	o.servants[key] = s
+	return o.refForLocked(key, s.Interface().RepoID), nil
+}
+
+// Deactivate removes the servant registered under key.
+func (o *ORB) Deactivate(key string) {
+	o.mu.Lock()
+	delete(o.servants, key)
+	o.mu.Unlock()
+}
+
+// refForLocked builds the ObjectRef/IOR for a local key.
+func (o *ORB) refForLocked(key, repoID string) *ObjectRef {
+	var comps []ior.TaggedComponent
+	if o.opts.ZeroCopy && o.dataLis != nil {
+		comps = append(comps, ior.ZCDeposit{
+			Arch: o.arch, Host: o.dataHost, Port: o.dataPort,
+		}.Encode())
+	}
+	ref := ior.NewIIOP(repoID, o.ctrlHost, o.ctrlPort, []byte(key), comps...)
+	return &ObjectRef{orb: o, ior: ref}
+}
+
+// ActivateAuto registers servant under a fresh unique key and returns
+// its reference (implicit activation).
+func (o *ORB) ActivateAuto(s Servant) (*ObjectRef, error) {
+	n := o.tokenSeq.Add(1)
+	key := fmt.Sprintf("auto/%s/%d", s.Interface().Name, n)
+	return o.Activate(key, s)
+}
+
+// servant looks up a locally activated servant, falling back to the
+// default servant when configured.
+func (o *ORB) servant(key string) (Servant, bool) {
+	o.mu.Lock()
+	s, ok := o.servants[key]
+	o.mu.Unlock()
+	if !ok && o.opts.DefaultServant != nil {
+		return o.opts.DefaultServant, true
+	}
+	return s, ok
+}
+
+// RefFor returns a reference for an arbitrary object key served by
+// this ORB (used with DefaultServant, whose keys are never activated).
+func (o *ORB) RefFor(key, repoID string) *ObjectRef {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.refForLocked(key, repoID)
+}
+
+// StringToObject converts a stringified IOR or corbaloc URL into an
+// object reference bound to this ORB.
+func (o *ORB) StringToObject(s string) (*ObjectRef, error) {
+	r, err := ior.Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return &ObjectRef{orb: o, ior: r}, nil
+}
+
+// ObjectFromIOR wraps an already-decoded IOR.
+func (o *ORB) ObjectFromIOR(r ior.IOR) *ObjectRef {
+	return &ObjectRef{orb: o, ior: r}
+}
+
+// nextToken returns a process-unique data channel token.
+func (o *ORB) nextToken() uint64 {
+	return o.tokenBase + o.tokenSeq.Add(1)
+}
+
+// acceptControl accepts inbound IIOP connections.
+func (o *ORB) acceptControl() {
+	defer o.wg.Done()
+	for {
+		tc, err := o.ctrlLis.Accept()
+		if err != nil {
+			return
+		}
+		c := newConn(o, tc, true)
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			_ = tc.Close()
+			return
+		}
+		o.serverConns[c] = struct{}{}
+		o.mu.Unlock()
+		o.wg.Add(1)
+		go func() {
+			defer o.wg.Done()
+			c.readLoop()
+			o.mu.Lock()
+			delete(o.serverConns, c)
+			o.mu.Unlock()
+		}()
+	}
+}
+
+// dataPreambleMagic opens every data-channel connection, followed by
+// the 8-byte big-endian token that requests reference through their
+// ZCDeposit service context.
+var dataPreambleMagic = [4]byte{'Z', 'C', 'D', 'C'}
+
+// acceptData accepts inbound data-channel connections and registers
+// them by token.
+func (o *ORB) acceptData() {
+	defer o.wg.Done()
+	for {
+		dc, err := o.dataLis.Accept()
+		if err != nil {
+			return
+		}
+		o.wg.Add(1)
+		go func() {
+			defer o.wg.Done()
+			var pre [12]byte
+			if _, err := io.ReadFull(dc, pre[:]); err != nil {
+				o.logf("orb: data preamble: %v", err)
+				_ = dc.Close()
+				return
+			}
+			if [4]byte(pre[:4]) != dataPreambleMagic {
+				o.logf("orb: bad data preamble magic %q", pre[:4])
+				_ = dc.Close()
+				return
+			}
+			token := binary.BigEndian.Uint64(pre[4:])
+			o.registerDataChan(token, dc)
+		}()
+	}
+}
+
+func (o *ORB) registerDataChan(token uint64, dc transport.Conn) {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		_ = dc.Close()
+		return
+	}
+	o.dataChans[token] = dc
+	waiters := o.dataWaiters[token]
+	delete(o.dataWaiters, token)
+	o.mu.Unlock()
+	for _, w := range waiters {
+		w <- dc
+	}
+}
+
+// waitDataChan returns the data channel registered under token,
+// waiting up to timeout for the preamble to arrive (the control and
+// data connections race across independent sockets).
+func (o *ORB) waitDataChan(token uint64, timeout time.Duration) (transport.Conn, error) {
+	o.mu.Lock()
+	if dc, ok := o.dataChans[token]; ok {
+		o.mu.Unlock()
+		return dc, nil
+	}
+	ch := make(chan transport.Conn, 1)
+	o.dataWaiters[token] = append(o.dataWaiters[token], ch)
+	o.mu.Unlock()
+	select {
+	case dc := <-ch:
+		return dc, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("orb: data channel %#x never arrived", token)
+	}
+}
+
+// dropDataChan removes a dead data channel.
+func (o *ORB) dropDataChan(token uint64) {
+	o.mu.Lock()
+	if dc, ok := o.dataChans[token]; ok {
+		delete(o.dataChans, token)
+		_ = dc.Close()
+	}
+	o.mu.Unlock()
+}
+
+// getConn returns (creating if needed) the client connection to the
+// given control endpoint; zc describes the peer's deposit endpoint if
+// the client should establish a data channel.
+func (o *ORB) getConn(ctrlAddr string, zc *ior.ZCDeposit) (*conn, error) {
+	key := ctrlAddr
+	if zc != nil {
+		key += "|zc"
+	}
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return nil, fmt.Errorf("orb: shut down")
+	}
+	if c, ok := o.clientConns[key]; ok {
+		if c.healthy() {
+			o.mu.Unlock()
+			return c, nil
+		}
+		// The cached connection died (e.g. its data channel broke);
+		// evict it so this call dials fresh.
+		delete(o.clientConns, key)
+	}
+	o.mu.Unlock()
+
+	tc, err := o.tr.Dial(ctrlAddr)
+	if err != nil {
+		return nil, &SystemException{Name: "COMM_FAILURE", Completed: CompletedNo}
+	}
+	c := newConn(o, tc, false)
+
+	if zc != nil {
+		dc, err := o.tr.Dial(dialAddr(zc.Host, zc.Port))
+		if err != nil {
+			o.logf("orb: data channel dial failed, falling back: %v", err)
+		} else {
+			token := o.nextToken()
+			var pre [12]byte
+			copy(pre[:4], dataPreambleMagic[:])
+			binary.BigEndian.PutUint64(pre[4:], token)
+			if _, err := dc.Write(pre[:]); err != nil {
+				_ = dc.Close()
+				o.logf("orb: data preamble write failed, falling back: %v", err)
+			} else {
+				c.data = dc
+				c.dataToken = token
+			}
+		}
+	}
+
+	o.mu.Lock()
+	if exist, ok := o.clientConns[key]; ok {
+		// Lost a race; keep the established one.
+		o.mu.Unlock()
+		c.close(nil)
+		return exist, nil
+	}
+	o.clientConns[key] = c
+	o.mu.Unlock()
+
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+		c.readLoop()
+		o.mu.Lock()
+		if o.clientConns[key] == c {
+			delete(o.clientConns, key)
+		}
+		o.mu.Unlock()
+	}()
+	return c, nil
+}
+
+// Shutdown closes listeners and all connections and waits for
+// background goroutines to drain.
+func (o *ORB) Shutdown() {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return
+	}
+	o.closed = true
+	conns := make([]*conn, 0, len(o.clientConns)+len(o.serverConns))
+	for _, c := range o.clientConns {
+		conns = append(conns, c)
+	}
+	for c := range o.serverConns {
+		conns = append(conns, c)
+	}
+	dataChans := o.dataChans
+	o.dataChans = map[uint64]transport.Conn{}
+	waiters := o.dataWaiters
+	o.dataWaiters = map[uint64][]chan transport.Conn{}
+	o.mu.Unlock()
+
+	_ = o.ctrlLis.Close()
+	if o.dataLis != nil {
+		_ = o.dataLis.Close()
+	}
+	for _, c := range conns {
+		c.close(fmt.Errorf("orb: shut down"))
+	}
+	for _, dc := range dataChans {
+		_ = dc.Close()
+	}
+	for _, ws := range waiters {
+		for range ws {
+			// Waiters time out on their own; nothing to send.
+		}
+	}
+	o.wg.Wait()
+}

@@ -1,0 +1,299 @@
+package orb
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"zcorba/internal/cdr"
+	"zcorba/internal/giop"
+	"zcorba/internal/transport"
+)
+
+// dialRaw opens a raw transport connection to an ORB's control port.
+func dialRaw(t *testing.T, o *ORB) transport.Conn {
+	t.Helper()
+	c, err := (&transport.TCP{}).Dial(o.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func startServer(t *testing.T, opts Options) *ORB {
+	t.Helper()
+	if opts.Transport == nil {
+		opts.Transport = &transport.TCP{}
+	}
+	o, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Shutdown)
+	if _, err := o.Activate("store", newStoreServant()); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestGarbageGetsMessageError(t *testing.T) {
+	o := startServer(t, Options{})
+	c := dialRaw(t, o)
+	if _, err := c.Write([]byte("this is not GIOP at all....")); err != nil {
+		t.Fatal(err)
+	}
+	// The server closes the connection; with bad magic it cannot even
+	// trust the framing, so a MessageError may or may not precede EOF.
+	buf := make([]byte, 64)
+	_ = readDeadline(t, c, buf)
+	// Connection must be dead: subsequent reads fail.
+	if _, err := c.Write(make([]byte, 4)); err == nil {
+		// A write may buffer; the follow-up read must fail.
+		if _, err := readFullDeadline(c, make([]byte, 1)); err == nil {
+			t.Fatal("connection survived garbage")
+		}
+	}
+}
+
+func readDeadline(t *testing.T, c transport.Conn, buf []byte) int {
+	t.Helper()
+	done := make(chan int, 1)
+	go func() {
+		n, _ := c.Read(buf)
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		return n
+	case <-time.After(5 * time.Second):
+		t.Fatal("read hung")
+		return 0
+	}
+}
+
+func readFullDeadline(c transport.Conn, buf []byte) (int, error) {
+	type res struct {
+		n   int
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		n, err := io.ReadFull(c, buf)
+		done <- res{n, err}
+	}()
+	select {
+	case r := <-done:
+		return r.n, r.err
+	case <-time.After(5 * time.Second):
+		return 0, errors.New("timeout")
+	}
+}
+
+func TestMalformedRequestHeaderGetsMessageError(t *testing.T) {
+	o := startServer(t, Options{})
+	c := dialRaw(t, o)
+	// Valid GIOP header, truncated request body.
+	var hdr [giop.HeaderSize]byte
+	giop.EncodeHeader(hdr[:], giop.Header{Major: 1, Type: giop.MsgRequest, Size: 2})
+	if _, err := c.WriteGather(hdr[:], []byte{0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	rh, err := giop.ReadHeader(c)
+	if err != nil {
+		t.Fatal(err) // connection closed without MessageError is also OK...
+	}
+	if rh.Type != giop.MsgMessageError {
+		t.Fatalf("expected MessageError, got %v", rh.Type)
+	}
+}
+
+func TestOversizeMessageRejected(t *testing.T) {
+	o := startServer(t, Options{})
+	c := dialRaw(t, o)
+	var hdr [giop.HeaderSize]byte
+	giop.EncodeHeader(hdr[:], giop.Header{Major: 1, Type: giop.MsgRequest, Size: giop.MaxMessageSize})
+	// Size field over the limit must be encodable only by hand:
+	binary.BigEndian.PutUint32(hdr[8:], giop.MaxMessageSize+1)
+	if _, err := c.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// Server drops the connection.
+	if _, err := readFullDeadline(c, make([]byte, giop.HeaderSize)); err == nil {
+		t.Fatal("server accepted an oversized message")
+	}
+}
+
+func TestCloseConnectionFromClientSide(t *testing.T) {
+	o := startServer(t, Options{})
+	c := dialRaw(t, o)
+	var hdr [giop.HeaderSize]byte
+	giop.EncodeHeader(hdr[:], giop.Header{Major: 1, Type: giop.MsgCloseConnection})
+	if _, err := c.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// Peer closes in response; read returns EOF.
+	if _, err := readFullDeadline(c, make([]byte, 1)); err == nil {
+		t.Fatal("expected EOF after CloseConnection")
+	}
+}
+
+func TestDepositUnknownTokenTimesOut(t *testing.T) {
+	// A request referencing a data-channel token that never arrives
+	// must fail the connection after the timeout, not hang forever.
+	o := startServer(t, Options{ZeroCopy: true, CallTimeout: 200 * time.Millisecond})
+	c := dialRaw(t, o)
+
+	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	req := giop.RequestHeader{
+		ServiceContexts: []giop.ServiceContext{
+			giop.DepositInfo{Arch: o.Arch(), Token: 0xDEAD, Sizes: []uint32{4096}}.Encode(),
+		},
+		RequestID: 1, ResponseExpected: true,
+		ObjectKey: []byte("store"), Operation: "put", Principal: []byte{},
+	}
+	req.Marshal(e)
+	var hdr [giop.HeaderSize]byte
+	giop.EncodeHeader(hdr[:], giop.Header{Major: 1, Flags: byte(cdr.NativeOrder),
+		Type: giop.MsgRequest, Size: uint32(len(e.Bytes()))})
+	if _, err := c.WriteGather(hdr[:], e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	// The server reports the protocol failure and closes.
+	rh, err := giop.ReadHeader(c)
+	if err == nil {
+		if rh.Type != giop.MsgMessageError {
+			t.Fatalf("expected MessageError, got %v", rh.Type)
+		}
+		if _, err := readFullDeadline(c, make([]byte, 1)); err == nil {
+			t.Fatal("connection survived an unresolvable deposit")
+		}
+	}
+	if time.Since(start) > 4*time.Second {
+		t.Fatal("token wait did not respect the call timeout")
+	}
+}
+
+func TestDataChannelBadPreambleDropped(t *testing.T) {
+	o := startServer(t, Options{ZeroCopy: true})
+	ref := o.refForLocked("store", "IDL:test/Store:1.0")
+	dep, ok := ref.IOR().ZCDeposit()
+	if !ok {
+		t.Fatal("no deposit component")
+	}
+	dc, err := (&transport.TCP{}).Dial(dialAddr(dep.Host, dep.Port))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+	if _, err := dc.Write([]byte("BAD_PREAMBLE")); err != nil {
+		t.Fatal(err)
+	}
+	// The server closes the connection.
+	if _, err := readFullDeadline(dc, make([]byte, 1)); err == nil {
+		t.Fatal("bad preamble accepted")
+	}
+}
+
+func TestDataChannelDeathFailsInFlightCall(t *testing.T) {
+	server := startServer(t, Options{ZeroCopy: true})
+	client, err := New(Options{Transport: &transport.TCP{}, ZeroCopy: true,
+		CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	ref := server.refForLocked("store", "IDL:test/Store:1.0")
+	cref, err := client.StringToObject(ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the connection pair.
+	if _, _, err := cref.Invoke(storeIface.Ops["put"], []any{pattern(4096)}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the client's data channel out from under it.
+	client.mu.Lock()
+	var victim *conn
+	for _, c := range client.clientConns {
+		victim = c
+	}
+	client.mu.Unlock()
+	if victim == nil || victim.data == nil {
+		t.Fatal("no data channel to kill")
+	}
+	_ = victim.data.Close()
+
+	// The next ZC call must fail with a system exception, not hang.
+	_, _, err = cref.Invoke(storeIface.Ops["put"], []any{pattern(1 << 20)})
+	var se *SystemException
+	if !errors.As(err, &se) {
+		t.Fatalf("want system exception after data channel death, got %v", err)
+	}
+	// A fresh connection recovers subsequent calls.
+	res, _, err := cref.Invoke(storeIface.Ops["put"], []any{pattern(8192)})
+	if err != nil {
+		t.Fatalf("recovery call: %v", err)
+	}
+	if res.(uint32) != checksum(pattern(8192)) {
+		t.Fatal("recovery checksum mismatch")
+	}
+}
+
+func TestServerShutdownFailsClients(t *testing.T) {
+	server := startServer(t, Options{})
+	client, err := New(Options{Transport: &transport.TCP{}, CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	ref := server.refForLocked("store", "IDL:test/Store:1.0")
+	cref, err := client.StringToObject(ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cref.Invoke(storeIface.Ops["put_std"], []any{[]byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	server.Shutdown()
+	_, _, err = cref.Invoke(storeIface.Ops["put_std"], []any{[]byte{2}})
+	var se *SystemException
+	if !errors.As(err, &se) {
+		t.Fatalf("want system exception after server shutdown, got %v", err)
+	}
+}
+
+func TestLocateRequestWireLevel(t *testing.T) {
+	o := startServer(t, Options{})
+	c := dialRaw(t, o)
+	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	(&giop.LocateRequestHeader{RequestID: 99, ObjectKey: []byte("store")}).Marshal(e)
+	var hdr [giop.HeaderSize]byte
+	giop.EncodeHeader(hdr[:], giop.Header{Major: 1, Flags: byte(cdr.NativeOrder),
+		Type: giop.MsgLocateRequest, Size: uint32(len(e.Bytes()))})
+	if _, err := c.WriteGather(hdr[:], e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	rh, err := giop.ReadHeader(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Type != giop.MsgLocateReply {
+		t.Fatalf("got %v", rh.Type)
+	}
+	body := make([]byte, rh.Size)
+	if _, err := io.ReadFull(c, body); err != nil {
+		t.Fatal(err)
+	}
+	dec := cdr.NewDecoder(rh.Order(), giop.HeaderSize, body)
+	lrep, err := giop.UnmarshalLocateReplyHeader(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrep.RequestID != 99 || lrep.Status != giop.LocateObjectHere {
+		t.Fatalf("locate reply %+v", lrep)
+	}
+}

@@ -1,0 +1,211 @@
+package orb
+
+import (
+	"time"
+
+	"zcorba/internal/cdr"
+	"zcorba/internal/giop"
+	"zcorba/internal/typecode"
+	"zcorba/internal/zcbuf"
+)
+
+// handleRequest is the MethodDispatcher of Figures 3/4: it maps an
+// inbound GIOP request to a servant operation, demarshals (or adopts
+// deposited) parameters, invokes the implementation, and sends the
+// reply — depositing zero-copy results on the data channel when the
+// client announced one.
+//
+// Buffer ownership: request deposit buffers are released by the ORB
+// after the invocation completes (a servant Retains to keep one);
+// servant-returned reply buffers are owned by the ORB and released
+// after the reply is written — a servant echoing a request buffer back
+// must therefore Retain it.
+func (o *ORB) handleRequest(c *conn, req giop.RequestHeader, dec *cdr.Decoder,
+	deposits []*zcbuf.Buffer) {
+	o.stats.RequestsServed.Add(1)
+
+	s, found := o.servant(string(req.ObjectKey))
+
+	// Implicit CORBA object operations are answered by the ORB itself.
+	switch req.Operation {
+	case "_is_a":
+		releaseAll(deposits)
+		repoID, err := dec.ReadString()
+		if err != nil {
+			o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedNo})
+			return
+		}
+		ok := found && (repoID == s.Interface().RepoID ||
+			repoID == "IDL:omg.org/CORBA/Object:1.0")
+		o.replyValues(c, req, nil, []*typecode.TypeCode{typecode.TCBoolean}, []any{ok})
+		return
+	case "_non_existent":
+		releaseAll(deposits)
+		if !found {
+			o.replySystemException(c, req, &SystemException{Name: "OBJECT_NOT_EXIST", Completed: CompletedNo})
+			return
+		}
+		o.replyValues(c, req, nil, []*typecode.TypeCode{typecode.TCBoolean}, []any{false})
+		return
+	}
+
+	if !found {
+		releaseAll(deposits)
+		o.replySystemException(c, req, &SystemException{Name: "OBJECT_NOT_EXIST", Completed: CompletedNo})
+		return
+	}
+	op, ok := s.Interface().Ops[req.Operation]
+	if !ok {
+		releaseAll(deposits)
+		o.replySystemException(c, req, &SystemException{Name: "BAD_OPERATION", Completed: CompletedNo})
+		return
+	}
+
+	inTypes := paramTypes(op.InParams())
+	args, leftover, err := o.unmarshalValues(dec, inTypes, deposits, len(deposits) > 0)
+	if err != nil {
+		releaseAll(leftover)
+		o.logf("orb: demarshal %s: %v", req.Operation, err)
+		o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedNo})
+		return
+	}
+
+	started := time.Now()
+	result, outs, err := s.Invoke(op.Name, args)
+	if o.opts.OnRequestServed != nil {
+		o.opts.OnRequestServed(op.Name, time.Since(started), err)
+	}
+	// The invocation is complete: drop the ORB's reference on the
+	// request deposits (the skeleton's pass-per-reference of §4.5).
+	releaseAll(deposits)
+
+	if op.Oneway {
+		if err != nil {
+			o.logf("orb: oneway %s failed: %v", req.Operation, err)
+		}
+		return
+	}
+	if err != nil {
+		var usr *UserException
+		var sys *SystemException
+		var fwd *LocationForward
+		switch {
+		case asErr(err, &usr):
+			o.replyUserException(c, req, usr)
+		case asErr(err, &sys):
+			o.replySystemException(c, req, sys)
+		case asErr(err, &fwd):
+			o.replyLocationForward(c, req, fwd)
+		default:
+			o.logf("orb: %s raised: %v", req.Operation, err)
+			o.replySystemException(c, req, &SystemException{Name: "UNKNOWN", Completed: CompletedMaybe})
+		}
+		return
+	}
+
+	types := replyTypes(op)
+	vals := make([]any, 0, len(types))
+	if op.Result != nil && op.Result.Kind() != typecode.Void {
+		vals = append(vals, result)
+	}
+	vals = append(vals, outs...)
+	if len(vals) != len(types) {
+		o.logf("orb: %s returned %d values, want %d", req.Operation, len(vals), len(types))
+		o.replySystemException(c, req, &SystemException{Name: "INTERNAL", Completed: CompletedYes})
+		return
+	}
+	o.replyValues(c, req, op, types, vals)
+}
+
+// replyValues sends a NO_EXCEPTION reply carrying the given values,
+// depositing ZC octet streams on the data channel when available.
+// Reply buffers handed in as *zcbuf.Buffer are released after the
+// write.
+func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
+	types []*typecode.TypeCode, vals []any) {
+	rep := giop.ReplyHeader{RequestID: req.RequestID, Status: giop.ReplyNoException}
+	useZC := c.data != nil
+
+	var payloads [][]byte
+	if useZC {
+		var sizes []uint32
+		var err error
+		payloads, sizes, err = collectDeposits(types, vals)
+		if err != nil {
+			o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes})
+			return
+		}
+		if len(sizes) > 0 {
+			rep.ServiceContexts = append(rep.ServiceContexts, giop.DepositInfo{
+				Arch: o.arch, Token: c.dataToken, Sizes: sizes,
+			}.Encode())
+		} else {
+			payloads = nil
+		}
+	}
+
+	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	rep.Marshal(e)
+	if err := o.marshalValues(e, types, vals, useZC); err != nil {
+		o.logf("orb: reply marshal: %v", err)
+		o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes})
+		return
+	}
+	if err := c.sendMessage(giop.MsgReply, e.Bytes(), payloads); err != nil {
+		c.close(err)
+	}
+	// The ORB consumed the servant's reply buffers.
+	for _, v := range vals {
+		if b, ok := v.(*zcbuf.Buffer); ok {
+			b.Release()
+		}
+	}
+}
+
+// replyUserException sends a USER_EXCEPTION reply: the exception's
+// repository ID followed by its members.
+func (o *ORB) replyUserException(c *conn, req giop.RequestHeader, ex *UserException) {
+	rep := giop.ReplyHeader{RequestID: req.RequestID, Status: giop.ReplyUserException}
+	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	rep.Marshal(e)
+	e.WriteString(ex.Type.RepoID())
+	if err := typecode.MarshalValue(e, ex.Type, ex.Fields); err != nil {
+		o.logf("orb: user exception marshal: %v", err)
+		o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes})
+		return
+	}
+	if err := c.sendMessage(giop.MsgReply, e.Bytes(), nil); err != nil {
+		c.close(err)
+	}
+}
+
+// replyLocationForward sends a LOCATION_FORWARD reply carrying the new
+// object reference; the client ORB retries against it transparently.
+func (o *ORB) replyLocationForward(c *conn, req giop.RequestHeader, fwd *LocationForward) {
+	if !req.ResponseExpected {
+		return
+	}
+	rep := giop.ReplyHeader{RequestID: req.RequestID, Status: giop.ReplyLocationForward}
+	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	rep.Marshal(e)
+	fwd.To.Marshal(e)
+	if err := c.sendMessage(giop.MsgReply, e.Bytes(), nil); err != nil {
+		c.close(err)
+	}
+}
+
+// replySystemException sends a SYSTEM_EXCEPTION reply.
+func (o *ORB) replySystemException(c *conn, req giop.RequestHeader, ex *SystemException) {
+	if !req.ResponseExpected {
+		return
+	}
+	rep := giop.ReplyHeader{RequestID: req.RequestID, Status: giop.ReplySystemException}
+	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	rep.Marshal(e)
+	e.WriteString(ex.RepoID())
+	e.WriteULong(ex.Minor)
+	e.WriteULong(uint32(ex.Completed))
+	if err := c.sendMessage(giop.MsgReply, e.Bytes(), nil); err != nil {
+		c.close(err)
+	}
+}

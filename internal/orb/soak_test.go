@@ -1,0 +1,158 @@
+package orb
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"zcorba/internal/transport"
+)
+
+// TestSoakMixedWorkload drives a small cluster with a mixed workload
+// (ZC bulk, standard bulk, small control calls, oneways, failures) and
+// verifies the ORBs shut down without leaking goroutines.
+func TestSoakMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+
+	func() {
+		server, err := New(Options{Transport: &transport.TCP{}, ZeroCopy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer server.Shutdown()
+		sv := newStoreServant()
+		ref, err := server.Activate("store", sv)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const clients = 4
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for ci := 0; ci < clients; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				client, err := New(Options{Transport: &transport.TCP{}, ZeroCopy: ci%2 == 0})
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer client.Shutdown()
+				cref, err := client.StringToObject(ref.String())
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := 0; i < 40; i++ {
+					switch i % 5 {
+					case 0: // ZC bulk (or fallback on odd clients)
+						data := pattern(4096 + i*997)
+						res, _, err := cref.Invoke(storeIface.Ops["put"], []any{data})
+						if err != nil {
+							errs <- fmt.Errorf("c%d put %d: %w", ci, i, err)
+							return
+						}
+						if res.(uint32) != checksum(data) {
+							errs <- fmt.Errorf("c%d put %d: checksum", ci, i)
+							return
+						}
+					case 1: // standard bulk
+						data := pattern(2048 + i*31)
+						if _, _, err := cref.Invoke(storeIface.Ops["put_std"], []any{data}); err != nil {
+							errs <- fmt.Errorf("c%d put_std %d: %w", ci, i, err)
+							return
+						}
+					case 2: // small control call
+						if _, _, err := cref.Invoke(storeIface.Ops["swap"], []any{"x"}); err != nil {
+							errs <- fmt.Errorf("c%d swap %d: %w", ci, i, err)
+							return
+						}
+					case 3: // oneway
+						if _, _, err := cref.Invoke(storeIface.Ops["notify"], []any{uint32(i)}); err != nil {
+							errs <- fmt.Errorf("c%d notify %d: %w", ci, i, err)
+							return
+						}
+					case 4: // exercised failure path
+						if _, _, err := cref.Invoke(storeIface.Ops["fail"], nil); err == nil {
+							errs <- fmt.Errorf("c%d fail %d: no error", ci, i)
+							return
+						}
+					}
+				}
+			}(ci)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		// Drain the oneway notifications so nothing blocks shutdown.
+		for {
+			select {
+			case <-sv.notified:
+				continue
+			default:
+			}
+			break
+		}
+		if got := server.Stats().RequestsServed.Load(); got < int64(clients*32) {
+			t.Fatalf("served only %d requests", got)
+		}
+	}()
+
+	// All ORBs are shut down; goroutines must drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestManyConnectionsOneServer exercises the connection cache and the
+// data-channel registry with many distinct client ORBs.
+func TestManyConnectionsOneServer(t *testing.T) {
+	server, err := New(Options{Transport: &transport.TCP{}, ZeroCopy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	ref, err := server.Activate("store", newStoreServant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iorStr := ref.String()
+	for i := 0; i < 12; i++ {
+		client, err := New(Options{Transport: &transport.TCP{}, ZeroCopy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cref, err := client.StringToObject(iorStr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := pattern(8192)
+		res, _, err := cref.Invoke(storeIface.Ops["put"], []any{data})
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if res.(uint32) != checksum(data) {
+			t.Fatalf("client %d: checksum", i)
+		}
+		client.Shutdown()
+	}
+}

@@ -1,0 +1,172 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The calibration tests pin the model to the paper's published
+// numbers; they are the executable form of EXPERIMENTS.md.
+
+func TestRawTCPSaturationMatchesPaper(t *testing.T) {
+	// §5.2: "With the raw TCP socket an application can achieve
+	// 330 MBit/s."
+	got := Paper().Saturation(Config{StackStandard, ORBNone})
+	if got < 300 || got > 360 {
+		t.Fatalf("raw TCP saturation %.1f Mbit/s, want ~330", got)
+	}
+}
+
+func TestUnmodifiedCorbaSaturationMatchesPaper(t *testing.T) {
+	// §5.2: "reaches a saturation around 50 MBit/s".
+	got := Paper().Saturation(Config{StackStandard, ORBStandard})
+	if got < 42 || got > 58 {
+		t.Fatalf("unmodified CORBA saturation %.1f Mbit/s, want ~50", got)
+	}
+}
+
+func TestZeroCopyCombinationMatchesPaper(t *testing.T) {
+	// §5.3: "this combination of ORB and protocol stack achieves
+	// 550 MBit/s throughput for large data transfers."
+	got := Paper().Saturation(Config{StackZeroCopy, ORBZeroCopy})
+	if got < 510 || got > 590 {
+		t.Fatalf("zc-ORB/zc-TCP saturation %.1f Mbit/s, want ~550", got)
+	}
+}
+
+func TestTenfoldImprovement(t *testing.T) {
+	// §6: "a performance improvement of tenfold over the 50 MBit/s".
+	s := Paper().Speedup()
+	if s < 9 || s < 9.0 || s > 12.5 {
+		t.Fatalf("speedup %.2f, want ~10x", s)
+	}
+}
+
+func TestZCORBMatchesRawSockets(t *testing.T) {
+	// §5.3: "the performance of the optimized zero-copy ORB nearly
+	// matches the raw TCP-socket version of TTCP" (same stack).
+	tb := Paper()
+	raw := tb.Saturation(Config{StackStandard, ORBNone})
+	zc := tb.Saturation(Config{StackStandard, ORBZeroCopy})
+	if ratio := zc / raw; ratio < 0.9 || ratio > 1.02 {
+		t.Fatalf("zc-ORB/raw ratio %.3f, want ~1", ratio)
+	}
+}
+
+func TestStandardORBBarelyImprovesOnZCStack(t *testing.T) {
+	// Figure 6 (right): the unmodified ORB stays marshal-bound even
+	// on the zero-copy stack.
+	tb := Paper()
+	std := tb.Saturation(Config{StackStandard, ORBStandard})
+	onZC := tb.Saturation(Config{StackZeroCopy, ORBStandard})
+	if onZC < std {
+		t.Fatalf("zc stack made the standard ORB slower: %.1f < %.1f", onZC, std)
+	}
+	if onZC > std*1.3 {
+		t.Fatalf("standard ORB gained %.1fx from the stack alone; it must stay marshal-bound", onZC/std)
+	}
+}
+
+func TestCPUUtilizationMatchesPaper(t *testing.T) {
+	// §6: "full communication bandwidth ... with a CPU utilization of
+	// just 30% versus 100% with the original stack."
+	tb := Paper()
+	if u := tb.CPUUtilization(StackStandard); u < 0.95 {
+		t.Fatalf("standard stack CPU %.2f, want saturated (~1.0)", u)
+	}
+	if u := tb.CPUUtilization(StackZeroCopy); u < 0.2 || u > 0.4 {
+		t.Fatalf("zero-copy stack CPU %.2f, want ~0.3", u)
+	}
+}
+
+func TestZCSocketGoodAtOnePage(t *testing.T) {
+	// §5.3: "very good throughput figures for transfers as small as a
+	// single memory page."
+	tb := Paper()
+	onePage := tb.ThroughputMbps(StackZeroCopy, ORBNone, 4096)
+	sat := tb.Saturation(Config{StackZeroCopy, ORBNone})
+	if onePage < 0.6*sat {
+		t.Fatalf("one-page zc socket %.1f Mbit/s vs saturation %.1f; paper shows near-saturation at a page", onePage, sat)
+	}
+	// The standard stack, in contrast, is overhead-bound at a page.
+	stdOnePage := tb.ThroughputMbps(StackStandard, ORBNone, 4096)
+	if stdOnePage > 0.85*tb.Saturation(Config{StackStandard, ORBNone}) {
+		t.Fatalf("standard socket at a page %.1f is too close to saturation", stdOnePage)
+	}
+}
+
+func TestCurvesMonotonicInBlockSize(t *testing.T) {
+	tb := Paper()
+	sizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+	for _, cfg := range []Config{
+		{StackStandard, ORBNone}, {StackZeroCopy, ORBNone},
+		{StackStandard, ORBStandard}, {StackZeroCopy, ORBStandard},
+		{StackStandard, ORBZeroCopy}, {StackZeroCopy, ORBZeroCopy},
+	} {
+		pts := tb.Series(cfg.Stack, cfg.ORB, sizes)
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Mbps+1e-9 < pts[i-1].Mbps {
+				t.Fatalf("%s: throughput fell from %.1f to %.1f at %d",
+					cfg.Label(), pts[i-1].Mbps, pts[i].Mbps, pts[i].BlockSize)
+			}
+		}
+	}
+}
+
+func TestOrderingAtEveryBlockSize(t *testing.T) {
+	// At every block size: zc-orb/zc-stack >= zc-orb/std >= corba/std,
+	// and raw >= corba on the same stack.
+	tb := Paper()
+	for _, size := range []int{4 << 10, 64 << 10, 1 << 20, 16 << 20} {
+		zz := tb.ThroughputMbps(StackZeroCopy, ORBZeroCopy, size)
+		zs := tb.ThroughputMbps(StackStandard, ORBZeroCopy, size)
+		cs := tb.ThroughputMbps(StackStandard, ORBStandard, size)
+		raw := tb.ThroughputMbps(StackStandard, ORBNone, size)
+		if !(zz >= zs && zs > cs) {
+			t.Fatalf("size %d: ordering violated: zz=%.1f zs=%.1f cs=%.1f", size, zz, zs, cs)
+		}
+		if raw < zs*0.8 {
+			t.Fatalf("size %d: raw %.1f unexpectedly far below zc-orb %.1f", size, raw, zs)
+		}
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	// §2.1: bypass techniques are "required but not sufficient"; the
+	// deposit (control/data separation) supplies the rest.
+	tb := Paper()
+	std := tb.Saturation(Config{StackStandard, ORBStandard})
+	bypass := tb.Saturation(Config{StackStandard, ORBBypassOnly})
+	full := tb.Saturation(Config{StackStandard, ORBZeroCopy})
+	if !(std < bypass && bypass < full) {
+		t.Fatalf("ablation ordering violated: std=%.1f bypass=%.1f full=%.1f", std, bypass, full)
+	}
+	// Bypass alone must stay clearly short of the full zero-copy ORB.
+	if bypass > 0.7*full {
+		t.Fatalf("bypass alone too close to full ZC: %.1f vs %.1f", bypass, full)
+	}
+}
+
+func TestPropertyThroughputPositiveAndBounded(t *testing.T) {
+	tb := Paper()
+	wireCap := 8000.0 / tb.WireNsPerByte // absolute physical limit, Mbit/s
+	f := func(rawSize uint32, stack, mode uint8) bool {
+		size := int(rawSize%(16<<20)) + 1
+		s := Stack(stack % 2)
+		m := ORBMode(mode % 4)
+		got := tb.ThroughputMbps(s, m, size)
+		return got > 0 && got <= wireCap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if (Config{StackZeroCopy, ORBZeroCopy}).Label() != "zc-corba/zc-tcp" {
+		t.Fatal("label")
+	}
+	if (Config{StackStandard, ORBNone}).Label() != "socket/tcp" {
+		t.Fatal("label")
+	}
+}

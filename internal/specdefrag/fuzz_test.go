@@ -1,0 +1,24 @@
+package specdefrag
+
+import "testing"
+
+// FuzzFeedWire drives the reassembler with arbitrary wire bytes.
+func FuzzFeedWire(f *testing.F) {
+	fr := &Fragmenter{MTU: 64}
+	var wire []byte
+	for _, frag := range fr.Split(block(300, 1)) {
+		h, p := frag.Encode()
+		wire = append(wire, h[:]...)
+		wire = append(wire, p...)
+	}
+	f.Add(wire)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReassembler(nil)
+		blocks, _ := r.FeedWire(data)
+		for _, b := range blocks {
+			b.Data.Release()
+		}
+		r.Abort()
+	})
+}

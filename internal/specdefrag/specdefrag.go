@@ -1,0 +1,258 @@
+// Package specdefrag simulates speculative defragmentation, the
+// zero-copy Gigabit Ethernet driver technique of Kurmann, Rauch &
+// Stricker (HPDC 2000) that the paper builds on (reference [10] and
+// §5's "highly optimized TCP/IP communication system software based on
+// our own de-/fragmenting NIC driver using a probabilistic
+// implementation technique").
+//
+// The idea: a commodity NIC delivers a large block as a train of
+// MTU-sized fragments. A conventional driver stages each fragment and
+// copies the payload out after inspecting the headers. The speculative
+// driver *predicts* that the next arriving fragment is the next
+// in-order piece of the block currently being received and lets the
+// hardware deposit the payload directly at the block's running offset
+// in its final page-aligned destination; the header is validated
+// afterwards. When the speculation holds (the common case on a
+// dedicated cluster link), the payload is never copied. When alien
+// traffic interleaves, the misprediction is detected and repaired with
+// a staging copy — correctness is preserved, only the fast path is
+// probabilistic.
+//
+// This package reproduces that mechanism at user level: a Fragmenter
+// splits blocks into wire fragments, a Reassembler consumes an
+// arbitrary interleaving of fragment trains and reconstructs every
+// block, counting speculation hits (zero-copy deposits) and misses
+// (repair copies). Its hit/miss accounting feeds the per-packet cost
+// parameters of internal/simnet.
+package specdefrag
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"zcorba/internal/zcbuf"
+)
+
+// HeaderSize is the per-fragment wire header: blockID (8), offset (4),
+// payload length (4), total block length (4).
+const HeaderSize = 20
+
+// DefaultMTU is the fragment payload budget of a standard Ethernet
+// frame after IP/TCP headers, as in the paper's testbed.
+const DefaultMTU = 1460
+
+// Fragment is one wire packet of a block train.
+type Fragment struct {
+	BlockID uint64
+	Offset  uint32
+	Total   uint32
+	Payload []byte
+}
+
+// ErrCorrupt reports an undecodable fragment.
+var ErrCorrupt = errors.New("specdefrag: corrupt fragment")
+
+// MaxBlockSize bounds the total size a fragment train may claim, so a
+// corrupt or hostile header cannot trigger a giant deposit allocation.
+const MaxBlockSize = 1 << 30
+
+// Encode serializes the fragment (header plus payload reference).
+// The returned header array and the payload slice form a gather pair.
+func (f *Fragment) Encode() ([HeaderSize]byte, []byte) {
+	var h [HeaderSize]byte
+	binary.BigEndian.PutUint64(h[0:], f.BlockID)
+	binary.BigEndian.PutUint32(h[8:], f.Offset)
+	binary.BigEndian.PutUint32(h[12:], uint32(len(f.Payload)))
+	binary.BigEndian.PutUint32(h[16:], f.Total)
+	return h, f.Payload
+}
+
+// Decode parses one fragment from wire bytes, returning the fragment
+// (payload aliases b) and the number of bytes consumed.
+func Decode(b []byte) (Fragment, int, error) {
+	if len(b) < HeaderSize {
+		return Fragment{}, 0, fmt.Errorf("%w: %d header bytes", ErrCorrupt, len(b))
+	}
+	f := Fragment{
+		BlockID: binary.BigEndian.Uint64(b[0:]),
+		Offset:  binary.BigEndian.Uint32(b[8:]),
+		Total:   binary.BigEndian.Uint32(b[16:]),
+	}
+	n := binary.BigEndian.Uint32(b[12:])
+	if int(n) > len(b)-HeaderSize {
+		return Fragment{}, 0, fmt.Errorf("%w: payload %d of %d", ErrCorrupt, n, len(b)-HeaderSize)
+	}
+	if f.Offset > f.Total || uint64(f.Offset)+uint64(n) > uint64(f.Total) {
+		return Fragment{}, 0, fmt.Errorf("%w: offset %d + %d > total %d", ErrCorrupt, f.Offset, n, f.Total)
+	}
+	f.Payload = b[HeaderSize : HeaderSize+int(n) : HeaderSize+int(n)]
+	return f, HeaderSize + int(n), nil
+}
+
+// Fragmenter splits blocks into fragment trains.
+type Fragmenter struct {
+	// MTU is the per-fragment payload budget (DefaultMTU if zero).
+	MTU    int
+	nextID uint64
+}
+
+// Split fragments one block. The fragments' payloads alias data.
+func (fr *Fragmenter) Split(data []byte) []Fragment {
+	mtu := fr.MTU
+	if mtu <= 0 {
+		mtu = DefaultMTU
+	}
+	fr.nextID++
+	id := fr.nextID
+	total := uint32(len(data))
+	var out []Fragment
+	for off := 0; off < len(data) || (len(data) == 0 && off == 0); off += mtu {
+		end := off + mtu
+		if end > len(data) {
+			end = len(data)
+		}
+		out = append(out, Fragment{
+			BlockID: id, Offset: uint32(off), Total: total,
+			Payload: data[off:end:end],
+		})
+		if len(data) == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// Stats counts the reassembler's speculation outcomes.
+type Stats struct {
+	// Hits are fragments deposited directly at their final location
+	// (the zero-copy common case).
+	Hits int64
+	// Misses are fragments whose speculation failed and required a
+	// repair copy through the staging buffer.
+	Misses int64
+	// CopiedBytes counts payload bytes that took the repair copy.
+	CopiedBytes int64
+}
+
+// HitRate returns the fraction of fragments that hit the fast path.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Block is a fully reassembled block.
+type Block struct {
+	ID   uint64
+	Data *zcbuf.Buffer
+}
+
+// Reassembler reconstructs blocks from an interleaved fragment stream.
+type Reassembler struct {
+	pool  *zcbuf.Pool
+	stats Stats
+
+	// The speculation state: the driver predicts that the next
+	// fragment continues this block at this offset.
+	expectID  uint64
+	expectOff uint32
+
+	// Open blocks under reassembly.
+	open map[uint64]*openBlock
+}
+
+type openBlock struct {
+	buf      *zcbuf.Buffer
+	total    uint32
+	received uint32
+}
+
+// NewReassembler creates a reassembler depositing into pool.
+func NewReassembler(pool *zcbuf.Pool) *Reassembler {
+	if pool == nil {
+		pool = &zcbuf.Pool{}
+	}
+	return &Reassembler{pool: pool, open: make(map[uint64]*openBlock)}
+}
+
+// Stats returns the speculation counters.
+func (r *Reassembler) Stats() Stats { return r.stats }
+
+// Feed consumes one fragment. If it completes a block, the block is
+// returned (the caller owns the buffer reference).
+//
+// The speculation protocol: a fragment matching the predicted
+// (blockID, offset) is a hit — in hardware its payload would already
+// sit at the destination; here the deposit into the block's buffer
+// models that single placement, and no staging copy is charged. Any
+// other fragment is a miss: the payload is charged a repair copy
+// through the staging area before landing.
+func (r *Reassembler) Feed(f Fragment) (*Block, error) {
+	if f.Total > MaxBlockSize {
+		return nil, fmt.Errorf("%w: block %d claims %d bytes", ErrCorrupt, f.BlockID, f.Total)
+	}
+	ob, known := r.open[f.BlockID]
+	if !known {
+		buf, err := r.pool.Get(int(f.Total))
+		if err != nil {
+			return nil, err
+		}
+		ob = &openBlock{buf: buf, total: f.Total}
+		r.open[f.BlockID] = ob
+	}
+	if f.Total != ob.total {
+		return nil, fmt.Errorf("%w: block %d total changed %d -> %d",
+			ErrCorrupt, f.BlockID, ob.total, f.Total)
+	}
+
+	if f.BlockID == r.expectID && f.Offset == r.expectOff {
+		r.stats.Hits++
+	} else {
+		r.stats.Misses++
+		r.stats.CopiedBytes += int64(len(f.Payload))
+	}
+	copy(ob.buf.Bytes()[f.Offset:], f.Payload)
+	ob.received += uint32(len(f.Payload))
+
+	// Predict the next fragment: same train, next offset.
+	r.expectID = f.BlockID
+	r.expectOff = f.Offset + uint32(len(f.Payload))
+
+	if ob.received >= ob.total {
+		delete(r.open, f.BlockID)
+		return &Block{ID: f.BlockID, Data: ob.buf}, nil
+	}
+	return nil, nil
+}
+
+// FeedWire consumes a contiguous wire buffer of encoded fragments,
+// returning every completed block in arrival order.
+func (r *Reassembler) FeedWire(wire []byte) ([]*Block, error) {
+	var out []*Block
+	for len(wire) > 0 {
+		f, n, err := Decode(wire)
+		if err != nil {
+			return out, err
+		}
+		wire = wire[n:]
+		b, err := r.Feed(f)
+		if err != nil {
+			return out, err
+		}
+		if b != nil {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// Abort releases all partially reassembled blocks (connection teardown).
+func (r *Reassembler) Abort() {
+	for id, ob := range r.open {
+		ob.buf.Release()
+		delete(r.open, id)
+	}
+}

@@ -1,0 +1,278 @@
+package specdefrag
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"zcorba/internal/zcbuf"
+)
+
+func block(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*7 + seed
+	}
+	return b
+}
+
+func TestSplitCoversBlock(t *testing.T) {
+	fr := &Fragmenter{MTU: 100}
+	data := block(1001, 1)
+	frags := fr.Split(data)
+	if len(frags) != 11 {
+		t.Fatalf("%d fragments", len(frags))
+	}
+	var got []byte
+	for i, f := range frags {
+		if f.Total != 1001 {
+			t.Fatalf("fragment %d total %d", i, f.Total)
+		}
+		if int(f.Offset) != len(got) {
+			t.Fatalf("fragment %d offset %d after %d", i, f.Offset, len(got))
+		}
+		got = append(got, f.Payload...)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("fragments do not tile the block")
+	}
+}
+
+func TestInOrderTrainIsAllHitsAfterFirst(t *testing.T) {
+	fr := &Fragmenter{MTU: 256}
+	r := NewReassembler(nil)
+	data := block(4096, 2)
+	var done *Block
+	for _, f := range fr.Split(data) {
+		b, err := r.Feed(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != nil {
+			done = b
+		}
+	}
+	if done == nil {
+		t.Fatal("block never completed")
+	}
+	defer done.Data.Release()
+	if !bytes.Equal(done.Data.Bytes(), data) {
+		t.Fatal("reassembly corrupted block")
+	}
+	if !done.Data.IsPageAligned() {
+		t.Fatal("deposit buffer not page aligned")
+	}
+	st := r.Stats()
+	// Only the train's first fragment can mispredict.
+	if st.Misses != 1 || st.Hits != int64(4096/256-1) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestConsecutiveTrainsHitAcrossBlocks(t *testing.T) {
+	// After block k completes, the predictor expects (k, end); block
+	// k+1's first fragment is a miss, the rest hit: the paper's
+	// common case on a dedicated link.
+	fr := &Fragmenter{MTU: 512}
+	r := NewReassembler(nil)
+	const blocks, size = 8, 8192
+	for i := 0; i < blocks; i++ {
+		for _, f := range fr.Split(block(size, byte(i))) {
+			if b, err := r.Feed(f); err != nil {
+				t.Fatal(err)
+			} else if b != nil {
+				b.Data.Release()
+			}
+		}
+	}
+	st := r.Stats()
+	fragsPerBlock := int64(size / 512)
+	if st.Misses != blocks {
+		t.Fatalf("misses %d, want one per train", st.Misses)
+	}
+	if st.Hits != blocks*(fragsPerBlock-1) {
+		t.Fatalf("hits %d", st.Hits)
+	}
+	if st.HitRate() < 0.9 {
+		t.Fatalf("hit rate %.2f", st.HitRate())
+	}
+}
+
+func TestInterleavedTrainsStillCorrect(t *testing.T) {
+	// Alien traffic interleaves two trains fragment by fragment: the
+	// worst case for speculation, still correct.
+	fr := &Fragmenter{MTU: 128}
+	r := NewReassembler(nil)
+	a, b := block(2048, 3), block(2048, 4)
+	fa, fb := fr.Split(a), fr.Split(b)
+	var gotA, gotB *Block
+	for i := range fa {
+		for _, f := range []Fragment{fa[i], fb[i]} {
+			blk, err := r.Feed(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if blk != nil {
+				switch blk.ID {
+				case fa[0].BlockID:
+					gotA = blk
+				case fb[0].BlockID:
+					gotB = blk
+				}
+			}
+		}
+	}
+	if gotA == nil || gotB == nil {
+		t.Fatal("blocks incomplete")
+	}
+	defer gotA.Data.Release()
+	defer gotB.Data.Release()
+	if !bytes.Equal(gotA.Data.Bytes(), a) || !bytes.Equal(gotB.Data.Bytes(), b) {
+		t.Fatal("interleaving corrupted data")
+	}
+	st := r.Stats()
+	// Every fragment mispredicts (the trains alternate).
+	if st.Hits != 0 {
+		t.Fatalf("unexpected hits %d under full interleaving", st.Hits)
+	}
+	if st.CopiedBytes != int64(len(a)+len(b)) {
+		t.Fatalf("copied %d bytes", st.CopiedBytes)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	fr := &Fragmenter{MTU: 300}
+	var wire []byte
+	blocks := [][]byte{block(1000, 5), block(50, 6), block(0, 7), block(4096, 8)}
+	for _, b := range blocks {
+		for _, f := range fr.Split(b) {
+			h, p := f.Encode()
+			wire = append(wire, h[:]...)
+			wire = append(wire, p...)
+		}
+	}
+	r := NewReassembler(nil)
+	got, err := r.FeedWire(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("%d blocks reassembled", len(got))
+	}
+	for i, b := range got {
+		if !bytes.Equal(b.Data.Bytes(), blocks[i]) {
+			t.Fatalf("block %d corrupted", i)
+		}
+		b.Data.Release()
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("nil")
+	}
+	if _, _, err := Decode(make([]byte, HeaderSize-1)); err == nil {
+		t.Fatal("short header")
+	}
+	// Claimed payload longer than buffer.
+	f := Fragment{BlockID: 1, Offset: 0, Total: 100, Payload: make([]byte, 50)}
+	h, p := f.Encode()
+	wire := append(h[:], p[:10]...)
+	if _, _, err := Decode(wire); err == nil {
+		t.Fatal("truncated payload")
+	}
+	// Offset past total.
+	f2 := Fragment{BlockID: 1, Offset: 200, Total: 100, Payload: []byte{1}}
+	h2, p2 := f2.Encode()
+	if _, _, err := Decode(append(h2[:], p2...)); err == nil {
+		t.Fatal("offset past total")
+	}
+}
+
+func TestFeedRejectsInconsistentTotal(t *testing.T) {
+	r := NewReassembler(nil)
+	if _, err := r.Feed(Fragment{BlockID: 9, Offset: 0, Total: 100, Payload: make([]byte, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Feed(Fragment{BlockID: 9, Offset: 10, Total: 200, Payload: make([]byte, 10)}); err == nil {
+		t.Fatal("want inconsistent-total error")
+	}
+	r.Abort()
+}
+
+func TestAbortReleasesOpenBlocks(t *testing.T) {
+	pool := &zcbuf.Pool{}
+	r := NewReassembler(pool)
+	if _, err := r.Feed(Fragment{BlockID: 1, Offset: 0, Total: 8192, Payload: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Stats().Outstanding != 1 {
+		t.Fatalf("outstanding %d", pool.Stats().Outstanding)
+	}
+	r.Abort()
+	if pool.Stats().Outstanding != 0 {
+		t.Fatalf("outstanding %d after abort", pool.Stats().Outstanding)
+	}
+}
+
+func TestPropertyAnyFragmentOrderReassembles(t *testing.T) {
+	f := func(seed uint32, sizeRaw uint16, mtuRaw uint8) bool {
+		size := int(sizeRaw)%20000 + 1
+		mtu := int(mtuRaw)%500 + 16
+		fr := &Fragmenter{MTU: mtu}
+		data := block(size, byte(seed))
+		frags := fr.Split(data)
+		// Deterministic permutation derived from seed.
+		perm := make([]int, len(frags))
+		for i := range perm {
+			perm[i] = i
+		}
+		s := seed
+		for i := len(perm) - 1; i > 0; i-- {
+			s = s*1664525 + 1013904223
+			j := int(s % uint32(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		r := NewReassembler(nil)
+		var done *Block
+		for _, idx := range perm {
+			b, err := r.Feed(frags[idx])
+			if err != nil {
+				return false
+			}
+			if b != nil {
+				done = b
+			}
+		}
+		if done == nil {
+			return false
+		}
+		ok := bytes.Equal(done.Data.Bytes(), data)
+		done.Data.Release()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitRateMath(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Fatal("empty stats")
+	}
+	s.Hits, s.Misses = 9, 1
+	if math.Abs(s.HitRate()-0.9) > 1e-9 {
+		t.Fatalf("rate %v", s.HitRate())
+	}
+}
+
+func TestHostileTotalRejected(t *testing.T) {
+	r := NewReassembler(nil)
+	_, err := r.Feed(Fragment{BlockID: 1, Offset: 0, Total: MaxBlockSize + 1,
+		Payload: []byte{1}})
+	if err == nil {
+		t.Fatal("want error for oversized claimed total")
+	}
+}

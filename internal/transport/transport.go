@@ -1,0 +1,457 @@
+// Package transport abstracts the byte-stream substrate under the ORB:
+// plain TCP, an in-process pipe for tests and single-host clusters, and
+// a "copying stack" shim that emulates the per-byte costs of the
+// standard 2003-era TCP/IP path the paper benchmarks against.
+//
+// The zero-copy discipline of the paper maps onto two primitives:
+//
+//   - WriteGather: hand the transport a list of segments (header +
+//     payload references) to send as one logical message without first
+//     assembling them in a contiguous buffer. On real TCP this becomes
+//     writev via net.Buffers; the payload bytes are never copied in
+//     user space.
+//   - ReadFull: deposit exactly n bytes straight into a caller-supplied
+//     (page-aligned) buffer — the receive half of direct deposit.
+//
+// The Copying wrapper adds explicit memcpy passes on both sides,
+// emulating the kernel socket-buffer copies that the paper's
+// speculative-defragmentation stack removes; it lets the benchmark
+// harness reproduce the standard-stack/zero-copy-stack contrast of
+// Figure 6 inside one address space.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Conn is a reliable byte-stream connection.
+type Conn interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// WriteGather writes the segments back to back as one logical
+	// message. Implementations must not retain the segments after
+	// returning and should avoid copying them where the OS allows.
+	WriteGather(segs ...[]byte) (int64, error)
+	// LocalAddr and RemoteAddr return endpoint descriptions.
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr returns the bound address in a form Dial accepts.
+	Addr() string
+}
+
+// Transport creates listeners and outbound connections.
+type Transport interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+	// Name identifies the transport ("tcp", "inproc", "copying(tcp)").
+	Name() string
+}
+
+// Stats counts transport activity. All fields are updated atomically
+// and may be read concurrently.
+type Stats struct {
+	BytesSent      atomic.Int64
+	BytesRecv      atomic.Int64
+	Writes         atomic.Int64
+	Reads          atomic.Int64
+	GatherSegments atomic.Int64
+	// EmulatedCopyBytes counts bytes passed through the Copying
+	// wrapper's explicit memcpy stages (the simulated kernel copies).
+	EmulatedCopyBytes atomic.Int64
+}
+
+// Snapshot returns a plain-struct copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		BytesSent:         s.BytesSent.Load(),
+		BytesRecv:         s.BytesRecv.Load(),
+		Writes:            s.Writes.Load(),
+		Reads:             s.Reads.Load(),
+		GatherSegments:    s.GatherSegments.Load(),
+		EmulatedCopyBytes: s.EmulatedCopyBytes.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	BytesSent, BytesRecv, Writes, Reads int64
+	GatherSegments, EmulatedCopyBytes   int64
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+
+// TCP is the production transport: stream sockets with writev-based
+// gather sends.
+type TCP struct {
+	// Stats, if non-nil, receives counter updates from all
+	// connections created by this transport.
+	Stats *Stats
+}
+
+// Name implements Transport.
+func (t *TCP) Name() string { return "tcp" }
+
+// Listen implements Transport.
+func (t *TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l, stats: t.Stats}, nil
+}
+
+// Dial implements Transport.
+func (t *TCP) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Latency matters for the control path; the data path sends
+		// large gathers that fill frames anyway.
+		_ = tc.SetNoDelay(true)
+	}
+	return &tcpConn{c: c, stats: t.Stats}, nil
+}
+
+type tcpListener struct {
+	l     net.Listener
+	stats *Stats
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return &tcpConn{c: c, stats: l.stats}, nil
+}
+
+func (l *tcpListener) Close() error { return l.l.Close() }
+func (l *tcpListener) Addr() string { return l.l.Addr().String() }
+
+type tcpConn struct {
+	c     net.Conn
+	stats *Stats
+	wmu   sync.Mutex // serializes writes so gathers stay contiguous
+}
+
+func (c *tcpConn) Read(p []byte) (int, error) {
+	n, err := c.c.Read(p)
+	if c.stats != nil && n > 0 {
+		c.stats.BytesRecv.Add(int64(n))
+		c.stats.Reads.Add(1)
+	}
+	return n, err
+}
+
+func (c *tcpConn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	n, err := c.c.Write(p)
+	c.wmu.Unlock()
+	if c.stats != nil && n > 0 {
+		c.stats.BytesSent.Add(int64(n))
+		c.stats.Writes.Add(1)
+	}
+	return n, err
+}
+
+func (c *tcpConn) WriteGather(segs ...[]byte) (int64, error) {
+	bufs := make(net.Buffers, 0, len(segs))
+	var total int64
+	for _, s := range segs {
+		if len(s) == 0 {
+			continue
+		}
+		bufs = append(bufs, s)
+		total += int64(len(s))
+	}
+	c.wmu.Lock()
+	n, err := bufs.WriteTo(c.c)
+	c.wmu.Unlock()
+	if c.stats != nil {
+		c.stats.BytesSent.Add(n)
+		c.stats.Writes.Add(1)
+		c.stats.GatherSegments.Add(int64(len(segs)))
+	}
+	if err != nil {
+		return n, fmt.Errorf("transport: gather write: %w", err)
+	}
+	if n != total {
+		return n, fmt.Errorf("transport: gather write short: %d of %d", n, total)
+	}
+	return n, nil
+}
+
+func (c *tcpConn) Close() error       { return c.c.Close() }
+func (c *tcpConn) LocalAddr() string  { return c.c.LocalAddr().String() }
+func (c *tcpConn) RemoteAddr() string { return c.c.RemoteAddr().String() }
+
+// ---------------------------------------------------------------------------
+// In-process transport
+
+// InProc is an in-memory transport keyed by arbitrary address strings.
+// It backs single-process clusters (the simulated testbed) and tests.
+type InProc struct {
+	Stats *Stats
+
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+	nextAuto  int
+}
+
+// Name implements Transport.
+func (t *InProc) Name() string { return "inproc" }
+
+// Listen implements Transport. The empty address or ":0" allocates a
+// fresh unique address.
+func (t *InProc) Listen(addr string) (Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.listeners == nil {
+		t.listeners = make(map[string]*inprocListener)
+	}
+	if addr == "" || addr == ":0" {
+		t.nextAuto++
+		addr = fmt.Sprintf("inproc-%d", t.nextAuto)
+	}
+	if _, exists := t.listeners[addr]; exists {
+		return nil, fmt.Errorf("transport: inproc address %q in use", addr)
+	}
+	l := &inprocListener{t: t, addr: addr, ch: make(chan Conn, 16)}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (t *InProc) Dial(addr string) (Conn, error) {
+	t.mu.Lock()
+	l := t.listeners[addr]
+	t.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("transport: inproc address %q not listening", addr)
+	}
+	a, b := net.Pipe()
+	ca := &pipeConn{c: a, stats: t.Stats, local: "inproc-client", remote: addr}
+	cb := &pipeConn{c: b, stats: t.Stats, local: addr, remote: "inproc-client"}
+	select {
+	case l.ch <- cb:
+		return ca, nil
+	default:
+		_ = a.Close()
+		_ = b.Close()
+		return nil, fmt.Errorf("transport: inproc accept queue full for %q", addr)
+	}
+}
+
+func (t *InProc) remove(addr string) {
+	t.mu.Lock()
+	delete(t.listeners, addr)
+	t.mu.Unlock()
+}
+
+type inprocListener struct {
+	t      *InProc
+	addr   string
+	ch     chan Conn
+	closed sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	c, ok := <-l.ch
+	if !ok {
+		return nil, errors.New("transport: inproc listener closed")
+	}
+	return c, nil
+}
+
+func (l *inprocListener) Close() error {
+	l.closed.Do(func() {
+		l.t.remove(l.addr)
+		close(l.ch)
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+type pipeConn struct {
+	c             net.Conn
+	stats         *Stats
+	local, remote string
+	wmu           sync.Mutex
+}
+
+func (c *pipeConn) Read(p []byte) (int, error) {
+	n, err := c.c.Read(p)
+	if c.stats != nil && n > 0 {
+		c.stats.BytesRecv.Add(int64(n))
+		c.stats.Reads.Add(1)
+	}
+	return n, err
+}
+
+func (c *pipeConn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	n, err := c.c.Write(p)
+	c.wmu.Unlock()
+	if c.stats != nil && n > 0 {
+		c.stats.BytesSent.Add(int64(n))
+		c.stats.Writes.Add(1)
+	}
+	return n, err
+}
+
+func (c *pipeConn) WriteGather(segs ...[]byte) (int64, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var total int64
+	for _, s := range segs {
+		if len(s) == 0 {
+			continue
+		}
+		n, err := c.c.Write(s)
+		total += int64(n)
+		if err != nil {
+			return total, fmt.Errorf("transport: inproc gather write: %w", err)
+		}
+	}
+	if c.stats != nil {
+		c.stats.BytesSent.Add(total)
+		c.stats.Writes.Add(1)
+		c.stats.GatherSegments.Add(int64(len(segs)))
+	}
+	return total, nil
+}
+
+func (c *pipeConn) Close() error       { return c.c.Close() }
+func (c *pipeConn) LocalAddr() string  { return c.local }
+func (c *pipeConn) RemoteAddr() string { return c.remote }
+
+// ---------------------------------------------------------------------------
+// Copying stack shim
+
+// Copying wraps another transport and performs SendCopies explicit
+// buffer copies on every write and RecvCopies on every read,
+// reproducing the per-byte cost profile of the standard (copying)
+// TCP/IP stack of the paper's era: one user-to-kernel copy on send,
+// one kernel-to-user copy on receive, plus an optional driver
+// defragmentation copy. The zero-copy stack of [10] corresponds to
+// wrapping with zero copies — i.e. not wrapping at all.
+type Copying struct {
+	Inner      Transport
+	SendCopies int
+	RecvCopies int
+	Stats      *Stats
+}
+
+// Name implements Transport.
+func (t *Copying) Name() string { return "copying(" + t.Inner.Name() + ")" }
+
+// Listen implements Transport.
+func (t *Copying) Listen(addr string) (Listener, error) {
+	l, err := t.Inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &copyingListener{l: l, t: t}, nil
+}
+
+// Dial implements Transport.
+func (t *Copying) Dial(addr string) (Conn, error) {
+	c, err := t.Inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &copyingConn{c: c, t: t}, nil
+}
+
+type copyingListener struct {
+	l Listener
+	t *Copying
+}
+
+func (l *copyingListener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &copyingConn{c: c, t: l.t}, nil
+}
+
+func (l *copyingListener) Close() error { return l.l.Close() }
+func (l *copyingListener) Addr() string { return l.l.Addr() }
+
+type copyingConn struct {
+	c       Conn
+	t       *Copying
+	sendBuf []byte
+	recvBuf []byte
+	wmu     sync.Mutex
+	rmu     sync.Mutex
+}
+
+// churn performs k copy passes of p through a scratch buffer, charging
+// the bytes to the stats. The scratch is reused so the shim measures
+// copy bandwidth, not allocator throughput.
+func (c *copyingConn) churn(scratch *[]byte, p []byte, k int) {
+	if k <= 0 || len(p) == 0 {
+		return
+	}
+	if cap(*scratch) < len(p) {
+		*scratch = make([]byte, len(p))
+	}
+	buf := (*scratch)[:len(p)]
+	for i := 0; i < k; i++ {
+		copy(buf, p)
+	}
+	if c.t.Stats != nil {
+		c.t.Stats.EmulatedCopyBytes.Add(int64(len(p)) * int64(k))
+	}
+}
+
+func (c *copyingConn) Read(p []byte) (int, error) {
+	n, err := c.c.Read(p)
+	if n > 0 {
+		c.rmu.Lock()
+		c.churn(&c.recvBuf, p[:n], c.t.RecvCopies)
+		c.rmu.Unlock()
+	}
+	return n, err
+}
+
+func (c *copyingConn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	c.churn(&c.sendBuf, p, c.t.SendCopies)
+	c.wmu.Unlock()
+	return c.c.Write(p)
+}
+
+func (c *copyingConn) WriteGather(segs ...[]byte) (int64, error) {
+	c.wmu.Lock()
+	for _, s := range segs {
+		c.churn(&c.sendBuf, s, c.t.SendCopies)
+	}
+	c.wmu.Unlock()
+	return c.c.WriteGather(segs...)
+}
+
+func (c *copyingConn) Close() error       { return c.c.Close() }
+func (c *copyingConn) LocalAddr() string  { return c.c.LocalAddr() }
+func (c *copyingConn) RemoteAddr() string { return c.c.RemoteAddr() }

@@ -1,0 +1,300 @@
+// Package ttcp reimplements the TTCP throughput benchmark of §5.1 for
+// every configuration the paper measures: raw sockets over the
+// standard (copying) stack, sockets over the zero-copy stack, CORBA
+// over either stack with the standard ORB path, and CORBA with the
+// zero-copy ORB (direct deposit). It produces the series plotted in
+// Figures 5 and 6.
+//
+// As in the original tool, a transmitter pushes a configurable number
+// of fixed-size blocks to a remote receiver and reports end-to-end
+// throughput in Mbit/s; block sizes sweep 4 KiB..16 MiB in the paper's
+// 4 KiB-aligned buffers.
+package ttcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"zcorba/internal/media"
+	"zcorba/internal/orb"
+	"zcorba/internal/transport"
+	"zcorba/internal/zcbuf"
+)
+
+// Mode names a benchmark configuration.
+type Mode string
+
+// Benchmark configurations, matching the paper's TTCP variants.
+const (
+	// ModeRawSocket is the C TTCP: sockets over the configured stack.
+	ModeRawSocket Mode = "socket"
+	// ModeCorba is the CORBA TTCP using the standard marshal path.
+	ModeCorba Mode = "corba"
+	// ModeZCCorba is the CORBA TTCP using the zero-copy ORB.
+	ModeZCCorba Mode = "zc-corba"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Mode      Mode
+	Stack     string // transport name, e.g. "tcp" or "copying(tcp)"
+	BlockSize int
+	Blocks    int
+	Bytes     int64
+	Elapsed   time.Duration
+}
+
+// Mbps returns the measured throughput in megabits per second.
+func (r Result) Mbps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / r.Elapsed.Seconds() / 1e6
+}
+
+// String renders the result like the original ttcp summary line.
+func (r Result) String() string {
+	return fmt.Sprintf("ttcp-%s[%s]: %d bytes in %.3fs = %.1f Mbit/s (block %d)",
+		r.Mode, r.Stack, r.Bytes, r.Elapsed.Seconds(), r.Mbps(), r.BlockSize)
+}
+
+// ---------------------------------------------------------------------------
+// Socket variant
+
+// SocketSink is the receiving side of the socket benchmark. It accepts
+// any number of transmitter connections; each sends a length header
+// and a byte stream, and receives an 8-byte acknowledgement.
+type SocketSink struct {
+	lis  transport.Listener
+	done chan struct{}
+}
+
+// NewSocketSink binds a sink on tr.
+func NewSocketSink(tr transport.Transport, addr string) (*SocketSink, error) {
+	lis, err := tr.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("ttcp: sink listen: %w", err)
+	}
+	s := &SocketSink{lis: lis, done: make(chan struct{})}
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the sink's dialable address.
+func (s *SocketSink) Addr() string { return s.lis.Addr() }
+
+// Close stops the sink.
+func (s *SocketSink) Close() error { return s.lis.Close() }
+
+func (s *SocketSink) serve() {
+	var pool zcbuf.Pool
+	for {
+		c, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		go func(c transport.Conn) {
+			defer c.Close()
+			var hdr [16]byte
+			if _, err := io.ReadFull(c, hdr[:]); err != nil {
+				return
+			}
+			total := int64(binary.BigEndian.Uint64(hdr[:8]))
+			block := int64(binary.BigEndian.Uint64(hdr[8:]))
+			if block <= 0 || block > 64<<20 || total < 0 {
+				return
+			}
+			// Deposit every block into a page-aligned buffer, as the
+			// zero-copy receiver would; the copying stack shim adds
+			// its kernel-copy cost underneath when configured.
+			buf, err := pool.Get(int(block))
+			if err != nil {
+				return
+			}
+			defer buf.Release()
+			left := total
+			for left > 0 {
+				n := block
+				if left < n {
+					n = left
+				}
+				if _, err := io.ReadFull(c, buf.Bytes()[:n]); err != nil {
+					return
+				}
+				left -= n
+			}
+			var ack [8]byte
+			binary.BigEndian.PutUint64(ack[:], uint64(total))
+			_, _ = c.Write(ack[:])
+		}(c)
+	}
+}
+
+// SocketSend transmits blocks of blockSize bytes to a sink and returns
+// the measurement. The payload buffer is page-aligned and reused, as
+// in the original TTCP's aligned 4 KiB buffers.
+func SocketSend(tr transport.Transport, addr string, blockSize, blocks int) (Result, error) {
+	res := Result{Mode: ModeRawSocket, Stack: tr.Name(), BlockSize: blockSize, Blocks: blocks}
+	c, err := tr.Dial(addr)
+	if err != nil {
+		return res, fmt.Errorf("ttcp: dial sink: %w", err)
+	}
+	defer c.Close()
+
+	var pool zcbuf.Pool
+	buf, err := pool.Get(blockSize)
+	if err != nil {
+		return res, err
+	}
+	defer buf.Release()
+	payload := buf.Bytes()
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	total := int64(blockSize) * int64(blocks)
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[:8], uint64(total))
+	binary.BigEndian.PutUint64(hdr[8:], uint64(blockSize))
+
+	start := time.Now()
+	if _, err := c.Write(hdr[:]); err != nil {
+		return res, fmt.Errorf("ttcp: header: %w", err)
+	}
+	for i := 0; i < blocks; i++ {
+		if _, err := c.WriteGather(payload); err != nil {
+			return res, fmt.Errorf("ttcp: block %d: %w", i, err)
+		}
+	}
+	var ack [8]byte
+	if _, err := io.ReadFull(c, ack[:]); err != nil {
+		return res, fmt.Errorf("ttcp: ack: %w", err)
+	}
+	res.Elapsed = time.Since(start)
+	res.Bytes = total
+	if got := int64(binary.BigEndian.Uint64(ack[:])); got != total {
+		return res, fmt.Errorf("ttcp: sink acknowledged %d of %d bytes", got, total)
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// CORBA variant
+
+// CorbaSink serves the Media::Store interface as the benchmark
+// receiver. The same servant handles both the standard and the
+// zero-copy operation, exactly as the paper ran standard and ZC octet
+// streams through one MICO server.
+type CorbaSink struct {
+	ORB *orb.ORB
+	IOR string
+}
+
+// sinkServant discards received blocks.
+type sinkServant struct{ received uint64 }
+
+func (s *sinkServant) GetReceived() (uint64, error) { return s.received, nil }
+func (s *sinkServant) Put(data []byte) (uint32, error) {
+	s.received += uint64(len(data))
+	return uint32(len(data)), nil
+}
+func (s *sinkServant) Zput(data *zcbuf.Buffer) (uint32, error) {
+	s.received += uint64(data.Len())
+	return uint32(data.Len()), nil
+}
+func (s *sinkServant) Get(n uint32) ([]byte, error) { return make([]byte, n), nil }
+func (s *sinkServant) Zget(n uint32) (*zcbuf.Buffer, error) {
+	return zcbuf.Wrap(make([]byte, n)), nil
+}
+func (s *sinkServant) Describe(seq uint32) (media.Media_FrameInfo, error) {
+	return media.Media_FrameInfo{Seq: seq}, nil
+}
+func (s *sinkServant) Reset() error { s.received = 0; return nil }
+
+// NewCorbaSink starts an ORB on tr serving a Store sink. zeroCopy
+// controls whether the ORB offers the direct-deposit channel.
+func NewCorbaSink(tr transport.Transport, zeroCopy bool) (*CorbaSink, error) {
+	o, err := orb.New(orb.Options{Transport: tr, ZeroCopy: zeroCopy})
+	if err != nil {
+		return nil, fmt.Errorf("ttcp: sink ORB: %w", err)
+	}
+	ref, err := o.Activate("ttcp-sink", media.Media_StoreSkeleton{Impl: &sinkServant{}})
+	if err != nil {
+		o.Shutdown()
+		return nil, fmt.Errorf("ttcp: activate sink: %w", err)
+	}
+	return &CorbaSink{ORB: o, IOR: ref.String()}, nil
+}
+
+// Close shuts the sink ORB down.
+func (s *CorbaSink) Close() { s.ORB.Shutdown() }
+
+// CorbaSend transmits blocks through the Store stub. With zeroCopy the
+// zput operation (sequence<ZC_Octet>, direct deposit) is used;
+// otherwise put (standard marshaling).
+func CorbaSend(client *orb.ORB, iorStr string, blockSize, blocks int, zeroCopy bool) (Result, error) {
+	mode := ModeCorba
+	if zeroCopy {
+		mode = ModeZCCorba
+	}
+	res := Result{Mode: mode, Stack: "orb", BlockSize: blockSize, Blocks: blocks}
+	ref, err := client.StringToObject(iorStr)
+	if err != nil {
+		return res, err
+	}
+	stub := media.Media_StoreStub{Ref: ref}
+
+	var pool zcbuf.Pool
+	buf, err := pool.Get(blockSize)
+	if err != nil {
+		return res, err
+	}
+	defer buf.Release()
+	payload := buf.Bytes()
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	start := time.Now()
+	for i := 0; i < blocks; i++ {
+		var n uint32
+		var err error
+		if zeroCopy {
+			n, err = stub.Zput(buf)
+		} else {
+			n, err = stub.Put(payload)
+		}
+		if err != nil {
+			return res, fmt.Errorf("ttcp: block %d: %w", i, err)
+		}
+		if int(n) != blockSize {
+			return res, fmt.Errorf("ttcp: block %d: acknowledged %d of %d bytes", i, n, blockSize)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Bytes = int64(blockSize) * int64(blocks)
+	return res, nil
+}
+
+// BlocksFor picks a block count that keeps total transfer near
+// targetBytes, with at least minBlocks rounds, so small and large
+// blocks get comparable measurement windows.
+func BlocksFor(blockSize int, targetBytes int64, minBlocks int) int {
+	b := int(targetBytes / int64(blockSize))
+	if b < minBlocks {
+		return minBlocks
+	}
+	return b
+}
+
+// PaperSweep returns the paper's block-size sweep: 4 KiB to 16 MiB in
+// powers of two (the buffers grow in 4 KiB page increments; powers of
+// two are the points Figures 5/6 plot).
+func PaperSweep() []int {
+	var sizes []int
+	for s := 4 << 10; s <= 16<<20; s <<= 1 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}

@@ -1,0 +1,145 @@
+package typecode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zcorba/internal/cdr"
+)
+
+func anyRoundTrip(t *testing.T, av AnyValue) AnyValue {
+	t.Helper()
+	e := cdr.NewEncoder(cdr.NativeOrder, 0)
+	if err := MarshalValue(e, TCAny, av); err != nil {
+		t.Fatalf("marshal any(%s): %v", av.Type, err)
+	}
+	d := cdr.NewDecoder(cdr.NativeOrder, 0, e.Bytes())
+	got, err := UnmarshalValue(d, TCAny)
+	if err != nil {
+		t.Fatalf("unmarshal any(%s): %v", av.Type, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("any(%s): %d leftover bytes", av.Type, d.Remaining())
+	}
+	out, ok := got.(AnyValue)
+	if !ok {
+		t.Fatalf("got %T", got)
+	}
+	return out
+}
+
+func TestAnyRoundTripPrimitives(t *testing.T) {
+	cases := []AnyValue{
+		{Type: TCLong, Value: int32(-5)},
+		{Type: TCDouble, Value: 6.5},
+		{Type: TCString, Value: "boxed"},
+		{Type: TCBoolean, Value: true},
+		{Type: TCOctetSeq, Value: []byte{1, 2, 3}},
+		{Type: TCNull},
+	}
+	for _, av := range cases {
+		got := anyRoundTrip(t, av)
+		if !got.Type.Equal(av.Type) {
+			t.Fatalf("type %s became %s", av.Type, got.Type)
+		}
+		switch want := av.Value.(type) {
+		case []byte:
+			gb := got.Value.([]byte)
+			if string(gb) != string(want) {
+				t.Fatalf("value %v became %v", want, gb)
+			}
+		case nil:
+			if got.Value != nil {
+				t.Fatalf("null any carried value %v", got.Value)
+			}
+		default:
+			if got.Value != av.Value {
+				t.Fatalf("value %v became %v", av.Value, got.Value)
+			}
+		}
+	}
+}
+
+func TestAnyRoundTripStruct(t *testing.T) {
+	tc := structTC()
+	av := AnyValue{Type: tc, Value: []any{uint32(3), "hdr", []byte{9}}}
+	got := anyRoundTrip(t, av)
+	if !got.Type.Equal(tc) {
+		t.Fatalf("type %s", got.Type)
+	}
+	fields := got.Value.([]any)
+	if fields[0].(uint32) != 3 || fields[1].(string) != "hdr" {
+		t.Fatalf("fields %v", fields)
+	}
+}
+
+func TestAnyNested(t *testing.T) {
+	inner := AnyValue{Type: TCLong, Value: int32(7)}
+	outer := AnyValue{Type: TCAny, Value: inner}
+	got := anyRoundTrip(t, outer)
+	gi := got.Value.(AnyValue)
+	if gi.Value.(int32) != 7 {
+		t.Fatalf("nested %v", gi)
+	}
+}
+
+func TestAnyInSequence(t *testing.T) {
+	seq := SequenceOf(TCAny, 0)
+	vals := []any{
+		AnyValue{Type: TCLong, Value: int32(1)},
+		AnyValue{Type: TCString, Value: "two"},
+	}
+	e := cdr.NewEncoder(cdr.NativeOrder, 0)
+	if err := MarshalValue(e, seq, vals); err != nil {
+		t.Fatal(err)
+	}
+	d := cdr.NewDecoder(cdr.NativeOrder, 0, e.Bytes())
+	got, err := UnmarshalValue(d, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := got.([]any)
+	if items[0].(AnyValue).Value.(int32) != 1 ||
+		items[1].(AnyValue).Value.(string) != "two" {
+		t.Fatalf("items %v", items)
+	}
+}
+
+func TestAnyDepthBound(t *testing.T) {
+	// Build a wire stream of maxAnyDepth+2 nested any typecodes.
+	e := cdr.NewEncoder(cdr.NativeOrder, 0)
+	for i := 0; i < maxAnyDepth+2; i++ {
+		e.WriteULong(uint32(Any))
+	}
+	e.WriteULong(uint32(Long))
+	e.WriteLong(1)
+	d := cdr.NewDecoder(cdr.NativeOrder, 0, e.Bytes())
+	if _, err := UnmarshalValue(d, TCAny); err == nil {
+		t.Fatal("want depth-bound error")
+	}
+}
+
+func TestAnyTypeMismatch(t *testing.T) {
+	e := cdr.NewEncoder(cdr.NativeOrder, 0)
+	if err := MarshalValue(e, TCAny, "not an AnyValue"); err == nil {
+		t.Fatal("want type error")
+	}
+}
+
+func TestAnyMarshalNilTypeBecomesNull(t *testing.T) {
+	got := anyRoundTrip(t, AnyValue{})
+	if got.Type.Kind() != Null {
+		t.Fatalf("kind %v", got.Type.Kind())
+	}
+}
+
+func TestPropertyAnyRobustDecode(t *testing.T) {
+	f := func(raw []byte) bool {
+		d := cdr.NewDecoder(cdr.NativeOrder, 0, raw)
+		_, _ = UnmarshalValue(d, TCAny) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

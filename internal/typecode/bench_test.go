@@ -1,0 +1,59 @@
+package typecode
+
+import (
+	"testing"
+
+	"zcorba/internal/cdr"
+)
+
+// BenchmarkGeneralMarshalLoop1M is the per-byte cost Figure 5 blames:
+// the interpreter's element-wise octet copy.
+func BenchmarkGeneralMarshalLoop1M(b *testing.B) {
+	p := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		e := cdr.NewEncoder(cdr.NativeOrder, 0)
+		if err := MarshalValue(e, TCOctetSeq, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeneralDemarshal1M(b *testing.B) {
+	e := cdr.NewEncoder(cdr.NativeOrder, 0)
+	if err := MarshalValue(e, TCOctetSeq, make([]byte, 1<<20)); err != nil {
+		b.Fatal(err)
+	}
+	raw := e.Bytes()
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := cdr.NewDecoder(cdr.NativeOrder, 0, raw)
+		if _, err := UnmarshalValue(d, TCOctetSeq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStructMarshal(b *testing.B) {
+	tc := structTC()
+	v := []any{uint32(1), "frame", []byte{1, 2, 3, 4}}
+	for i := 0; i < b.N; i++ {
+		e := cdr.NewEncoder(cdr.NativeOrder, 0)
+		if err := MarshalValue(e, tc, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTypeCodeRoundTrip(b *testing.B) {
+	tc := structTC()
+	for i := 0; i < b.N; i++ {
+		e := cdr.NewEncoder(cdr.NativeOrder, 0)
+		tc.Marshal(e)
+		d := cdr.NewDecoder(cdr.NativeOrder, 0, e.Bytes())
+		if _, err := Unmarshal(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package typecode
+
+import (
+	"strings"
+	"testing"
+
+	"zcorba/internal/cdr"
+)
+
+func TestKindString(t *testing.T) {
+	if Octet.String() != "octet" || ZCOctet.String() != "zcoctet" {
+		t.Fatalf("unexpected kind names: %v %v", Octet, ZCOctet)
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatalf("out-of-range kind: %v", Kind(99))
+	}
+}
+
+func TestIsZCOctetSeq(t *testing.T) {
+	if !TCZCOctetSeq.IsZCOctetSeq() {
+		t.Fatal("TCZCOctetSeq must be a ZC octet stream")
+	}
+	if TCOctetSeq.IsZCOctetSeq() {
+		t.Fatal("plain octet sequence must not be ZC")
+	}
+	if !TCOctetSeq.IsOctetSeq() {
+		t.Fatal("TCOctetSeq must be an octet sequence")
+	}
+	alias := AliasOf("IDL:test/Blob:1.0", "Blob", TCZCOctetSeq)
+	if !alias.IsZCOctetSeq() {
+		t.Fatal("alias of ZC octet stream must be ZC")
+	}
+}
+
+func TestEqualDistinguishesZCFromOctet(t *testing.T) {
+	if TCOctetSeq.Equal(TCZCOctetSeq) {
+		t.Fatal("ZC and plain octet sequences must have distinct TIDs")
+	}
+	if !TCOctetSeq.Equal(SequenceOf(TCOctet, 0)) {
+		t.Fatal("structurally equal sequences must compare equal")
+	}
+}
+
+func TestEquivalentFollowsAliases(t *testing.T) {
+	a := AliasOf("IDL:a:1.0", "A", TCLong)
+	b := AliasOf("IDL:b:1.0", "B", TCLong)
+	if a.Equal(b) {
+		t.Fatal("differently named aliases are not Equal")
+	}
+	if !a.Equivalent(b) {
+		t.Fatal("aliases of the same type must be Equivalent")
+	}
+}
+
+func structTC() *TypeCode {
+	return StructOf("IDL:test/Frame:1.0", "Frame",
+		Member{Name: "seq", Type: TCULong},
+		Member{Name: "name", Type: TCString},
+		Member{Name: "data", Type: TCOctetSeq},
+	)
+}
+
+func TestTypeCodeMarshalRoundTrip(t *testing.T) {
+	cases := []*TypeCode{
+		TCOctet, TCString, TCDouble, TCZCOctet,
+		TCOctetSeq, TCZCOctetSeq,
+		SequenceOf(TCString, 16),
+		ArrayOf(TCLong, 4),
+		structTC(),
+		EnumOf("IDL:test/Color:1.0", "Color", "red", "green", "blue"),
+		AliasOf("IDL:test/Blob:1.0", "Blob", TCZCOctetSeq),
+		ObjRefOf("IDL:test/Store:1.0", "Store"),
+		SequenceOf(structTC(), 0),
+	}
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		for _, tc := range cases {
+			e := cdr.NewEncoder(order, 0)
+			tc.Marshal(e)
+			d := cdr.NewDecoder(order, 0, e.Bytes())
+			got, err := Unmarshal(d)
+			if err != nil {
+				t.Fatalf("%s (%v): %v", tc, order, err)
+			}
+			if !got.Equal(tc) {
+				t.Fatalf("round trip of %s gave %s", tc, got)
+			}
+			if d.Remaining() != 0 {
+				t.Fatalf("%s: %d leftover bytes", tc, d.Remaining())
+			}
+		}
+	}
+}
+
+func TestTypeCodeUnmarshalDepthBound(t *testing.T) {
+	// A stream of deeply nested sequence typecodes must be rejected,
+	// not crash the decoder.
+	tc := TCOctet
+	for i := 0; i < maxTCDepth+4; i++ {
+		tc = SequenceOf(tc, 0)
+	}
+	e := cdr.NewEncoder(cdr.BigEndian, 0)
+	tc.Marshal(e)
+	d := cdr.NewDecoder(cdr.BigEndian, 0, e.Bytes())
+	if _, err := Unmarshal(d); err == nil {
+		t.Fatal("want depth-bound error")
+	}
+}
+
+func TestValueRoundTripPrimitives(t *testing.T) {
+	cases := []struct {
+		tc *TypeCode
+		v  any
+	}{
+		{TCOctet, byte(0x5A)},
+		{TCBoolean, true},
+		{TCShort, int16(-7)},
+		{TCUShort, uint16(40000)},
+		{TCLong, int32(-123456)},
+		{TCULong, uint32(3000000000)},
+		{TCLongLong, int64(-1 << 40)},
+		{TCULongLong, uint64(1) << 60},
+		{TCFloat, float32(3.5)},
+		{TCDouble, 2.25},
+		{TCString, "hello"},
+		{TCOctetSeq, []byte{1, 2, 3, 4, 5}},
+		{SequenceOf(TCString, 0), []any{"a", "bb"}},
+		{ArrayOf(TCLong, 3), []any{int32(1), int32(2), int32(3)}},
+		{structTC(), []any{uint32(9), "frame-9", []byte{0xDE, 0xAD}}},
+		{EnumOf("IDL:e:1.0", "E", "x", "y"), uint32(1)},
+	}
+	for _, c := range cases {
+		e := cdr.NewEncoder(cdr.NativeOrder, 0)
+		if err := MarshalValue(e, c.tc, c.v); err != nil {
+			t.Fatalf("marshal %s: %v", c.tc, err)
+		}
+		d := cdr.NewDecoder(cdr.NativeOrder, 0, e.Bytes())
+		got, err := UnmarshalValue(d, c.tc)
+		if err != nil {
+			t.Fatalf("unmarshal %s: %v", c.tc, err)
+		}
+		if !valueEq(got, c.v) {
+			t.Fatalf("%s: got %#v want %#v", c.tc, got, c.v)
+		}
+	}
+}
+
+func valueEq(a, b any) bool {
+	switch x := a.(type) {
+	case []byte:
+		y, ok := b.([]byte)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	case []any:
+		y, ok := b.([]any)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !valueEq(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}
+
+func TestValueTypeMismatch(t *testing.T) {
+	e := cdr.NewEncoder(cdr.NativeOrder, 0)
+	if err := MarshalValue(e, TCLong, "not a long"); err == nil {
+		t.Fatal("want type mismatch error")
+	}
+	if err := MarshalValue(e, TCOctetSeq, 42); err == nil {
+		t.Fatal("want type mismatch error for sequence")
+	}
+}
+
+func TestValueSequenceBound(t *testing.T) {
+	bounded := SequenceOf(TCOctet, 2)
+	e := cdr.NewEncoder(cdr.NativeOrder, 0)
+	if err := MarshalValue(e, bounded, []byte{1, 2, 3}); err == nil {
+		t.Fatal("want bound violation error")
+	}
+}
+
+func TestValueEnumRange(t *testing.T) {
+	en := EnumOf("IDL:e:1.0", "E", "only")
+	e := cdr.NewEncoder(cdr.NativeOrder, 0)
+	if err := MarshalValue(e, en, uint32(5)); err == nil {
+		t.Fatal("want enum range error on marshal")
+	}
+	e2 := cdr.NewEncoder(cdr.NativeOrder, 0)
+	e2.WriteULong(9)
+	d := cdr.NewDecoder(cdr.NativeOrder, 0, e2.Bytes())
+	if _, err := UnmarshalValue(d, en); err == nil {
+		t.Fatal("want enum range error on unmarshal")
+	}
+}
+
+func TestValueStructFieldCount(t *testing.T) {
+	e := cdr.NewEncoder(cdr.NativeOrder, 0)
+	if err := MarshalValue(e, structTC(), []any{uint32(1)}); err == nil {
+		t.Fatal("want field-count error")
+	}
+}
+
+func TestUnmarshalOctetSeqHostileLength(t *testing.T) {
+	e := cdr.NewEncoder(cdr.NativeOrder, 0)
+	e.WriteULong(1 << 28) // huge claimed length, no data
+	d := cdr.NewDecoder(cdr.NativeOrder, 0, e.Bytes())
+	if _, err := UnmarshalValue(d, TCOctetSeq); err == nil {
+		t.Fatal("want short-buffer error, not a huge allocation")
+	}
+}
+
+func TestAliasResolveChain(t *testing.T) {
+	a := AliasOf("IDL:a:1.0", "A", AliasOf("IDL:b:1.0", "B", TCDouble))
+	if a.Resolve() != TCDouble {
+		t.Fatalf("Resolve gave %s", a.Resolve())
+	}
+}
+
+func TestMarshalTypeMismatchAllKinds(t *testing.T) {
+	// Every primitive marshal case must reject a wrong-typed value
+	// with an error (never panic, never mis-encode).
+	wrong := struct{ x int }{1}
+	cases := []*TypeCode{
+		TCOctet, TCBoolean, TCShort, TCUShort, TCLong, TCULong,
+		TCLongLong, TCULongLong, TCFloat, TCDouble, TCString,
+		TCOctetSeq, TCZCOctetSeq, SequenceOf(TCString, 0),
+		ArrayOf(TCLong, 2), structTC(),
+		EnumOf("IDL:e:1.0", "E", "a"), TCObjRef, TCAny, TCTypeCode,
+	}
+	for _, tc := range cases {
+		e := cdr.NewEncoder(cdr.NativeOrder, 0)
+		if err := MarshalValue(e, tc, wrong); err == nil {
+			t.Fatalf("%s accepted a %T", tc, wrong)
+		}
+	}
+	// Unmarshalable kind.
+	e := cdr.NewEncoder(cdr.NativeOrder, 0)
+	if err := MarshalValue(e, &TypeCode{kind: Kind(90)}, 1); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	d := cdr.NewDecoder(cdr.NativeOrder, 0, []byte{0, 0, 0, 0})
+	if _, err := UnmarshalValue(d, &TypeCode{kind: Kind(90)}); err == nil {
+		t.Fatal("unknown kind must error on decode")
+	}
+}
+
+func TestTypeCodeValueRoundTrip(t *testing.T) {
+	// tk_TypeCode: TypeCodes as first-class values.
+	for _, inner := range []*TypeCode{TCLong, structTC(), TCZCOctetSeq} {
+		e := cdr.NewEncoder(cdr.NativeOrder, 0)
+		if err := MarshalValue(e, TCTypeCode, inner); err != nil {
+			t.Fatal(err)
+		}
+		d := cdr.NewDecoder(cdr.NativeOrder, 0, e.Bytes())
+		got, err := UnmarshalValue(d, TCTypeCode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.(*TypeCode).Equal(inner) {
+			t.Fatalf("round trip of %s gave %s", inner, got)
+		}
+	}
+}
+
+func TestUnmarshalShortBuffersAllKinds(t *testing.T) {
+	// Truncated input must error for every primitive kind.
+	kinds := []*TypeCode{
+		TCBoolean, TCShort, TCUShort, TCLong, TCULong, TCLongLong,
+		TCULongLong, TCFloat, TCDouble, TCString, TCOctetSeq,
+		structTC(), EnumOf("IDL:e:1.0", "E", "a"), TCObjRef, TCAny,
+		TCTypeCode, ArrayOf(TCDouble, 2),
+	}
+	for _, tc := range kinds {
+		d := cdr.NewDecoder(cdr.NativeOrder, 0, nil)
+		if _, err := UnmarshalValue(d, tc); err == nil {
+			t.Fatalf("%s decoded from empty input", tc)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := map[string]*TypeCode{
+		"sequence<octet>":             TCOctetSeq,
+		"sequence<string,8>":          SequenceOf(TCString, 8),
+		"long[4]":                     ArrayOf(TCLong, 4),
+		"typedef sequence<zcoctet> B": AliasOf("IDL:b:1.0", "B", TCZCOctetSeq),
+		"interface Store":             ObjRefOf("IDL:s:1.0", "Store"),
+		"Object":                      TCObjRef,
+		"any":                         TCAny,
+		"TypeCode":                    TCTypeCode,
+	}
+	for want, tc := range cases {
+		if got := tc.String(); got != want {
+			t.Fatalf("String() = %q want %q", got, want)
+		}
+	}
+	var nilTC *TypeCode
+	if nilTC.String() != "<nil>" {
+		t.Fatal("nil TypeCode rendering")
+	}
+	if s := structTC().String(); !strings.Contains(s, "struct Frame{") {
+		t.Fatalf("struct rendering %q", s)
+	}
+	if s := EnumOf("IDL:e:1.0", "E", "a", "b").String(); s != "enum E{a,b}" {
+		t.Fatalf("enum rendering %q", s)
+	}
+}

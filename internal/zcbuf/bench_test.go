@@ -1,0 +1,38 @@
+package zcbuf
+
+import "testing"
+
+func BenchmarkPoolGetRelease4K(b *testing.B) {
+	var p Pool
+	for i := 0; i < b.N; i++ {
+		buf, err := p.Get(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Release()
+	}
+}
+
+func BenchmarkPoolGetRelease1M(b *testing.B) {
+	var p Pool
+	for i := 0; i < b.N; i++ {
+		buf, err := p.Get(1 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Release()
+	}
+}
+
+func BenchmarkRetainRelease(b *testing.B) {
+	var p Pool
+	buf, err := p.Get(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer buf.Release()
+	for i := 0; i < b.N; i++ {
+		buf.Retain()
+		buf.Release()
+	}
+}
