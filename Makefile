@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures measure examples generate clean
+.PHONY: all build test race race-all bench bench-all figures measure examples generate clean
 
 all: build test
 
@@ -12,12 +12,23 @@ build:
 test:
 	$(GO) test ./...
 
+# Race-checks the concurrent request engine (shared-connection
+# invokers, pipelining, pending-table striping).
 race:
+	$(GO) test -race ./internal/orb/... ./internal/ttcp/...
+
+race-all:
 	$(GO) test -race ./...
 
-# Regenerates bench_output.txt (deliverable d).
+# Regenerates bench_output.txt and the machine-readable BENCH_orb.json
+# (name -> ns/op, MB/s, B/op, allocs/op) used as the perf gate record.
 bench:
+	$(GO) test -run '^$$' -bench 'Fig5|Fig6|RequestRate' -benchmem . 2>&1 | tee bench_output.txt
+	$(GO) run ./cmd/benchjson -o BENCH_orb.json bench_output.txt
+
+bench-all:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+	$(GO) run ./cmd/benchjson -o BENCH_orb.json bench_output.txt
 
 # Paper figures/tables from the calibrated model (fast, deterministic).
 figures:

@@ -280,6 +280,80 @@ func benchTranscoder(b *testing.B, zc bool) {
 func BenchmarkTranscoderZeroCopy(b *testing.B) { benchTranscoder(b, true) }
 func BenchmarkTranscoderStandard(b *testing.B) { benchTranscoder(b, false) }
 
+// --- Request rate: per-request software overhead ---------------------------
+
+// benchWindows are the pipelining depths of the request-rate series:
+// window 1 is one request per round trip; deeper windows keep the pipe
+// full and expose the per-request software overhead directly.
+var benchWindows = []int{1, 8, 32}
+
+// BenchmarkRequestRate_ZC4K sends 4 KiB zero-copy blocks at each
+// window depth. allocs/op here is the steady-state allocation count of
+// the whole request/reply engine (client and server share the
+// process); docs/PERF.md records the gated budget.
+func BenchmarkRequestRate_ZC4K(b *testing.B) {
+	for _, w := range benchWindows {
+		b.Run(fmt.Sprintf("window%d", w), func(b *testing.B) {
+			sink, err := ttcp.NewCorbaSink(zcStack(), true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sink.Close()
+			client, err := orb.New(orb.Options{Transport: zcStack(), ZeroCopy: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Shutdown()
+			b.SetBytes(4 << 10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := ttcp.CorbaSendWindow(client, sink.IOR, 4<<10, b.N, w, true); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if n := client.Stats().PayloadCopyBytes.Load() +
+				sink.ORB.Stats().PayloadCopyBytes.Load(); n != 0 {
+				b.Fatalf("zero-copy bench copied %d payload bytes", n)
+			}
+		})
+	}
+}
+
+// BenchmarkRequestRate_Ping invokes the no-payload _get_received
+// attribute at each window depth: pure per-request GIOP overhead, no
+// payload at all.
+func BenchmarkRequestRate_Ping(b *testing.B) {
+	for _, w := range benchWindows {
+		b.Run(fmt.Sprintf("window%d", w), func(b *testing.B) {
+			sink, err := ttcp.NewCorbaSink(zcStack(), true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sink.Close()
+			client, err := orb.New(orb.Options{Transport: zcStack(), ZeroCopy: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Shutdown()
+			ref, err := client.StringToObject(sink.IOR)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := ref.Pipeline(media.Media_StoreIface.Ops["_get_received"], w)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := p.Submit(nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := p.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // --- micro: the marshal engine itself --------------------------------------
 
 // BenchmarkMarshalLoop measures the general per-element interpreter

@@ -1,0 +1,135 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// machine-readable JSON benchmark report. It reads benchmark result
+// lines from a file (or stdin) and writes a JSON object mapping each
+// benchmark name to its measured series:
+//
+//	go test -bench 'Fig5|Fig6|RequestRate' -benchmem ./... | tee bench_output.txt
+//	go run ./cmd/benchjson -o BENCH_orb.json bench_output.txt
+//
+// The output is what `make bench` publishes as BENCH_orb.json: the
+// per-configuration ns/op, MB/s, B/op and allocs/op series gating the
+// allocation-free hot path.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_orb.json", "output JSON path (- for stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	entries, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "-" {
+		names := make([]string, 0, len(entries))
+		for n := range entries {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("benchjson: wrote %d benchmarks to %s (%s ... %s)\n",
+			len(entries), *out, names[0], names[len(names)-1])
+	}
+}
+
+// parse extracts benchmark result lines. A line looks like
+//
+//	BenchmarkName-8   1234   5678 ns/op   90.1 MB/s   23 B/op   4 allocs/op
+//
+// with the MB/s, B/op and allocs/op fields each optional.
+func parse(r io.Reader) (map[string]Entry, error) {
+	entries := make(map[string]Entry)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+				ok = true
+			case "MB/s":
+				e.MBPerSec = v
+			case "B/op":
+				e.BytesPerOp = int64(v)
+			case "allocs/op":
+				e.AllocsPerOp = int64(v)
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix from the name.
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		entries[name] = e
+	}
+	return entries, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ByteOrder identifies the byte order of a CDR stream.
@@ -67,6 +68,39 @@ type Encoder struct {
 // with buf[0] lying at absolute stream offset base.
 func NewEncoder(order ByteOrder, base int) *Encoder {
 	return &Encoder{order: order, base: base}
+}
+
+// Reset empties the encoder for reuse, keeping its buffer capacity.
+func (e *Encoder) Reset(order ByteOrder, base int) {
+	e.buf = e.buf[:0]
+	e.order = order
+	e.base = base
+}
+
+// maxPooledEncoder bounds the capacity of buffers retained by the
+// encoder pool so a single huge standard-path body cannot pin memory
+// indefinitely; larger buffers are left to the garbage collector.
+const maxPooledEncoder = 1 << 20
+
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns a pooled Encoder reset to the given order and
+// base. Pair with PutEncoder once the encoded bytes have been consumed
+// (Bytes aliases the encoder's buffer, so the slice is dead after
+// PutEncoder).
+func GetEncoder(order ByteOrder, base int) *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset(order, base)
+	return e
+}
+
+// PutEncoder returns an encoder to the pool. The caller must not use
+// the encoder, or any slice obtained from Bytes, afterwards.
+func PutEncoder(e *Encoder) {
+	if e == nil || cap(e.buf) > maxPooledEncoder {
+		return
+	}
+	encoderPool.Put(e)
 }
 
 // Order reports the encoder's byte order.
@@ -200,6 +234,34 @@ type Decoder struct {
 // with buf[0] lying at absolute stream offset base.
 func NewDecoder(order ByteOrder, base int, buf []byte) *Decoder {
 	return &Decoder{order: order, base: base, buf: buf}
+}
+
+// Reset repoints the decoder at buf for reuse.
+func (d *Decoder) Reset(order ByteOrder, base int, buf []byte) {
+	d.buf = buf
+	d.pos = 0
+	d.base = base
+	d.order = order
+}
+
+var decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+
+// GetDecoder returns a pooled Decoder reading buf. Pair with
+// PutDecoder once decoding is complete.
+func GetDecoder(order ByteOrder, base int, buf []byte) *Decoder {
+	d := decoderPool.Get().(*Decoder)
+	d.Reset(order, base, buf)
+	return d
+}
+
+// PutDecoder returns a decoder to the pool, dropping its reference to
+// the underlying buffer.
+func PutDecoder(d *Decoder) {
+	if d == nil {
+		return
+	}
+	d.buf = nil
+	decoderPool.Put(d)
 }
 
 // Order reports the decoder's byte order.

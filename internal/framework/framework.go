@@ -148,6 +148,11 @@ func (f *Farm) Size() int { return len(f.stubs) }
 // Transcode pushes the frames through the farm and returns one result
 // per frame, in input order, plus aggregate statistics. Frame buffers
 // are released by the farm after their transfer completes.
+//
+// Each worker is driven by one goroutine holding an orb.Pipeline with
+// an InFlight-deep window: instead of InFlight goroutines blocking on
+// synchronous invocations, the requests themselves overlap on the
+// wire, keeping both the deposit channel and the remote encoder busy.
 func (f *Farm) Transcode(frames []Frame) ([]Result, Stats, error) {
 	if len(f.stubs) == 0 {
 		return nil, Stats{}, fmt.Errorf("framework: empty farm")
@@ -167,23 +172,30 @@ func (f *Farm) Transcode(frames []Frame) ([]Result, Stats, error) {
 
 	start := time.Now()
 	for wi, stub := range f.stubs {
-		for k := 0; k < inflight; k++ {
-			wg.Add(1)
-			go func(wi int, stub media.Media_EncoderStub) {
-				defer wg.Done()
-				for j := range queue {
-					inBytes.Add(int64(j.f.Data.Len()))
-					coded, err := stub.Encode(j.f.Info, j.f.Data)
-					j.f.Data.Release()
-					res := Result{Info: j.f.Info, Worker: wi, Err: err}
-					if err == nil {
-						res.Data = coded
-						outBytes.Add(int64(coded.Len()))
-					}
-					results[j.idx] = res
+		wg.Add(1)
+		go func(wi int, stub media.Media_EncoderStub) {
+			defer wg.Done()
+			p := stub.Ref.Pipeline(media.EncodeOp, inflight)
+			for j := range queue {
+				idx, info, data := j.idx, j.f.Info, j.f.Data
+				inBytes.Add(int64(data.Len()))
+				err := p.Submit(media.EncodeArgs(info, data),
+					func(result any, _ []any, err error) {
+						data.Release()
+						res := Result{Info: info, Worker: wi, Err: media.EncodeError(err)}
+						if err == nil {
+							res.Data = result.(*zcbuf.Buffer)
+							outBytes.Add(int64(res.Data.Len()))
+						}
+						results[idx] = res
+					})
+				if err != nil {
+					data.Release()
+					results[idx] = Result{Info: info, Worker: wi, Err: err}
 				}
-			}(wi, stub)
-		}
+			}
+			_ = p.Flush()
+		}(wi, stub)
 	}
 	for i, fr := range frames {
 		queue <- job{idx: i, f: fr}
@@ -223,21 +235,28 @@ func (f *Farm) TranscodeStream(in <-chan Frame) (<-chan Result, error) {
 	out := make(chan Result, len(f.stubs)*inflight)
 	var wg sync.WaitGroup
 	for wi, stub := range f.stubs {
-		for k := 0; k < inflight; k++ {
-			wg.Add(1)
-			go func(wi int, stub media.Media_EncoderStub) {
-				defer wg.Done()
-				for fr := range in {
-					coded, err := stub.Encode(fr.Info, fr.Data)
-					fr.Data.Release()
-					res := Result{Info: fr.Info, Worker: wi, Err: err}
-					if err == nil {
-						res.Data = coded
-					}
-					out <- res
+		wg.Add(1)
+		go func(wi int, stub media.Media_EncoderStub) {
+			defer wg.Done()
+			p := stub.Ref.Pipeline(media.EncodeOp, inflight)
+			for fr := range in {
+				info, data := fr.Info, fr.Data
+				err := p.Submit(media.EncodeArgs(info, data),
+					func(result any, _ []any, err error) {
+						data.Release()
+						res := Result{Info: info, Worker: wi, Err: media.EncodeError(err)}
+						if err == nil {
+							res.Data = result.(*zcbuf.Buffer)
+						}
+						out <- res
+					})
+				if err != nil {
+					data.Release()
+					out <- Result{Info: info, Worker: wi, Err: err}
 				}
-			}(wi, stub)
-		}
+			}
+			_ = p.Flush()
+		}(wi, stub)
 	}
 	go func() {
 		wg.Wait()

@@ -1,0 +1,32 @@
+// Hand-written companions to the generated stubs for asynchronous and
+// pipelined invocation (orb.ObjectRef.InvokeAsync / orb.Pipeline),
+// which need the raw operation descriptor and argument encoding the
+// synchronous stub methods keep private.
+package media
+
+import (
+	"zcorba/internal/orb"
+	"zcorba/internal/zcbuf"
+)
+
+// EncodeOp is the runtime operation descriptor of
+// Media::Encoder::encode.
+var EncodeOp = Media_EncoderIface.Ops["encode"]
+
+// EncodeArgs builds the argument list for an encode invocation,
+// matching the generated stub's marshaling.
+func EncodeArgs(info Media_FrameInfo, frame *zcbuf.Buffer) []any {
+	return []any{media_FrameInfo_toAny(info), frame}
+}
+
+// EncodeError maps a raw invocation error to the typed exceptions the
+// generated Encode stub method returns.
+func EncodeError(err error) error {
+	if ue, ok := err.(*orb.UserException); ok {
+		if ue.Type.RepoID() == "IDL:zcorba/Media/TransferError:1.0" {
+			ex := media_TransferError_fromAny(ue.Fields)
+			return &ex
+		}
+	}
+	return err
+}

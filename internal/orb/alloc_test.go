@@ -1,0 +1,55 @@
+package orb
+
+import (
+	"testing"
+
+	"zcorba/internal/zcbuf"
+)
+
+// allocBudget gates the steady-state heap allocation count of one
+// zero-copy invoke, client and server sides combined (both ORBs share
+// the test process, so testing.Benchmark sees the whole round trip).
+// The pre-pooling engine measured 70 allocs/op; the pooled engine
+// measures ~25. The budget sits at the 50%-reduction line, so a change
+// that re-introduces per-request garbage fails loudly while normal
+// jitter does not.
+const allocBudget = 35
+
+// TestInvokeAllocsGate is the allocation regression gate of the
+// allocation-free hot path: see docs/PERF.md for the ownership rules
+// that make the budget reachable.
+func TestInvokeAllocsGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate skipped in -short mode")
+	}
+	p := tcpPair(t, true)
+	op := storeIface.Ops["put"]
+	buf := zcbuf.Wrap(pattern(4096))
+	want := checksum(buf.Bytes())
+
+	// Warm the connection and every pool before measuring.
+	for i := 0; i < 64; i++ {
+		res, _, err := p.ref.Invoke(op, []any{buf})
+		if err != nil {
+			t.Fatalf("warmup invoke: %v", err)
+		}
+		if res.(uint32) != want {
+			t.Fatalf("warmup checksum: got %d want %d", res, want)
+		}
+	}
+
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := p.ref.Invoke(op, []any{buf}); err != nil {
+				b.Fatalf("invoke: %v", err)
+			}
+		}
+	})
+	if allocs := res.AllocsPerOp(); allocs > allocBudget {
+		t.Fatalf("steady-state ZC invoke allocates %d objects/op, budget %d",
+			allocs, allocBudget)
+	} else {
+		t.Logf("steady-state ZC invoke: %d allocs/op, %d B/op (budget %d)",
+			allocs, res.AllocedBytesPerOp(), allocBudget)
+	}
+}

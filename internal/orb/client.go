@@ -2,6 +2,8 @@ package orb
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"zcorba/internal/cdr"
 	"zcorba/internal/giop"
@@ -12,9 +14,35 @@ import (
 
 // ObjectRef is a client-side reference to a (possibly remote) CORBA
 // object: the IIOPProxy role in the paper's Figure 3/4 data path.
+//
+// The reference caches its resolved connections (one per stripe when
+// the ORB is configured with ConnsPerEndpoint > 1) so steady-state
+// invocations skip the ORB's connection table entirely.
 type ObjectRef struct {
 	orb *ORB
 	ior ior.IOR
+
+	// Decoded profile components, cached on first use: IORs are
+	// immutable, so re-decoding them per invocation is pure overhead.
+	resolveOnce sync.Once
+	profile     ior.IIOPProfile
+	hasProfile  bool
+	zcDep       ior.ZCDeposit
+	hasZC       bool
+
+	connMu sync.Mutex
+	conns  []*conn
+	rr     atomic.Uint32
+}
+
+// resolved decodes and caches the reference's IIOP profile and
+// zero-copy deposit component.
+func (r *ObjectRef) resolved() (ior.IIOPProfile, bool) {
+	r.resolveOnce.Do(func() {
+		r.profile, r.hasProfile = r.ior.IIOP()
+		r.zcDep, r.hasZC = r.ior.ZCDeposit()
+	})
+	return r.profile, r.hasProfile
 }
 
 // IOR returns the underlying interoperable object reference.
@@ -38,18 +66,100 @@ func (r *ObjectRef) Invoke(op *Operation, args []any) (any, []any, error) {
 }
 
 func (r *ObjectRef) invoke(op *Operation, args []any, forwards int) (any, []any, error) {
+	call := r.start(op, args)
+	res, outs, err := call.wait(forwards)
+	freeCall(call)
+	return res, outs, err
+}
+
+// Call is an in-flight invocation started with InvokeAsync: the
+// pipelined mode's unit of work. A Call is owned by one goroutine;
+// Wait must be called exactly once.
+type Call struct {
+	ref     *ObjectRef
+	op      *Operation
+	args    []any
+	conn    *conn
+	id      uint32
+	ch      chan *replyMsg
+	done    bool
+	result  any
+	outs    []any
+	err     error
+	onReply ReplyFunc
+}
+
+// callPool recycles Call envelopes for the synchronous and pipelined
+// paths (async callers who drop a Call leave it to the GC).
+var callPool = sync.Pool{New: func() any { return new(Call) }}
+
+func freeCall(c *Call) {
+	*c = Call{}
+	callPool.Put(c)
+}
+
+// InvokeAsync begins an invocation of op without waiting for the
+// reply. The returned Call must be completed with Wait (exactly once).
+// Any immediate failure — marshal error, dead connection — is deferred
+// to Wait, so callers can fire a window of requests and collect
+// results in order. The argument buffers must stay live until Wait
+// returns for oneway operations, and may be reused as soon as
+// InvokeAsync returns otherwise (the request body and payloads are
+// fully written before it returns).
+func (r *ObjectRef) InvokeAsync(op *Operation, args []any) *Call {
+	return r.start(op, args)
+}
+
+// Wait completes the invocation, blocking for the reply if it has not
+// arrived yet.
+func (c *Call) Wait() (any, []any, error) { return c.wait(0) }
+
+func (c *Call) wait(forwards int) (any, []any, error) {
+	if c.done {
+		return c.result, c.outs, c.err
+	}
+	c.done = true
+	msg, err := c.conn.awaitReply(c.id, c.ch, c.ref.orb.opts.CallTimeout)
+	if err != nil {
+		c.err = err
+		return nil, nil, err
+	}
+	c.result, c.outs, c.err = c.ref.decodeReply(c.op, msg, c.args, forwards)
+	c.ref.orb.freeReply(msg)
+	return c.result, c.outs, c.err
+}
+
+// failedCall returns a completed Call carrying err.
+func (r *ObjectRef) failedCall(op *Operation, err error) *Call {
+	call := callPool.Get().(*Call)
+	call.ref, call.op, call.done, call.err = r, op, true, err
+	return call
+}
+
+// doneCall returns a completed Call carrying a local result.
+func (r *ObjectRef) doneCall(op *Operation, result any, outs []any, err error) *Call {
+	call := callPool.Get().(*Call)
+	call.ref, call.op, call.done = r, op, true
+	call.result, call.outs, call.err = result, outs, err
+	return call
+}
+
+// start marshals and sends the request, registering the reply slot for
+// response-expected operations. It never blocks on the peer beyond the
+// socket write.
+func (r *ObjectRef) start(op *Operation, args []any) *Call {
 	o := r.orb
 
-	profile, ok := r.ior.IIOP()
+	profile, ok := r.resolved()
 	if !ok {
-		return nil, nil, &SystemException{Name: "INV_OBJREF", Completed: CompletedNo}
+		return r.failedCall(op, &SystemException{Name: "INV_OBJREF", Completed: CompletedNo})
 	}
-	key := string(profile.ObjectKey)
 
 	// Collocation bypass (§2.1): local calls skip marshaling entirely.
 	if o.opts.Collocation && profile.Host == o.ctrlHost && profile.Port == o.ctrlPort {
-		if s, found := o.servant(key); found {
-			return o.invokeLocal(s, op, args)
+		if s, found := o.servant(string(profile.ObjectKey)); found {
+			result, outs, err := o.invokeLocal(s, op, args)
+			return r.doneCall(op, result, outs, err)
 		}
 	}
 
@@ -57,21 +167,19 @@ func (r *ObjectRef) invoke(op *Operation, args []any, forwards int) (any, []any,
 	// match (the homogeneity negotiation of §2.1; on mismatch the
 	// call transparently falls back to standard IIOP marshaling).
 	var zc *ior.ZCDeposit
-	if o.opts.ZeroCopy {
-		if dep, has := r.ior.ZCDeposit(); has && dep.Arch == o.arch {
-			zc = &dep
-		}
+	if o.opts.ZeroCopy && r.hasZC && r.zcDep.Arch == o.arch {
+		zc = &r.zcDep
 	}
 
-	c, err := o.getConn(dialAddr(profile.Host, profile.Port), zc)
+	c, err := r.getConn(profile, zc)
 	if err != nil {
-		return nil, nil, err
+		return r.failedCall(op, err)
 	}
 
 	inParams := op.InParams()
-	inTypes := paramTypes(inParams)
+	inTypes := op.inTypeList()
 	if len(args) != len(inParams) {
-		return nil, nil, &SystemException{Name: "BAD_PARAM", Completed: CompletedNo}
+		return r.failedCall(op, &SystemException{Name: "BAD_PARAM", Completed: CompletedNo})
 	}
 	useZC := c.data != nil
 
@@ -87,7 +195,7 @@ func (r *ObjectRef) invoke(op *Operation, args []any, forwards int) (any, []any,
 		var sizes []uint32
 		payloads, sizes, err = collectDeposits(inTypes, args)
 		if err != nil {
-			return nil, nil, &SystemException{Name: "MARSHAL", Completed: CompletedNo}
+			return r.failedCall(op, &SystemException{Name: "MARSHAL", Completed: CompletedNo})
 		}
 		// Announce the data channel on every request (even with no ZC
 		// parameters) so the server can deposit zero-copy replies.
@@ -95,10 +203,11 @@ func (r *ObjectRef) invoke(op *Operation, args []any, forwards int) (any, []any,
 			Arch: o.arch, Token: c.dataToken, Sizes: sizes,
 		}.Encode())
 	}
-	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 	req.Marshal(e)
 	if err := o.marshalValues(e, inTypes, args, useZC); err != nil {
-		return nil, nil, &SystemException{Name: "MARSHAL", Completed: CompletedNo}
+		cdr.PutEncoder(e)
+		return r.failedCall(op, &SystemException{Name: "MARSHAL", Completed: CompletedNo})
 	}
 	body := e.Bytes()
 
@@ -106,17 +215,20 @@ func (r *ObjectRef) invoke(op *Operation, args []any, forwards int) (any, []any,
 	if !op.Oneway {
 		ch, err = c.register(req.RequestID)
 		if err != nil {
-			return nil, nil, &SystemException{Name: "COMM_FAILURE", Completed: CompletedNo}
+			cdr.PutEncoder(e)
+			return r.failedCall(op, &SystemException{Name: "COMM_FAILURE", Completed: CompletedNo})
 		}
 	}
 	o.stats.RequestsSent.Add(1)
 	if err := c.sendMessage(giop.MsgRequest, body, payloads); err != nil {
+		cdr.PutEncoder(e)
 		if ch != nil {
 			c.unregister(req.RequestID)
 		}
 		c.close(err)
-		return nil, nil, &SystemException{Name: "COMM_FAILURE", Completed: CompletedMaybe}
+		return r.failedCall(op, &SystemException{Name: "COMM_FAILURE", Completed: CompletedMaybe})
 	}
+	cdr.PutEncoder(e)
 	if o.opts.OnRequestSent != nil {
 		total := 0
 		for _, p := range payloads {
@@ -125,23 +237,54 @@ func (r *ObjectRef) invoke(op *Operation, args []any, forwards int) (any, []any,
 		o.opts.OnRequestSent(op.Name, total)
 	}
 	if op.Oneway {
-		return nil, nil, nil
+		return r.doneCall(op, nil, nil, nil)
 	}
-
-	msg, err := c.awaitReply(req.RequestID, ch, o.opts.CallTimeout)
-	if err != nil {
-		return nil, nil, err
-	}
-	return r.decodeReply(op, msg, args, forwards)
+	call := callPool.Get().(*Call)
+	call.ref, call.op, call.args = r, op, args
+	call.conn, call.id, call.ch = c, req.RequestID, ch
+	return call
 }
 
-// decodeReply interprets a reply message for op.
+// getConn returns a healthy connection for this reference, consulting
+// the per-ref cache first and rotating across the ORB's connection
+// stripes when ConnsPerEndpoint > 1.
+func (r *ObjectRef) getConn(profile ior.IIOPProfile, zc *ior.ZCDeposit) (*conn, error) {
+	o := r.orb
+	stripes := o.connStripes()
+	stripe := 0
+	if stripes > 1 {
+		stripe = int(r.rr.Add(1)) % stripes
+	}
+	r.connMu.Lock()
+	if stripe < len(r.conns) {
+		if c := r.conns[stripe]; c != nil && c.healthy() {
+			r.connMu.Unlock()
+			return c, nil
+		}
+	}
+	r.connMu.Unlock()
+	c, err := o.dialConn(dialAddr(profile.Host, profile.Port), zc, stripe)
+	if err != nil {
+		return nil, err
+	}
+	r.connMu.Lock()
+	for len(r.conns) < stripes {
+		r.conns = append(r.conns, nil)
+	}
+	r.conns[stripe] = c
+	r.connMu.Unlock()
+	return c, nil
+}
+
+// decodeReply interprets a reply message for op. It consumes the
+// message's deposits (handing them to the caller on the success path)
+// but not the message itself; the caller frees it.
 func (r *ObjectRef) decodeReply(op *Operation, msg *replyMsg, args []any,
 	forwards int) (any, []any, error) {
 	o := r.orb
 	switch msg.hdr.Status {
 	case giop.ReplyNoException:
-		types := replyTypes(op)
+		types := op.replyTypeList()
 		vals, leftover, err := o.unmarshalValues(msg.dec, types, msg.deposits,
 			len(msg.deposits) > 0)
 		if err != nil {

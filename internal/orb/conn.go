@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zcorba/internal/cdr"
@@ -23,6 +24,11 @@ import (
 // streams observe the same order; the receiver's read loop reads the
 // deposit inline right after parsing the control message (the second
 // callback of §4.5), which preserves that order end to end.
+//
+// The pending-reply table is striped across pendingShards independent
+// locks so concurrent invokers sharing the connection do not serialize
+// on a single mutex (per-message software overhead, the modern cousin
+// of the paper's per-byte copies).
 type conn struct {
 	orb       *ORB
 	ctrl      transport.Conn
@@ -31,34 +37,119 @@ type conn struct {
 	isServer  bool
 
 	sendMu sync.Mutex
+	// Send-path scratch, guarded by sendMu: reusing the header buffer
+	// and gather segment list keeps steady-state sends allocation-free.
+	hdrBuf [giop.HeaderSize]byte
+	segs   [2][]byte
 
-	mu            sync.Mutex
-	pending       map[uint32]chan *replyMsg
-	pendingLocate map[uint32]chan giop.LocateReplyHeader
+	// rhdr is the header read scratch, owned by the read loop.
+	rhdr [giop.HeaderSize]byte
+
+	closed atomic.Bool
+
+	mu            sync.Mutex // guards err and pendingLocate
+	pendingLocate map[uint32]chan locateResult
 	err           error
+
+	pending [pendingShards]pendingShard
 
 	closeOnce sync.Once
 }
 
-// replyMsg carries a decoded Reply to the waiting invoker.
+// pendingShards stripes the reply table; must be a power of two.
+const pendingShards = 16
+
+// pendingShard is one stripe of the pending-reply table, padded so
+// adjacent shards do not share a cache line.
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint32]chan *replyMsg
+	_  [40]byte
+}
+
+// locateResult carries a LocateReply (or the connection's close error)
+// to the waiting locate caller.
+type locateResult struct {
+	hdr giop.LocateReplyHeader
+	err error
+}
+
+// replyMsg carries a decoded Reply to the waiting invoker. body is the
+// pooled control-message buffer the decoder reads from; both return to
+// their pools via ORB.freeReply once the reply is fully decoded.
 type replyMsg struct {
 	hdr      giop.ReplyHeader
 	dec      *cdr.Decoder
 	deposits []*zcbuf.Buffer
+	body     []byte
 	err      error
 }
 
+// replyMsgPool recycles replyMsg envelopes on the reply hot path.
+var replyMsgPool = sync.Pool{New: func() any { return new(replyMsg) }}
+
+// replyChanPool recycles the single-slot reply channels handed to
+// invokers. A channel is only returned to the pool by the receiver
+// after it has consumed the (sole) message, never on the timeout path,
+// so a pooled channel is always empty.
+var replyChanPool = sync.Pool{New: func() any { return make(chan *replyMsg, 1) }}
+
+// timerPool recycles timeout timers: time.After allocates a timer and
+// channel per call, which would dominate otherwise allocation-free
+// reply waits. Requires the Go 1.23+ timer semantics (go directive >=
+// 1.23), under which Stop guarantees no stale value is ever delivered,
+// so a pooled timer's channel is always empty.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	t.Stop()
+	timerPool.Put(t)
+}
+
+// freeReply returns a reply envelope and its pooled resources. The
+// caller must have consumed or released the deposits already.
+func (o *ORB) freeReply(msg *replyMsg) {
+	if msg == nil {
+		return
+	}
+	if msg.dec != nil {
+		cdr.PutDecoder(msg.dec)
+	}
+	if msg.body != nil {
+		o.putBody(msg.body)
+	}
+	*msg = replyMsg{}
+	replyMsgPool.Put(msg)
+}
+
 func newConn(o *ORB, tc transport.Conn, isServer bool) *conn {
-	return &conn{
+	c := &conn{
 		orb:           o,
 		ctrl:          tc,
 		isServer:      isServer,
-		pending:       make(map[uint32]chan *replyMsg),
-		pendingLocate: make(map[uint32]chan giop.LocateReplyHeader),
+		pendingLocate: make(map[uint32]chan locateResult),
 	}
+	for i := range c.pending {
+		c.pending[i].m = make(map[uint32]chan *replyMsg)
+	}
+	return c
 }
 
-// close tears the connection down exactly once and fails all waiters.
+// shard returns the pending-table stripe for a request id.
+func (c *conn) shard(id uint32) *pendingShard {
+	return &c.pending[id&(pendingShards-1)]
+}
+
+// close tears the connection down exactly once and fails all waiters:
+// pending reply and locate waiters alike observe the close error.
 func (c *conn) close(err error) {
 	c.closeOnce.Do(func() {
 		if err == nil {
@@ -66,13 +157,26 @@ func (c *conn) close(err error) {
 		}
 		c.mu.Lock()
 		c.err = err
-		waiters := c.pending
-		c.pending = map[uint32]chan *replyMsg{}
 		locWaiters := c.pendingLocate
-		c.pendingLocate = map[uint32]chan giop.LocateReplyHeader{}
+		c.pendingLocate = map[uint32]chan locateResult{}
 		c.mu.Unlock()
+		// Publish the closed flag before sweeping the shards: register
+		// either lands in a shard before the sweep (and is failed
+		// below) or observes closed afterwards.
+		c.closed.Store(true)
+		var waiters []chan *replyMsg
+		for i := range c.pending {
+			s := &c.pending[i]
+			s.mu.Lock()
+			for _, ch := range s.m {
+				waiters = append(waiters, ch)
+			}
+			s.m = map[uint32]chan *replyMsg{}
+			s.mu.Unlock()
+		}
+		commErr := &SystemException{Name: "COMM_FAILURE", Completed: CompletedMaybe}
 		for _, ch := range locWaiters {
-			close(ch)
+			ch <- locateResult{err: commErr}
 		}
 		_ = c.ctrl.Close()
 		if c.data != nil {
@@ -82,51 +186,76 @@ func (c *conn) close(err error) {
 			c.orb.dropDataChan(c.dataToken)
 		}
 		for _, ch := range waiters {
-			ch <- &replyMsg{err: &SystemException{Name: "COMM_FAILURE", Completed: CompletedMaybe}}
+			ch <- &replyMsg{err: commErr}
 		}
 	})
 }
 
 // healthy reports whether the connection is still usable.
-func (c *conn) healthy() bool {
+func (c *conn) healthy() bool { return !c.closed.Load() }
+
+// closeErr returns the error the connection closed with.
+func (c *conn) closeErr() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.err == nil
+	if c.err == nil {
+		return errors.New("orb: connection closed")
+	}
+	return c.err
 }
 
 // register adds a pending reply slot for a request id.
 func (c *conn) register(id uint32) (chan *replyMsg, error) {
-	ch := make(chan *replyMsg, 1)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return nil, c.err
+	s := c.shard(id)
+	s.mu.Lock()
+	if c.closed.Load() {
+		s.mu.Unlock()
+		return nil, c.closeErr()
 	}
-	c.pending[id] = ch
+	ch := replyChanPool.Get().(chan *replyMsg)
+	s.m[id] = ch
+	s.mu.Unlock()
 	return ch, nil
 }
 
-// unregister abandons a pending reply slot (timeout path).
-func (c *conn) unregister(id uint32) {
-	c.mu.Lock()
-	delete(c.pending, id)
-	c.mu.Unlock()
+// unregister abandons a pending reply slot (timeout path). It reports
+// whether the slot was still registered; if not, a delivery is already
+// in flight and the channel must not be recycled.
+func (c *conn) unregister(id uint32) bool {
+	s := c.shard(id)
+	s.mu.Lock()
+	_, ok := s.m[id]
+	delete(s.m, id)
+	s.mu.Unlock()
+	return ok
 }
 
-// deliver hands a reply to its waiter, releasing deposits if nobody is
-// waiting anymore.
+// deliver hands a reply to its waiter, releasing everything if nobody
+// is waiting anymore.
 func (c *conn) deliver(msg *replyMsg) {
-	c.mu.Lock()
-	ch := c.pending[msg.hdr.RequestID]
-	delete(c.pending, msg.hdr.RequestID)
-	c.mu.Unlock()
+	s := c.shard(msg.hdr.RequestID)
+	s.mu.Lock()
+	ch := s.m[msg.hdr.RequestID]
+	delete(s.m, msg.hdr.RequestID)
+	s.mu.Unlock()
 	if ch == nil {
-		for _, b := range msg.deposits {
-			b.Release()
-		}
+		releaseAll(msg.deposits)
+		c.orb.freeReply(msg)
 		return
 	}
+	c.orb.stats.RepliesReceived.Add(1)
 	ch <- msg
+}
+
+// errTooLarge marks messages rejected by the configured size bound; the
+// read loop answers them with a GIOP MessageError.
+type errTooLarge struct {
+	size int64
+	max  int
+}
+
+func (e *errTooLarge) Error() string {
+	return fmt.Sprintf("message size %d exceeds limit %d", e.size, e.max)
 }
 
 // sendMessage writes a GIOP message (header gather-joined with body)
@@ -137,20 +266,26 @@ func (c *conn) deliver(msg *replyMsg) {
 func (c *conn) sendMessage(t giop.MsgType, body []byte, payloads [][]byte) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	max := c.orb.maxMessageSize()
 	thresh := c.orb.fragmentThreshold()
 	if (t == giop.MsgRequest || t == giop.MsgReply) && thresh > 0 && len(body) > thresh {
-		if err := c.sendFragmented(t, body, thresh); err != nil {
+		if err := c.sendFragmented(t, body, thresh, max); err != nil {
 			return err
 		}
 	} else {
-		var hdr [giop.HeaderSize]byte
-		giop.EncodeHeader(hdr[:], giop.Header{
+		if len(body) > max {
+			return &errTooLarge{size: int64(len(body)), max: max}
+		}
+		giop.EncodeHeader(c.hdrBuf[:], giop.Header{
 			Major: 1, Minor: 0,
 			Flags: byte(cdr.NativeOrder),
 			Type:  t,
 			Size:  uint32(len(body)),
 		})
-		if _, err := c.ctrl.WriteGather(hdr[:], body); err != nil {
+		c.segs[0], c.segs[1] = c.hdrBuf[:], body
+		_, err := c.ctrl.WriteGather(c.segs[:]...)
+		c.segs[1] = nil
+		if err != nil {
 			return err
 		}
 	}
@@ -172,8 +307,12 @@ func (c *conn) sendMessage(t giop.MsgType, body []byte, payloads [][]byte) error
 }
 
 // sendFragmented emits body as an initial message plus Fragment
-// continuations, chunked at thresh bytes. The caller holds sendMu.
-func (c *conn) sendFragmented(t giop.MsgType, body []byte, thresh int) error {
+// continuations, chunked at thresh bytes and bounded by max. The
+// caller holds sendMu.
+func (c *conn) sendFragmented(t giop.MsgType, body []byte, thresh, max int) error {
+	if len(body) > max {
+		return &errTooLarge{size: int64(len(body)), max: max}
+	}
 	first := true
 	for len(body) > 0 {
 		chunk := body
@@ -193,9 +332,11 @@ func (c *conn) sendFragmented(t giop.MsgType, body []byte, thresh int) error {
 		if len(body) > 0 {
 			h.Flags |= giop.FlagMoreFragments
 		}
-		var hdr [giop.HeaderSize]byte
-		giop.EncodeHeader(hdr[:], h)
-		if _, err := c.ctrl.WriteGather(hdr[:], chunk); err != nil {
+		giop.EncodeHeader(c.hdrBuf[:], h)
+		c.segs[0], c.segs[1] = c.hdrBuf[:], chunk
+		_, err := c.ctrl.WriteGather(c.segs[:]...)
+		c.segs[1] = nil
+		if err != nil {
 			return err
 		}
 		first = false
@@ -203,34 +344,47 @@ func (c *conn) sendFragmented(t giop.MsgType, body []byte, thresh int) error {
 	return nil
 }
 
-// readMessage reads one logical GIOP message, reassembling 1.1-style
-// fragments.
+// readMessage reads one logical GIOP message into a pooled body
+// buffer, reassembling 1.1-style fragments. Every declared size is
+// checked against the ORB's configured bound before any allocation, so
+// a corrupt or hostile header cannot drive an arbitrary allocation;
+// violations surface as *errTooLarge, which the read loop converts
+// into a GIOP MessageError.
 func (c *conn) readMessage() (giop.Header, []byte, error) {
-	hdr, err := giop.ReadHeader(c.ctrl)
+	hdr, err := giop.ReadHeaderBuf(c.ctrl, c.rhdr[:])
 	if err != nil {
 		return hdr, nil, err
 	}
-	body := make([]byte, hdr.Size)
+	max := c.orb.maxMessageSize()
+	if int64(hdr.Size) > int64(max) {
+		return hdr, nil, &errTooLarge{size: int64(hdr.Size), max: max}
+	}
+	body := c.orb.getBody(int(hdr.Size))
 	if _, err := io.ReadFull(c.ctrl, body); err != nil {
+		c.orb.putBody(body)
 		return hdr, nil, fmt.Errorf("orb: reading %v body: %w", hdr.Type, err)
 	}
 	more := hdr.MoreFragments()
 	for more {
-		fh, err := giop.ReadHeader(c.ctrl)
+		fh, err := giop.ReadHeaderBuf(c.ctrl, c.rhdr[:])
 		if err != nil {
+			c.orb.putBody(body)
 			return hdr, nil, err
 		}
 		if fh.Type != giop.MsgFragment {
+			c.orb.putBody(body)
 			return hdr, nil, fmt.Errorf("orb: expected Fragment, got %v", fh.Type)
 		}
-		if int64(len(body))+int64(fh.Size) > giop.MaxMessageSize {
-			return hdr, nil, fmt.Errorf("orb: fragmented message exceeds limit")
+		if int64(len(body))+int64(fh.Size) > int64(max) {
+			c.orb.putBody(body)
+			return hdr, nil, &errTooLarge{size: int64(len(body)) + int64(fh.Size), max: max}
 		}
-		frag := make([]byte, fh.Size)
-		if _, err := io.ReadFull(c.ctrl, frag); err != nil {
+		off := len(body)
+		body = append(body, make([]byte, fh.Size)...)
+		if _, err := io.ReadFull(c.ctrl, body[off:]); err != nil {
+			c.orb.putBody(body)
 			return hdr, nil, fmt.Errorf("orb: reading fragment: %w", err)
 		}
-		body = append(body, frag...)
 		more = fh.MoreFragments()
 	}
 	return hdr, body, nil
@@ -313,57 +467,73 @@ func (c *conn) readLoop() {
 	for {
 		hdr, body, err := c.readMessage()
 		if err != nil {
+			var tl *errTooLarge
+			if errors.As(err, &tl) {
+				c.protocolError("%v", tl)
+				return
+			}
 			c.close(err)
 			return
 		}
 		order := hdr.Order()
-		dec := cdr.NewDecoder(order, giop.HeaderSize, body)
+		dec := cdr.GetDecoder(order, giop.HeaderSize, body)
 		switch hdr.Type {
 		case giop.MsgRequest:
 			if !c.isServer {
+				c.freeInline(dec, body)
 				c.protocolError("Request on client connection")
 				return
 			}
 			req, err := giop.UnmarshalRequestHeader(dec)
 			if err != nil {
+				c.freeInline(dec, body)
 				c.protocolError("bad request header: %v", err)
 				return
 			}
 			deposits, err := c.readDeposits(req.ServiceContexts)
 			if err != nil {
 				// The deposit stream is unrecoverable once desynced.
+				c.freeInline(dec, body)
 				c.protocolError("deposit: %v", err)
 				return
 			}
 			c.orb.wg.Add(1)
 			go func() {
 				defer c.orb.wg.Done()
+				defer c.freeInline(dec, body)
 				c.orb.handleRequest(c, req, dec, deposits)
 			}()
 
 		case giop.MsgReply:
 			if c.isServer {
+				c.freeInline(dec, body)
 				c.protocolError("Reply on server connection")
 				return
 			}
 			rep, err := giop.UnmarshalReplyHeader(dec)
 			if err != nil {
+				c.freeInline(dec, body)
 				c.protocolError("bad reply header: %v", err)
 				return
 			}
 			deposits, err := c.readDeposits(rep.ServiceContexts)
 			if err != nil {
+				c.freeInline(dec, body)
 				c.protocolError("reply deposit: %v", err)
 				return
 			}
-			c.deliver(&replyMsg{hdr: rep, dec: dec, deposits: deposits})
+			msg := replyMsgPool.Get().(*replyMsg)
+			msg.hdr, msg.dec, msg.deposits, msg.body = rep, dec, deposits, body
+			c.deliver(msg)
 
 		case giop.MsgLocateRequest:
 			if !c.isServer {
+				c.freeInline(dec, body)
 				c.protocolError("LocateRequest on client connection")
 				return
 			}
 			lreq, err := giop.UnmarshalLocateRequestHeader(dec)
+			c.freeInline(dec, body)
 			if err != nil {
 				c.protocolError("bad locate request: %v", err)
 				return
@@ -372,16 +542,19 @@ func (c *conn) readLoop() {
 			if _, ok := c.orb.servant(string(lreq.ObjectKey)); ok {
 				status = giop.LocateObjectHere
 			}
-			e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+			e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 			lrep := giop.LocateReplyHeader{RequestID: lreq.RequestID, Status: status}
 			lrep.Marshal(e)
-			if err := c.sendMessage(giop.MsgLocateReply, e.Bytes(), nil); err != nil {
+			err = c.sendMessage(giop.MsgLocateReply, e.Bytes(), nil)
+			cdr.PutEncoder(e)
+			if err != nil {
 				c.close(err)
 				return
 			}
 
 		case giop.MsgLocateReply:
 			lrep, err := giop.UnmarshalLocateReplyHeader(dec)
+			c.freeInline(dec, body)
 			if err != nil {
 				c.protocolError("bad locate reply: %v", err)
 				return
@@ -391,26 +564,37 @@ func (c *conn) readLoop() {
 			delete(c.pendingLocate, lrep.RequestID)
 			c.mu.Unlock()
 			if ch != nil {
-				ch <- lrep
+				ch <- locateResult{hdr: lrep}
 			}
 
 		case giop.MsgCancelRequest:
 			// Best-effort semantics: the reply is simply discarded by
 			// the client; nothing to do server-side in this ORB.
+			c.freeInline(dec, body)
 
 		case giop.MsgCloseConnection:
+			c.freeInline(dec, body)
 			c.close(io.EOF)
 			return
 
 		case giop.MsgMessageError:
+			c.freeInline(dec, body)
 			c.close(errors.New("orb: peer reported message error"))
 			return
 
 		case giop.MsgFragment:
+			c.freeInline(dec, body)
 			c.protocolError("unexpected Fragment")
 			return
 		}
 	}
+}
+
+// freeInline returns a message's decoder and body buffer to their
+// pools once the read loop (or a request handler) is done with them.
+func (c *conn) freeInline(dec *cdr.Decoder, body []byte) {
+	cdr.PutDecoder(dec)
+	c.orb.putBody(body)
 }
 
 // protocolError reports a fatal protocol violation to the peer and
@@ -430,7 +614,7 @@ func (c *conn) sendCloseConnection() {
 // locate issues a LocateRequest for the given object key and returns
 // the peer's LocateReply status.
 func (c *conn) locate(id uint32, key []byte, timeout time.Duration) (giop.LocateStatus, error) {
-	ch := make(chan giop.LocateReplyHeader, 1)
+	ch := make(chan locateResult, 1)
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -440,21 +624,25 @@ func (c *conn) locate(id uint32, key []byte, timeout time.Duration) (giop.Locate
 	c.pendingLocate[id] = ch
 	c.mu.Unlock()
 
-	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 	(&giop.LocateRequestHeader{RequestID: id, ObjectKey: key}).Marshal(e)
-	if err := c.sendMessage(giop.MsgLocateRequest, e.Bytes(), nil); err != nil {
+	err := c.sendMessage(giop.MsgLocateRequest, e.Bytes(), nil)
+	cdr.PutEncoder(e)
+	if err != nil {
 		c.mu.Lock()
 		delete(c.pendingLocate, id)
 		c.mu.Unlock()
 		return 0, err
 	}
+	t := getTimer(timeout)
+	defer putTimer(t)
 	select {
-	case lrep, ok := <-ch:
-		if !ok {
-			return 0, &SystemException{Name: "COMM_FAILURE", Completed: CompletedMaybe}
+	case res := <-ch:
+		if res.err != nil {
+			return 0, res.err
 		}
-		return lrep.Status, nil
-	case <-time.After(timeout):
+		return res.hdr.Status, nil
+	case <-t.C:
 		c.mu.Lock()
 		delete(c.pendingLocate, id)
 		c.mu.Unlock()
@@ -462,21 +650,41 @@ func (c *conn) locate(id uint32, key []byte, timeout time.Duration) (giop.Locate
 	}
 }
 
-// awaitReply blocks for a reply or times out.
+// awaitReply blocks for a reply or times out. On the timeout path the
+// channel is abandoned to the garbage collector (a late delivery may
+// still land in it); on every other path it returns to the pool.
 func (c *conn) awaitReply(id uint32, ch chan *replyMsg, timeout time.Duration) (*replyMsg, error) {
+	t := getTimer(timeout)
 	select {
 	case msg := <-ch:
+		putTimer(t)
+		replyChanPool.Put(ch)
 		if msg.err != nil {
-			return nil, msg.err
+			err := msg.err
+			c.orb.freeReply(msg)
+			return nil, err
 		}
 		return msg, nil
-	case <-time.After(timeout):
-		c.unregister(id)
+	case <-t.C:
+		putTimer(t)
+		if !c.unregister(id) {
+			// Delivery raced the timeout: the reply is in (or on its
+			// way into) the buffered channel. Reap it.
+			msg := <-ch
+			replyChanPool.Put(ch)
+			if msg.err == nil {
+				releaseAll(msg.deposits)
+			}
+			c.orb.freeReply(msg)
+			return nil, &SystemException{Name: "TIMEOUT", Completed: CompletedMaybe}
+		}
 		// Best-effort GIOP CancelRequest so the server can drop the
 		// (now unwanted) reply early.
-		e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+		e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 		(&giop.CancelRequestHeader{RequestID: id}).Marshal(e)
-		if err := c.sendMessage(giop.MsgCancelRequest, e.Bytes(), nil); err == nil {
+		err := c.sendMessage(giop.MsgCancelRequest, e.Bytes(), nil)
+		cdr.PutEncoder(e)
+		if err == nil {
 			c.orb.stats.CancelsSent.Add(1)
 		}
 		return nil, &SystemException{Name: "TIMEOUT", Completed: CompletedMaybe}

@@ -135,13 +135,3 @@ func paramTypes(params []Param) []*typecode.TypeCode {
 	}
 	return out
 }
-
-// replyTypes returns the value types a reply body carries: the result
-// (unless void) followed by out/inout parameters.
-func replyTypes(op *Operation) []*typecode.TypeCode {
-	var out []*typecode.TypeCode
-	if op.Result != nil && op.Result.Kind() != typecode.Void {
-		out = append(out, op.Result)
-	}
-	return append(out, paramTypes(op.OutParams())...)
-}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zcorba/internal/giop"
 	"zcorba/internal/ior"
 	"zcorba/internal/transport"
 	"zcorba/internal/zcbuf"
@@ -58,6 +59,18 @@ type Options struct {
 	// many bytes into GIOP Fragment messages (0 uses the 1 MiB
 	// default; negative disables fragmentation).
 	FragmentThreshold int
+	// MaxMessageSize bounds the control-message bodies this ORB
+	// accepts (and sends): a header advertising more than this many
+	// bytes is answered with a GIOP MessageError instead of driving an
+	// allocation. 0 uses giop.MaxMessageSize; values above that cap
+	// are clamped to it.
+	MaxMessageSize int
+	// ConnsPerEndpoint stripes client traffic to one endpoint across N
+	// control connections (each with its own data channel when
+	// zero-copy is negotiated), reducing head-of-line blocking and
+	// send-mutex contention under concurrent invokers. 0 or 1 means a
+	// single shared connection.
+	ConnsPerEndpoint int
 	// DefaultServant, if set, receives requests whose object key has
 	// no explicit activation — a POA default-servant policy, useful
 	// for gateways that mint object keys on the fly.
@@ -89,12 +102,72 @@ func (o *ORB) fragmentThreshold() int {
 	}
 }
 
+// maxMessageSize resolves the effective control-message bound.
+func (o *ORB) maxMessageSize() int {
+	if o.opts.MaxMessageSize <= 0 || o.opts.MaxMessageSize > giop.MaxMessageSize {
+		return giop.MaxMessageSize
+	}
+	return o.opts.MaxMessageSize
+}
+
+// connStripes resolves the effective connection striping factor.
+func (o *ORB) connStripes() int {
+	if o.opts.ConnsPerEndpoint <= 1 {
+		return 1
+	}
+	return o.opts.ConnsPerEndpoint
+}
+
+// maxPooledBody bounds the capacity of control-message bodies retained
+// by the body free list; larger bodies (bulk standard-path transfers)
+// go to the garbage collector.
+const maxPooledBody = 1 << 20
+
+// bodyFreeSlots sizes the per-ORB body free list.
+const bodyFreeSlots = 64
+
+// getBody returns a body buffer of length n, reusing free-list storage
+// when its capacity suffices. The free list is a buffered channel
+// rather than a sync.Pool so recycling a slice never heap-allocates a
+// slice header on the hot path.
+func (o *ORB) getBody(n int) []byte {
+	select {
+	case b := <-o.bodyFree:
+		if cap(b) >= n {
+			o.stats.BodyReuses.Add(1)
+			return b[:n]
+		}
+	default:
+	}
+	o.stats.BodyAllocs.Add(1)
+	return make([]byte, n)
+}
+
+// putBody returns a body buffer to the free list (dropping it when the
+// list is full or the buffer is outsized).
+func (o *ORB) putBody(b []byte) {
+	if b == nil || cap(b) > maxPooledBody {
+		return
+	}
+	select {
+	case o.bodyFree <- b[:0]:
+	default:
+	}
+}
+
 // Stats counts ORB activity; all fields are safe for concurrent reads.
 type Stats struct {
 	// RequestsSent counts client requests issued by this ORB.
 	RequestsSent atomic.Int64
+	// RepliesReceived counts replies delivered to waiting invokers.
+	RepliesReceived atomic.Int64
 	// RequestsServed counts requests dispatched to local servants.
 	RequestsServed atomic.Int64
+	// BodyAllocs and BodyReuses count control-message body buffers
+	// freshly allocated vs. recycled from the free list; at steady
+	// state reuses should dominate (the allocation-free hot path).
+	BodyAllocs atomic.Int64
+	BodyReuses atomic.Int64
 	// PayloadCopies and PayloadCopyBytes count user-space copies of
 	// bulk parameter bytes made by the marshaling engine (the copies
 	// the zero-copy path eliminates).
@@ -112,6 +185,47 @@ type Stats struct {
 	Collocated atomic.Int64
 	// CancelsSent counts GIOP CancelRequests issued after timeouts.
 	CancelsSent atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of the request-path counters,
+// for computing rates across an interval.
+type StatsSnapshot struct {
+	At              time.Time
+	RequestsSent    int64
+	RepliesReceived int64
+	RequestsServed  int64
+	BodyAllocs      int64
+	BodyReuses      int64
+}
+
+// Snapshot captures the request-path counters with a timestamp.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		At:              time.Now(),
+		RequestsSent:    s.RequestsSent.Load(),
+		RepliesReceived: s.RepliesReceived.Load(),
+		RequestsServed:  s.RequestsServed.Load(),
+		BodyAllocs:      s.BodyAllocs.Load(),
+		BodyReuses:      s.BodyReuses.Load(),
+	}
+}
+
+// RequestRate returns client requests per second issued since prev.
+func (s StatsSnapshot) RequestRate(prev StatsSnapshot) float64 {
+	d := s.At.Sub(prev.At).Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.RequestsSent-prev.RequestsSent) / d
+}
+
+// ServeRate returns requests dispatched per second since prev.
+func (s StatsSnapshot) ServeRate(prev StatsSnapshot) float64 {
+	d := s.At.Sub(prev.At).Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.RequestsServed-prev.RequestsServed) / d
 }
 
 // ORB is an Object Request Broker: object adapter, client connection
@@ -143,6 +257,8 @@ type ORB struct {
 	tokenBase uint64
 	tokenSeq  atomic.Uint64
 	wg        sync.WaitGroup
+
+	bodyFree chan []byte
 }
 
 // New creates an ORB, binds its listeners, and starts serving
@@ -158,6 +274,7 @@ func New(opts Options) (*ORB, error) {
 		serverConns: make(map[*conn]struct{}),
 		dataChans:   make(map[uint64]transport.Conn),
 		dataWaiters: make(map[uint64][]chan transport.Conn),
+		bodyFree:    make(chan []byte, bodyFreeSlots),
 	}
 	if o.tr == nil {
 		o.tr = &transport.TCP{}
@@ -441,13 +558,19 @@ func (o *ORB) dropDataChan(token uint64) {
 	o.mu.Unlock()
 }
 
-// getConn returns (creating if needed) the client connection to the
+// dialConn returns (creating if needed) the client connection to the
 // given control endpoint; zc describes the peer's deposit endpoint if
-// the client should establish a data channel.
-func (o *ORB) getConn(ctrlAddr string, zc *ior.ZCDeposit) (*conn, error) {
+// the client should establish a data channel. stripe selects one of
+// the ConnsPerEndpoint connections to the endpoint (0 when striping is
+// off). Hot-path callers cache the result per ObjectRef; this function
+// only runs on cache misses.
+func (o *ORB) dialConn(ctrlAddr string, zc *ior.ZCDeposit, stripe int) (*conn, error) {
 	key := ctrlAddr
 	if zc != nil {
 		key += "|zc"
+	}
+	if stripe > 0 {
+		key += "#" + strconv.Itoa(stripe)
 	}
 	o.mu.Lock()
 	if o.closed {

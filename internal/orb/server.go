@@ -61,7 +61,7 @@ func (o *ORB) handleRequest(c *conn, req giop.RequestHeader, dec *cdr.Decoder,
 		return
 	}
 
-	inTypes := paramTypes(op.InParams())
+	inTypes := op.inTypeList()
 	args, leftover, err := o.unmarshalValues(dec, inTypes, deposits, len(deposits) > 0)
 	if err != nil {
 		releaseAll(leftover)
@@ -103,7 +103,7 @@ func (o *ORB) handleRequest(c *conn, req giop.RequestHeader, dec *cdr.Decoder,
 		return
 	}
 
-	types := replyTypes(op)
+	types := op.replyTypeList()
 	vals := make([]any, 0, len(types))
 	if op.Result != nil && op.Result.Kind() != typecode.Void {
 		vals = append(vals, result)
@@ -144,14 +144,17 @@ func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
 		}
 	}
 
-	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 	rep.Marshal(e)
 	if err := o.marshalValues(e, types, vals, useZC); err != nil {
+		cdr.PutEncoder(e)
 		o.logf("orb: reply marshal: %v", err)
 		o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes})
 		return
 	}
-	if err := c.sendMessage(giop.MsgReply, e.Bytes(), payloads); err != nil {
+	err := c.sendMessage(giop.MsgReply, e.Bytes(), payloads)
+	cdr.PutEncoder(e)
+	if err != nil {
 		c.close(err)
 	}
 	// The ORB consumed the servant's reply buffers.
@@ -166,15 +169,18 @@ func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
 // repository ID followed by its members.
 func (o *ORB) replyUserException(c *conn, req giop.RequestHeader, ex *UserException) {
 	rep := giop.ReplyHeader{RequestID: req.RequestID, Status: giop.ReplyUserException}
-	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 	rep.Marshal(e)
 	e.WriteString(ex.Type.RepoID())
 	if err := typecode.MarshalValue(e, ex.Type, ex.Fields); err != nil {
+		cdr.PutEncoder(e)
 		o.logf("orb: user exception marshal: %v", err)
 		o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes})
 		return
 	}
-	if err := c.sendMessage(giop.MsgReply, e.Bytes(), nil); err != nil {
+	err := c.sendMessage(giop.MsgReply, e.Bytes(), nil)
+	cdr.PutEncoder(e)
+	if err != nil {
 		c.close(err)
 	}
 }
@@ -186,10 +192,12 @@ func (o *ORB) replyLocationForward(c *conn, req giop.RequestHeader, fwd *Locatio
 		return
 	}
 	rep := giop.ReplyHeader{RequestID: req.RequestID, Status: giop.ReplyLocationForward}
-	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 	rep.Marshal(e)
 	fwd.To.Marshal(e)
-	if err := c.sendMessage(giop.MsgReply, e.Bytes(), nil); err != nil {
+	err := c.sendMessage(giop.MsgReply, e.Bytes(), nil)
+	cdr.PutEncoder(e)
+	if err != nil {
 		c.close(err)
 	}
 }
@@ -200,12 +208,14 @@ func (o *ORB) replySystemException(c *conn, req giop.RequestHeader, ex *SystemEx
 		return
 	}
 	rep := giop.ReplyHeader{RequestID: req.RequestID, Status: giop.ReplySystemException}
-	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 	rep.Marshal(e)
 	e.WriteString(ex.RepoID())
 	e.WriteULong(ex.Minor)
 	e.WriteULong(uint32(ex.Completed))
-	if err := c.sendMessage(giop.MsgReply, e.Bytes(), nil); err != nil {
+	err := c.sendMessage(giop.MsgReply, e.Bytes(), nil)
+	cdr.PutEncoder(e)
+	if err != nil {
 		c.close(err)
 	}
 }

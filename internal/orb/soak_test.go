@@ -156,3 +156,98 @@ func TestManyConnectionsOneServer(t *testing.T) {
 		client.Shutdown()
 	}
 }
+
+// TestConcurrentInvokersSharedConn stresses the striped pending-reply
+// table and the pooled reply machinery: many goroutines share one
+// client ORB (and thus one control connection), mixing synchronous
+// invokes, fire-a-window asynchronous calls, and pipelined submission.
+// Its value is highest under `make race`.
+func TestConcurrentInvokersSharedConn(t *testing.T) {
+	p := tcpPair(t, true)
+	op := storeIface.Ops["put"]
+	const goroutines = 9
+	const iters = 48
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fail := func(err error) {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+			switch g % 3 {
+			case 0: // synchronous invokers
+				for i := 0; i < iters; i++ {
+					data := pattern(512 + g*97 + i)
+					res, _, err := p.ref.Invoke(op, []any{data})
+					if err != nil {
+						fail(fmt.Errorf("g%d sync %d: %w", g, i, err))
+						return
+					}
+					if res.(uint32) != checksum(data) {
+						fail(fmt.Errorf("g%d sync %d: checksum", g, i))
+						return
+					}
+				}
+			case 1: // async window: fire a burst, then collect in order
+				const burst = 4
+				for i := 0; i < iters; i += burst {
+					var calls [burst]*Call
+					var sums [burst]uint32
+					for j := range calls {
+						data := pattern(256 + g*13 + i + j)
+						sums[j] = checksum(data)
+						calls[j] = p.ref.InvokeAsync(op, []any{data})
+					}
+					for j, c := range calls {
+						res, _, err := c.Wait()
+						if err != nil {
+							fail(fmt.Errorf("g%d async %d+%d: %w", g, i, j, err))
+							return
+						}
+						if res.(uint32) != sums[j] {
+							fail(fmt.Errorf("g%d async %d+%d: checksum", g, i, j))
+							return
+						}
+					}
+				}
+			case 2: // pipelined submission (single-goroutine pipeline)
+				pl := p.ref.Pipeline(op, 8)
+				for i := 0; i < iters; i++ {
+					data := pattern(1024 + g*7 + i)
+					want := checksum(data)
+					i := i
+					err := pl.Submit([]any{data}, func(result any, _ []any, err error) {
+						if err != nil {
+							fail(fmt.Errorf("g%d pipe %d: %w", g, i, err))
+							return
+						}
+						if result.(uint32) != want {
+							fail(fmt.Errorf("g%d pipe %d: checksum", g, i))
+						}
+					})
+					if err != nil {
+						fail(fmt.Errorf("g%d pipe submit %d: %w", g, i, err))
+						return
+					}
+				}
+				if err := pl.Flush(); err != nil {
+					fail(fmt.Errorf("g%d pipe flush: %w", g, err))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := p.client.Stats().RequestsSent.Load(); got < goroutines*iters {
+		t.Fatalf("sent only %d requests, want >= %d", got, goroutines*iters)
+	}
+}

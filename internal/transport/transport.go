@@ -150,6 +150,9 @@ type tcpConn struct {
 	c     net.Conn
 	stats *Stats
 	wmu   sync.Mutex // serializes writes so gathers stay contiguous
+	// gbufs is the gather scratch, guarded by wmu; reusing it keeps
+	// steady-state gather writes from allocating a net.Buffers per call.
+	gbufs net.Buffers
 }
 
 func (c *tcpConn) Read(p []byte) (int, error) {
@@ -173,7 +176,8 @@ func (c *tcpConn) Write(p []byte) (int, error) {
 }
 
 func (c *tcpConn) WriteGather(segs ...[]byte) (int64, error) {
-	bufs := make(net.Buffers, 0, len(segs))
+	c.wmu.Lock()
+	bufs := c.gbufs[:0]
 	var total int64
 	for _, s := range segs {
 		if len(s) == 0 {
@@ -182,8 +186,13 @@ func (c *tcpConn) WriteGather(segs ...[]byte) (int64, error) {
 		bufs = append(bufs, s)
 		total += int64(len(s))
 	}
-	c.wmu.Lock()
+	c.gbufs = bufs // retain the (possibly grown) scratch array
+	nsegs := len(bufs)
 	n, err := bufs.WriteTo(c.c)
+	// WriteTo consumed the local copy; drop the scratch's references so
+	// it does not pin caller buffers until the next write.
+	clear(c.gbufs[:nsegs])
+	c.gbufs = c.gbufs[:0]
 	c.wmu.Unlock()
 	if c.stats != nil {
 		c.stats.BytesSent.Add(n)

@@ -42,8 +42,11 @@ type Result struct {
 	Stack     string // transport name, e.g. "tcp" or "copying(tcp)"
 	BlockSize int
 	Blocks    int
-	Bytes     int64
-	Elapsed   time.Duration
+	// Window is the pipelined in-flight request bound (1 for the
+	// synchronous one-request-per-round-trip senders).
+	Window  int
+	Bytes   int64
+	Elapsed time.Duration
 }
 
 // Mbps returns the measured throughput in megabits per second.
@@ -54,10 +57,23 @@ func (r Result) Mbps() float64 {
 	return float64(r.Bytes) * 8 / r.Elapsed.Seconds() / 1e6
 }
 
+// ReqPerSec returns the measured request rate (blocks per second) —
+// the per-request software overhead view of the same measurement.
+func (r Result) ReqPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Blocks) / r.Elapsed.Seconds()
+}
+
 // String renders the result like the original ttcp summary line.
 func (r Result) String() string {
-	return fmt.Sprintf("ttcp-%s[%s]: %d bytes in %.3fs = %.1f Mbit/s (block %d)",
-		r.Mode, r.Stack, r.Bytes, r.Elapsed.Seconds(), r.Mbps(), r.BlockSize)
+	w := r.Window
+	if w < 1 {
+		w = 1
+	}
+	return fmt.Sprintf("ttcp-%s[%s]: %d bytes in %.3fs = %.1f Mbit/s, %.0f req/s (block %d, window %d)",
+		r.Mode, r.Stack, r.Bytes, r.Elapsed.Seconds(), r.Mbps(), r.ReqPerSec(), r.BlockSize, w)
 }
 
 // ---------------------------------------------------------------------------
@@ -230,20 +246,35 @@ func NewCorbaSink(tr transport.Transport, zeroCopy bool) (*CorbaSink, error) {
 // Close shuts the sink ORB down.
 func (s *CorbaSink) Close() { s.ORB.Shutdown() }
 
-// CorbaSend transmits blocks through the Store stub. With zeroCopy the
-// zput operation (sequence<ZC_Octet>, direct deposit) is used;
-// otherwise put (standard marshaling).
+// CorbaSend transmits blocks through the Store stub, one request per
+// round trip. With zeroCopy the zput operation (sequence<ZC_Octet>,
+// direct deposit) is used; otherwise put (standard marshaling).
 func CorbaSend(client *orb.ORB, iorStr string, blockSize, blocks int, zeroCopy bool) (Result, error) {
+	return CorbaSendWindow(client, iorStr, blockSize, blocks, 1, zeroCopy)
+}
+
+// CorbaSendWindow transmits blocks through the Store interface with up
+// to window requests in flight, so small-block transfers are no longer
+// bounded by one round trip per block. Replies are verified in order;
+// window 1 degenerates to the synchronous CorbaSend.
+func CorbaSendWindow(client *orb.ORB, iorStr string, blockSize, blocks, window int, zeroCopy bool) (Result, error) {
+	if window < 1 {
+		window = 1
+	}
 	mode := ModeCorba
 	if zeroCopy {
 		mode = ModeZCCorba
 	}
-	res := Result{Mode: mode, Stack: "orb", BlockSize: blockSize, Blocks: blocks}
+	res := Result{Mode: mode, Stack: "orb", BlockSize: blockSize, Blocks: blocks, Window: window}
 	ref, err := client.StringToObject(iorStr)
 	if err != nil {
 		return res, err
 	}
-	stub := media.Media_StoreStub{Ref: ref}
+	opName := "put"
+	if zeroCopy {
+		opName = "zput"
+	}
+	op := media.Media_StoreIface.Ops[opName]
 
 	var pool zcbuf.Pool
 	buf, err := pool.Get(blockSize)
@@ -255,22 +286,43 @@ func CorbaSend(client *orb.ORB, iorStr string, blockSize, blocks int, zeroCopy b
 	for i := range payload {
 		payload[i] = byte(i)
 	}
+	args := []any{any(payload)}
+	if zeroCopy {
+		// The pipelined sends reuse one buffer: each request's payload
+		// is fully written to the data channel before Submit returns.
+		args[0] = buf
+	}
 
-	start := time.Now()
-	for i := 0; i < blocks; i++ {
-		var n uint32
-		var err error
-		if zeroCopy {
-			n, err = stub.Zput(buf)
-		} else {
-			n, err = stub.Put(payload)
+	var ackErr error
+	check := func(result any, _ []any, err error) {
+		if ackErr != nil {
+			return
 		}
 		if err != nil {
+			ackErr = err
+			return
+		}
+		n, _ := result.(uint32)
+		if int(n) != blockSize {
+			ackErr = fmt.Errorf("acknowledged %d of %d bytes", n, blockSize)
+		}
+	}
+
+	p := ref.Pipeline(op, window)
+	start := time.Now()
+	for i := 0; i < blocks; i++ {
+		if err := p.Submit(args, check); err != nil {
 			return res, fmt.Errorf("ttcp: block %d: %w", i, err)
 		}
-		if int(n) != blockSize {
-			return res, fmt.Errorf("ttcp: block %d: acknowledged %d of %d bytes", i, n, blockSize)
+		if ackErr != nil {
+			return res, fmt.Errorf("ttcp: block %d: %w", i, ackErr)
 		}
+	}
+	if err := p.Flush(); err != nil {
+		return res, fmt.Errorf("ttcp: flush: %w", err)
+	}
+	if ackErr != nil {
+		return res, fmt.Errorf("ttcp: %w", ackErr)
 	}
 	res.Elapsed = time.Since(start)
 	res.Bytes = int64(blockSize) * int64(blocks)
