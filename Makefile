@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race race-all bench bench-all figures measure examples generate clean
+.PHONY: all build test chaos race race-all bench bench-all figures measure examples generate clean
 
 all: build test
 
@@ -11,6 +11,17 @@ build:
 
 test:
 	$(GO) test ./...
+	$(MAKE) chaos
+
+# Deterministic fault-injection suite (docs/FAULTS.md): the seeded
+# chaos scenarios run under -race with three fixed schedules, then once
+# more with a randomized schedule whose seed is logged so any failure
+# can be replayed with CHAOS_SEED=<seed> make chaos.
+chaos:
+	CHAOS_SEED=101 $(GO) test -race -count=1 -run 'Chaos|WorkerConnectionKill|Fault' ./internal/orb/ ./internal/ttcp/ ./internal/framework/
+	CHAOS_SEED=202 $(GO) test -race -count=1 -run 'Chaos' ./internal/orb/
+	CHAOS_SEED=303 $(GO) test -race -count=1 -run 'Chaos' ./internal/orb/
+	$(GO) test -race -count=1 -v -run 'TestChaosRandomSeeded' ./internal/orb/
 
 # Race-checks the concurrent request engine (shared-connection
 # invokers, pipelining, pending-table striping).

@@ -15,7 +15,9 @@
 // -zerocopy selects the zero-copy ORB path (direct deposit) in CORBA
 // mode. A sweep over the paper's block sizes runs with -sweep, and
 // -window N pipelines up to N CORBA requests in flight; every summary
-// line reports requests/s alongside Mbit/s.
+// line reports requests/s alongside Mbit/s. -chaos injects a seeded
+// transport fault schedule (see -chaos-seed) into the CORBA client and
+// enables the retry policy, reporting fired faults and recoveries.
 package main
 
 import (
@@ -42,6 +44,8 @@ func main() {
 	sweep := flag.Bool("sweep", false, "client: sweep the paper's block sizes 4K..16M")
 	target := flag.Int64("bytes", 32<<20, "sweep: bytes per point")
 	window := flag.Int("window", 1, "CORBA client: pipelined in-flight requests (1 = synchronous)")
+	chaos := flag.Bool("chaos", false, "CORBA client: inject seeded transport faults and enable the retry policy")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed for -chaos")
 	flag.Parse()
 
 	var tr transport.Transport
@@ -97,7 +101,14 @@ func main() {
 		if *iorStr == "" {
 			fatal(fmt.Errorf("CORBA client needs -ior"))
 		}
-		client, err := orb.New(orb.Options{Transport: tr, ZeroCopy: *zerocopy})
+		opts := orb.Options{Transport: tr, ZeroCopy: *zerocopy}
+		var inj *transport.FaultInjector
+		if *chaos {
+			opts.Transport, inj = ttcp.Chaos(tr, *chaosSeed)
+			opts.Retry = ttcp.ChaosRetry()
+			fmt.Printf("ttcp: chaos on, seed %d\n", *chaosSeed)
+		}
+		client, err := orb.New(opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -117,6 +128,13 @@ func main() {
 		fmt.Printf("ttcp: client payload copies=%d (%d bytes), deposits=%d (%d bytes), fallbacks=%d\n",
 			st.PayloadCopies.Load(), st.PayloadCopyBytes.Load(),
 			st.DepositsSent.Load(), st.DepositBytesSent.Load(), st.ZCFallbacks.Load())
+		if inj != nil {
+			fmt.Printf("ttcp: chaos faults fired=%d, retries=%d, timeouts=%d, data-chan fallbacks=%d\n",
+				inj.Fired(), st.Retries.Load(), st.Timeouts.Load(), st.DataChanFallbacks.Load())
+			for _, line := range inj.Log() {
+				fmt.Println("ttcp: fault:", line)
+			}
+		}
 	}
 }
 

@@ -12,6 +12,7 @@
 package dpc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -75,8 +76,15 @@ func (g *Group) invokeAll(fn func(i int, ref *orb.ObjectRef) (any, []any, error)
 
 // Broadcast invokes op with identical arguments on every member.
 func (g *Group) Broadcast(op *orb.Operation, args []any) []Result {
+	return g.BroadcastCtx(context.Background(), op, args)
+}
+
+// BroadcastCtx is Broadcast under a per-call deadline/cancellation
+// context: cancelling ctx abandons every member invocation still in
+// flight.
+func (g *Group) BroadcastCtx(ctx context.Context, op *orb.Operation, args []any) []Result {
 	return g.invokeAll(func(i int, ref *orb.ObjectRef) (any, []any, error) {
-		return ref.Invoke(op, args)
+		return ref.InvokeCtx(ctx, op, args)
 	})
 }
 
@@ -125,6 +133,12 @@ func min(a, b int) int {
 // copies). The remaining args are broadcast unchanged.
 func (g *Group) Scatter(op *orb.Operation, args []any, argIndex int,
 	data []byte, part Partitioner) ([]Result, error) {
+	return g.ScatterCtx(context.Background(), op, args, argIndex, data, part)
+}
+
+// ScatterCtx is Scatter under a per-call deadline/cancellation context.
+func (g *Group) ScatterCtx(ctx context.Context, op *orb.Operation, args []any,
+	argIndex int, data []byte, part Partitioner) ([]Result, error) {
 	inParams := op.InParams()
 	if argIndex < 0 || argIndex >= len(inParams) {
 		return nil, fmt.Errorf("dpc: scatter arg index %d out of range", argIndex)
@@ -150,7 +164,7 @@ func (g *Group) Scatter(op *orb.Operation, args []any, argIndex int,
 		myArgs := make([]any, len(args))
 		copy(myArgs, args)
 		myArgs[argIndex] = data[lo:hi:hi]
-		return ref.Invoke(op, myArgs)
+		return ref.InvokeCtx(ctx, op, myArgs)
 	}), nil
 }
 

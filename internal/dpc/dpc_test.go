@@ -2,9 +2,15 @@ package dpc
 
 import (
 	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"strconv"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"zcorba/internal/orb"
 	"zcorba/internal/transport"
@@ -56,8 +62,14 @@ func (s *shard) Invoke(op string, args []any) (any, []any, error) {
 
 // newGroup builds a ZC group of n shard servants, each on its own ORB.
 func newGroup(t *testing.T, n int) (*Group, []*shard, *orb.ORB) {
+	return newGroupOpts(t, n, orb.Options{Transport: &transport.TCP{}, ZeroCopy: true})
+}
+
+// newGroupOpts is newGroup with explicit client ORB options (the
+// servers always run plain TCP with zero-copy on).
+func newGroupOpts(t *testing.T, n int, clientOpts orb.Options) (*Group, []*shard, *orb.ORB) {
 	t.Helper()
-	client, err := orb.New(orb.Options{Transport: &transport.TCP{}, ZeroCopy: true})
+	client, err := orb.New(clientOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,3 +262,118 @@ func TestGatherBytesErrors(t *testing.T) {
 }
 
 var errTest = &orb.SystemException{Name: "UNKNOWN"}
+
+// TestScatterUnderDataFaults kills a deposit channel mid-scatter: the
+// affected member invocation must complete anyway, degraded to the
+// marshaled path (or retried), and the shards must still hold the full
+// tiling.
+func TestScatterUnderDataFaults(t *testing.T) {
+	inj := transport.NewFaultInjector(77).Add(transport.Rule{
+		Op: transport.OpWrite, Class: transport.ClassData,
+		Kind: transport.FaultReset, Nth: 2,
+	})
+	g, shards, client := newGroupOpts(t, 3, orb.Options{
+		Transport: &transport.Faulty{Inner: &transport.TCP{}, Inj: inj},
+		ZeroCopy:  true,
+		Retry: orb.RetryPolicy{MaxAttempts: 4, InitialBackoff: time.Millisecond,
+			MaxBackoff: 20 * time.Millisecond},
+	})
+	data := make([]byte, 96*1024)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	results, err := g.Scatter(shardIface.Ops["store"], []any{nil}, 0, data, BlockPartition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstError(results); err != nil {
+		t.Fatalf("scatter did not survive the data fault: %v", err)
+	}
+	for i, sh := range shards {
+		lo, hi := BlockPartition(i, 3, len(data))
+		sh.mu.Lock()
+		ok := bytes.Equal(sh.data, data[lo:hi])
+		sh.mu.Unlock()
+		if !ok {
+			t.Fatalf("member %d partition mismatch after fault recovery", i)
+		}
+	}
+	if inj.Fired() < 1 {
+		t.Fatal("fault never fired; scenario did not exercise recovery")
+	}
+	recovered := client.Stats().DataChanFallbacks.Load() + client.Stats().Retries.Load()
+	if recovered < 1 {
+		t.Fatalf("no fallback or retry recorded (fallbacks+retries = %d)", recovered)
+	}
+}
+
+// TestBroadcastCtxCancelled: a cancelled context abandons every member
+// invocation instead of waiting out the call timeout.
+func TestBroadcastCtxCancelled(t *testing.T) {
+	g, _, _ := newGroup(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := g.BroadcastCtx(ctx, shardIface.Ops["fetch"], nil)
+	for _, r := range results {
+		if r.Err == nil {
+			t.Fatalf("member %d completed under a cancelled context", r.Member)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("member %d: %v, want context.Canceled", r.Member, r.Err)
+		}
+	}
+}
+
+// TestDataTokenExpiresUnclaimed connects a stray data channel that
+// announces a token no request ever references. The server's sweeper
+// must drop it (and close the channel) instead of holding the entry
+// forever.
+func TestDataTokenExpiresUnclaimed(t *testing.T) {
+	server, err := orb.New(orb.Options{Transport: &transport.TCP{}, ZeroCopy: true,
+		CallTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	ref, err := server.Activate("shard", &shard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, ok := ref.IOR().ZCDeposit()
+	if !ok {
+		t.Fatal("no deposit component in the IOR")
+	}
+	dc, err := (&transport.TCP{}).Dial(net.JoinHostPort(dep.Host, strconv.Itoa(int(dep.Port))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+	pre := make([]byte, 12)
+	copy(pre, "ZCDC")
+	binary.BigEndian.PutUint64(pre[4:], 0xFEEDFACE)
+	if _, err := dc.Write(pre); err != nil {
+		t.Fatal(err)
+	}
+	// Token TTL is 2x the call timeout; poll well past it.
+	deadline := time.Now().Add(3 * time.Second)
+	for server.Stats().TokensExpired.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("unclaimed data token never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The server closed the stray channel when it dropped the token.
+	done := make(chan error, 1)
+	go func() {
+		_, err := dc.Read(make([]byte, 1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expired data channel still open")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("expired data channel still open (read hangs)")
+	}
+}

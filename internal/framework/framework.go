@@ -7,6 +7,7 @@
 package framework
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -145,6 +146,48 @@ func Discover(o *orb.ORB, nc *naming.Client) (*Farm, error) {
 // Size returns the number of workers.
 func (f *Farm) Size() int { return len(f.stubs) }
 
+// reassignable reports whether a frame failure is a transport-level
+// fault worth redistributing to another worker, as opposed to an
+// application error (bad geometry, encoder failure) that would fail
+// identically anywhere. Encoding is a pure function of the frame, so a
+// possibly-duplicated execution on the dead worker is harmless.
+func reassignable(err error) bool {
+	var sys *orb.SystemException
+	if !errors.As(err, &sys) {
+		return false
+	}
+	switch sys.Name {
+	case "COMM_FAILURE", "TRANSIENT":
+		return true
+	}
+	return false
+}
+
+// redeliver retries frames whose first delivery died with a
+// transport-level fault on the surviving workers, round-robin from the
+// failed one. The frame buffers were retained by the first pass for
+// exactly this; they are released here win or lose.
+func (f *Farm) redeliver(frames []Frame, results []Result, outBytes *atomic.Int64) {
+	for idx := range results {
+		r := &results[idx]
+		if r.Err == nil || !reassignable(r.Err) {
+			continue
+		}
+		data := frames[idx].Data
+		for k := 1; k < len(f.stubs) && r.Err != nil; k++ {
+			wi := (r.Worker + k) % len(f.stubs)
+			out, err := f.stubs[wi].Encode(frames[idx].Info, data)
+			if err != nil {
+				r.Worker, r.Err = wi, err
+				continue
+			}
+			*r = Result{Info: frames[idx].Info, Data: out, Worker: wi}
+			outBytes.Add(int64(out.Len()))
+		}
+		data.Release()
+	}
+}
+
 // Transcode pushes the frames through the farm and returns one result
 // per frame, in input order, plus aggregate statistics. Frame buffers
 // are released by the farm after their transfer completes.
@@ -153,6 +196,11 @@ func (f *Farm) Size() int { return len(f.stubs) }
 // an InFlight-deep window: instead of InFlight goroutines blocking on
 // synchronous invocations, the requests themselves overlap on the
 // wire, keeping both the deposit channel and the remote encoder busy.
+//
+// A frame whose worker connection dies (COMM_FAILURE or TRANSIENT,
+// after any ORB-level retries) is redistributed to the surviving
+// workers before Transcode gives up on it, so a killed worker
+// connection costs latency, not results.
 func (f *Farm) Transcode(frames []Frame) ([]Result, Stats, error) {
 	if len(f.stubs) == 0 {
 		return nil, Stats{}, fmt.Errorf("framework: empty farm")
@@ -181,16 +229,22 @@ func (f *Farm) Transcode(frames []Frame) ([]Result, Stats, error) {
 				inBytes.Add(int64(data.Len()))
 				err := p.Submit(media.EncodeArgs(info, data),
 					func(result any, _ []any, err error) {
-						data.Release()
 						res := Result{Info: info, Worker: wi, Err: media.EncodeError(err)}
 						if err == nil {
 							res.Data = result.(*zcbuf.Buffer)
 							outBytes.Add(int64(res.Data.Len()))
 						}
+						// Keep the buffer alive for redeliver when the
+						// failure is worth another worker.
+						if !reassignable(res.Err) {
+							data.Release()
+						}
 						results[idx] = res
 					})
 				if err != nil {
-					data.Release()
+					if !reassignable(err) {
+						data.Release()
+					}
 					results[idx] = Result{Info: info, Worker: wi, Err: err}
 				}
 			}
@@ -202,6 +256,7 @@ func (f *Farm) Transcode(frames []Frame) ([]Result, Stats, error) {
 	}
 	close(queue)
 	wg.Wait()
+	f.redeliver(frames, results, &outBytes)
 
 	st := Stats{
 		Frames:   len(frames),

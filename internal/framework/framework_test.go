@@ -234,3 +234,72 @@ func TestTranscodeStreamEmptyFarm(t *testing.T) {
 		t.Fatal("want error")
 	}
 }
+
+// TestFarmSurvivesWorkerConnectionKill kills one master→worker control
+// connection mid-run (seeded fault injector, no ORB-level retry policy)
+// and asserts the farm still delivers every frame: the frames stranded
+// on the dead connection are redistributed to the surviving workers.
+func TestFarmSurvivesWorkerConnectionKill(t *testing.T) {
+	const n = 3
+	inj := transport.NewFaultInjector(55).
+		Add(transport.Rule{Op: transport.OpWrite, Class: transport.ClassControl,
+			Kind: transport.FaultReset, Nth: 7})
+	master, err := orb.New(orb.Options{
+		Transport: &transport.Faulty{Inner: &transport.TCP{}, Inj: inj},
+		ZeroCopy:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(master.Shutdown)
+
+	stubs := make([]media.Media_EncoderStub, 0, n)
+	for i := 0; i < n; i++ {
+		w, err := orb.New(orb.Options{Transport: &transport.TCP{}, ZeroCopy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Shutdown)
+		ref, err := w.Activate(nameFor(i), media.Media_EncoderSkeleton{
+			Impl: &EncoderServant{Enc: mpeg.Encoder{Quality: 4}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cref, err := master.StringToObject(ref.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		stubs = append(stubs, media.Media_EncoderStub{Ref: cref})
+	}
+	farm := NewFarm(stubs...)
+
+	src := mpeg.NewMPEG2Source(320, 240)
+	frames, err := SourceFrames(src, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, st, err := farm.Transcode(frames)
+	if err != nil {
+		t.Fatalf("transcode under connection kill: %v", err)
+	}
+	if inj.Fired() == 0 {
+		t.Fatal("fault schedule never fired; test exercised nothing")
+	}
+	if st.Frames != 12 {
+		t.Fatalf("stats %+v", st)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("frame %d lost to worker kill: %v", i, r.Err)
+		}
+		if r.Info.Seq != uint32(i) {
+			t.Fatalf("result %d has seq %d", i, r.Info.Seq)
+		}
+		w, h, _, err := mpeg.Decode(r.Data.Bytes())
+		if err != nil || w != 320 || h != 240 {
+			t.Fatalf("frame %d decode: %v", i, err)
+		}
+		r.Data.Release()
+	}
+	t.Logf("faults fired=%d, log=%v", inj.Fired(), inj.Log())
+}

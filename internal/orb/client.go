@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -62,14 +63,57 @@ const maxForwards = 4
 // *zcbuf.Buffer or []byte; the caller retains ownership of argument
 // buffers, and owns (must Release) any *zcbuf.Buffer in the results.
 func (r *ObjectRef) Invoke(op *Operation, args []any) (any, []any, error) {
-	return r.invoke(op, args, 0)
+	return r.invokeCtx(context.Background(), op, args, 0)
 }
 
-func (r *ObjectRef) invoke(op *Operation, args []any, forwards int) (any, []any, error) {
-	call := r.start(op, args)
-	res, outs, err := call.wait(forwards)
-	freeCall(call)
-	return res, outs, err
+// InvokeCtx is Invoke with a per-call deadline/cancellation context:
+// the call fails with ctx.Err() as soon as ctx is done, and the retry
+// policy (if enabled) stops retrying once ctx expires.
+func (r *ObjectRef) InvokeCtx(ctx context.Context, op *Operation, args []any) (any, []any, error) {
+	return r.invokeCtx(ctx, op, args, 0)
+}
+
+// invokeCtx runs the invocation under the ORB's retry policy: failed
+// attempts with a retryable system exception are re-sent after a capped
+// exponential backoff, dropping dead cached connections first so the
+// retry redials (reconnect-on-COMM_FAILURE).
+func (r *ObjectRef) invokeCtx(ctx context.Context, op *Operation, args []any,
+	forwards int) (any, []any, error) {
+	policy := &r.orb.opts.Retry
+	attempt := 1
+	for {
+		call := r.startCtx(ctx, op, args)
+		res, outs, err := call.wait(forwards)
+		freeCall(call)
+		if err == nil || !policy.enabled() || attempt >= policy.MaxAttempts ||
+			!policy.retryable(op, err) {
+			return res, outs, err
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return res, outs, err
+		}
+		r.orb.stats.Retries.Add(1)
+		if policy.OnRetry != nil {
+			policy.OnRetry(op.Name, attempt, err)
+		}
+		r.invalidate()
+		if sleepCtx(ctx, policy.backoff(attempt)) != nil {
+			return res, outs, err
+		}
+		attempt++
+	}
+}
+
+// invalidate drops dead connections from the per-ref cache so the next
+// attempt goes back through the ORB's connection table and redials.
+func (r *ObjectRef) invalidate() {
+	r.connMu.Lock()
+	for i, c := range r.conns {
+		if c != nil && !c.healthy() {
+			r.conns[i] = nil
+		}
+	}
+	r.connMu.Unlock()
 }
 
 // Call is an in-flight invocation started with InvokeAsync: the
@@ -79,6 +123,7 @@ type Call struct {
 	ref     *ObjectRef
 	op      *Operation
 	args    []any
+	ctx     context.Context
 	conn    *conn
 	id      uint32
 	ch      chan *replyMsg
@@ -107,7 +152,13 @@ func freeCall(c *Call) {
 // InvokeAsync returns otherwise (the request body and payloads are
 // fully written before it returns).
 func (r *ObjectRef) InvokeAsync(op *Operation, args []any) *Call {
-	return r.start(op, args)
+	return r.startCtx(context.Background(), op, args)
+}
+
+// InvokeAsyncCtx is InvokeAsync with a per-call context: Wait returns
+// ctx.Err() as soon as ctx is done.
+func (r *ObjectRef) InvokeAsyncCtx(ctx context.Context, op *Operation, args []any) *Call {
+	return r.startCtx(ctx, op, args)
 }
 
 // Wait completes the invocation, blocking for the reply if it has not
@@ -119,20 +170,21 @@ func (c *Call) wait(forwards int) (any, []any, error) {
 		return c.result, c.outs, c.err
 	}
 	c.done = true
-	msg, err := c.conn.awaitReply(c.id, c.ch, c.ref.orb.opts.CallTimeout)
+	msg, err := c.conn.awaitReply(c.ctx, c.id, c.ch, c.ref.orb.opts.CallTimeout)
 	if err != nil {
 		c.err = err
 		return nil, nil, err
 	}
-	c.result, c.outs, c.err = c.ref.decodeReply(c.op, msg, c.args, forwards)
+	c.result, c.outs, c.err = c.ref.decodeReply(c.ctx, c.op, msg, c.args, forwards)
 	c.ref.orb.freeReply(msg)
 	return c.result, c.outs, c.err
 }
 
-// failedCall returns a completed Call carrying err.
-func (r *ObjectRef) failedCall(op *Operation, err error) *Call {
+// failedCall returns a completed Call carrying err. args are retained
+// so a pipelined caller can re-invoke under the retry policy.
+func (r *ObjectRef) failedCall(op *Operation, args []any, err error) *Call {
 	call := callPool.Get().(*Call)
-	call.ref, call.op, call.done, call.err = r, op, true, err
+	call.ref, call.op, call.args, call.done, call.err = r, op, args, true, err
 	return call
 }
 
@@ -144,15 +196,18 @@ func (r *ObjectRef) doneCall(op *Operation, result any, outs []any, err error) *
 	return call
 }
 
-// start marshals and sends the request, registering the reply slot for
-// response-expected operations. It never blocks on the peer beyond the
-// socket write.
-func (r *ObjectRef) start(op *Operation, args []any) *Call {
+// startCtx marshals and sends the request, registering the reply slot
+// for response-expected operations. It never blocks on the peer beyond
+// the socket write. A send failure confined to the data channel (the
+// deposit write) degrades transparently: the data channel is retired
+// and the request is re-sent with standard marshaling on the same
+// control connection (fallback ladder, docs/FAULTS.md).
+func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any) *Call {
 	o := r.orb
 
 	profile, ok := r.resolved()
 	if !ok {
-		return r.failedCall(op, &SystemException{Name: "INV_OBJREF", Completed: CompletedNo})
+		return r.failedCall(op, args, &SystemException{Name: "INV_OBJREF", Completed: CompletedNo})
 	}
 
 	// Collocation bypass (§2.1): local calls skip marshaling entirely.
@@ -173,15 +228,18 @@ func (r *ObjectRef) start(op *Operation, args []any) *Call {
 
 	c, err := r.getConn(profile, zc)
 	if err != nil {
-		return r.failedCall(op, err)
+		// Nothing was sent: COMM_FAILURE with CompletedNo, so the retry
+		// policy may always re-dial (the server never saw the request).
+		o.logf("orb: %s connect: %v", op.Name, err)
+		return r.failedCall(op, args, &SystemException{Name: "COMM_FAILURE", Completed: CompletedNo})
 	}
 
 	inParams := op.InParams()
 	inTypes := op.inTypeList()
 	if len(args) != len(inParams) {
-		return r.failedCall(op, &SystemException{Name: "BAD_PARAM", Completed: CompletedNo})
+		return r.failedCall(op, args, &SystemException{Name: "BAD_PARAM", Completed: CompletedNo})
 	}
-	useZC := c.data != nil
+	useZC := c.usableData()
 
 	req := giop.RequestHeader{
 		RequestID:        o.reqID.Add(1),
@@ -195,7 +253,7 @@ func (r *ObjectRef) start(op *Operation, args []any) *Call {
 		var sizes []uint32
 		payloads, sizes, err = collectDeposits(inTypes, args)
 		if err != nil {
-			return r.failedCall(op, &SystemException{Name: "MARSHAL", Completed: CompletedNo})
+			return r.failedCall(op, args, &SystemException{Name: "MARSHAL", Completed: CompletedNo})
 		}
 		// Announce the data channel on every request (even with no ZC
 		// parameters) so the server can deposit zero-copy replies.
@@ -207,7 +265,7 @@ func (r *ObjectRef) start(op *Operation, args []any) *Call {
 	req.Marshal(e)
 	if err := o.marshalValues(e, inTypes, args, useZC); err != nil {
 		cdr.PutEncoder(e)
-		return r.failedCall(op, &SystemException{Name: "MARSHAL", Completed: CompletedNo})
+		return r.failedCall(op, args, &SystemException{Name: "MARSHAL", Completed: CompletedNo})
 	}
 	body := e.Bytes()
 
@@ -216,17 +274,34 @@ func (r *ObjectRef) start(op *Operation, args []any) *Call {
 		ch, err = c.register(req.RequestID)
 		if err != nil {
 			cdr.PutEncoder(e)
-			return r.failedCall(op, &SystemException{Name: "COMM_FAILURE", Completed: CompletedNo})
+			return r.failedCall(op, args, &SystemException{Name: "COMM_FAILURE", Completed: CompletedNo})
 		}
 	}
 	o.stats.RequestsSent.Add(1)
 	if err := c.sendMessage(giop.MsgRequest, body, payloads); err != nil {
 		cdr.PutEncoder(e)
+		var dw *errDataWrite
+		if asErr(err, &dw) && c.healthy() {
+			// Only the deposit write failed; the control stream already
+			// carried the request (the server's deposit read will fail
+			// fast once the channel closes, and its TRANSIENT reply to
+			// this abandoned id is dropped below). Degrade: retire the
+			// data channel and re-send standard-marshaled on the same
+			// control connection.
+			c.markDataDown()
+			o.stats.DataChanFallbacks.Add(1)
+			o.logf("orb: %s deposit write failed, falling back to marshaled path: %v",
+				op.Name, err)
+			if ch != nil {
+				r.dropAbandoned(c, req.RequestID, ch)
+			}
+			return r.startCtx(ctx, op, args)
+		}
 		if ch != nil {
 			c.unregister(req.RequestID)
 		}
 		c.close(err)
-		return r.failedCall(op, &SystemException{Name: "COMM_FAILURE", Completed: CompletedMaybe})
+		return r.failedCall(op, args, &SystemException{Name: "COMM_FAILURE", Completed: CompletedMaybe})
 	}
 	cdr.PutEncoder(e)
 	if o.opts.OnRequestSent != nil {
@@ -240,9 +315,25 @@ func (r *ObjectRef) start(op *Operation, args []any) *Call {
 		return r.doneCall(op, nil, nil, nil)
 	}
 	call := callPool.Get().(*Call)
-	call.ref, call.op, call.args = r, op, args
+	call.ref, call.op, call.args, call.ctx = r, op, args, ctx
 	call.conn, call.id, call.ch = c, req.RequestID, ch
 	return call
+}
+
+// dropAbandoned discards the reply slot of a request superseded by a
+// fallback re-send, reaping a reply (the server's error answer) that
+// raced in, so the superseding request cannot see a stale delivery.
+func (r *ObjectRef) dropAbandoned(c *conn, id uint32, ch chan *replyMsg) {
+	if c.unregister(id) {
+		replyChanPool.Put(ch)
+		return
+	}
+	msg := <-ch
+	replyChanPool.Put(ch)
+	if msg.err == nil {
+		releaseAll(msg.deposits)
+	}
+	r.orb.freeReply(msg)
 }
 
 // getConn returns a healthy connection for this reference, consulting
@@ -279,7 +370,7 @@ func (r *ObjectRef) getConn(profile ior.IIOPProfile, zc *ior.ZCDeposit) (*conn, 
 // decodeReply interprets a reply message for op. It consumes the
 // message's deposits (handing them to the caller on the success path)
 // but not the message itself; the caller frees it.
-func (r *ObjectRef) decodeReply(op *Operation, msg *replyMsg, args []any,
+func (r *ObjectRef) decodeReply(ctx context.Context, op *Operation, msg *replyMsg, args []any,
 	forwards int) (any, []any, error) {
 	o := r.orb
 	switch msg.hdr.Status {
@@ -341,7 +432,7 @@ func (r *ObjectRef) decodeReply(op *Operation, msg *replyMsg, args []any,
 			return nil, nil, &SystemException{Name: "MARSHAL", Completed: CompletedNo}
 		}
 		fr := &ObjectRef{orb: o, ior: fwd}
-		return fr.invoke(op, args, forwards+1)
+		return fr.invokeCtx(ctx, op, args, forwards+1)
 
 	default:
 		releaseAll(msg.deposits)
@@ -391,7 +482,7 @@ func (o *ORB) invokeLocal(s Servant, op *Operation, args []any) (any, []any, err
 			return nil, nil, err
 		case asErr(err, &fwdErr):
 			fr := &ObjectRef{orb: o, ior: fwdErr.To}
-			return fr.invoke(op, args, 1)
+			return fr.invokeCtx(context.Background(), op, args, 1)
 		default:
 			return nil, nil, &SystemException{Name: "UNKNOWN", Completed: CompletedMaybe}
 		}

@@ -1,6 +1,7 @@
 package orb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -35,6 +36,14 @@ type conn struct {
 	data      transport.Conn // resolved lazily on the server side
 	dataToken uint64
 	isServer  bool
+
+	// dataDown marks the data channel dead while the control stream
+	// stays usable: the graceful-degradation state in which deposits
+	// fall back to the standard marshaled path (docs/FAULTS.md).
+	dataDown atomic.Bool
+	// onLeaseExpire is the deposit-lease expiry hook, built once so
+	// granting a lease does not allocate a closure per transfer.
+	onLeaseExpire func()
 
 	sendMu sync.Mutex
 	// Send-path scratch, guarded by sendMu: reusing the header buffer
@@ -140,8 +149,58 @@ func newConn(o *ORB, tc transport.Conn, isServer bool) *conn {
 	for i := range c.pending {
 		c.pending[i].m = make(map[uint32]chan *replyMsg)
 	}
+	c.onLeaseExpire = c.markDataDown
 	return c
 }
+
+// markDataDown retires the connection's data channel (once) while the
+// control stream keeps running: subsequent sends marshal payloads the
+// standard way, and subsequent deposit announcements are refused. The
+// close also unblocks any reader parked in a deposit ReadFull.
+func (c *conn) markDataDown() {
+	if c.dataDown.Swap(true) {
+		return
+	}
+	if c.data != nil {
+		_ = c.data.Close()
+	}
+	if c.isServer && c.dataToken != 0 {
+		c.orb.dropDataChan(c.dataToken)
+	}
+}
+
+// usableData reports whether the deposit path is currently available.
+func (c *conn) usableData() bool { return c.data != nil && !c.dataDown.Load() }
+
+// pendingEntries counts registered reply waiters across all shards
+// (tests use it to prove the table does not leak).
+func (c *conn) pendingEntries() int {
+	n := 0
+	for i := range c.pending {
+		s := &c.pending[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// errDataWrite marks a send failure confined to the data channel; the
+// control stream already carried the message, so the caller can degrade
+// to the marshaled path instead of tearing the connection down.
+type errDataWrite struct{ err error }
+
+func (e *errDataWrite) Error() string { return "orb: data channel write: " + e.err.Error() }
+func (e *errDataWrite) Unwrap() error { return e.err }
+
+// errDepositTransfer marks a failed inbound bulk transfer (aborted
+// deposit, dead data channel, token that never arrived). The control
+// stream is still framed correctly, so the receiver degrades instead of
+// killing the connection.
+type errDepositTransfer struct{ err error }
+
+func (e *errDepositTransfer) Error() string { return "orb: deposit transfer: " + e.err.Error() }
+func (e *errDepositTransfer) Unwrap() error { return e.err }
 
 // shard returns the pending-table stripe for a request id.
 func (c *conn) shard(id uint32) *pendingShard {
@@ -293,8 +352,11 @@ func (c *conn) sendMessage(t giop.MsgType, body []byte, payloads [][]byte) error
 		if c.data == nil {
 			return errors.New("orb: deposit payload without data channel")
 		}
+		if c.dataDown.Load() {
+			return &errDataWrite{err: errors.New("data channel down")}
+		}
 		if _, err := c.data.WriteGather(payloads...); err != nil {
-			return err
+			return &errDataWrite{err: err}
 		}
 		var n int64
 		for _, p := range payloads {
@@ -394,9 +456,13 @@ func (c *conn) readMessage() (giop.Header, []byte, error) {
 // token. Clients own their channel; servers look the token up in the
 // registry (waiting out the cross-socket race).
 func (c *conn) resolveData(token uint64) (transport.Conn, error) {
+	if c.dataDown.Load() {
+		return nil, &errDepositTransfer{err: errors.New("data channel down")}
+	}
 	if !c.isServer {
 		if c.data == nil || token != c.dataToken {
-			return nil, fmt.Errorf("orb: reply references unknown data channel %#x", token)
+			return nil, &errDepositTransfer{
+				err: fmt.Errorf("reply references unknown data channel %#x", token)}
 		}
 		return c.data, nil
 	}
@@ -405,7 +471,7 @@ func (c *conn) resolveData(token uint64) (transport.Conn, error) {
 	}
 	dc, err := c.orb.waitDataChan(token, c.orb.opts.CallTimeout)
 	if err != nil {
-		return nil, err
+		return nil, &errDepositTransfer{err: err}
 	}
 	c.data = dc
 	c.dataToken = token
@@ -437,17 +503,30 @@ func (c *conn) readDeposits(contexts []giop.ServiceContext) ([]*zcbuf.Buffer, er
 		// server can use it for zero-copy replies.
 		return nil, nil
 	}
+	ttl := c.orb.leaseTTL()
 	bufs := make([]*zcbuf.Buffer, 0, len(di.Sizes))
 	for _, size := range di.Sizes {
 		b, err := c.orb.pool.Get(int(size))
 		if err != nil {
 			releaseAll(bufs)
-			return nil, err
+			return nil, &errDepositTransfer{err: err}
 		}
-		if _, err := io.ReadFull(dc, b.Bytes()); err != nil {
+		// Lease the buffer for the duration of the blocking read: if
+		// the sender aborts mid-transfer, the sweeper expires the lease,
+		// closes the data channel (unblocking this ReadFull), and the
+		// error path below returns the buffer to the pool.
+		var lid zcbuf.LeaseID
+		if ttl > 0 {
+			lid = c.orb.leases.Grant(b, time.Now().Add(ttl), c.onLeaseExpire)
+		}
+		_, err = io.ReadFull(dc, b.Bytes())
+		if ttl > 0 {
+			c.orb.leases.Settle(lid)
+		}
+		if err != nil {
 			b.Release()
 			releaseAll(bufs)
-			return nil, fmt.Errorf("orb: deposit read: %w", err)
+			return nil, &errDepositTransfer{err: fmt.Errorf("deposit read: %w", err)}
 		}
 		bufs = append(bufs, b)
 		c.orb.stats.DepositsReceived.Add(1)
@@ -492,7 +571,21 @@ func (c *conn) readLoop() {
 			}
 			deposits, err := c.readDeposits(req.ServiceContexts)
 			if err != nil {
-				// The deposit stream is unrecoverable once desynced.
+				var dt *errDepositTransfer
+				if asErr(err, &dt) {
+					// The bulk transfer aborted but the control stream
+					// is still framed: retire the data channel, answer
+					// TRANSIENT, and keep serving (degraded) instead of
+					// killing every in-flight call on the connection.
+					c.orb.stats.DepositAborts.Add(1)
+					c.markDataDown()
+					c.orb.logf("orb: request deposit aborted, degrading: %v", err)
+					c.orb.replySystemException(c, req,
+						&SystemException{Name: "TRANSIENT", Completed: CompletedNo})
+					c.freeInline(dec, body)
+					continue
+				}
+				// A malformed deposit announcement is a protocol error.
 				c.freeInline(dec, body)
 				c.protocolError("deposit: %v", err)
 				return
@@ -518,6 +611,22 @@ func (c *conn) readLoop() {
 			}
 			deposits, err := c.readDeposits(rep.ServiceContexts)
 			if err != nil {
+				var dt *errDepositTransfer
+				if asErr(err, &dt) {
+					// The reply's bulk payload was lost; fail just this
+					// call (TRANSIENT — the server did execute it) and
+					// degrade the channel, keeping the connection and
+					// its other in-flight calls alive.
+					c.orb.stats.DepositAborts.Add(1)
+					c.markDataDown()
+					c.orb.logf("orb: reply deposit aborted, degrading: %v", err)
+					c.freeInline(dec, body)
+					msg := replyMsgPool.Get().(*replyMsg)
+					msg.hdr.RequestID = rep.RequestID
+					msg.err = &SystemException{Name: "TRANSIENT", Completed: CompletedMaybe}
+					c.deliver(msg)
+					continue
+				}
 				c.freeInline(dec, body)
 				c.protocolError("reply deposit: %v", err)
 				return
@@ -650,10 +759,16 @@ func (c *conn) locate(id uint32, key []byte, timeout time.Duration) (giop.Locate
 	}
 }
 
-// awaitReply blocks for a reply or times out. On the timeout path the
-// channel is abandoned to the garbage collector (a late delivery may
-// still land in it); on every other path it returns to the pool.
-func (c *conn) awaitReply(id uint32, ch chan *replyMsg, timeout time.Duration) (*replyMsg, error) {
+// awaitReply blocks for a reply until the per-call deadline (ctx) or
+// the ORB call timeout expires. Abandoned waits always sweep their
+// pending-table entry, so timed-out calls cannot grow the striped
+// shards unboundedly.
+func (c *conn) awaitReply(ctx context.Context, id uint32, ch chan *replyMsg,
+	timeout time.Duration) (*replyMsg, error) {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
 	t := getTimer(timeout)
 	select {
 	case msg := <-ch:
@@ -667,26 +782,40 @@ func (c *conn) awaitReply(id uint32, ch chan *replyMsg, timeout time.Duration) (
 		return msg, nil
 	case <-t.C:
 		putTimer(t)
-		if !c.unregister(id) {
-			// Delivery raced the timeout: the reply is in (or on its
-			// way into) the buffered channel. Reap it.
-			msg := <-ch
-			replyChanPool.Put(ch)
-			if msg.err == nil {
-				releaseAll(msg.deposits)
-			}
-			c.orb.freeReply(msg)
-			return nil, &SystemException{Name: "TIMEOUT", Completed: CompletedMaybe}
-		}
-		// Best-effort GIOP CancelRequest so the server can drop the
-		// (now unwanted) reply early.
-		e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
-		(&giop.CancelRequestHeader{RequestID: id}).Marshal(e)
-		err := c.sendMessage(giop.MsgCancelRequest, e.Bytes(), nil)
-		cdr.PutEncoder(e)
-		if err == nil {
-			c.orb.stats.CancelsSent.Add(1)
-		}
-		return nil, &SystemException{Name: "TIMEOUT", Completed: CompletedMaybe}
+		c.orb.stats.Timeouts.Add(1)
+		return c.abandon(id, ch, &SystemException{Name: "TIMEOUT", Completed: CompletedMaybe})
+	case <-ctxDone:
+		putTimer(t)
+		return c.abandon(id, ch, ctx.Err())
 	}
+}
+
+// abandon gives up on a pending reply: it sweeps the pending-table
+// entry, reaps a delivery that raced the abandonment, and sends a
+// best-effort GIOP CancelRequest so the server can drop the now
+// unwanted reply early. It returns failErr for the caller.
+func (c *conn) abandon(id uint32, ch chan *replyMsg, failErr error) (*replyMsg, error) {
+	if !c.unregister(id) {
+		// Delivery raced the abandonment: the reply is in (or on its
+		// way into) the buffered channel. Reap it.
+		msg := <-ch
+		replyChanPool.Put(ch)
+		if msg.err == nil {
+			releaseAll(msg.deposits)
+		}
+		c.orb.freeReply(msg)
+		return nil, failErr
+	}
+	// unregister succeeded, so no deliverer holds the channel (delivery
+	// removes the entry under the shard lock before sending): it is
+	// provably empty and safe to recycle.
+	replyChanPool.Put(ch)
+	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
+	(&giop.CancelRequestHeader{RequestID: id}).Marshal(e)
+	err := c.sendMessage(giop.MsgCancelRequest, e.Bytes(), nil)
+	cdr.PutEncoder(e)
+	if err == nil {
+		c.orb.stats.CancelsSent.Add(1)
+	}
+	return nil, failErr
 }

@@ -1,0 +1,122 @@
+package orb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"zcorba/internal/cdr"
+	"zcorba/internal/giop"
+	"zcorba/internal/transport"
+)
+
+// fuzzServant answers every operation without blocking, so fuzz inputs
+// that decode into valid requests cannot wedge the server.
+type fuzzServant struct{}
+
+func (fuzzServant) Interface() *Interface { return storeIface }
+
+func (fuzzServant) Invoke(string, []any) (any, []any, error) {
+	return nil, nil, &SystemException{Name: "NO_IMPLEMENT", Completed: CompletedNo}
+}
+
+// FuzzConnReadLoop feeds arbitrary byte streams to a live server
+// connection: truncated headers, oversized sizes, garbage frames, and
+// mutations of a valid request. The read loop must never panic or hang
+// — it answers with well-formed GIOP (typically MessageError) or closes
+// the connection.
+func FuzzConnReadLoop(f *testing.F) {
+	// Valid request frame.
+	e := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	req := giop.RequestHeader{
+		RequestID: 1, ResponseExpected: true,
+		ObjectKey: []byte("store"), Operation: "put_std", Principal: []byte{},
+	}
+	req.Marshal(e)
+	var hdr [giop.HeaderSize]byte
+	giop.EncodeHeader(hdr[:], giop.Header{Major: 1, Flags: byte(cdr.NativeOrder),
+		Type: giop.MsgRequest, Size: uint32(len(e.Bytes()))})
+	valid := append(append([]byte{}, hdr[:]...), e.Bytes()...)
+	f.Add(valid)
+	// Truncated header.
+	f.Add(valid[:7])
+	// Header promising more body than ever arrives.
+	short := append([]byte{}, valid...)
+	binary.BigEndian.PutUint32(short[8:], 1<<20)
+	f.Add(short)
+	// Oversized message size.
+	over := append([]byte{}, hdr[:]...)
+	binary.BigEndian.PutUint32(over[8:], giop.MaxMessageSize+1)
+	f.Add(over)
+	// Garbage, wrong magic, empty.
+	f.Add([]byte("this is not GIOP at all, not even close........"))
+	f.Add([]byte("GIOP\xff\xff\xff\xff\xff\xff\xff\xff"))
+	f.Add([]byte{})
+	// CloseConnection and a fragment with no initial message.
+	var cc [giop.HeaderSize]byte
+	giop.EncodeHeader(cc[:], giop.Header{Major: 1, Type: giop.MsgCloseConnection})
+	f.Add(append([]byte{}, cc[:]...))
+	var frag [giop.HeaderSize]byte
+	giop.EncodeHeader(frag[:], giop.Header{Major: 1, Type: giop.MsgFragment, Size: 4})
+	f.Add(append(frag[:], 0xDE, 0xAD, 0xBE, 0xEF))
+
+	tr := &transport.InProc{}
+	o, err := New(Options{Transport: tr, ZeroCopy: true,
+		CallTimeout: 50 * time.Millisecond})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(o.Shutdown)
+	if _, err := o.Activate("store", fuzzServant{}); err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := tr.Dial(o.Addr())
+		if err != nil {
+			t.Skip("server gone")
+		}
+		defer c.Close()
+		// Drain concurrently: pipe writes block until read, and the
+		// server may be answering while we are still feeding it.
+		responses := make(chan []byte, 1)
+		go func() {
+			var all []byte
+			buf := make([]byte, 4096)
+			for {
+				n, err := c.Read(buf)
+				all = append(all, buf[:n]...)
+				if err != nil {
+					responses <- all
+					return
+				}
+			}
+		}()
+		_, _ = c.Write(data)
+		// Let the server react, then tear the connection down; the
+		// drain goroutine unblocks on the closed pipe.
+		time.Sleep(2 * time.Millisecond)
+		_ = c.Close()
+		all := <-responses
+
+		// Whatever came back must be a sequence of well-formed GIOP
+		// frames (a trailing partial frame is possible because we cut
+		// the connection mid-write).
+		for len(all) >= giop.HeaderSize {
+			rh, err := giop.ReadHeader(bytes.NewReader(all))
+			if err != nil {
+				t.Fatalf("server sent malformed GIOP header % x: %v",
+					all[:giop.HeaderSize], err)
+			}
+			if rh.Size > giop.MaxMessageSize {
+				t.Fatalf("server sent oversized frame: %d", rh.Size)
+			}
+			frame := giop.HeaderSize + int(rh.Size)
+			if frame > len(all) {
+				break // partial trailing frame, cut by our Close
+			}
+			all = all[frame:]
+		}
+	})
+}

@@ -55,6 +55,16 @@ type Options struct {
 	Pool *zcbuf.Pool
 	// CallTimeout bounds synchronous invocations; default 30s.
 	CallTimeout time.Duration
+	// Retry configures automatic re-invocation of calls that fail with
+	// a retryable system exception (COMM_FAILURE/TRANSIENT); the zero
+	// value disables retries. See RetryPolicy and docs/FAULTS.md.
+	Retry RetryPolicy
+	// DepositLeaseTTL bounds how long a receiver blocks waiting for an
+	// announced deposit payload before reclaiming the buffer and
+	// retiring the data channel. 0 uses CallTimeout; negative disables
+	// leasing (an aborted sender can then stall a read loop until the
+	// connection dies).
+	DepositLeaseTTL time.Duration
 	// FragmentThreshold splits Request/Reply bodies larger than this
 	// many bytes into GIOP Fragment messages (0 uses the 1 MiB
 	// default; negative disables fragmentation).
@@ -185,6 +195,22 @@ type Stats struct {
 	Collocated atomic.Int64
 	// CancelsSent counts GIOP CancelRequests issued after timeouts.
 	CancelsSent atomic.Int64
+	// Retries counts re-invocations performed by the retry policy.
+	Retries atomic.Int64
+	// Timeouts counts calls abandoned by the reply-wait deadline.
+	Timeouts atomic.Int64
+	// DataChanFallbacks counts invocations degraded from the ZC-deposit
+	// path to the standard marshaled path after a data-channel failure.
+	DataChanFallbacks atomic.Int64
+	// DepositAborts counts inbound bulk transfers that failed mid-read
+	// (the receiver degraded instead of closing the connection).
+	DepositAborts atomic.Int64
+	// LeaseExpiries counts deposit-buffer leases reclaimed by the
+	// sweeper after an aborted or stalled transfer.
+	LeaseExpiries atomic.Int64
+	// TokensExpired counts data-channel registrations dropped because
+	// no request ever referenced their token.
+	TokensExpired atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of the request-path counters,
@@ -249,7 +275,7 @@ type ORB struct {
 	servants    map[string]Servant
 	clientConns map[string]*conn
 	serverConns map[*conn]struct{}
-	dataChans   map[uint64]transport.Conn
+	dataChans   map[uint64]*dataChanEntry
 	dataWaiters map[uint64][]chan transport.Conn
 	closed      bool
 
@@ -257,8 +283,23 @@ type ORB struct {
 	tokenBase uint64
 	tokenSeq  atomic.Uint64
 	wg        sync.WaitGroup
+	done      chan struct{}
+
+	// leases tracks deposit buffers checked out to in-progress bulk
+	// transfers; the sweeper reclaims them when a transfer aborts.
+	leases zcbuf.LeaseTable
 
 	bodyFree chan []byte
+}
+
+// dataChanEntry is one registered (inbound) data channel. Entries that
+// are never claimed by a control connection expire, so a client that
+// dies between the preamble and its first request cannot strand a
+// socket in the registry.
+type dataChanEntry struct {
+	dc      transport.Conn
+	at      time.Time
+	claimed bool
 }
 
 // New creates an ORB, binds its listeners, and starts serving
@@ -272,9 +313,10 @@ func New(opts Options) (*ORB, error) {
 		servants:    make(map[string]Servant),
 		clientConns: make(map[string]*conn),
 		serverConns: make(map[*conn]struct{}),
-		dataChans:   make(map[uint64]transport.Conn),
+		dataChans:   make(map[uint64]*dataChanEntry),
 		dataWaiters: make(map[uint64][]chan transport.Conn),
 		bodyFree:    make(chan []byte, bodyFreeSlots),
+		done:        make(chan struct{}),
 	}
 	if o.tr == nil {
 		o.tr = &transport.TCP{}
@@ -327,7 +369,72 @@ func New(opts Options) (*ORB, error) {
 
 	o.wg.Add(1)
 	go o.acceptControl()
+	if opts.ZeroCopy && o.leaseTTL() > 0 {
+		o.wg.Add(1)
+		go o.sweepLoop()
+	}
 	return o, nil
+}
+
+// leaseTTL resolves the effective deposit-lease lifetime.
+func (o *ORB) leaseTTL() time.Duration {
+	switch {
+	case o.opts.DepositLeaseTTL < 0:
+		return 0
+	case o.opts.DepositLeaseTTL == 0:
+		return o.opts.CallTimeout
+	default:
+		return o.opts.DepositLeaseTTL
+	}
+}
+
+// sweepLoop periodically expires overdue deposit leases and unclaimed
+// data-channel registrations (receiver hygiene: an aborted bulk
+// transfer must return its pooled memory, and a stray data socket must
+// not sit in the registry forever).
+func (o *ORB) sweepLoop() {
+	defer o.wg.Done()
+	iv := o.leaseTTL() / 4
+	if iv < 5*time.Millisecond {
+		iv = 5 * time.Millisecond
+	}
+	if iv > time.Second {
+		iv = time.Second
+	}
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-o.done:
+			return
+		case now := <-t.C:
+			if n := o.leases.Sweep(now); n > 0 {
+				o.stats.LeaseExpiries.Add(int64(n))
+				o.logf("orb: reclaimed %d expired deposit lease(s)", n)
+			}
+			o.sweepTokens(now)
+		}
+	}
+}
+
+// sweepTokens drops data channels whose token was registered but never
+// referenced by a request within twice the call timeout.
+func (o *ORB) sweepTokens(now time.Time) {
+	ttl := 2 * o.opts.CallTimeout
+	var drop []transport.Conn
+	o.mu.Lock()
+	for tok, e := range o.dataChans {
+		if !e.claimed && now.Sub(e.at) > ttl {
+			delete(o.dataChans, tok)
+			drop = append(drop, e.dc)
+			o.logf("orb: data channel token %#x expired unclaimed", tok)
+		}
+	}
+	o.mu.Unlock()
+	for _, dc := range drop {
+		_ = dc.Close()
+		o.stats.TokensExpired.Add(1)
+	}
 }
 
 // splitEndpoint separates a transport address into the host and port
@@ -519,9 +626,13 @@ func (o *ORB) registerDataChan(token uint64, dc transport.Conn) {
 		_ = dc.Close()
 		return
 	}
-	o.dataChans[token] = dc
+	e := &dataChanEntry{dc: dc, at: time.Now()}
+	o.dataChans[token] = e
 	waiters := o.dataWaiters[token]
 	delete(o.dataWaiters, token)
+	if len(waiters) > 0 {
+		e.claimed = true
+	}
 	o.mu.Unlock()
 	for _, w := range waiters {
 		w <- dc
@@ -533,9 +644,10 @@ func (o *ORB) registerDataChan(token uint64, dc transport.Conn) {
 // data connections race across independent sockets).
 func (o *ORB) waitDataChan(token uint64, timeout time.Duration) (transport.Conn, error) {
 	o.mu.Lock()
-	if dc, ok := o.dataChans[token]; ok {
+	if e, ok := o.dataChans[token]; ok {
+		e.claimed = true
 		o.mu.Unlock()
-		return dc, nil
+		return e.dc, nil
 	}
 	ch := make(chan transport.Conn, 1)
 	o.dataWaiters[token] = append(o.dataWaiters[token], ch)
@@ -551,9 +663,9 @@ func (o *ORB) waitDataChan(token uint64, timeout time.Duration) (transport.Conn,
 // dropDataChan removes a dead data channel.
 func (o *ORB) dropDataChan(token uint64) {
 	o.mu.Lock()
-	if dc, ok := o.dataChans[token]; ok {
+	if e, ok := o.dataChans[token]; ok {
 		delete(o.dataChans, token)
-		_ = dc.Close()
+		_ = e.dc.Close()
 	}
 	o.mu.Unlock()
 }
@@ -653,11 +765,12 @@ func (o *ORB) Shutdown() {
 		conns = append(conns, c)
 	}
 	dataChans := o.dataChans
-	o.dataChans = map[uint64]transport.Conn{}
+	o.dataChans = map[uint64]*dataChanEntry{}
 	waiters := o.dataWaiters
 	o.dataWaiters = map[uint64][]chan transport.Conn{}
 	o.mu.Unlock()
 
+	close(o.done)
 	_ = o.ctrlLis.Close()
 	if o.dataLis != nil {
 		_ = o.dataLis.Close()
@@ -665,8 +778,8 @@ func (o *ORB) Shutdown() {
 	for _, c := range conns {
 		c.close(fmt.Errorf("orb: shut down"))
 	}
-	for _, dc := range dataChans {
-		_ = dc.Close()
+	for _, e := range dataChans {
+		_ = e.dc.Close()
 	}
 	for _, ws := range waiters {
 		for range ws {

@@ -20,24 +20,28 @@ var exFull = typecode.StructOf("IDL:test/StoreFull:1.0", "StoreFull",
 
 var storeIface = NewInterface("IDL:test/Store:1.0", "Store",
 	&Operation{
-		Name:   "put",
-		Params: []Param{{Name: "data", Type: typecode.TCZCOctetSeq, Dir: In}},
-		Result: typecode.TCULong,
+		Name:       "put",
+		Idempotent: true,
+		Params:     []Param{{Name: "data", Type: typecode.TCZCOctetSeq, Dir: In}},
+		Result:     typecode.TCULong,
 	},
 	&Operation{
-		Name:   "put_std",
-		Params: []Param{{Name: "data", Type: typecode.TCOctetSeq, Dir: In}},
-		Result: typecode.TCULong,
+		Name:       "put_std",
+		Idempotent: true,
+		Params:     []Param{{Name: "data", Type: typecode.TCOctetSeq, Dir: In}},
+		Result:     typecode.TCULong,
 	},
 	&Operation{
-		Name:   "get",
-		Params: []Param{{Name: "n", Type: typecode.TCULong, Dir: In}},
-		Result: typecode.TCZCOctetSeq,
+		Name:       "get",
+		Idempotent: true,
+		Params:     []Param{{Name: "n", Type: typecode.TCULong, Dir: In}},
+		Result:     typecode.TCZCOctetSeq,
 	},
 	&Operation{
-		Name:   "echo",
-		Params: []Param{{Name: "data", Type: typecode.TCZCOctetSeq, Dir: In}},
-		Result: typecode.TCZCOctetSeq,
+		Name:       "echo",
+		Idempotent: true,
+		Params:     []Param{{Name: "data", Type: typecode.TCZCOctetSeq, Dir: In}},
+		Result:     typecode.TCZCOctetSeq,
 	},
 	&Operation{
 		Name: "transform",

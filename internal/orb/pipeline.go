@@ -1,5 +1,7 @@
 package orb
 
+import "context"
+
 // This file implements the pipelined invocation mode: a bounded
 // in-flight window over one object reference, so small-block transfers
 // are no longer limited to one request per round trip. GIOP already
@@ -22,6 +24,7 @@ type Pipeline struct {
 	ref    *ObjectRef
 	op     *Operation
 	window int
+	ctx    context.Context
 	calls  []*Call // FIFO of in-flight calls
 	cbs    []ReplyFunc
 	err    error
@@ -40,6 +43,13 @@ func (r *ObjectRef) Pipeline(op *Operation, window int) *Pipeline {
 // Window reports the configured in-flight bound.
 func (p *Pipeline) Window() int { return p.window }
 
+// WithContext attaches a deadline/cancellation context to every
+// subsequent Submit. It returns p for chaining.
+func (p *Pipeline) WithContext(ctx context.Context) *Pipeline {
+	p.ctx = ctx
+	return p
+}
+
 // Submit sends one invocation, first reaping the oldest in-flight call
 // if the window is full. fn (optional) receives the completed result
 // when the call is reaped; a call completing in error with no callback
@@ -56,13 +66,17 @@ func (p *Pipeline) Submit(args []any, fn ReplyFunc) error {
 			return p.err
 		}
 	}
-	call := p.ref.start(p.op, args)
+	call := p.ref.startCtx(p.ctx, p.op, args)
 	p.calls = append(p.calls, call)
 	p.cbs = append(p.cbs, fn)
 	return nil
 }
 
-// reap completes the oldest in-flight call.
+// reap completes the oldest in-flight call. When the ORB's retry policy
+// is enabled and the call failed retryably, the invocation is re-issued
+// synchronously before the callback observes a result — with retries
+// on, Submit argument buffers must therefore stay valid until the call
+// is reaped.
 func (p *Pipeline) reap() {
 	call, fn := p.calls[0], p.cbs[0]
 	copy(p.calls, p.calls[1:])
@@ -70,6 +84,11 @@ func (p *Pipeline) reap() {
 	p.calls = p.calls[:len(p.calls)-1]
 	p.cbs = p.cbs[:len(p.cbs)-1]
 	result, outs, err := call.wait(0)
+	if err != nil && p.ref.orb.opts.Retry.enabled() &&
+		p.ref.orb.opts.Retry.retryable(p.op, err) {
+		p.ref.orb.stats.Retries.Add(1)
+		result, outs, err = p.ref.invokeCtx(p.ctx, p.op, call.args, 0)
+	}
 	freeCall(call)
 	if fn != nil {
 		fn(result, outs, err)

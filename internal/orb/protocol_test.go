@@ -140,9 +140,11 @@ func TestCloseConnectionFromClientSide(t *testing.T) {
 	}
 }
 
-func TestDepositUnknownTokenTimesOut(t *testing.T) {
-	// A request referencing a data-channel token that never arrives
-	// must fail the connection after the timeout, not hang forever.
+func TestDepositUnknownTokenAnswersTransient(t *testing.T) {
+	// A request referencing a data-channel token that never arrives must
+	// fail bounded in time — and, since PR 2, fail *softly*: the server
+	// answers a TRANSIENT system exception (CompletedNo, so clients may
+	// retry) and keeps the control connection alive for later requests.
 	o := startServer(t, Options{ZeroCopy: true, CallTimeout: 200 * time.Millisecond})
 	c := dialRaw(t, o)
 
@@ -162,18 +164,49 @@ func TestDepositUnknownTokenTimesOut(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	// The server reports the protocol failure and closes.
 	rh, err := giop.ReadHeader(c)
-	if err == nil {
-		if rh.Type != giop.MsgMessageError {
-			t.Fatalf("expected MessageError, got %v", rh.Type)
-		}
-		if _, err := readFullDeadline(c, make([]byte, 1)); err == nil {
-			t.Fatal("connection survived an unresolvable deposit")
-		}
+	if err != nil {
+		t.Fatalf("read reply header: %v", err)
 	}
 	if time.Since(start) > 4*time.Second {
 		t.Fatal("token wait did not respect the call timeout")
+	}
+	if rh.Type != giop.MsgReply {
+		t.Fatalf("expected Reply, got %v", rh.Type)
+	}
+	body := make([]byte, rh.Size)
+	if _, err := readFullDeadline(c, body); err != nil {
+		t.Fatal(err)
+	}
+	dec := cdr.NewDecoder(rh.Order(), giop.HeaderSize, body)
+	rep, err := giop.UnmarshalReplyHeader(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RequestID != 1 || rep.Status != giop.ReplySystemException {
+		t.Fatalf("reply %+v, want system exception for id 1", rep)
+	}
+	repoID, err := dec.ReadString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repoID != (&SystemException{Name: "TRANSIENT"}).RepoID() {
+		t.Fatalf("exception %q, want TRANSIENT", repoID)
+	}
+	// The control connection survives: a locate request still answers.
+	e2 := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+	(&giop.LocateRequestHeader{RequestID: 2, ObjectKey: []byte("store")}).Marshal(e2)
+	giop.EncodeHeader(hdr[:], giop.Header{Major: 1, Flags: byte(cdr.NativeOrder),
+		Type: giop.MsgLocateRequest, Size: uint32(len(e2.Bytes()))})
+	if _, err := c.WriteGather(hdr[:], e2.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	rh, err = giop.ReadHeader(c)
+	if err != nil {
+		t.Fatalf("connection did not survive the aborted deposit: %v", err)
+	}
+	if rh.Type != giop.MsgLocateReply {
+		t.Fatalf("got %v, want LocateReply on the surviving connection", rh.Type)
 	}
 }
 
@@ -198,7 +231,12 @@ func TestDataChannelBadPreambleDropped(t *testing.T) {
 	}
 }
 
-func TestDataChannelDeathFailsInFlightCall(t *testing.T) {
+func TestDataChannelDeathFallsBackToMarshaled(t *testing.T) {
+	// Killing the data channel out from under an established connection
+	// must not fail calls: the client detects the dead deposit path,
+	// degrades the connection to standard marshaling, and the invocation
+	// completes on the control stream (the acceptance scenario for the
+	// ZC-deposit -> marshaled GIOP fallback ladder).
 	server := startServer(t, Options{ZeroCopy: true})
 	client, err := New(Options{Transport: &transport.TCP{}, ZeroCopy: true,
 		CallTimeout: 2 * time.Second})
@@ -227,19 +265,24 @@ func TestDataChannelDeathFailsInFlightCall(t *testing.T) {
 	}
 	_ = victim.data.Close()
 
-	// The next ZC call must fail with a system exception, not hang.
-	_, _, err = cref.Invoke(storeIface.Ops["put"], []any{pattern(1 << 20)})
-	var se *SystemException
-	if !errors.As(err, &se) {
-		t.Fatalf("want system exception after data channel death, got %v", err)
-	}
-	// A fresh connection recovers subsequent calls.
-	res, _, err := cref.Invoke(storeIface.Ops["put"], []any{pattern(8192)})
+	// The next ZC call still completes — via the marshaled fallback.
+	res, _, err := cref.Invoke(storeIface.Ops["put"], []any{pattern(1 << 20)})
 	if err != nil {
-		t.Fatalf("recovery call: %v", err)
+		t.Fatalf("invoke after data channel death: %v", err)
+	}
+	if res.(uint32) != checksum(pattern(1<<20)) {
+		t.Fatal("fallback checksum mismatch")
+	}
+	if got := client.Stats().DataChanFallbacks.Load(); got < 1 {
+		t.Fatalf("DataChanFallbacks = %d, want >= 1", got)
+	}
+	// The degraded connection keeps serving subsequent calls.
+	res, _, err = cref.Invoke(storeIface.Ops["put"], []any{pattern(8192)})
+	if err != nil {
+		t.Fatalf("follow-up call: %v", err)
 	}
 	if res.(uint32) != checksum(pattern(8192)) {
-		t.Fatal("recovery checksum mismatch")
+		t.Fatal("follow-up checksum mismatch")
 	}
 }
 

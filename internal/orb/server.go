@@ -124,7 +124,7 @@ func (o *ORB) handleRequest(c *conn, req giop.RequestHeader, dec *cdr.Decoder,
 func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
 	types []*typecode.TypeCode, vals []any) {
 	rep := giop.ReplyHeader{RequestID: req.RequestID, Status: giop.ReplyNoException}
-	useZC := c.data != nil
+	useZC := c.usableData()
 
 	var payloads [][]byte
 	if useZC {
@@ -155,7 +155,18 @@ func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
 	err := c.sendMessage(giop.MsgReply, e.Bytes(), payloads)
 	cdr.PutEncoder(e)
 	if err != nil {
-		c.close(err)
+		var dw *errDataWrite
+		if asErr(err, &dw) && c.healthy() {
+			// Only the reply's deposit write failed; the control stream
+			// already carried the reply header. Retire the data channel
+			// but keep the connection: the client's deposit read fails
+			// fast (its TRANSIENT error drives the retry), and future
+			// replies marshal standard.
+			c.markDataDown()
+			o.logf("orb: reply deposit write failed, degrading: %v", err)
+		} else {
+			c.close(err)
+		}
 	}
 	// The ORB consumed the servant's reply buffers.
 	for _, v := range vals {

@@ -1,0 +1,250 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// --- injector decision logic -----------------------------------------------
+
+func TestInjectorNthFiresOnceByDefault(t *testing.T) {
+	inj := NewFaultInjector(1).Add(Rule{Op: OpWrite, Kind: FaultReset, Nth: 3})
+	var fires []int
+	for i := 1; i <= 10; i++ {
+		if inj.decide(OpWrite, ClassControl) != nil {
+			fires = append(fires, i)
+		}
+	}
+	if len(fires) != 1 || fires[0] != 3 {
+		t.Fatalf("fired on events %v, want exactly [3]", fires)
+	}
+	if inj.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", inj.Fired())
+	}
+	log := inj.Log()
+	if len(log) != 1 || !strings.Contains(log[0], "reset") {
+		t.Fatalf("log %v, want one reset entry", log)
+	}
+}
+
+func TestInjectorCountBoundsFires(t *testing.T) {
+	inj := NewFaultInjector(1).Add(Rule{Op: OpRead, Kind: FaultReset, Nth: 2, Count: 3})
+	var fires []int
+	for i := 1; i <= 10; i++ {
+		if inj.decide(OpRead, ClassAny) != nil {
+			fires = append(fires, i)
+		}
+	}
+	// Nth=2 with Count=3: events 2, 3, 4.
+	if len(fires) != 3 || fires[0] != 2 || fires[2] != 4 {
+		t.Fatalf("fired on events %v, want [2 3 4]", fires)
+	}
+}
+
+func TestInjectorProbIsSeeded(t *testing.T) {
+	seq := func(seed int64) []bool {
+		inj := NewFaultInjector(seed).Add(Rule{Op: OpWrite, Kind: FaultReset, Prob: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = inj.decide(OpWrite, ClassControl) != nil
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	// Prob rules have no implicit once-only bound.
+	if fired < 20 || fired > 150 {
+		t.Fatalf("p=0.3 over 200 events fired %d times", fired)
+	}
+}
+
+func TestInjectorClassFilter(t *testing.T) {
+	inj := NewFaultInjector(1).Add(Rule{Op: OpWrite, Kind: FaultReset, Class: ClassData, Nth: 1})
+	if inj.decide(OpWrite, ClassControl) != nil {
+		t.Fatal("control event matched a data-only rule")
+	}
+	if inj.decide(OpWrite, ClassAny) != nil {
+		t.Fatal("unclassified event matched a data-only rule")
+	}
+	if inj.decide(OpRead, ClassData) != nil {
+		t.Fatal("read event matched a write rule")
+	}
+	if inj.decide(OpWrite, ClassData) == nil {
+		t.Fatal("first data write did not fire")
+	}
+}
+
+// --- faulty connections over inproc ----------------------------------------
+
+// faultyPair dials a Faulty-wrapped inproc transport and returns both
+// connection endpoints.
+func faultyPair(t *testing.T, inj *FaultInjector) (client, server Conn) {
+	t.Helper()
+	ft := &Faulty{Inner: &InProc{}, Inj: inj}
+	l, err := ft.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	c, err := ft.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() {
+		_ = c.Close()
+		_ = s.Close()
+		_ = l.Close()
+	})
+	return c, s
+}
+
+// drain reads s until error and returns everything received.
+func drain(s Conn) chan []byte {
+	got := make(chan []byte, 1)
+	go func() {
+		var all []byte
+		buf := make([]byte, 256)
+		for {
+			n, err := s.Read(buf)
+			all = append(all, buf[:n]...)
+			if err != nil {
+				got <- all
+				return
+			}
+		}
+	}()
+	return got
+}
+
+func TestFaultyConnClassifiesFromFirstBytes(t *testing.T) {
+	inj := NewFaultInjector(7).Add(Rule{Op: OpWrite, Kind: FaultReset, Class: ClassData, Nth: 1})
+
+	// A control-looking stream (GIOP magic) never matches the data rule.
+	ctrl, srv := faultyPair(t, inj)
+	got := drain(srv)
+	if _, err := ctrl.Write([]byte("GIOP\x01\x00\x00\x00")); err != nil {
+		t.Fatalf("control write hit a data rule: %v", err)
+	}
+	_ = ctrl.Close()
+	<-got
+
+	// A deposit stream (ZCDC preamble) is reset on its first write.
+	data, _ := faultyPair(t, inj)
+	pre := append([]byte("ZCDC"), make([]byte, 8)...)
+	if _, err := data.Write(pre); err == nil {
+		t.Fatal("data write survived the reset rule")
+	}
+	if inj.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", inj.Fired())
+	}
+}
+
+func TestFaultyConnTruncateWrite(t *testing.T) {
+	inj := NewFaultInjector(1).Add(Rule{Op: OpWrite, Kind: FaultTruncate, Nth: 1, TruncateAt: 5})
+	c, s := faultyPair(t, inj)
+	got := drain(s)
+	n, err := c.Write([]byte("0123456789abcdef"))
+	if err == nil {
+		t.Fatal("truncated write reported success")
+	}
+	if n != 5 {
+		t.Fatalf("wrote %d bytes, want 5", n)
+	}
+	if recv := <-got; string(recv) != "01234" {
+		t.Fatalf("peer received %q, want the 5-byte prefix", recv)
+	}
+}
+
+func TestFaultyConnTruncateGatherWrite(t *testing.T) {
+	inj := NewFaultInjector(1).Add(Rule{Op: OpWrite, Kind: FaultTruncate, Nth: 1, TruncateAt: 6})
+	c, s := faultyPair(t, inj)
+	got := drain(s)
+	n, err := c.WriteGather([]byte("GIOP"), []byte("abcdefgh"))
+	if err == nil {
+		t.Fatal("truncated gather write reported success")
+	}
+	if n != 6 {
+		t.Fatalf("wrote %d bytes, want 6", n)
+	}
+	if recv := <-got; string(recv) != "GIOPab" {
+		t.Fatalf("peer received %q, want %q", recv, "GIOPab")
+	}
+}
+
+func TestFaultyConnSlowWriteDeliversEverything(t *testing.T) {
+	inj := NewFaultInjector(1).Add(Rule{Op: OpWrite, Kind: FaultSlow, Nth: 1, Chunk: 4,
+		Delay: time.Millisecond})
+	c, s := faultyPair(t, inj)
+	got := drain(s)
+	payload := []byte("GIOP-slow-payload-0123456789")
+	n, err := c.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("slow write: n=%d err=%v", n, err)
+	}
+	_ = c.Close()
+	if recv := <-got; string(recv) != string(payload) {
+		t.Fatalf("peer received %q, want full payload", recv)
+	}
+}
+
+func TestFaultyConnStallDelaysWrite(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	inj := NewFaultInjector(1).Add(Rule{Op: OpWrite, Kind: FaultStall, Nth: 1, Delay: delay})
+	c, s := faultyPair(t, inj)
+	got := drain(s)
+	start := time.Now()
+	if _, err := c.Write([]byte("GIOPstall")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < delay-5*time.Millisecond {
+		t.Fatalf("stalled write returned after %v, want >= %v", d, delay)
+	}
+	_ = c.Close()
+	<-got
+}
+
+func TestFaultyDialRefusedOnce(t *testing.T) {
+	inj := NewFaultInjector(1).Add(Rule{Op: OpDial, Kind: FaultRefuse, Nth: 1})
+	ft := &Faulty{Inner: &InProc{}, Inj: inj}
+	l, err := ft.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := ft.Dial(l.Addr()); err == nil {
+		t.Fatal("first dial was not refused")
+	}
+	// Nth rules fire once by default: the redial goes through.
+	c, err := ft.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("redial: %v", err)
+	}
+	_ = c.Close()
+	if s, err := l.Accept(); err == nil {
+		_ = s.Close()
+	}
+}

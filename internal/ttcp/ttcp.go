@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"zcorba/internal/media"
@@ -207,16 +208,18 @@ type CorbaSink struct {
 	IOR string
 }
 
-// sinkServant discards received blocks.
-type sinkServant struct{ received uint64 }
+// sinkServant discards received blocks. Requests dispatch concurrently
+// (and a retrying client may overlap connections), so the byte count is
+// atomic.
+type sinkServant struct{ received atomic.Uint64 }
 
-func (s *sinkServant) GetReceived() (uint64, error) { return s.received, nil }
+func (s *sinkServant) GetReceived() (uint64, error) { return s.received.Load(), nil }
 func (s *sinkServant) Put(data []byte) (uint32, error) {
-	s.received += uint64(len(data))
+	s.received.Add(uint64(len(data)))
 	return uint32(len(data)), nil
 }
 func (s *sinkServant) Zput(data *zcbuf.Buffer) (uint32, error) {
-	s.received += uint64(data.Len())
+	s.received.Add(uint64(data.Len()))
 	return uint32(data.Len()), nil
 }
 func (s *sinkServant) Get(n uint32) ([]byte, error) { return make([]byte, n), nil }
@@ -226,7 +229,7 @@ func (s *sinkServant) Zget(n uint32) (*zcbuf.Buffer, error) {
 func (s *sinkServant) Describe(seq uint32) (media.Media_FrameInfo, error) {
 	return media.Media_FrameInfo{Seq: seq}, nil
 }
-func (s *sinkServant) Reset() error { s.received = 0; return nil }
+func (s *sinkServant) Reset() error { s.received.Store(0); return nil }
 
 // NewCorbaSink starts an ORB on tr serving a Store sink. zeroCopy
 // controls whether the ORB offers the direct-deposit channel.

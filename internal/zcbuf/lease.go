@@ -1,0 +1,124 @@
+package zcbuf
+
+import (
+	"sync"
+	"time"
+)
+
+// LeaseID names one outstanding deposit-buffer lease.
+type LeaseID uint64
+
+// LeaseTable tracks buffers handed to in-progress bulk transfers so an
+// aborted transfer cannot strand pooled memory: the receiver grants a
+// lease before blocking in the deposit read and settles it when the
+// read completes. A sweeper expires overdue leases, releasing the
+// lease's buffer reference and running the lease's onExpire hook
+// (typically: close the data channel so the blocked reader unwinds).
+//
+// Reference discipline: Grant retains the buffer, so the reader's own
+// reference stays valid even if the lease expires mid-read — expiry
+// only drops the lease's reference and unblocks the reader, whose
+// error path then performs the final Release that returns the buffer
+// to the pool.
+//
+// Sweep takes the current time as a parameter, so tests drive expiry
+// with a fake clock.
+type LeaseTable struct {
+	mu     sync.Mutex
+	next   uint64
+	leases map[LeaseID]*lease
+	free   []*lease
+}
+
+type lease struct {
+	buf      *Buffer
+	deadline time.Time
+	onExpire func()
+}
+
+// maxFreeLeases bounds the lease free list.
+const maxFreeLeases = 32
+
+// Grant retains b and registers a lease that expires at deadline.
+// onExpire (optional) runs when the sweeper reclaims the lease.
+func (t *LeaseTable) Grant(b *Buffer, deadline time.Time, onExpire func()) LeaseID {
+	b.Retain()
+	t.mu.Lock()
+	if t.leases == nil {
+		t.leases = make(map[LeaseID]*lease)
+	}
+	t.next++
+	id := LeaseID(t.next)
+	var l *lease
+	if n := len(t.free); n > 0 {
+		l = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		l = new(lease)
+	}
+	l.buf, l.deadline, l.onExpire = b, deadline, onExpire
+	t.leases[id] = l
+	t.mu.Unlock()
+	return id
+}
+
+// Settle completes a lease: the transfer finished (or failed on its
+// own) and the lease's buffer reference is released. It reports whether
+// the lease was still outstanding; false means the sweeper already
+// expired it.
+func (t *LeaseTable) Settle(id LeaseID) bool {
+	t.mu.Lock()
+	l := t.leases[id]
+	if l != nil {
+		delete(t.leases, id)
+	}
+	t.mu.Unlock()
+	if l == nil {
+		return false
+	}
+	buf := l.buf
+	t.recycle(l)
+	buf.Release()
+	return true
+}
+
+// Sweep expires every lease due at now, running its onExpire hook and
+// releasing its buffer reference. It returns the number of leases
+// reclaimed.
+func (t *LeaseTable) Sweep(now time.Time) int {
+	t.mu.Lock()
+	var due []*lease
+	for id, l := range t.leases {
+		if !l.deadline.After(now) {
+			delete(t.leases, id)
+			due = append(due, l)
+		}
+	}
+	t.mu.Unlock()
+	for _, l := range due {
+		if l.onExpire != nil {
+			l.onExpire()
+		}
+		buf := l.buf
+		t.recycle(l)
+		buf.Release()
+	}
+	return len(due)
+}
+
+// Pending returns the number of outstanding leases.
+func (t *LeaseTable) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.leases)
+}
+
+// recycle returns a lease struct to the free list.
+func (t *LeaseTable) recycle(l *lease) {
+	*l = lease{}
+	t.mu.Lock()
+	if len(t.free) < maxFreeLeases {
+		t.free = append(t.free, l)
+	}
+	t.mu.Unlock()
+}

@@ -1,0 +1,149 @@
+package zcbuf
+
+import (
+	"testing"
+	"time"
+)
+
+// The lease tests drive expiry with an explicit fake clock: Sweep takes
+// `now`, so no test here ever sleeps.
+
+func TestLeaseSettleReleasesBuffer(t *testing.T) {
+	var pool Pool
+	var tab LeaseTable
+	now := time.Unix(1000, 0)
+
+	b, err := pool.Get(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := tab.Grant(b, now.Add(time.Second), nil)
+	if b.Refs() != 2 {
+		t.Fatalf("refs after Grant = %d, want 2 (caller + lease)", b.Refs())
+	}
+	if tab.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", tab.Pending())
+	}
+	if !tab.Settle(id) {
+		t.Fatal("Settle returned false for an outstanding lease")
+	}
+	if b.Refs() != 1 {
+		t.Fatalf("refs after Settle = %d, want 1", b.Refs())
+	}
+	if tab.Pending() != 0 {
+		t.Fatalf("Pending after Settle = %d, want 0", tab.Pending())
+	}
+	b.Release()
+	if got := pool.Stats().Outstanding; got != 0 {
+		t.Fatalf("pool Outstanding = %d, want 0", got)
+	}
+}
+
+func TestLeaseSweepExpiresOnlyDue(t *testing.T) {
+	var pool Pool
+	var tab LeaseTable
+	now := time.Unix(1000, 0)
+
+	early, _ := pool.Get(4096)
+	late, _ := pool.Get(4096)
+	expired := 0
+	tab.Grant(early, now.Add(10*time.Millisecond), func() { expired++ })
+	lateID := tab.Grant(late, now.Add(10*time.Second), func() { expired++ })
+
+	if n := tab.Sweep(now); n != 0 {
+		t.Fatalf("Sweep before any deadline reclaimed %d", n)
+	}
+	if n := tab.Sweep(now.Add(time.Second)); n != 1 {
+		t.Fatalf("Sweep reclaimed %d leases, want 1", n)
+	}
+	if expired != 1 {
+		t.Fatalf("onExpire ran %d times, want 1", expired)
+	}
+	if early.Refs() != 1 || late.Refs() != 2 {
+		t.Fatalf("refs = (%d, %d), want (1, 2)", early.Refs(), late.Refs())
+	}
+	if tab.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", tab.Pending())
+	}
+	tab.Settle(lateID)
+	early.Release()
+	late.Release()
+	if got := pool.Stats().Outstanding; got != 0 {
+		t.Fatalf("pool Outstanding = %d, want 0", got)
+	}
+}
+
+func TestLeaseSettleAfterExpiryReturnsFalse(t *testing.T) {
+	var pool Pool
+	var tab LeaseTable
+	now := time.Unix(1000, 0)
+
+	b, _ := pool.Get(4096)
+	id := tab.Grant(b, now, nil) // due immediately
+	if n := tab.Sweep(now); n != 1 {
+		t.Fatalf("Sweep reclaimed %d, want 1", n)
+	}
+	if tab.Settle(id) {
+		t.Fatal("Settle returned true for an expired lease")
+	}
+	if b.Refs() != 1 {
+		t.Fatalf("refs = %d, want 1 (only the caller's)", b.Refs())
+	}
+	b.Release()
+}
+
+// TestLeaseAbortedTransferReturnsBufferToPool replays the receiver's
+// abort sequence: Grant before the blocking read, expiry mid-read, the
+// reader's error path releasing its own reference. The buffer must land
+// back in the pool exactly once.
+func TestLeaseAbortedTransferReturnsBufferToPool(t *testing.T) {
+	var pool Pool
+	var tab LeaseTable
+	now := time.Unix(1000, 0)
+
+	b, _ := pool.Get(1 << 16)
+	unblocked := false
+	id := tab.Grant(b, now.Add(50*time.Millisecond), func() { unblocked = true })
+
+	// Sweeper fires while the reader is "blocked".
+	if n := tab.Sweep(now.Add(time.Second)); n != 1 {
+		t.Fatalf("Sweep reclaimed %d, want 1", n)
+	}
+	if !unblocked {
+		t.Fatal("onExpire hook did not run")
+	}
+	// The reader unwinds with an error and settles (a no-op now) then
+	// drops its own reference — the final one.
+	if tab.Settle(id) {
+		t.Fatal("expired lease settled")
+	}
+	b.Release()
+
+	st := pool.Stats()
+	if st.Outstanding != 0 {
+		t.Fatalf("pool Outstanding = %d, want 0 after abort", st.Outstanding)
+	}
+	// The buffer really is reusable.
+	b2, _ := pool.Get(1 << 16)
+	if pool.Stats().Reuses != 1 {
+		t.Fatalf("Reuses = %d, want 1 (aborted buffer recycled)", pool.Stats().Reuses)
+	}
+	b2.Release()
+}
+
+func TestLeaseIDsAreUnique(t *testing.T) {
+	var pool Pool
+	var tab LeaseTable
+	now := time.Unix(1000, 0)
+	seen := make(map[LeaseID]bool)
+	for i := 0; i < 100; i++ {
+		b, _ := pool.Get(64)
+		id := tab.Grant(b, now.Add(time.Hour), nil)
+		if seen[id] {
+			t.Fatalf("lease id %d reused while outstanding", id)
+		}
+		seen[id] = true
+		tab.Settle(id)
+		b.Release()
+	}
+}
