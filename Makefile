@@ -2,16 +2,42 @@
 
 GO ?= go
 
-.PHONY: all build test chaos race race-all bench bench-all figures measure examples generate clean
+.PHONY: all build test vet conformance fuzz chaos race race-all bench bench-all figures measure examples generate clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
+# The tier-1 gate: vet, the full unit suite (which includes the
+# wire-conformance golden vectors), the race-checked request engine,
+# and the chaos schedules.
+test: vet
 	$(GO) test ./...
+	$(MAKE) conformance
+	$(MAKE) race
 	$(MAKE) chaos
+
+vet:
+	$(GO) vet ./...
+
+# Golden wire-vector suite (internal/giop/testdata): regenerate
+# deliberately with `go test ./internal/giop -run TestWireVectors -update`.
+conformance:
+	$(GO) test -count=1 -run 'TestWireVectors|TestUntraced' ./internal/giop/
+
+# Short-budget fuzz pass over the wire-facing decoders (seeded from
+# the golden vectors and saved crash corpora); raise FUZZTIME for a
+# deeper run.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzCDRDecode -fuzztime $(FUZZTIME) ./internal/giop/
+	$(GO) test -run '^$$' -fuzz FuzzHeaders -fuzztime $(FUZZTIME) ./internal/giop/
+	$(GO) test -run '^$$' -fuzz FuzzIORParse -fuzztime $(FUZZTIME) ./internal/ior/
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/ior/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeComponents -fuzztime $(FUZZTIME) ./internal/ior/
+	$(GO) test -run '^$$' -fuzz FuzzDecoder -fuzztime $(FUZZTIME) ./internal/cdr/
+	$(GO) test -run '^$$' -fuzz FuzzConnReadLoop -fuzztime $(FUZZTIME) ./internal/orb/
 
 # Deterministic fault-injection suite (docs/FAULTS.md): the seeded
 # chaos scenarios run under -race with three fixed schedules, then once

@@ -68,7 +68,7 @@ func benchSocket(b *testing.B, tr transport.Transport) {
 func benchCorba(b *testing.B, mk func() transport.Transport, zeroCopy bool) {
 	for _, size := range benchSizes {
 		b.Run(sizeName(size), func(b *testing.B) {
-			sink, err := ttcp.NewCorbaSink(mk(), zeroCopy)
+			sink, err := ttcp.NewCorbaSink(mk(), zeroCopy, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -122,7 +122,7 @@ func BenchmarkAblation_GeneralMarshalLoop(b *testing.B) { benchCorba(b, zcStack,
 // deposit machinery removes.
 func BenchmarkAblation_ZCTypeFallback(b *testing.B) {
 	size := 1 << 20
-	sink, err := ttcp.NewCorbaSink(zcStack(), false) // extension off
+	sink, err := ttcp.NewCorbaSink(zcStack(), false, nil) // extension off
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func BenchmarkAblation_ZCTypeFallback(b *testing.B) {
 // BenchmarkAblation_FullZeroCopy is marshal bypass + direct deposit.
 func BenchmarkAblation_FullZeroCopy(b *testing.B) {
 	size := 1 << 20
-	sink, err := ttcp.NewCorbaSink(zcStack(), true)
+	sink, err := ttcp.NewCorbaSink(zcStack(), true, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -294,7 +294,7 @@ var benchWindows = []int{1, 8, 32}
 func BenchmarkRequestRate_ZC4K(b *testing.B) {
 	for _, w := range benchWindows {
 		b.Run(fmt.Sprintf("window%d", w), func(b *testing.B) {
-			sink, err := ttcp.NewCorbaSink(zcStack(), true)
+			sink, err := ttcp.NewCorbaSink(zcStack(), true, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -325,7 +325,7 @@ func BenchmarkRequestRate_ZC4K(b *testing.B) {
 func BenchmarkRequestRate_Ping(b *testing.B) {
 	for _, w := range benchWindows {
 		b.Run(fmt.Sprintf("window%d", w), func(b *testing.B) {
-			sink, err := ttcp.NewCorbaSink(zcStack(), true)
+			sink, err := ttcp.NewCorbaSink(zcStack(), true, nil)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -89,13 +89,13 @@ func main() {
 // measured table — there is nothing 1999-specific to model here).
 func (r *runner) tableLatency() bool {
 	fmt.Printf("\n=== Invocation latency: standard vs direct deposit (measured) ===\n")
-	stdSink, err := ttcp.NewCorbaSink(zcStack(), false)
+	stdSink, err := ttcp.NewCorbaSink(zcStack(), false, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		return false
 	}
 	defer stdSink.Close()
-	zcSink, err := ttcp.NewCorbaSink(zcStack(), true)
+	zcSink, err := ttcp.NewCorbaSink(zcStack(), true, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		return false
@@ -255,7 +255,7 @@ func (r *runner) measureSocket(tr transport.Transport) func(int) (float64, error
 
 func (r *runner) measureCorba(tr func() transport.Transport, zc bool) func(int) (float64, error) {
 	return func(size int) (float64, error) {
-		sink, err := ttcp.NewCorbaSink(tr(), zc)
+		sink, err := ttcp.NewCorbaSink(tr(), zc, nil)
 		if err != nil {
 			return 0, err
 		}

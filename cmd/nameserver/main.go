@@ -16,6 +16,7 @@ import (
 
 	"zcorba/internal/naming"
 	"zcorba/internal/orb"
+	"zcorba/internal/trace"
 	"zcorba/internal/transport"
 )
 
@@ -23,13 +24,28 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:2809", "listen address")
 	iorFile := flag.String("ior-file", "", "write the service IOR to this file")
 	store := flag.String("store", "", "persist bindings to this JSON file across restarts")
+	debugAddr := flag.String("debug", "", "serve /metrics, /spans, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
 
-	o, err := orb.New(orb.Options{Transport: &transport.TCP{}, ListenAddr: *addr})
+	var tracer *trace.Tracer
+	if *debugAddr != "" {
+		tracer = trace.New(0)
+	}
+	o, err := orb.New(orb.Options{Transport: &transport.TCP{}, ListenAddr: *addr, Tracer: tracer})
 	if err != nil {
 		fatal(err)
 	}
 	defer o.Shutdown()
+	if *debugAddr != "" {
+		x := &trace.Exporter{Tracer: tracer}
+		o.RegisterMetrics(x)
+		bound, err := x.Start(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer x.Close()
+		fmt.Printf("nameserver: debug listener on http://%s/metrics\n", bound)
+	}
 	srv := &naming.Server{StorePath: *store}
 	if err := srv.Load(); err != nil {
 		fatal(err)

@@ -18,6 +18,11 @@
 // line reports requests/s alongside Mbit/s. -chaos injects a seeded
 // transport fault schedule (see -chaos-seed) into the CORBA client and
 // enables the retry policy, reporting fired faults and recoveries.
+//
+// Observability (docs/OBSERVABILITY.md): -trace FILE records every
+// CORBA-mode span (client and sink side alike, correlated by trace ID)
+// and dumps them as a replayable NDJSON span log on exit; -debug ADDR
+// serves Prometheus metrics, the live span log, expvar, and pprof.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"os/signal"
 
 	"zcorba/internal/orb"
+	"zcorba/internal/trace"
 	"zcorba/internal/transport"
 	"zcorba/internal/ttcp"
 )
@@ -46,7 +52,24 @@ func main() {
 	window := flag.Int("window", 1, "CORBA client: pipelined in-flight requests (1 = synchronous)")
 	chaos := flag.Bool("chaos", false, "CORBA client: inject seeded transport faults and enable the retry policy")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed for -chaos")
+	traceFile := flag.String("trace", "", "CORBA mode: write a replayable span log (NDJSON) to this file on exit")
+	debugAddr := flag.String("debug", "", "serve /metrics, /spans, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	switch {
+	case *traceFile != "":
+		// A dumped span log should cover the whole run, not just the
+		// default ring's tail: size the slab for spans-per-block times a
+		// full sweep, bounded sanely.
+		capacity := *blocks * 8 * 22 // sweep() runs up to 22 points
+		if capacity > 1<<20 {
+			capacity = 1 << 20
+		}
+		tracer = trace.New(capacity)
+	case *debugAddr != "":
+		tracer = trace.New(0)
+	}
 
 	var tr transport.Transport
 	switch *stack {
@@ -69,10 +92,13 @@ func main() {
 		_ = sink.Close()
 
 	case *server && *corba:
-		sink, err := ttcp.NewCorbaSink(tr, *zerocopy)
+		sink, err := ttcp.NewCorbaSink(tr, *zerocopy, tracer)
 		if err != nil {
 			fatal(err)
 		}
+		stopDebug := startDebug(*debugAddr, tracer, sink.ORB)
+		defer stopDebug()
+		defer dumpTrace(*traceFile, tracer)
 		if *iorFile != "" {
 			if err := os.WriteFile(*iorFile, []byte(sink.IOR), 0o644); err != nil {
 				fatal(err)
@@ -101,7 +127,7 @@ func main() {
 		if *iorStr == "" {
 			fatal(fmt.Errorf("CORBA client needs -ior"))
 		}
-		opts := orb.Options{Transport: tr, ZeroCopy: *zerocopy}
+		opts := orb.Options{Transport: tr, ZeroCopy: *zerocopy, Tracer: tracer}
 		var inj *transport.FaultInjector
 		if *chaos {
 			opts.Transport, inj = ttcp.Chaos(tr, *chaosSeed)
@@ -113,6 +139,9 @@ func main() {
 			fatal(err)
 		}
 		defer client.Shutdown()
+		stopDebug := startDebug(*debugAddr, tracer, client)
+		defer stopDebug()
+		defer dumpTrace(*traceFile, tracer)
 		for _, s := range sizes(*sweep, *size) {
 			b := *blocks
 			if *sweep {
@@ -136,6 +165,41 @@ func main() {
 			}
 		}
 	}
+}
+
+// startDebug serves the observability surface when addr is non-empty,
+// returning a stop function (a no-op otherwise).
+func startDebug(addr string, tracer *trace.Tracer, o *orb.ORB) func() {
+	if addr == "" {
+		return func() {}
+	}
+	x := &trace.Exporter{Tracer: tracer}
+	o.RegisterMetrics(x)
+	bound, err := x.Start(addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ttcp: debug listener on http://%s/metrics\n", bound)
+	return func() { _ = x.Close() }
+}
+
+// dumpTrace writes the retained spans as a replayable NDJSON span log.
+func dumpTrace(path string, tracer *trace.Tracer) {
+	if path == "" || tracer == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	spans := tracer.Spans()
+	if err := trace.WriteSpanLog(f, spans); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ttcp: %d spans written to %s\n", len(spans), path)
 }
 
 func sizes(sweep bool, one int) []int {

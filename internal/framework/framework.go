@@ -17,6 +17,7 @@ import (
 	"zcorba/internal/mpeg"
 	"zcorba/internal/naming"
 	"zcorba/internal/orb"
+	"zcorba/internal/trace"
 	"zcorba/internal/zcbuf"
 )
 
@@ -116,6 +117,24 @@ type Farm struct {
 	// encoding, one in transfer — the pipeline overlap the deposit
 	// architecture enables).
 	InFlight int
+	// Tracer, if set, records one frame span per work item (kind
+	// "frame": submit to completed result, spanning queueing, transfer
+	// and remote encode) plus the frame-latency histogram.
+	Tracer *trace.Tracer
+}
+
+// recordFrame emits the frame span for one completed work item.
+func (f *Farm) recordFrame(worker int, start, bytes int64, failed bool) {
+	if f.Tracer == nil {
+		return
+	}
+	dur := trace.Now() - start
+	f.Tracer.Record(trace.Span{
+		Trace: f.Tracer.NewID(), Kind: trace.KindFrame, Op: "encode",
+		Attempt: uint16(worker + 1), Err: failed,
+		Start: start, Dur: dur, Bytes: bytes,
+	})
+	f.Tracer.FrameLatencyNS.Record(dur)
 }
 
 // NewFarm builds a farm from explicit worker stubs.
@@ -227,6 +246,7 @@ func (f *Farm) Transcode(frames []Frame) ([]Result, Stats, error) {
 			for j := range queue {
 				idx, info, data := j.idx, j.f.Info, j.f.Data
 				inBytes.Add(int64(data.Len()))
+				submitted := trace.Now()
 				err := p.Submit(media.EncodeArgs(info, data),
 					func(result any, _ []any, err error) {
 						res := Result{Info: info, Worker: wi, Err: media.EncodeError(err)}
@@ -234,6 +254,7 @@ func (f *Farm) Transcode(frames []Frame) ([]Result, Stats, error) {
 							res.Data = result.(*zcbuf.Buffer)
 							outBytes.Add(int64(res.Data.Len()))
 						}
+						f.recordFrame(wi, submitted, int64(data.Len()), err != nil)
 						// Keep the buffer alive for redeliver when the
 						// failure is worth another worker.
 						if !reassignable(res.Err) {

@@ -13,6 +13,7 @@
 package giop
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 
@@ -156,7 +157,57 @@ const (
 	// travel on the data path (vendor range; the paper's MICO fork
 	// would use a MICO-private ID the same way).
 	ZCDepositContextID uint32 = 0x5A430002
+	// TraceContextID carries the per-invocation trace context of
+	// internal/trace: 16 bytes, the trace ID and the sender's span ID,
+	// both big-endian. Added only when tracing is enabled, so messages
+	// without a trace context are byte-identical to the untraced wire
+	// format (locked down by the golden-vector conformance suite).
+	TraceContextID uint32 = 0x5A430003
 )
+
+// TraceContext is the payload of the trace service context. Unlike
+// DepositInfo it is a fixed-width big-endian blob, not a CDR
+// encapsulation: 16 bytes decode the same regardless of the carrying
+// message's byte order, and encoding needs no CDR machinery on the
+// hot path.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// traceContextLen is the fixed encoded size of a TraceContext.
+const traceContextLen = 16
+
+// Encode serializes the trace context as a service context.
+func (tc TraceContext) Encode() ServiceContext {
+	data := make([]byte, traceContextLen)
+	binary.BigEndian.PutUint64(data[:8], tc.TraceID)
+	binary.BigEndian.PutUint64(data[8:], tc.SpanID)
+	return ServiceContext{ID: TraceContextID, Data: data}
+}
+
+// DecodeTraceContext parses a trace service context body.
+func DecodeTraceContext(data []byte) (TraceContext, error) {
+	if len(data) < traceContextLen {
+		return TraceContext{}, fmt.Errorf("giop: trace context is %d bytes, want %d",
+			len(data), traceContextLen)
+	}
+	return TraceContext{
+		TraceID: binary.BigEndian.Uint64(data[:8]),
+		SpanID:  binary.BigEndian.Uint64(data[8:16]),
+	}, nil
+}
+
+// FindTraceContext extracts the trace context from a service context
+// list, if present and well-formed.
+func FindTraceContext(scs []ServiceContext) (TraceContext, bool) {
+	data, ok := Find(scs, TraceContextID)
+	if !ok {
+		return TraceContext{}, false
+	}
+	tc, err := DecodeTraceContext(data)
+	return tc, err == nil
+}
 
 func writeServiceContexts(e *cdr.Encoder, scs []ServiceContext) {
 	e.WriteULong(uint32(len(scs)))

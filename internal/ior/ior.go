@@ -135,6 +135,11 @@ func DecodeIIOP(tp TaggedProfile) (IIOPProfile, error) {
 	if p.Host, err = d.ReadString(); err != nil {
 		return p, fmt.Errorf("ior: IIOP host: %w", err)
 	}
+	// A hostname with embedded NULs is never legitimate and would
+	// otherwise flow into the dialer verbatim (found by FuzzIORParse).
+	if strings.ContainsRune(p.Host, 0) {
+		return p, fmt.Errorf("ior: IIOP host contains NUL")
+	}
 	if p.Port, err = d.ReadUShort(); err != nil {
 		return p, fmt.Errorf("ior: IIOP port: %w", err)
 	}
@@ -213,6 +218,9 @@ func DecodeZCDeposit(data []byte) (ZCDeposit, error) {
 	}
 	if z.Host, err = d.ReadString(); err != nil {
 		return z, fmt.Errorf("ior: ZCDeposit host: %w", err)
+	}
+	if strings.ContainsRune(z.Host, 0) {
+		return z, fmt.Errorf("ior: ZCDeposit host contains NUL")
 	}
 	if z.Port, err = d.ReadUShort(); err != nil {
 		return z, fmt.Errorf("ior: ZCDeposit port: %w", err)

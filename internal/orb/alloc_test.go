@@ -3,26 +3,34 @@ package orb
 import (
 	"testing"
 
+	"zcorba/internal/trace"
 	"zcorba/internal/zcbuf"
 )
 
 // allocBudget gates the steady-state heap allocation count of one
 // zero-copy invoke, client and server sides combined (both ORBs share
-// the test process, so testing.Benchmark sees the whole round trip).
-// The pre-pooling engine measured 70 allocs/op; the pooled engine
-// measures ~25. The budget sits at the 50%-reduction line, so a change
-// that re-introduces per-request garbage fails loudly while normal
-// jitter does not.
+// the test process, so testing.Benchmark sees the whole round trip) —
+// measured WITH tracing enabled, since observability must not undo the
+// allocation-free hot path. The pre-pooling engine measured 70
+// allocs/op; the pooled engine measures ~25 untraced, and tracing adds
+// a handful (the trace service context rides the request and reply).
+// The budget sits at the 50%-reduction line, so a change that
+// re-introduces per-request garbage fails loudly while normal jitter
+// does not.
 const allocBudget = 35
 
 // TestInvokeAllocsGate is the allocation regression gate of the
 // allocation-free hot path: see docs/PERF.md for the ownership rules
-// that make the budget reachable.
+// that make the budget reachable. Tracing is on for both ORBs: span
+// recording into the slab must stay allocation-free.
 func TestInvokeAllocsGate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc gate skipped in -short mode")
 	}
-	p := tcpPair(t, true)
+	if raceDetectorEnabled {
+		t.Skip("alloc gate skipped under -race: instrumentation skews the count")
+	}
+	p, ct, _ := tracedTCPPair(t, true)
 	op := storeIface.Ops["put"]
 	buf := zcbuf.Wrap(pattern(4096))
 	want := checksum(buf.Bytes())
@@ -46,10 +54,14 @@ func TestInvokeAllocsGate(t *testing.T) {
 		}
 	})
 	if allocs := res.AllocsPerOp(); allocs > allocBudget {
-		t.Fatalf("steady-state ZC invoke allocates %d objects/op, budget %d",
+		t.Fatalf("steady-state traced ZC invoke allocates %d objects/op, budget %d",
 			allocs, allocBudget)
 	} else {
-		t.Logf("steady-state ZC invoke: %d allocs/op, %d B/op (budget %d)",
+		t.Logf("steady-state traced ZC invoke: %d allocs/op, %d B/op (budget %d)",
 			allocs, res.AllocedBytesPerOp(), allocBudget)
+	}
+	// Tracing was actually live during the measurement.
+	if ct.SpanCount(trace.KindInvoke) == 0 {
+		t.Fatal("alloc gate measured with tracing inert")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"zcorba/internal/cdr"
 	"zcorba/internal/giop"
 	"zcorba/internal/ior"
+	"zcorba/internal/trace"
 	"zcorba/internal/typecode"
 	"zcorba/internal/zcbuf"
 )
@@ -79,10 +80,21 @@ func (r *ObjectRef) InvokeCtx(ctx context.Context, op *Operation, args []any) (a
 // retry redials (reconnect-on-COMM_FAILURE).
 func (r *ObjectRef) invokeCtx(ctx context.Context, op *Operation, args []any,
 	forwards int) (any, []any, error) {
-	policy := &r.orb.opts.Retry
+	// One trace covers the whole logical invocation: every attempt's
+	// spans (and the server's) correlate under the same trace ID.
+	return r.invokeTraced(ctx, op, args, forwards, r.orb.tracer.NewTrace())
+}
+
+// invokeTraced is invokeCtx under a caller-supplied trace context (the
+// pipelined retry path re-invokes inside the trace of the failed
+// submission).
+func (r *ObjectRef) invokeTraced(ctx context.Context, op *Operation, args []any,
+	forwards int, tc trace.Context) (any, []any, error) {
+	o := r.orb
+	policy := &o.opts.Retry
 	attempt := 1
 	for {
-		call := r.startCtx(ctx, op, args)
+		call := r.startCtx(ctx, op, args, tc, uint16(attempt))
 		res, outs, err := call.wait(forwards)
 		freeCall(call)
 		if err == nil || !policy.enabled() || attempt >= policy.MaxAttempts ||
@@ -92,12 +104,21 @@ func (r *ObjectRef) invokeCtx(ctx context.Context, op *Operation, args []any,
 		if ctx != nil && ctx.Err() != nil {
 			return res, outs, err
 		}
-		r.orb.stats.Retries.Add(1)
+		o.stats.Retries.Add(1)
 		if policy.OnRetry != nil {
 			policy.OnRetry(op.Name, attempt, err)
 		}
 		r.invalidate()
-		if sleepCtx(ctx, policy.backoff(attempt)) != nil {
+		backoff := policy.backoff(attempt)
+		if tc.Valid() {
+			o.tracer.Record(trace.Span{
+				Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindRetry,
+				Op: op.Name, Attempt: uint16(attempt), Err: true,
+				Start: trace.Now(), Dur: int64(backoff),
+			})
+			o.tracer.RetryBackoffNS.Record(int64(backoff))
+		}
+		if sleepCtx(ctx, backoff) != nil {
 			return res, outs, err
 		}
 		attempt++
@@ -132,6 +153,12 @@ type Call struct {
 	outs    []any
 	err     error
 	onReply ReplyFunc
+
+	// Trace state: the invocation's context, its wall-clock start, and
+	// the 1-based retry attempt this Call represents.
+	tc      trace.Context
+	start   int64
+	attempt uint16
 }
 
 // callPool recycles Call envelopes for the synchronous and pipelined
@@ -152,13 +179,13 @@ func freeCall(c *Call) {
 // InvokeAsync returns otherwise (the request body and payloads are
 // fully written before it returns).
 func (r *ObjectRef) InvokeAsync(op *Operation, args []any) *Call {
-	return r.startCtx(context.Background(), op, args)
+	return r.startCtx(context.Background(), op, args, r.orb.tracer.NewTrace(), 1)
 }
 
 // InvokeAsyncCtx is InvokeAsync with a per-call context: Wait returns
 // ctx.Err() as soon as ctx is done.
 func (r *ObjectRef) InvokeAsyncCtx(ctx context.Context, op *Operation, args []any) *Call {
-	return r.startCtx(ctx, op, args)
+	return r.startCtx(ctx, op, args, r.orb.tracer.NewTrace(), 1)
 }
 
 // Wait completes the invocation, blocking for the reply if it has not
@@ -170,29 +197,68 @@ func (c *Call) wait(forwards int) (any, []any, error) {
 		return c.result, c.outs, c.err
 	}
 	c.done = true
+	tr := c.ref.orb.tracer
 	msg, err := c.conn.awaitReply(c.ctx, c.id, c.ch, c.ref.orb.opts.CallTimeout)
 	if err != nil {
 		c.err = err
+		c.finishInvoke(tr)
 		return nil, nil, err
 	}
-	c.result, c.outs, c.err = c.ref.decodeReply(c.ctx, c.op, msg, c.args, forwards)
+	if c.tc.Valid() {
+		t0 := trace.Now()
+		c.result, c.outs, c.err = c.ref.decodeReply(c.ctx, c.op, msg, c.args, forwards)
+		tr.Record(trace.Span{
+			Trace: c.tc.Trace, Parent: c.tc.Span, Kind: trace.KindUnmarshal,
+			Op: c.op.Name, Attempt: c.attempt, Err: c.err != nil,
+			Start: t0, Dur: trace.Now() - t0,
+		})
+	} else {
+		c.result, c.outs, c.err = c.ref.decodeReply(c.ctx, c.op, msg, c.args, forwards)
+	}
 	c.ref.orb.freeReply(msg)
+	c.finishInvoke(tr)
 	return c.result, c.outs, c.err
 }
 
+// finishInvoke closes the attempt's root span: the whole client-side
+// invocation from marshal to decoded reply, retries each getting their
+// own root (correlated by the shared trace ID and Attempt).
+func (c *Call) finishInvoke(tr *trace.Tracer) {
+	if !c.tc.Valid() {
+		return
+	}
+	now := trace.Now()
+	dur := now - c.start
+	tr.Record(trace.Span{
+		Trace: c.tc.Trace, Span: c.tc.Span, Kind: trace.KindInvoke,
+		Op: c.op.Name, Attempt: c.attempt, Err: c.err != nil,
+		Start: c.start, Dur: dur,
+	})
+	tr.InvokeLatencyNS.Record(dur)
+}
+
 // failedCall returns a completed Call carrying err. args are retained
-// so a pipelined caller can re-invoke under the retry policy.
-func (r *ObjectRef) failedCall(op *Operation, args []any, err error) *Call {
+// so a pipelined caller can re-invoke under the retry policy. The
+// attempt's invoke root span closes here, so attempts failing before
+// (or during) the send still appear in the trace.
+func (r *ObjectRef) failedCall(op *Operation, args []any, err error,
+	tc trace.Context, start int64, attempt uint16) *Call {
 	call := callPool.Get().(*Call)
 	call.ref, call.op, call.args, call.done, call.err = r, op, args, true, err
+	call.tc, call.start, call.attempt = tc, start, attempt
+	call.finishInvoke(r.orb.tracer)
 	return call
 }
 
-// doneCall returns a completed Call carrying a local result.
-func (r *ObjectRef) doneCall(op *Operation, result any, outs []any, err error) *Call {
+// doneCall returns a completed Call carrying a local result (the
+// collocation bypass and oneway sends), closing the invoke root span.
+func (r *ObjectRef) doneCall(op *Operation, result any, outs []any, err error,
+	tc trace.Context, start int64, attempt uint16) *Call {
 	call := callPool.Get().(*Call)
 	call.ref, call.op, call.done = r, op, true
 	call.result, call.outs, call.err = result, outs, err
+	call.tc, call.start, call.attempt = tc, start, attempt
+	call.finishInvoke(r.orb.tracer)
 	return call
 }
 
@@ -202,19 +268,28 @@ func (r *ObjectRef) doneCall(op *Operation, result any, outs []any, err error) *
 // deposit write) degrades transparently: the data channel is retired
 // and the request is re-sent with standard marshaling on the same
 // control connection (fallback ladder, docs/FAULTS.md).
-func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any) *Call {
+//
+// tc is the invocation's trace context (zero when tracing is off) and
+// attempt the 1-based retry attempt it represents; the context rides a
+// GIOP service context so the server's spans join the same trace.
+func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any,
+	tc trace.Context, attempt uint16) *Call {
 	o := r.orb
+	start := int64(0)
+	if tc.Valid() {
+		start = trace.Now()
+	}
 
 	profile, ok := r.resolved()
 	if !ok {
-		return r.failedCall(op, args, &SystemException{Name: "INV_OBJREF", Completed: CompletedNo})
+		return r.failedCall(op, args, &SystemException{Name: "INV_OBJREF", Completed: CompletedNo}, tc, start, attempt)
 	}
 
 	// Collocation bypass (§2.1): local calls skip marshaling entirely.
 	if o.opts.Collocation && profile.Host == o.ctrlHost && profile.Port == o.ctrlPort {
 		if s, found := o.servant(string(profile.ObjectKey)); found {
 			result, outs, err := o.invokeLocal(s, op, args)
-			return r.doneCall(op, result, outs, err)
+			return r.doneCall(op, result, outs, err, tc, start, attempt)
 		}
 	}
 
@@ -231,13 +306,13 @@ func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any) *Ca
 		// Nothing was sent: COMM_FAILURE with CompletedNo, so the retry
 		// policy may always re-dial (the server never saw the request).
 		o.logf("orb: %s connect: %v", op.Name, err)
-		return r.failedCall(op, args, &SystemException{Name: "COMM_FAILURE", Completed: CompletedNo})
+		return r.failedCall(op, args, &SystemException{Name: "COMM_FAILURE", Completed: CompletedNo}, tc, start, attempt)
 	}
 
 	inParams := op.InParams()
 	inTypes := op.inTypeList()
 	if len(args) != len(inParams) {
-		return r.failedCall(op, args, &SystemException{Name: "BAD_PARAM", Completed: CompletedNo})
+		return r.failedCall(op, args, &SystemException{Name: "BAD_PARAM", Completed: CompletedNo}, tc, start, attempt)
 	}
 	useZC := c.usableData()
 
@@ -253,7 +328,7 @@ func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any) *Ca
 		var sizes []uint32
 		payloads, sizes, err = collectDeposits(inTypes, args)
 		if err != nil {
-			return r.failedCall(op, args, &SystemException{Name: "MARSHAL", Completed: CompletedNo})
+			return r.failedCall(op, args, &SystemException{Name: "MARSHAL", Completed: CompletedNo}, tc, start, attempt)
 		}
 		// Announce the data channel on every request (even with no ZC
 		// parameters) so the server can deposit zero-copy replies.
@@ -261,24 +336,36 @@ func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any) *Ca
 			Arch: o.arch, Token: c.dataToken, Sizes: sizes,
 		}.Encode())
 	}
+	if tc.Valid() {
+		req.ServiceContexts = append(req.ServiceContexts, giop.TraceContext{
+			TraceID: uint64(tc.Trace), SpanID: uint64(tc.Span),
+		}.Encode())
+	}
 	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 	req.Marshal(e)
 	if err := o.marshalValues(e, inTypes, args, useZC); err != nil {
 		cdr.PutEncoder(e)
-		return r.failedCall(op, args, &SystemException{Name: "MARSHAL", Completed: CompletedNo})
+		return r.failedCall(op, args, &SystemException{Name: "MARSHAL", Completed: CompletedNo}, tc, start, attempt)
 	}
 	body := e.Bytes()
+	if tc.Valid() {
+		o.tracer.Record(trace.Span{
+			Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindMarshal,
+			Op: op.Name, Attempt: attempt, Bytes: int64(len(body) - giop.HeaderSize),
+			Start: start, Dur: trace.Now() - start,
+		})
+	}
 
 	var ch chan *replyMsg
 	if !op.Oneway {
 		ch, err = c.register(req.RequestID)
 		if err != nil {
 			cdr.PutEncoder(e)
-			return r.failedCall(op, args, &SystemException{Name: "COMM_FAILURE", Completed: CompletedNo})
+			return r.failedCall(op, args, &SystemException{Name: "COMM_FAILURE", Completed: CompletedNo}, tc, start, attempt)
 		}
 	}
 	o.stats.RequestsSent.Add(1)
-	if err := c.sendMessage(giop.MsgRequest, body, payloads); err != nil {
+	if err := c.send(giop.MsgRequest, body, payloads, tc, op.Name, trace.KindControlSend); err != nil {
 		cdr.PutEncoder(e)
 		var dw *errDataWrite
 		if asErr(err, &dw) && c.healthy() {
@@ -292,16 +379,22 @@ func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any) *Ca
 			o.stats.DataChanFallbacks.Add(1)
 			o.logf("orb: %s deposit write failed, falling back to marshaled path: %v",
 				op.Name, err)
+			if tc.Valid() {
+				o.tracer.Record(trace.Span{
+					Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindFallback,
+					Op: op.Name, Attempt: attempt, Err: true, Start: trace.Now(),
+				})
+			}
 			if ch != nil {
 				r.dropAbandoned(c, req.RequestID, ch)
 			}
-			return r.startCtx(ctx, op, args)
+			return r.startCtx(ctx, op, args, tc, attempt)
 		}
 		if ch != nil {
 			c.unregister(req.RequestID)
 		}
 		c.close(err)
-		return r.failedCall(op, args, &SystemException{Name: "COMM_FAILURE", Completed: CompletedMaybe})
+		return r.failedCall(op, args, &SystemException{Name: "COMM_FAILURE", Completed: CompletedMaybe}, tc, start, attempt)
 	}
 	cdr.PutEncoder(e)
 	if o.opts.OnRequestSent != nil {
@@ -312,11 +405,12 @@ func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any) *Ca
 		o.opts.OnRequestSent(op.Name, total)
 	}
 	if op.Oneway {
-		return r.doneCall(op, nil, nil, nil)
+		return r.doneCall(op, nil, nil, nil, tc, start, attempt)
 	}
 	call := callPool.Get().(*Call)
 	call.ref, call.op, call.args, call.ctx = r, op, args, ctx
 	call.conn, call.id, call.ch = c, req.RequestID, ch
+	call.tc, call.start, call.attempt = tc, start, attempt
 	return call
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"zcorba/internal/cdr"
 	"zcorba/internal/giop"
+	"zcorba/internal/trace"
 	"zcorba/internal/transport"
 	"zcorba/internal/zcbuf"
 )
@@ -323,8 +324,35 @@ func (e *errTooLarge) Error() string {
 // Reply bodies larger than the ORB's fragment threshold are split into
 // GIOP 1.1-style Fragment messages.
 func (c *conn) sendMessage(t giop.MsgType, body []byte, payloads [][]byte) error {
+	return c.send(t, body, payloads, trace.Context{}, "", 0)
+}
+
+// traceCtx extracts the trace context carried in a message's service
+// contexts (zero when the peer sent none).
+func (c *conn) traceCtx(scs []giop.ServiceContext) trace.Context {
+	if c.orb.tracer == nil {
+		return trace.Context{}
+	}
+	tcw, ok := giop.FindTraceContext(scs)
+	if !ok {
+		return trace.Context{}
+	}
+	return trace.Context{Trace: trace.ID(tcw.TraceID), Span: trace.ID(tcw.SpanID)}
+}
+
+// send is sendMessage with trace attribution: when tc is valid, the
+// control write is recorded as a span of the given kind (control_send
+// client-side, reply_send server-side) and the deposit write as a
+// deposit_send span, both parented on tc's span.
+func (c *conn) send(t giop.MsgType, body []byte, payloads [][]byte,
+	tc trace.Context, op string, kind trace.Kind) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	tr := c.orb.tracer
+	var t0 int64
+	if tc.Valid() {
+		t0 = trace.Now()
+	}
 	max := c.orb.maxMessageSize()
 	thresh := c.orb.fragmentThreshold()
 	if (t == giop.MsgRequest || t == giop.MsgReply) && thresh > 0 && len(body) > thresh {
@@ -348,12 +376,21 @@ func (c *conn) sendMessage(t giop.MsgType, body []byte, payloads [][]byte) error
 			return err
 		}
 	}
+	if tc.Valid() {
+		tr.Record(trace.Span{
+			Trace: tc.Trace, Parent: tc.Span, Kind: kind, Op: op,
+			Bytes: int64(len(body)), Start: t0, Dur: trace.Now() - t0,
+		})
+	}
 	if len(payloads) > 0 {
 		if c.data == nil {
 			return errors.New("orb: deposit payload without data channel")
 		}
 		if c.dataDown.Load() {
 			return &errDataWrite{err: errors.New("data channel down")}
+		}
+		if tc.Valid() {
+			t0 = trace.Now()
 		}
 		if _, err := c.data.WriteGather(payloads...); err != nil {
 			return &errDataWrite{err: err}
@@ -364,6 +401,13 @@ func (c *conn) sendMessage(t giop.MsgType, body []byte, payloads [][]byte) error
 		}
 		c.orb.stats.DepositsSent.Add(1)
 		c.orb.stats.DepositBytesSent.Add(n)
+		if tc.Valid() {
+			tr.Record(trace.Span{
+				Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindDepositSend,
+				Op: op, Bytes: n, Start: t0, Dur: trace.Now() - t0,
+			})
+			tr.DepositBytes.Record(n)
+		}
 	}
 	return nil
 }
@@ -481,8 +525,10 @@ func (c *conn) resolveData(token uint64) (transport.Conn, error) {
 // readDeposits consumes the direct-deposit payloads announced by a
 // ZCDeposit service context: for each advertised size it takes a
 // page-aligned buffer from the pool and reads the payload straight
-// into it — the zero-copy receive of §4.5.
-func (c *conn) readDeposits(contexts []giop.ServiceContext) ([]*zcbuf.Buffer, error) {
+// into it — the zero-copy receive of §4.5. When tc is valid, the whole
+// transfer is recorded as one deposit_recv span (Err marks an abort).
+func (c *conn) readDeposits(contexts []giop.ServiceContext, tc trace.Context,
+	op string) ([]*zcbuf.Buffer, error) {
 	data, ok := giop.Find(contexts, giop.ZCDepositContextID)
 	if !ok {
 		return nil, nil
@@ -503,12 +549,18 @@ func (c *conn) readDeposits(contexts []giop.ServiceContext) ([]*zcbuf.Buffer, er
 		// server can use it for zero-copy replies.
 		return nil, nil
 	}
+	tr := c.orb.tracer
+	var t0, got int64
+	if tc.Valid() {
+		t0 = trace.Now()
+	}
 	ttl := c.orb.leaseTTL()
 	bufs := make([]*zcbuf.Buffer, 0, len(di.Sizes))
 	for _, size := range di.Sizes {
 		b, err := c.orb.pool.Get(int(size))
 		if err != nil {
 			releaseAll(bufs)
+			c.recordDepositRecv(tc, op, t0, got, true)
 			return nil, &errDepositTransfer{err: err}
 		}
 		// Lease the buffer for the duration of the blocking read: if
@@ -519,20 +571,38 @@ func (c *conn) readDeposits(contexts []giop.ServiceContext) ([]*zcbuf.Buffer, er
 		if ttl > 0 {
 			lid = c.orb.leases.Grant(b, time.Now().Add(ttl), c.onLeaseExpire)
 		}
-		_, err = io.ReadFull(dc, b.Bytes())
+		n, err := io.ReadFull(dc, b.Bytes())
+		got += int64(n)
 		if ttl > 0 {
 			c.orb.leases.Settle(lid)
 		}
 		if err != nil {
 			b.Release()
 			releaseAll(bufs)
+			c.recordDepositRecv(tc, op, t0, got, true)
 			return nil, &errDepositTransfer{err: fmt.Errorf("deposit read: %w", err)}
 		}
 		bufs = append(bufs, b)
 		c.orb.stats.DepositsReceived.Add(1)
 		c.orb.stats.DepositBytesRecv.Add(int64(size))
 	}
+	c.recordDepositRecv(tc, op, t0, got, false)
+	if tc.Valid() {
+		tr.DepositBytes.Record(got)
+	}
 	return bufs, nil
+}
+
+// recordDepositRecv emits the deposit_recv span for one announced
+// transfer (no-op when tc is zero).
+func (c *conn) recordDepositRecv(tc trace.Context, op string, t0, bytes int64, failed bool) {
+	if !tc.Valid() {
+		return
+	}
+	c.orb.tracer.Record(trace.Span{
+		Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindDepositRecv,
+		Op: op, Err: failed, Bytes: bytes, Start: t0, Dur: trace.Now() - t0,
+	})
 }
 
 func releaseAll(bufs []*zcbuf.Buffer) {
@@ -569,7 +639,8 @@ func (c *conn) readLoop() {
 				c.protocolError("bad request header: %v", err)
 				return
 			}
-			deposits, err := c.readDeposits(req.ServiceContexts)
+			tc := c.traceCtx(req.ServiceContexts)
+			deposits, err := c.readDeposits(req.ServiceContexts, tc, req.Operation)
 			if err != nil {
 				var dt *errDepositTransfer
 				if asErr(err, &dt) {
@@ -580,8 +651,14 @@ func (c *conn) readLoop() {
 					c.orb.stats.DepositAborts.Add(1)
 					c.markDataDown()
 					c.orb.logf("orb: request deposit aborted, degrading: %v", err)
+					if tc.Valid() {
+						c.orb.tracer.Record(trace.Span{
+							Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindFallback,
+							Op: req.Operation, Err: true, Start: trace.Now(),
+						})
+					}
 					c.orb.replySystemException(c, req,
-						&SystemException{Name: "TRANSIENT", Completed: CompletedNo})
+						&SystemException{Name: "TRANSIENT", Completed: CompletedNo}, tc)
 					c.freeInline(dec, body)
 					continue
 				}
@@ -594,7 +671,7 @@ func (c *conn) readLoop() {
 			go func() {
 				defer c.orb.wg.Done()
 				defer c.freeInline(dec, body)
-				c.orb.handleRequest(c, req, dec, deposits)
+				c.orb.handleRequest(c, req, dec, deposits, tc)
 			}()
 
 		case giop.MsgReply:
@@ -609,7 +686,10 @@ func (c *conn) readLoop() {
 				c.protocolError("bad reply header: %v", err)
 				return
 			}
-			deposits, err := c.readDeposits(rep.ServiceContexts)
+			// The server echoes the request's trace context in its reply,
+			// so the reply-side deposit read lands in the same trace.
+			tc := c.traceCtx(rep.ServiceContexts)
+			deposits, err := c.readDeposits(rep.ServiceContexts, tc, "")
 			if err != nil {
 				var dt *errDepositTransfer
 				if asErr(err, &dt) {
@@ -620,6 +700,12 @@ func (c *conn) readLoop() {
 					c.orb.stats.DepositAborts.Add(1)
 					c.markDataDown()
 					c.orb.logf("orb: reply deposit aborted, degrading: %v", err)
+					if tc.Valid() {
+						c.orb.tracer.Record(trace.Span{
+							Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindFallback,
+							Err: true, Start: trace.Now(),
+						})
+					}
 					c.freeInline(dec, body)
 					msg := replyMsgPool.Get().(*replyMsg)
 					msg.hdr.RequestID = rep.RequestID

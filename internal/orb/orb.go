@@ -14,6 +14,7 @@ import (
 
 	"zcorba/internal/giop"
 	"zcorba/internal/ior"
+	"zcorba/internal/trace"
 	"zcorba/internal/transport"
 	"zcorba/internal/zcbuf"
 )
@@ -85,6 +86,13 @@ type Options struct {
 	// no explicit activation — a POA default-servant policy, useful
 	// for gateways that mint object keys on the fly.
 	DefaultServant Servant
+	// Tracer, if set, records per-invocation spans and histograms for
+	// every request this ORB sends or serves (docs/OBSERVABILITY.md).
+	// The trace context travels in a GIOP service context, so both
+	// sides of a call correlate under one trace ID; nil disables
+	// tracing and leaves the wire format byte-identical to an untraced
+	// ORB.
+	Tracer *trace.Tracer
 	// Logf, if set, receives diagnostic messages.
 	Logf func(format string, args ...any)
 	// OnRequestSent, if set, observes every outbound request after it
@@ -257,12 +265,13 @@ func (s StatsSnapshot) ServeRate(prev StatsSnapshot) float64 {
 // ORB is an Object Request Broker: object adapter, client connection
 // cache, and — when enabled — the zero-copy deposit machinery.
 type ORB struct {
-	opts  Options
-	tr    transport.Transport
-	pool  *zcbuf.Pool
-	arch  string
-	logf  func(string, ...any)
-	stats Stats
+	opts   Options
+	tr     transport.Transport
+	pool   *zcbuf.Pool
+	arch   string
+	logf   func(string, ...any)
+	stats  Stats
+	tracer *trace.Tracer
 
 	ctrlLis  transport.Listener
 	dataLis  transport.Listener
@@ -333,6 +342,22 @@ func New(opts Options) (*ORB, error) {
 	o.logf = opts.Logf
 	if o.logf == nil {
 		o.logf = func(string, ...any) {}
+	}
+	o.tracer = opts.Tracer
+	if o.tracer != nil {
+		// Lease lifecycle events become standalone spans: an expiry has
+		// no request trace to attach to (the sweeper reclaims it after
+		// the sender vanished), so it gets its own single-span trace.
+		tr := o.tracer
+		o.leases.Observer = func(ev zcbuf.LeaseEvent, bytes int) {
+			if ev != zcbuf.LeaseExpired {
+				return
+			}
+			tr.Record(trace.Span{
+				Trace: tr.NewID(), Kind: trace.KindLease, Op: "lease_expire",
+				Err: true, Start: trace.Now(), Bytes: int64(bytes),
+			})
+		}
 	}
 	var tok [8]byte
 	if _, err := rand.Read(tok[:]); err != nil {
@@ -465,6 +490,40 @@ func (o *ORB) Arch() string { return o.arch }
 
 // Stats returns the ORB's counters.
 func (o *ORB) Stats() *Stats { return &o.stats }
+
+// Tracer returns the ORB's tracer (nil when tracing is disabled).
+func (o *ORB) Tracer() *trace.Tracer { return o.tracer }
+
+// RegisterMetrics exposes the ORB's counters on a debug exporter as
+// Prometheus counters, alongside the tracer's histograms. Counter
+// functions read the live atomics at scrape time.
+func (o *ORB) RegisterMetrics(x *trace.Exporter) {
+	s := &o.stats
+	for _, c := range []struct {
+		name, help string
+		v          *atomic.Int64
+	}{
+		{"requests_sent_total", "Client requests issued.", &s.RequestsSent},
+		{"replies_received_total", "Replies delivered to invokers.", &s.RepliesReceived},
+		{"requests_served_total", "Requests dispatched to servants.", &s.RequestsServed},
+		{"payload_copies_total", "User-space payload copies made by the marshaling engine.", &s.PayloadCopies},
+		{"payload_copy_bytes_total", "Bytes copied by the marshaling engine.", &s.PayloadCopyBytes},
+		{"deposits_sent_total", "Direct-deposit transfers sent.", &s.DepositsSent},
+		{"deposits_received_total", "Direct-deposit transfers received.", &s.DepositsReceived},
+		{"deposit_bytes_sent_total", "Direct-deposit bytes sent.", &s.DepositBytesSent},
+		{"deposit_bytes_recv_total", "Direct-deposit bytes received.", &s.DepositBytesRecv},
+		{"zc_fallbacks_total", "ZC parameters marshaled on the standard path.", &s.ZCFallbacks},
+		{"retries_total", "Retry-policy re-invocations.", &s.Retries},
+		{"timeouts_total", "Calls abandoned by the reply deadline.", &s.Timeouts},
+		{"data_chan_fallbacks_total", "Invocations degraded to the marshaled path.", &s.DataChanFallbacks},
+		{"deposit_aborts_total", "Inbound bulk transfers that failed mid-read.", &s.DepositAborts},
+		{"lease_expiries_total", "Deposit-buffer leases reclaimed by the sweeper.", &s.LeaseExpiries},
+		{"body_allocs_total", "Control-message bodies freshly allocated.", &s.BodyAllocs},
+		{"body_reuses_total", "Control-message bodies recycled from the free list.", &s.BodyReuses},
+	} {
+		x.AddCounter(c.name, c.help, c.v.Load)
+	}
+}
 
 // Pool returns the deposit buffer pool.
 func (o *ORB) Pool() *zcbuf.Pool { return o.pool }

@@ -1,6 +1,10 @@
 package orb
 
-import "context"
+import (
+	"context"
+
+	"zcorba/internal/trace"
+)
 
 // This file implements the pipelined invocation mode: a bounded
 // in-flight window over one object reference, so small-block transfers
@@ -66,7 +70,7 @@ func (p *Pipeline) Submit(args []any, fn ReplyFunc) error {
 			return p.err
 		}
 	}
-	call := p.ref.startCtx(p.ctx, p.op, args)
+	call := p.ref.startCtx(p.ctx, p.op, args, p.ref.orb.tracer.NewTrace(), 1)
 	p.calls = append(p.calls, call)
 	p.cbs = append(p.cbs, fn)
 	return nil
@@ -87,7 +91,15 @@ func (p *Pipeline) reap() {
 	if err != nil && p.ref.orb.opts.Retry.enabled() &&
 		p.ref.orb.opts.Retry.retryable(p.op, err) {
 		p.ref.orb.stats.Retries.Add(1)
-		result, outs, err = p.ref.invokeCtx(p.ctx, p.op, call.args, 0)
+		if call.tc.Valid() {
+			// The re-invocation stays inside the failed submission's
+			// trace; the retry span is immediate (no backoff here).
+			p.ref.orb.tracer.Record(trace.Span{
+				Trace: call.tc.Trace, Parent: call.tc.Span, Kind: trace.KindRetry,
+				Op: p.op.Name, Attempt: call.attempt, Err: true, Start: trace.Now(),
+			})
+		}
+		result, outs, err = p.ref.invokeTraced(p.ctx, p.op, call.args, 0, call.tc)
 	}
 	freeCall(call)
 	if fn != nil {

@@ -1,0 +1,9 @@
+//go:build race
+
+package orb
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; the allocation gate skips then, since race instrumentation
+// adds its own per-op allocations and the gate would measure the
+// instrumentation, not the hot path.
+const raceDetectorEnabled = true

@@ -5,6 +5,7 @@ import (
 
 	"zcorba/internal/cdr"
 	"zcorba/internal/giop"
+	"zcorba/internal/trace"
 	"zcorba/internal/typecode"
 	"zcorba/internal/zcbuf"
 )
@@ -20,8 +21,12 @@ import (
 // servant-returned reply buffers are owned by the ORB and released
 // after the reply is written — a servant echoing a request buffer back
 // must therefore Retain it.
+//
+// tc is the trace context the client sent (zero when untraced); every
+// server-side span — unmarshal, dispatch, reply send — joins it, and
+// replies echo it so the client can attribute reply deposits.
 func (o *ORB) handleRequest(c *conn, req giop.RequestHeader, dec *cdr.Decoder,
-	deposits []*zcbuf.Buffer) {
+	deposits []*zcbuf.Buffer, tc trace.Context) {
 	o.stats.RequestsServed.Add(1)
 
 	s, found := o.servant(string(req.ObjectKey))
@@ -32,46 +37,65 @@ func (o *ORB) handleRequest(c *conn, req giop.RequestHeader, dec *cdr.Decoder,
 		releaseAll(deposits)
 		repoID, err := dec.ReadString()
 		if err != nil {
-			o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedNo})
+			o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedNo}, tc)
 			return
 		}
 		ok := found && (repoID == s.Interface().RepoID ||
 			repoID == "IDL:omg.org/CORBA/Object:1.0")
-		o.replyValues(c, req, nil, []*typecode.TypeCode{typecode.TCBoolean}, []any{ok})
+		o.replyValues(c, req, nil, []*typecode.TypeCode{typecode.TCBoolean}, []any{ok}, tc)
 		return
 	case "_non_existent":
 		releaseAll(deposits)
 		if !found {
-			o.replySystemException(c, req, &SystemException{Name: "OBJECT_NOT_EXIST", Completed: CompletedNo})
+			o.replySystemException(c, req, &SystemException{Name: "OBJECT_NOT_EXIST", Completed: CompletedNo}, tc)
 			return
 		}
-		o.replyValues(c, req, nil, []*typecode.TypeCode{typecode.TCBoolean}, []any{false})
+		o.replyValues(c, req, nil, []*typecode.TypeCode{typecode.TCBoolean}, []any{false}, tc)
 		return
 	}
 
 	if !found {
 		releaseAll(deposits)
-		o.replySystemException(c, req, &SystemException{Name: "OBJECT_NOT_EXIST", Completed: CompletedNo})
+		o.replySystemException(c, req, &SystemException{Name: "OBJECT_NOT_EXIST", Completed: CompletedNo}, tc)
 		return
 	}
 	op, ok := s.Interface().Ops[req.Operation]
 	if !ok {
 		releaseAll(deposits)
-		o.replySystemException(c, req, &SystemException{Name: "BAD_OPERATION", Completed: CompletedNo})
+		o.replySystemException(c, req, &SystemException{Name: "BAD_OPERATION", Completed: CompletedNo}, tc)
 		return
 	}
 
 	inTypes := op.inTypeList()
+	var t0 int64
+	if tc.Valid() {
+		t0 = trace.Now()
+	}
 	args, leftover, err := o.unmarshalValues(dec, inTypes, deposits, len(deposits) > 0)
+	if tc.Valid() {
+		o.tracer.Record(trace.Span{
+			Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindUnmarshal,
+			Op: req.Operation, Err: err != nil, Start: t0, Dur: trace.Now() - t0,
+		})
+	}
 	if err != nil {
 		releaseAll(leftover)
 		o.logf("orb: demarshal %s: %v", req.Operation, err)
-		o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedNo})
+		o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedNo}, tc)
 		return
 	}
 
 	started := time.Now()
 	result, outs, err := s.Invoke(op.Name, args)
+	if tc.Valid() {
+		d := time.Since(started)
+		o.tracer.Record(trace.Span{
+			Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindDispatch,
+			Op: req.Operation, Err: err != nil,
+			Start: started.UnixNano(), Dur: int64(d),
+		})
+		o.tracer.DispatchLatencyNS.Record(int64(d))
+	}
 	if o.opts.OnRequestServed != nil {
 		o.opts.OnRequestServed(op.Name, time.Since(started), err)
 	}
@@ -91,14 +115,14 @@ func (o *ORB) handleRequest(c *conn, req giop.RequestHeader, dec *cdr.Decoder,
 		var fwd *LocationForward
 		switch {
 		case asErr(err, &usr):
-			o.replyUserException(c, req, usr)
+			o.replyUserException(c, req, usr, tc)
 		case asErr(err, &sys):
-			o.replySystemException(c, req, sys)
+			o.replySystemException(c, req, sys, tc)
 		case asErr(err, &fwd):
-			o.replyLocationForward(c, req, fwd)
+			o.replyLocationForward(c, req, fwd, tc)
 		default:
 			o.logf("orb: %s raised: %v", req.Operation, err)
-			o.replySystemException(c, req, &SystemException{Name: "UNKNOWN", Completed: CompletedMaybe})
+			o.replySystemException(c, req, &SystemException{Name: "UNKNOWN", Completed: CompletedMaybe}, tc)
 		}
 		return
 	}
@@ -111,10 +135,21 @@ func (o *ORB) handleRequest(c *conn, req giop.RequestHeader, dec *cdr.Decoder,
 	vals = append(vals, outs...)
 	if len(vals) != len(types) {
 		o.logf("orb: %s returned %d values, want %d", req.Operation, len(vals), len(types))
-		o.replySystemException(c, req, &SystemException{Name: "INTERNAL", Completed: CompletedYes})
+		o.replySystemException(c, req, &SystemException{Name: "INTERNAL", Completed: CompletedYes}, tc)
 		return
 	}
-	o.replyValues(c, req, op, types, vals)
+	o.replyValues(c, req, op, types, vals, tc)
+}
+
+// echoTrace appends the request's trace context to a reply header so
+// the client side of the trace can attribute the reply's deposits. A
+// zero context appends nothing, keeping untraced replies byte-identical.
+func echoTrace(rep *giop.ReplyHeader, tc trace.Context) {
+	if tc.Valid() {
+		rep.ServiceContexts = append(rep.ServiceContexts, giop.TraceContext{
+			TraceID: uint64(tc.Trace), SpanID: uint64(tc.Span),
+		}.Encode())
+	}
 }
 
 // replyValues sends a NO_EXCEPTION reply carrying the given values,
@@ -122,7 +157,7 @@ func (o *ORB) handleRequest(c *conn, req giop.RequestHeader, dec *cdr.Decoder,
 // Reply buffers handed in as *zcbuf.Buffer are released after the
 // write.
 func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
-	types []*typecode.TypeCode, vals []any) {
+	types []*typecode.TypeCode, vals []any, tc trace.Context) {
 	rep := giop.ReplyHeader{RequestID: req.RequestID, Status: giop.ReplyNoException}
 	useZC := c.usableData()
 
@@ -132,7 +167,7 @@ func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
 		var err error
 		payloads, sizes, err = collectDeposits(types, vals)
 		if err != nil {
-			o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes})
+			o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes}, tc)
 			return
 		}
 		if len(sizes) > 0 {
@@ -143,16 +178,17 @@ func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
 			payloads = nil
 		}
 	}
+	echoTrace(&rep, tc)
 
 	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 	rep.Marshal(e)
 	if err := o.marshalValues(e, types, vals, useZC); err != nil {
 		cdr.PutEncoder(e)
 		o.logf("orb: reply marshal: %v", err)
-		o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes})
+		o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes}, tc)
 		return
 	}
-	err := c.sendMessage(giop.MsgReply, e.Bytes(), payloads)
+	err := c.send(giop.MsgReply, e.Bytes(), payloads, tc, req.Operation, trace.KindReplySend)
 	cdr.PutEncoder(e)
 	if err != nil {
 		var dw *errDataWrite
@@ -178,18 +214,19 @@ func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
 
 // replyUserException sends a USER_EXCEPTION reply: the exception's
 // repository ID followed by its members.
-func (o *ORB) replyUserException(c *conn, req giop.RequestHeader, ex *UserException) {
+func (o *ORB) replyUserException(c *conn, req giop.RequestHeader, ex *UserException, tc trace.Context) {
 	rep := giop.ReplyHeader{RequestID: req.RequestID, Status: giop.ReplyUserException}
+	echoTrace(&rep, tc)
 	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 	rep.Marshal(e)
 	e.WriteString(ex.Type.RepoID())
 	if err := typecode.MarshalValue(e, ex.Type, ex.Fields); err != nil {
 		cdr.PutEncoder(e)
 		o.logf("orb: user exception marshal: %v", err)
-		o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes})
+		o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes}, tc)
 		return
 	}
-	err := c.sendMessage(giop.MsgReply, e.Bytes(), nil)
+	err := c.send(giop.MsgReply, e.Bytes(), nil, tc, req.Operation, trace.KindReplySend)
 	cdr.PutEncoder(e)
 	if err != nil {
 		c.close(err)
@@ -198,15 +235,16 @@ func (o *ORB) replyUserException(c *conn, req giop.RequestHeader, ex *UserExcept
 
 // replyLocationForward sends a LOCATION_FORWARD reply carrying the new
 // object reference; the client ORB retries against it transparently.
-func (o *ORB) replyLocationForward(c *conn, req giop.RequestHeader, fwd *LocationForward) {
+func (o *ORB) replyLocationForward(c *conn, req giop.RequestHeader, fwd *LocationForward, tc trace.Context) {
 	if !req.ResponseExpected {
 		return
 	}
 	rep := giop.ReplyHeader{RequestID: req.RequestID, Status: giop.ReplyLocationForward}
+	echoTrace(&rep, tc)
 	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 	rep.Marshal(e)
 	fwd.To.Marshal(e)
-	err := c.sendMessage(giop.MsgReply, e.Bytes(), nil)
+	err := c.send(giop.MsgReply, e.Bytes(), nil, tc, req.Operation, trace.KindReplySend)
 	cdr.PutEncoder(e)
 	if err != nil {
 		c.close(err)
@@ -214,17 +252,18 @@ func (o *ORB) replyLocationForward(c *conn, req giop.RequestHeader, fwd *Locatio
 }
 
 // replySystemException sends a SYSTEM_EXCEPTION reply.
-func (o *ORB) replySystemException(c *conn, req giop.RequestHeader, ex *SystemException) {
+func (o *ORB) replySystemException(c *conn, req giop.RequestHeader, ex *SystemException, tc trace.Context) {
 	if !req.ResponseExpected {
 		return
 	}
 	rep := giop.ReplyHeader{RequestID: req.RequestID, Status: giop.ReplySystemException}
+	echoTrace(&rep, tc)
 	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 	rep.Marshal(e)
 	e.WriteString(ex.RepoID())
 	e.WriteULong(ex.Minor)
 	e.WriteULong(uint32(ex.Completed))
-	err := c.sendMessage(giop.MsgReply, e.Bytes(), nil)
+	err := c.send(giop.MsgReply, e.Bytes(), nil, tc, req.Operation, trace.KindReplySend)
 	cdr.PutEncoder(e)
 	if err != nil {
 		c.close(err)

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{Trace: 0xA1, Span: 0xB1, Kind: KindInvoke, Op: "put",
+			Start: 100, Dur: 50, Attempt: 1},
+		{Trace: 0xA1, Span: 0xB2, Parent: 0xB1, Kind: KindDepositSend,
+			Op: "put", Start: 110, Dur: 20, Bytes: 65536},
+		{Trace: 0xA2, Span: 0xB3, Kind: KindRetry, Op: "get",
+			Start: 200, Dur: 1000, Attempt: 2, Err: true},
+	}
+}
+
+func TestSpanLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := sampleSpans()
+	if err := WriteSpanLog(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpanLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("span log round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadSpanLogRejectsUnknownKind(t *testing.T) {
+	in := `{"trace":"01","span":"02","kind":"warp_drive","start_ns":0,"dur_ns":0}` + "\n"
+	if _, err := ReadSpanLog(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	tr := New(16)
+	tr.Record(Span{Trace: 1, Kind: KindInvoke})
+	tr.Record(Span{Trace: 1, Kind: KindInvoke})
+	tr.Record(Span{Trace: 1, Kind: KindFallback, Err: true})
+	tr.DepositBytes.Record(1000) // bucket 10, upper 1023
+	x := &Exporter{Tracer: tr}
+	x.AddCounter("requests_sent_total", "Requests sent.", func() int64 { return 42 })
+
+	var buf bytes.Buffer
+	if err := x.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE zcorba_requests_sent_total counter\n",
+		"zcorba_requests_sent_total 42\n",
+		`zcorba_spans_total{kind="invoke"} 2` + "\n",
+		`zcorba_spans_total{kind="fallback"} 1` + "\n",
+		"# TYPE zcorba_deposit_bytes histogram\n",
+		`zcorba_deposit_bytes_bucket{le="1023"} 1` + "\n",
+		`zcorba_deposit_bytes_bucket{le="+Inf"} 1` + "\n",
+		"zcorba_deposit_bytes_sum 1000\n",
+		"zcorba_deposit_bytes_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePromNamespace(t *testing.T) {
+	x := &Exporter{Namespace: "custom"}
+	x.AddCounter("c_total", "h", func() int64 { return 1 })
+	var buf bytes.Buffer
+	if err := x.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "custom_c_total 1\n") {
+		t.Fatalf("namespace not applied:\n%s", buf.String())
+	}
+}
+
+// TestExporterHTTP exercises the full debug listener: bind :0, scrape
+// /metrics and /spans over real HTTP, then Close.
+func TestExporterHTTP(t *testing.T) {
+	tr := New(16)
+	for _, s := range sampleSpans() {
+		tr.Record(s)
+	}
+	x := &Exporter{Tracer: tr}
+	x.AddCounter("up", "Always one.", func() int64 { return 1 })
+	addr, err := x.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "zcorba_up 1\n") ||
+		!strings.Contains(body, `zcorba_spans_total{kind="invoke"} 1`) {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+
+	body, ct = get("/spans")
+	if ct != "application/x-ndjson" {
+		t.Fatalf("spans content type %q", ct)
+	}
+	spans, err := ReadSpanLog(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spans, sampleSpans()) {
+		t.Fatalf("served spans:\n got %+v\nwant %+v", spans, sampleSpans())
+	}
+
+	if body, _ = get("/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Fatal("expvar endpoint missing memstats")
+	}
+
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("listener still serving after Close")
+	}
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free log-scale histogram: 65 power-of-two
+// buckets (bucket i holds values v with bits.Len64(v) == i, i.e.
+// 2^(i-1) <= v < 2^i; bucket 0 holds zero) recorded with atomic adds,
+// so the invoke hot path never takes a lock and never allocates.
+//
+// Resolution is one octave, which is exactly what the latency and size
+// distributions here need: the interesting question is "did p99 move a
+// power of two", not "did it move 3%". Percentile reads are served
+// from an atomic Snapshot and are deterministic for a fixed input set,
+// so tests can assert exact values.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// histBuckets covers bits.Len64 of any uint64: 0..64.
+const histBuckets = 65
+
+// bucketOf maps a value to its bucket index. Negative values clamp to
+// bucket 0 (they only arise from clock steps backwards).
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i
+// (2^i - 1), saturating at MaxInt64 for the last buckets.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Record adds one observation. Safe for any number of concurrent
+// callers; never blocks, never allocates.
+func (h *Histogram) Record(v int64) {
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of recorded observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Snapshot captures a point-in-time copy of the histogram. Concurrent
+// Records may straddle the capture (the snapshot is not a single
+// atomic cut), but every completed Record before the call is included.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Count = h.n.Load()
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Histogram's state.
+type HistSnapshot struct {
+	Counts [histBuckets]int64
+	Sum    int64
+	Count  int64
+}
+
+// Merge accumulates other into s (for combining per-ORB or per-worker
+// histograms into one view).
+func (s *HistSnapshot) Merge(other HistSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Sum += other.Sum
+	s.Count += other.Count
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile (0 < q <= 1) of the recorded values: the tightest
+// power-of-two bound b such that at least ceil(q*count) observations
+// are <= b. Returns 0 for an empty histogram.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range s.Counts {
+		cum += s.Counts[i]
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(histBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of the recorded values.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

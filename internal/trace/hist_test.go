@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{255, 8}, {256, 9}, {math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketUpper(t *testing.T) {
+	cases := []struct {
+		i    int
+		want int64
+	}{
+		{0, 0}, {1, 1}, {2, 3}, {3, 7}, {10, 1023},
+		{63, math.MaxInt64}, {64, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := BucketUpper(c.i); got != c.want {
+			t.Errorf("BucketUpper(%d) = %d, want %d", c.i, got, c.want)
+		}
+	}
+	// Every representable value lands in a bucket whose upper bound
+	// contains it.
+	for _, v := range []int64{1, 2, 3, 100, 1 << 20, math.MaxInt64} {
+		if up := BucketUpper(bucketOf(v)); up < v {
+			t.Errorf("value %d above its bucket bound %d", v, up)
+		}
+	}
+}
+
+// TestQuantileDeterministic drives the histogram with a fixed synthetic
+// distribution (the "fake clock": values are injected, never measured)
+// and asserts exact percentile read-backs.
+func TestQuantileDeterministic(t *testing.T) {
+	var h Histogram
+	// 900 fast observations at 10, 90 at 1000, 10 outliers at 100000.
+	for i := 0; i < 900; i++ {
+		h.Record(10)
+	}
+	for i := 0; i < 90; i++ {
+		h.Record(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(100000)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count %d", s.Count)
+	}
+	if s.Sum != 900*10+90*1000+10*100000 {
+		t.Fatalf("sum %d", s.Sum)
+	}
+	// 10 → bucket 4 (upper 15), 1000 → bucket 10 (upper 1023),
+	// 100000 → bucket 17 (upper 131071).
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 15}, {0.90, 15}, {0.95, 1023}, {0.99, 1023}, {0.999, 131071}, {1.0, 131071},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if got := s.Mean(); got != 1099 {
+		t.Errorf("Mean() = %v, want 1099", got)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistSnapshot
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty snapshot: q50=%d mean=%v", s.Quantile(0.5), s.Mean())
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 10; i++ {
+		a.Record(8) // bucket 4
+	}
+	for i := 0; i < 10; i++ {
+		b.Record(1 << 20) // bucket 21
+	}
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 20 || s.Sum != 10*8+10*(1<<20) {
+		t.Fatalf("merged count %d sum %d", s.Count, s.Sum)
+	}
+	if got := s.Quantile(0.5); got != 15 {
+		t.Fatalf("merged q50 = %d, want 15", got)
+	}
+	if got := s.Quantile(0.75); got != (1<<21)-1 {
+		t.Fatalf("merged q75 = %d, want %d", got, (1<<21)-1)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// run under -race this doubles as the data-race check, and the final
+// count and sum must be exact regardless of interleaving.
+func TestHistogramConcurrent(t *testing.T) {
+	const workers, per = 8, 10000
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(w + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count %d, want %d", h.Count(), workers*per)
+	}
+	wantSum := int64(0)
+	for w := 1; w <= workers; w++ {
+		wantSum += int64(w) * per
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("sum %d, want %d", h.Sum(), wantSum)
+	}
+	s := h.Snapshot()
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != workers*per {
+		t.Fatalf("bucket total %d, want %d", total, workers*per)
+	}
+}

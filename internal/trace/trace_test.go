@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestNilTracer locks the nil-is-disabled contract every ORB call site
+// depends on: no method of a nil *Tracer panics or reports activity.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	if tr.NewID() != 0 {
+		t.Fatal("nil tracer minted an ID")
+	}
+	if tr.NewTrace().Valid() {
+		t.Fatal("nil tracer minted a context")
+	}
+	tr.Record(Span{Trace: 1, Kind: KindInvoke})
+	tr.Reset()
+	if tr.Spans() != nil || tr.TotalSpans() != 0 || tr.SpanCount(KindInvoke) != 0 {
+		t.Fatal("nil tracer retained spans")
+	}
+}
+
+func TestNewIDNeverZero(t *testing.T) {
+	tr := New(8)
+	seen := map[ID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := tr.NewID()
+		if id == 0 {
+			t.Fatal("zero ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRecordAssignsSpanID(t *testing.T) {
+	tr := New(8)
+	tr.Record(Span{Trace: 1, Kind: KindMarshal})
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Span == 0 {
+		t.Fatalf("spans %+v", spans)
+	}
+	// An invalid (zero-trace) span is dropped entirely.
+	tr.Record(Span{Kind: KindMarshal})
+	if tr.TotalSpans() != 1 {
+		t.Fatalf("invalid span was recorded: total %d", tr.TotalSpans())
+	}
+}
+
+// TestRingWrap fills a 4-slot slab with 10 spans and asserts the
+// retained window is the newest 4, oldest first, while totals count all
+// 10.
+func TestRingWrap(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Trace: 1, Span: ID(i + 1), Kind: KindInvoke, Start: int64(i)})
+	}
+	if tr.TotalSpans() != 10 {
+		t.Fatalf("total %d", tr.TotalSpans())
+	}
+	if tr.SpanCount(KindInvoke) != 10 {
+		t.Fatalf("kind count %d", tr.SpanCount(KindInvoke))
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans", len(spans))
+	}
+	for i, s := range spans {
+		if want := int64(6 + i); s.Start != want {
+			t.Fatalf("span %d has start %d, want %d (oldest first)", i, s.Start, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(4)
+	tr.Record(Span{Trace: 1, Kind: KindRetry})
+	tr.InvokeLatencyNS.Record(5)
+	tr.Reset()
+	if tr.TotalSpans() != 0 || len(tr.Spans()) != 0 || tr.SpanCount(KindRetry) != 0 {
+		t.Fatal("reset left spans behind")
+	}
+	if tr.InvokeLatencyNS.Count() != 0 || tr.InvokeLatencyNS.Sum() != 0 {
+		t.Fatal("reset left histogram state behind")
+	}
+	// The tracer keeps working after a reset.
+	tr.Record(Span{Trace: 1, Kind: KindRetry})
+	if tr.TotalSpans() != 1 {
+		t.Fatal("tracer dead after reset")
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		back, ok := KindFromString(k.String())
+		if !ok || back != k {
+			t.Fatalf("kind %d round trip via %q failed", k, k.String())
+		}
+	}
+	if _, ok := KindFromString("nonsense"); ok {
+		t.Fatal("unknown kind name accepted")
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Fatalf("out-of-range kind name %q", got)
+	}
+}
+
+// TestRecordConcurrent records from many goroutines into a small slab;
+// under -race this is the recorder's data-race check, and the per-kind
+// totals must be exact.
+func TestRecordConcurrent(t *testing.T) {
+	const workers, per = 8, 2000
+	tr := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Record(Span{Trace: tr.NewID(), Kind: KindDepositSend})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.TotalSpans() != workers*per {
+		t.Fatalf("total %d, want %d", tr.TotalSpans(), workers*per)
+	}
+	if tr.SpanCount(KindDepositSend) != workers*per {
+		t.Fatalf("kind count %d, want %d", tr.SpanCount(KindDepositSend), workers*per)
+	}
+	if got := len(tr.Spans()); got != 16 {
+		t.Fatalf("retained %d spans, want slab size 16", got)
+	}
+}

@@ -11,7 +11,7 @@ import (
 // deterministic mid-stream deposit reset: the benchmark must complete
 // via the retry/fallback machinery rather than abort.
 func TestCorbaSendSurvivesDataReset(t *testing.T) {
-	sink, err := NewCorbaSink(&transport.TCP{}, true)
+	sink, err := NewCorbaSink(&transport.TCP{}, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestCorbaSendSurvivesDataReset(t *testing.T) {
 // TestChaosWrapperCompletes is a smoke test for the -chaos flag's
 // helper: a short windowed run under the default schedule finishes.
 func TestChaosWrapperCompletes(t *testing.T) {
-	sink, err := NewCorbaSink(&transport.TCP{}, true)
+	sink, err := NewCorbaSink(&transport.TCP{}, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,7 @@ import (
 
 	"zcorba/internal/media"
 	"zcorba/internal/orb"
+	"zcorba/internal/trace"
 	"zcorba/internal/transport"
 	"zcorba/internal/zcbuf"
 )
@@ -232,9 +233,10 @@ func (s *sinkServant) Describe(seq uint32) (media.Media_FrameInfo, error) {
 func (s *sinkServant) Reset() error { s.received.Store(0); return nil }
 
 // NewCorbaSink starts an ORB on tr serving a Store sink. zeroCopy
-// controls whether the ORB offers the direct-deposit channel.
-func NewCorbaSink(tr transport.Transport, zeroCopy bool) (*CorbaSink, error) {
-	o, err := orb.New(orb.Options{Transport: tr, ZeroCopy: zeroCopy})
+// controls whether the ORB offers the direct-deposit channel; tracer
+// (optional) records the sink's server-side spans.
+func NewCorbaSink(tr transport.Transport, zeroCopy bool, tracer *trace.Tracer) (*CorbaSink, error) {
+	o, err := orb.New(orb.Options{Transport: tr, ZeroCopy: zeroCopy, Tracer: tracer})
 	if err != nil {
 		return nil, fmt.Errorf("ttcp: sink ORB: %w", err)
 	}

@@ -55,7 +55,7 @@ func TestSocketBenchOverCopyingStack(t *testing.T) {
 func TestCorbaBenchStandardAndZC(t *testing.T) {
 	for _, zc := range []bool{false, true} {
 		tr := &transport.TCP{}
-		sink, err := NewCorbaSink(tr, zc)
+		sink, err := NewCorbaSink(tr, zc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +121,7 @@ func TestPaperSweep(t *testing.T) {
 func TestCorbaLatency(t *testing.T) {
 	for _, zc := range []bool{false, true} {
 		tr := &transport.TCP{}
-		sink, err := NewCorbaSink(tr, zc)
+		sink, err := NewCorbaSink(tr, zc, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,12 +148,12 @@ func TestCorbaLatency(t *testing.T) {
 }
 
 func TestCrossover(t *testing.T) {
-	stdSink, err := NewCorbaSink(&transport.TCP{}, false)
+	stdSink, err := NewCorbaSink(&transport.TCP{}, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer stdSink.Close()
-	zcSink, err := NewCorbaSink(&transport.TCP{}, true)
+	zcSink, err := NewCorbaSink(&transport.TCP{}, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

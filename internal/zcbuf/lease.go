@@ -24,10 +24,34 @@ type LeaseID uint64
 // Sweep takes the current time as a parameter, so tests drive expiry
 // with a fake clock.
 type LeaseTable struct {
+	// Observer, if set, is notified of lease lifecycle transitions with
+	// the leased buffer's length. It is called outside the table lock
+	// and must be set before the table is first used.
+	Observer func(ev LeaseEvent, bytes int)
+
 	mu     sync.Mutex
 	next   uint64
 	leases map[LeaseID]*lease
 	free   []*lease
+}
+
+// LeaseEvent is a lease lifecycle transition reported to the Observer.
+type LeaseEvent uint8
+
+const (
+	// LeaseGranted: a buffer was checked out to an in-progress transfer.
+	LeaseGranted LeaseEvent = iota
+	// LeaseSettled: the transfer completed and released the lease.
+	LeaseSettled
+	// LeaseExpired: the sweeper reclaimed an overdue lease.
+	LeaseExpired
+)
+
+// observe reports ev for a lease over n bytes, if an Observer is set.
+func (t *LeaseTable) observe(ev LeaseEvent, n int) {
+	if t.Observer != nil {
+		t.Observer(ev, n)
+	}
 }
 
 type lease struct {
@@ -59,6 +83,7 @@ func (t *LeaseTable) Grant(b *Buffer, deadline time.Time, onExpire func()) Lease
 	l.buf, l.deadline, l.onExpire = b, deadline, onExpire
 	t.leases[id] = l
 	t.mu.Unlock()
+	t.observe(LeaseGranted, b.Len())
 	return id
 }
 
@@ -78,6 +103,7 @@ func (t *LeaseTable) Settle(id LeaseID) bool {
 	}
 	buf := l.buf
 	t.recycle(l)
+	t.observe(LeaseSettled, buf.Len())
 	buf.Release()
 	return true
 }
@@ -101,6 +127,7 @@ func (t *LeaseTable) Sweep(now time.Time) int {
 		}
 		buf := l.buf
 		t.recycle(l)
+		t.observe(LeaseExpired, buf.Len())
 		buf.Release()
 	}
 	return len(due)
