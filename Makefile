@@ -60,7 +60,7 @@ race-all:
 # Regenerates bench_output.txt and the machine-readable BENCH_orb.json
 # (name -> ns/op, MB/s, B/op, allocs/op) used as the perf gate record.
 bench:
-	$(GO) test -run '^$$' -bench 'Fig5|Fig6|RequestRate' -benchmem . 2>&1 | tee bench_output.txt
+	$(GO) test -run '^$$' -bench 'Fig5|Fig6|RequestRate|Shm' -benchmem . 2>&1 | tee bench_output.txt
 	$(GO) run ./cmd/benchjson -o BENCH_orb.json bench_output.txt
 
 bench-all:

@@ -1,0 +1,86 @@
+//go:build linux
+
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"zcorba/internal/orb"
+	"zcorba/internal/ttcp"
+)
+
+// shmSink starts a CORBA sink whose data plane is a shared-memory ring
+// (control stays TCP). Client and sink share the process, so the
+// default host-identity derivation matches and the client's resolver
+// promotes the connection to the ring automatically.
+func shmSink(b *testing.B) *ttcp.CorbaSink {
+	b.Helper()
+	sink, err := ttcp.NewCorbaSinkData(zcStack(), true, nil,
+		"shm://"+b.TempDir()+"/data.sock")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sink
+}
+
+// BenchmarkShm_Corba is the shared-memory row of Figure 6: the same
+// CORBA TTCP as BenchmarkFig6Right_ZCCorbaZCStack, but payloads are
+// deposited straight into the receiver-mapped ring instead of crossing
+// the loopback TCP stack.
+func BenchmarkShm_Corba(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(sizeName(size), func(b *testing.B) {
+			sink := shmSink(b)
+			defer sink.Close()
+			client, err := orb.New(orb.Options{Transport: zcStack(), ZeroCopy: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Shutdown()
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			if _, err := ttcp.CorbaSend(client, sink.IOR, size, b.N, true); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if n := client.Stats().ShmDeposits.Load(); n == 0 {
+				b.Fatal("no shm deposits: the ring path was not taken")
+			}
+			if n := sink.ORB.Stats().ShmClaims.Load(); n == 0 {
+				b.Fatal("no shm claims: the sink read from the wire, not the ring")
+			}
+			if n := client.Stats().PayloadCopyBytes.Load() +
+				sink.ORB.Stats().PayloadCopyBytes.Load(); n != 0 {
+				b.Fatalf("shm bench copied %d payload bytes", n)
+			}
+		})
+	}
+}
+
+// BenchmarkShm_RequestRate4K measures the per-request overhead of the
+// ring path at each pipelining depth, mirroring
+// BenchmarkRequestRate_ZC4K; allocs/op shares the same gated budget.
+func BenchmarkShm_RequestRate4K(b *testing.B) {
+	for _, w := range benchWindows {
+		b.Run(fmt.Sprintf("window%d", w), func(b *testing.B) {
+			sink := shmSink(b)
+			defer sink.Close()
+			client, err := orb.New(orb.Options{Transport: zcStack(), ZeroCopy: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Shutdown()
+			b.SetBytes(4 << 10)
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := ttcp.CorbaSendWindow(client, sink.IOR, 4<<10, b.N, w, true); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if n := client.Stats().ShmDeposits.Load(); n == 0 {
+				b.Fatal("no shm deposits: the ring path was not taken")
+			}
+		})
+	}
+}

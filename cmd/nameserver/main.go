@@ -3,6 +3,10 @@
 //
 //	nameserver -addr 127.0.0.1:2809 -ior-file /tmp/ns.ior
 //
+// The listen address accepts scheme URIs uniformly with the rest of
+// the toolchain (tcp://host:port, inproc://name); a bare host:port
+// stays TCP.
+//
 // The service's stringified IOR is printed (and optionally written to
 // a file); clients connect with naming.Connect or, when the port is
 // fixed, with the stable corbaloc URL the command also prints.
@@ -21,7 +25,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:2809", "listen address")
+	addr := flag.String("addr", "127.0.0.1:2809", "listen address (tcp:// and inproc:// scheme URIs accepted)")
 	iorFile := flag.String("ior-file", "", "write the service IOR to this file")
 	store := flag.String("store", "", "persist bindings to this JSON file across restarts")
 	debugAddr := flag.String("debug", "", "serve /metrics, /spans, /debug/vars and /debug/pprof on this address")

@@ -11,9 +11,17 @@
 //	ttcp -server -corba -ior-file /tmp/sink.ior
 //	ttcp -corba -ior "$(cat /tmp/sink.ior)" -size 65536 -blocks 512
 //
+// Shared-memory mode (docs/SHM.md) keeps control traffic on TCP but
+// deposits payloads into a ring both processes map:
+//
+//	ttcp -server -corba -shm -ior-file /tmp/sink.ior
+//	ttcp -corba -shm -ior "$(cat /tmp/sink.ior)" -size 1M -blocks 64
+//
 // Flags -stack copying emulates the standard (copying) kernel stack;
 // -zerocopy selects the zero-copy ORB path (direct deposit) in CORBA
-// mode. A sweep over the paper's block sizes runs with -sweep, and
+// mode (-shm implies it). Addresses everywhere accept scheme URIs
+// (tcp://, inproc://, shm://); a bare host:port stays TCP. A sweep
+// over the paper's block sizes runs with -sweep, and
 // -window N pipelines up to N CORBA requests in flight; every summary
 // line reports requests/s alongside Mbit/s. -chaos injects a seeded
 // transport fault schedule (see -chaos-seed) into the CORBA client and
@@ -30,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 
 	"zcorba/internal/orb"
 	"zcorba/internal/trace"
@@ -41,8 +50,10 @@ func main() {
 	server := flag.Bool("server", false, "run the receiving side")
 	corba := flag.Bool("corba", false, "benchmark through the CORBA ORB instead of raw sockets")
 	zerocopy := flag.Bool("zerocopy", false, "CORBA mode: use the zero-copy ORB (direct deposit)")
+	shm := flag.Bool("shm", false, "CORBA mode: shared-memory data plane for co-located endpoints (implies -zerocopy)")
+	shmPath := flag.String("shm-path", "", "CORBA server: shm data-plane socket path (default under the temp dir)")
 	stack := flag.String("stack", "plain", "TCP stack model: plain (zero user-space copies) or copying (standard-stack emulation)")
-	addr := flag.String("addr", "127.0.0.1:5001", "socket mode: listen/connect address")
+	addr := flag.String("addr", "127.0.0.1:5001", "socket mode: listen/connect address (tcp://, inproc://, shm:// accepted)")
 	iorStr := flag.String("ior", "", "CORBA client: stringified IOR of the sink")
 	iorFile := flag.String("ior-file", "", "CORBA server: write the sink IOR here (default stdout)")
 	size := flag.Int("size", 64<<10, "block size in bytes")
@@ -55,6 +66,9 @@ func main() {
 	traceFile := flag.String("trace", "", "CORBA mode: write a replayable span log (NDJSON) to this file on exit")
 	debugAddr := flag.String("debug", "", "serve /metrics, /spans, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
+	if *shm {
+		*zerocopy = true // the shm plane is the zero-copy path by construction
+	}
 
 	var tracer *trace.Tracer
 	switch {
@@ -83,16 +97,25 @@ func main() {
 
 	switch {
 	case *server && !*corba:
-		sink, err := ttcp.NewSocketSink(tr, *addr)
+		str, saddr := resolveAddr(tr, *addr)
+		sink, err := ttcp.NewSocketSink(str, saddr)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("ttcp: socket sink listening on %s (stack=%s)\n", sink.Addr(), tr.Name())
+		fmt.Printf("ttcp: socket sink listening on %s (stack=%s)\n", sink.Addr(), str.Name())
 		waitInterrupt()
 		_ = sink.Close()
 
 	case *server && *corba:
-		sink, err := ttcp.NewCorbaSink(tr, *zerocopy, tracer)
+		dataAddr := ""
+		if *shm {
+			p := *shmPath
+			if p == "" {
+				p = filepath.Join(os.TempDir(), fmt.Sprintf("ttcp-shm-%d.sock", os.Getpid()))
+			}
+			dataAddr = "shm://" + p
+		}
+		sink, err := ttcp.NewCorbaSinkData(tr, *zerocopy, tracer, dataAddr)
 		if err != nil {
 			fatal(err)
 		}
@@ -103,7 +126,7 @@ func main() {
 			if err := os.WriteFile(*iorFile, []byte(sink.IOR), 0o644); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("ttcp: CORBA sink up (zerocopy=%v), IOR written to %s\n", *zerocopy, *iorFile)
+			fmt.Printf("ttcp: CORBA sink up (zerocopy=%v shm=%v), IOR written to %s\n", *zerocopy, *shm, *iorFile)
 		} else {
 			fmt.Println(sink.IOR)
 		}
@@ -111,12 +134,13 @@ func main() {
 		sink.Close()
 
 	case !*server && !*corba:
+		str, saddr := resolveAddr(tr, *addr)
 		for _, s := range sizes(*sweep, *size) {
 			b := *blocks
 			if *sweep {
 				b = ttcp.BlocksFor(s, *target, 4)
 			}
-			res, err := ttcp.SocketSend(tr, *addr, s, b)
+			res, err := ttcp.SocketSend(str, saddr, s, b)
 			if err != nil {
 				fatal(err)
 			}
@@ -147,7 +171,14 @@ func main() {
 			if *sweep {
 				b = ttcp.BlocksFor(s, *target, 4)
 			}
-			res, err := ttcp.CorbaSendWindow(client, *iorStr, s, b, *window, *zerocopy)
+			mode := ttcp.ModeCorba
+			switch {
+			case *shm:
+				mode = ttcp.ModeShmCorba
+			case *zerocopy:
+				mode = ttcp.ModeZCCorba
+			}
+			res, err := ttcp.CorbaSendWindowMode(client, *iorStr, s, b, *window, *zerocopy, mode)
 			if err != nil {
 				fatal(err)
 			}
@@ -157,6 +188,11 @@ func main() {
 		fmt.Printf("ttcp: client payload copies=%d (%d bytes), deposits=%d (%d bytes), fallbacks=%d\n",
 			st.PayloadCopies.Load(), st.PayloadCopyBytes.Load(),
 			st.DepositsSent.Load(), st.DepositBytesSent.Load(), st.ZCFallbacks.Load())
+		if *shm {
+			fmt.Printf("ttcp: shm deposits=%d (%d bytes), claims=%d, misses=%d\n",
+				st.ShmDeposits.Load(), st.ShmDepositBytes.Load(),
+				st.ShmClaims.Load(), st.ShmMisses.Load())
+		}
 		if inj != nil {
 			fmt.Printf("ttcp: chaos faults fired=%d, retries=%d, timeouts=%d, data-chan fallbacks=%d\n",
 				inj.Fired(), st.Retries.Load(), st.Timeouts.Load(), st.DataChanFallbacks.Load())
@@ -200,6 +236,21 @@ func dumpTrace(path string, tracer *trace.Tracer) {
 		fatal(err)
 	}
 	fmt.Printf("ttcp: %d spans written to %s\n", len(spans), path)
+}
+
+// resolveAddr honors scheme-qualified socket-mode addresses: the
+// scheme selects the transport, the rest is what it listens on or
+// dials. A bare address keeps the -stack transport.
+func resolveAddr(tr transport.Transport, addr string) (transport.Transport, string) {
+	scheme, rest := transport.SplitScheme(addr)
+	if scheme == "" {
+		return tr, addr
+	}
+	t, _, err := transport.FromAddr(addr, nil)
+	if err != nil {
+		fatal(err)
+	}
+	return t, rest
 }
 
 func sizes(sweep bool, one int) []int {

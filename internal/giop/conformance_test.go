@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"zcorba/internal/cdr"
+	"zcorba/internal/ior"
 )
 
 // The wire-conformance suite locks the GIOP/CDR byte format against
@@ -88,6 +89,16 @@ func vecRequestZC() RequestHeader {
 		SpanID:  0xB1B2B3B4B5B6B7B8,
 	}.Encode())
 	return h
+}
+
+func vecZCShmIOR() ior.IOR {
+	shm := ior.ZCShm{
+		Arch:   "amd64/little/go",
+		HostID: "0123456789abcdef0123456789abcdef",
+		Path:   "shm:///run/zcorba/data.sock",
+	}
+	return ior.NewIIOP("IDL:test/Store:1.0", "10.0.0.2", 9900,
+		[]byte("store/0"), shm.Encode())
 }
 
 func vecReplyPlain() ReplyHeader {
@@ -238,6 +249,48 @@ func wireVectors() []wireVector {
 					t.Fatalf("trace context %+v ok=%v", tc, ok)
 				}
 				remarshal(t, order, msg[HeaderSize:], got.Marshal)
+			},
+		},
+		{
+			// A reply whose body is a marshaled object reference carrying
+			// the ZC-SHM profile: IIOP endpoint plus the TagZCShm
+			// component advertising the shared-memory data plane. The
+			// component's inner encapsulation is cdr.NativeOrder (a
+			// compile-time constant), so the bytes are machine-stable.
+			name: "reply_zcshm_ior",
+			build: func(order cdr.ByteOrder) []byte {
+				h := ReplyHeader{RequestID: 11, Status: ReplyNoException}
+				ref := vecZCShmIOR()
+				return buildMessage(MsgReply, order, 0, func(e *cdr.Encoder) {
+					h.Marshal(e)
+					ref.Marshal(e)
+				})
+			},
+			roundTrip: func(t *testing.T, order cdr.ByteOrder, msg []byte) {
+				_, d := decodeBody(t, msg)
+				rep, err := UnmarshalReplyHeader(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.RequestID != 11 || rep.Status != ReplyNoException {
+					t.Fatalf("reply header %+v", rep)
+				}
+				ref, err := ior.Unmarshal(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				z, ok := ref.ZCShm()
+				if !ok {
+					t.Fatal("no ZC-SHM component in decoded reference")
+				}
+				if z.Arch != "amd64/little/go" || z.HostID != "0123456789abcdef0123456789abcdef" ||
+					z.Path != "shm:///run/zcorba/data.sock" {
+					t.Fatalf("ZC-SHM component %+v", z)
+				}
+				remarshal(t, order, msg[HeaderSize:], func(e *cdr.Encoder) {
+					rep.Marshal(e)
+					ref.Marshal(e)
+				})
 			},
 		},
 		{

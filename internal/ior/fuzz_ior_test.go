@@ -14,6 +14,7 @@ import (
 // reference survives CDR marshal/unmarshal in both byte orders.
 func FuzzIORParse(f *testing.F) {
 	f.Add(sampleIOR().String())
+	f.Add(sampleShmIOR().String())
 	f.Add(NewIIOP("IDL:test/Store:1.0", "h", 1, []byte("k")).String())
 	f.Add("corbaloc::host:2809/NameService")
 	f.Add("corbaloc::1.2@host:2809/key")
@@ -38,6 +39,19 @@ func FuzzIORParse(f *testing.F) {
 			back, err := DecodeZCDeposit(z.Encode().Data)
 			if err != nil || back != z {
 				t.Fatalf("ZCDeposit round trip: %+v -> %+v, %v", z, back, err)
+			}
+		}
+		if z, ok := ref.ZCShm(); ok {
+			// Anything the accessor exposes passed the hostile-name
+			// checks and must round-trip through its encapsulation.
+			for _, v := range []string{z.Arch, z.HostID, z.Path} {
+				if strings.ContainsRune(v, 0) || len(v) > maxShmName {
+					t.Fatalf("hostile ZCShm field survived validation: %q", v)
+				}
+			}
+			back, err := DecodeZCShm(z.Encode().Data)
+			if err != nil || back != z {
+				t.Fatalf("ZCShm round trip: %+v -> %+v, %v", z, back, err)
 			}
 		}
 		for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {

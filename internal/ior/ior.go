@@ -37,6 +37,11 @@ const (
 	// TagZCDeposit advertises the direct-deposit data channel and the
 	// server's architecture signature.
 	TagZCDeposit uint32 = 0x5A430001
+	// TagZCShm advertises a shared-memory data plane endpoint: the
+	// server's host identity (for co-location discovery) and the Unix
+	// socket path of its shm data listener. Only a client on the same
+	// host with a matching architecture signature may use it.
+	TagZCShm uint32 = 0x5A430004
 )
 
 // TaggedComponent is an opaque component inside an IIOP profile.
@@ -226,6 +231,80 @@ func DecodeZCDeposit(data []byte) (ZCDeposit, error) {
 		return z, fmt.Errorf("ior: ZCDeposit port: %w", err)
 	}
 	return z, nil
+}
+
+// ZCShm is the decoded form of a TagZCShm component: the ZC-SHM
+// profile of the shared-memory data plane.
+type ZCShm struct {
+	// Arch is the architecture signature, same precondition as
+	// ZCDeposit.Arch.
+	Arch string
+	// HostID identifies the machine the server runs on (machine-id or
+	// boot-id). A client uses the shm plane only when its own host ID
+	// matches — co-location discovered from the object reference.
+	HostID string
+	// Path is the shm data listener endpoint ("shm:///path/to.sock").
+	Path string
+}
+
+// Encode serializes a ZCShm as a tagged component.
+func (z ZCShm) Encode() TaggedComponent {
+	e := cdr.NewEncoder(cdr.NativeOrder, 1)
+	e.WriteString(z.Arch)
+	e.WriteString(z.HostID)
+	e.WriteString(z.Path)
+	data := append([]byte{byte(cdr.NativeOrder)}, e.Bytes()...)
+	return TaggedComponent{Tag: TagZCShm, Data: data}
+}
+
+// maxShmName bounds ZCShm string fields. Socket paths are limited to
+// ~108 bytes by the kernel anyway; anything longer (or carrying NULs)
+// is a malformed or hostile reference, not a real endpoint.
+const maxShmName = 1024
+
+// DecodeZCShm parses a TagZCShm component body. Like the IIOP host
+// fix, it rejects NUL bytes and overlong names so a hostile IOR
+// cannot smuggle a weird path into the dialer.
+func DecodeZCShm(data []byte) (ZCShm, error) {
+	var z ZCShm
+	if len(data) < 1 {
+		return z, fmt.Errorf("ior: empty ZCShm component")
+	}
+	d := cdr.NewDecoder(cdr.ByteOrder(data[0]&1), 1, data[1:])
+	var err error
+	if z.Arch, err = d.ReadString(); err != nil {
+		return z, fmt.Errorf("ior: ZCShm arch: %w", err)
+	}
+	if z.HostID, err = d.ReadString(); err != nil {
+		return z, fmt.Errorf("ior: ZCShm host ID: %w", err)
+	}
+	if z.Path, err = d.ReadString(); err != nil {
+		return z, fmt.Errorf("ior: ZCShm path: %w", err)
+	}
+	for _, f := range [...]struct{ name, v string }{
+		{"arch", z.Arch}, {"host ID", z.HostID}, {"path", z.Path},
+	} {
+		if strings.ContainsRune(f.v, 0) {
+			return ZCShm{}, fmt.Errorf("ior: ZCShm %s contains NUL", f.name)
+		}
+		if len(f.v) > maxShmName {
+			return ZCShm{}, fmt.Errorf("ior: ZCShm %s overlong (%d bytes)", f.name, len(f.v))
+		}
+	}
+	return z, nil
+}
+
+// ZCShm returns the decoded shared-memory component, if present.
+func (r IOR) ZCShm() (ZCShm, bool) {
+	data, ok := r.Component(TagZCShm)
+	if !ok {
+		return ZCShm{}, false
+	}
+	z, err := DecodeZCShm(data)
+	if err != nil {
+		return ZCShm{}, false
+	}
+	return z, true
 }
 
 // ZCDeposit returns the decoded deposit component, if present.

@@ -1,0 +1,98 @@
+package ior
+
+import (
+	"strings"
+	"testing"
+
+	"zcorba/internal/cdr"
+)
+
+func sampleShmIOR() IOR {
+	shm := ZCShm{
+		Arch:   "amd64/little/go",
+		HostID: "0123456789abcdef0123456789abcdef",
+		Path:   "shm:///run/zcorba/data.sock",
+	}
+	return NewIIOP("IDL:test/Store:1.0", "10.0.0.2", 9900,
+		[]byte("store/0"), shm.Encode())
+}
+
+func TestZCShmComponentRoundTrip(t *testing.T) {
+	r := sampleShmIOR()
+	z, ok := r.ZCShm()
+	if !ok {
+		t.Fatal("no ZC-SHM component")
+	}
+	if z.Arch != "amd64/little/go" || z.Path != "shm:///run/zcorba/data.sock" {
+		t.Fatalf("component %+v", z)
+	}
+	back, err := DecodeZCShm(z.Encode().Data)
+	if err != nil || back != z {
+		t.Fatalf("round trip: %+v -> %+v, %v", z, back, err)
+	}
+	// The component survives the full stringify/parse cycle.
+	parsed, err := Parse(r.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if pz, ok := parsed.ZCShm(); !ok || pz != z {
+		t.Fatalf("stringified component %+v ok=%v", pz, ok)
+	}
+	// A reference without the component reports absence.
+	plain := NewIIOP("IDL:test/Store:1.0", "h", 1, []byte("k"))
+	if _, ok := plain.ZCShm(); ok {
+		t.Fatal("unexpected ZC-SHM component on plain IOR")
+	}
+}
+
+func TestZCShmRejectsHostileNames(t *testing.T) {
+	cases := []struct {
+		name string
+		z    ZCShm
+	}{
+		{"nul in path", ZCShm{Arch: "a", HostID: "h", Path: "shm:///x\x00y"}},
+		{"nul in host ID", ZCShm{Arch: "a", HostID: "h\x00", Path: "p"}},
+		{"nul in arch", ZCShm{Arch: "\x00", HostID: "h", Path: "p"}},
+		{"overlong path", ZCShm{Arch: "a", HostID: "h", Path: strings.Repeat("p", maxShmName+1)}},
+		{"overlong host ID", ZCShm{Arch: "a", HostID: strings.Repeat("h", maxShmName+1), Path: "p"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeZCShm(tc.z.Encode().Data); err == nil {
+				t.Fatalf("hostile component accepted: %+v", tc.z)
+			}
+			// The accessor degrades to absence rather than exposing a
+			// half-validated component.
+			r := NewIIOP("IDL:test/Store:1.0", "h", 1, []byte("k"), tc.z.Encode())
+			if _, ok := r.ZCShm(); ok {
+				t.Fatal("accessor exposed a hostile ZC-SHM component")
+			}
+		})
+	}
+}
+
+func TestZCShmTruncated(t *testing.T) {
+	good := ZCShm{Arch: "a", HostID: "h", Path: "p"}.Encode().Data
+	for n := 0; n < len(good); n++ {
+		if _, err := DecodeZCShm(good[:n]); err == nil {
+			t.Fatalf("truncated component of %d bytes accepted", n)
+		}
+	}
+}
+
+func TestZCShmCDRMarshal(t *testing.T) {
+	r := sampleShmIOR()
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		e := cdr.NewEncoder(order, 0)
+		r.Marshal(e)
+		d := cdr.NewDecoder(order, 0, e.Bytes())
+		got, err := Unmarshal(d)
+		if err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		z, ok := got.ZCShm()
+		if !ok || z.Path != "shm:///run/zcorba/data.sock" {
+			t.Fatalf("order %v: component %+v ok=%v", order, z, ok)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"zcorba/internal/cdr"
 	"zcorba/internal/giop"
 	"zcorba/internal/ior"
+	"zcorba/internal/shmem"
 	"zcorba/internal/trace"
 	"zcorba/internal/typecode"
 	"zcorba/internal/zcbuf"
@@ -38,11 +39,24 @@ type ObjectRef struct {
 }
 
 // resolved decodes and caches the reference's IIOP profile and
-// zero-copy deposit component.
+// zero-copy deposit component. A ZC-SHM profile whose host identity
+// and architecture match ours is folded into a synthetic deposit
+// endpoint at the shm path, so the whole dial/token/fallback machinery
+// downstream is reused unchanged; a mismatch counts a ShmMiss and the
+// call takes the standard path.
 func (r *ObjectRef) resolved() (ior.IIOPProfile, bool) {
 	r.resolveOnce.Do(func() {
 		r.profile, r.hasProfile = r.ior.IIOP()
 		r.zcDep, r.hasZC = r.ior.ZCDeposit()
+		if zs, ok := r.ior.ZCShm(); ok && !r.hasZC {
+			o := r.orb
+			if shmem.Supported() && zs.Arch == o.arch && zs.HostID == o.hostID {
+				r.zcDep = ior.ZCDeposit{Arch: zs.Arch, Host: zs.Path}
+				r.hasZC = true
+			} else {
+				o.stats.ShmMisses.Add(1)
+			}
+		}
 	})
 	return r.profile, r.hasProfile
 }

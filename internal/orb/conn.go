@@ -42,6 +42,10 @@ type conn struct {
 	// stays usable: the graceful-degradation state in which deposits
 	// fall back to the standard marshaled path (docs/FAULTS.md).
 	dataDown atomic.Bool
+	// shmData marks the data channel as a shared-memory ring (a
+	// transport.DirectReader): sends count as shm deposits and receives
+	// claim ring views instead of copying into pooled buffers.
+	shmData atomic.Bool
 	// onLeaseExpire is the deposit-lease expiry hook, built once so
 	// granting a lease does not allocate a closure per transfer.
 	onLeaseExpire func()
@@ -401,9 +405,15 @@ func (c *conn) send(t giop.MsgType, body []byte, payloads [][]byte,
 		}
 		c.orb.stats.DepositsSent.Add(1)
 		c.orb.stats.DepositBytesSent.Add(n)
+		kind := trace.KindDepositSend
+		if c.shmData.Load() {
+			kind = trace.KindShmDeposit
+			c.orb.stats.ShmDeposits.Add(1)
+			c.orb.stats.ShmDepositBytes.Add(n)
+		}
 		if tc.Valid() {
 			tr.Record(trace.Span{
-				Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindDepositSend,
+				Trace: tc.Trace, Parent: tc.Span, Kind: kind,
 				Op: op, Bytes: n, Start: t0, Dur: trace.Now() - t0,
 			})
 			tr.DepositBytes.Record(n)
@@ -519,6 +529,9 @@ func (c *conn) resolveData(token uint64) (transport.Conn, error) {
 	}
 	c.data = dc
 	c.dataToken = token
+	if _, ok := dc.(transport.DirectReader); ok {
+		c.shmData.Store(true)
+	}
 	return dc, nil
 }
 
@@ -555,12 +568,33 @@ func (c *conn) readDeposits(contexts []giop.ServiceContext, tc trace.Context,
 		t0 = trace.Now()
 	}
 	ttl := c.orb.leaseTTL()
+	dr, _ := dc.(transport.DirectReader)
+	direct := false
 	bufs := make([]*zcbuf.Buffer, 0, len(di.Sizes))
 	for _, size := range di.Sizes {
+		if dr != nil {
+			b, claimed, err := c.claimDirect(dr, int(size), ttl)
+			if err != nil {
+				releaseAll(bufs)
+				c.recordDepositRecv(tc, op, t0, got, true, direct)
+				return nil, &errDepositTransfer{err: fmt.Errorf("shm claim: %w", err)}
+			}
+			if claimed {
+				direct = true
+				got += int64(size)
+				bufs = append(bufs, b)
+				c.orb.stats.DepositsReceived.Add(1)
+				c.orb.stats.DepositBytesRecv.Add(int64(size))
+				c.orb.stats.ShmClaims.Add(1)
+				continue
+			}
+			// Record boundaries did not line up: fall through to the
+			// copying path, which drains the same ring record.
+		}
 		b, err := c.orb.pool.Get(int(size))
 		if err != nil {
 			releaseAll(bufs)
-			c.recordDepositRecv(tc, op, t0, got, true)
+			c.recordDepositRecv(tc, op, t0, got, true, direct)
 			return nil, &errDepositTransfer{err: err}
 		}
 		// Lease the buffer for the duration of the blocking read: if
@@ -579,28 +613,57 @@ func (c *conn) readDeposits(contexts []giop.ServiceContext, tc trace.Context,
 		if err != nil {
 			b.Release()
 			releaseAll(bufs)
-			c.recordDepositRecv(tc, op, t0, got, true)
+			c.recordDepositRecv(tc, op, t0, got, true, direct)
 			return nil, &errDepositTransfer{err: fmt.Errorf("deposit read: %w", err)}
 		}
 		bufs = append(bufs, b)
 		c.orb.stats.DepositsReceived.Add(1)
 		c.orb.stats.DepositBytesRecv.Add(int64(size))
 	}
-	c.recordDepositRecv(tc, op, t0, got, false)
+	c.recordDepositRecv(tc, op, t0, got, false, direct)
 	if tc.Valid() {
 		tr.DepositBytes.Record(got)
 	}
 	return bufs, nil
 }
 
-// recordDepositRecv emits the deposit_recv span for one announced
-// transfer (no-op when tc is zero).
-func (c *conn) recordDepositRecv(tc trace.Context, op string, t0, bytes int64, failed bool) {
+// claimDirect attempts the zero-copy claim of one announced payload
+// from a shared-memory data channel: a lease covers the blocking wait
+// (expiry closes the channel, unblocking the claim), and the claimed
+// ring view is wrapped as a Buffer whose final Release returns the
+// ring credit. claimed=false with a nil error means the record
+// boundaries did not match the announced size; nothing was consumed
+// and the caller must read the record through the copying path.
+func (c *conn) claimDirect(dr transport.DirectReader, size int,
+	ttl time.Duration) (*zcbuf.Buffer, bool, error) {
+	var lid zcbuf.LeaseID
+	if ttl > 0 {
+		lid = c.orb.leases.GrantFunc(size, time.Now().Add(ttl), c.onLeaseExpire)
+	}
+	view, rel, ok, err := dr.ReadDirect(size)
+	if ttl > 0 {
+		c.orb.leases.Settle(lid)
+	}
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return zcbuf.WrapShared(view, rel), true, nil
+}
+
+// recordDepositRecv emits the deposit_recv (or shm.claim, when any
+// payload was claimed directly) span for one announced transfer
+// (no-op when tc is zero).
+func (c *conn) recordDepositRecv(tc trace.Context, op string, t0, bytes int64,
+	failed, direct bool) {
 	if !tc.Valid() {
 		return
 	}
+	kind := trace.KindDepositRecv
+	if direct {
+		kind = trace.KindShmClaim
+	}
 	c.orb.tracer.Record(trace.Span{
-		Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindDepositRecv,
+		Trace: tc.Trace, Parent: tc.Span, Kind: kind,
 		Op: op, Err: failed, Bytes: bytes, Start: t0, Dur: trace.Now() - t0,
 	})
 }

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,8 +42,16 @@ type Options struct {
 	// transport's default ("127.0.0.1:0" for TCP, auto for inproc).
 	ListenAddr string
 	// DataListenAddr is the direct-deposit data endpoint; empty means
-	// pick automatically. Ignored unless ZeroCopy is set.
+	// pick automatically. Scheme URIs (tcp://, inproc://, shm://)
+	// select the data-plane transport independently of the control
+	// plane, so a TCP control stream can carry a shared-memory data
+	// plane. Ignored unless ZeroCopy is set.
 	DataListenAddr string
+	// DataTransport, if set, carries the data plane instead of a
+	// transport resolved from DataListenAddr's scheme (fault-injection
+	// tests wrap the shm transport this way). Ignored unless ZeroCopy
+	// is set.
+	DataTransport transport.Transport
 	// ZeroCopy enables the direct-deposit fast path: the ORB opens a
 	// data listener, advertises it in IORs, and clients of this ORB
 	// route eligible payloads around the marshaling engine.
@@ -52,6 +62,10 @@ type Options struct {
 	Collocation bool
 	// Arch overrides the architecture signature (tests only).
 	Arch string
+	// HostID overrides the machine identity advertised in ZC-SHM
+	// profiles and compared during co-location discovery (tests only).
+	// Empty derives it from the OS (machine-id, boot-id, hostname).
+	HostID string
 	// Pool supplies deposit buffers; defaults to a private pool.
 	Pool *zcbuf.Pool
 	// CallTimeout bounds synchronous invocations; default 30s.
@@ -219,6 +233,17 @@ type Stats struct {
 	// TokensExpired counts data-channel registrations dropped because
 	// no request ever referenced their token.
 	TokensExpired atomic.Int64
+	// ShmDeposits/ShmDepositBytes count payloads deposited directly
+	// into a shared-memory ring (the subset of DepositsSent that never
+	// crossed a socket); ShmClaims counts the matching zero-copy claims
+	// on the receive side.
+	ShmDeposits     atomic.Int64
+	ShmDepositBytes atomic.Int64
+	ShmClaims       atomic.Int64
+	// ShmMisses counts references that advertised a ZC-SHM profile this
+	// client could not use (host or architecture mismatch, or shared
+	// memory unsupported on this platform).
+	ShmMisses atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of the request-path counters,
@@ -269,6 +294,7 @@ type ORB struct {
 	tr     transport.Transport
 	pool   *zcbuf.Pool
 	arch   string
+	hostID string
 	logf   func(string, ...any)
 	stats  Stats
 	tracer *trace.Tracer
@@ -336,6 +362,10 @@ func New(opts Options) (*ORB, error) {
 	if o.arch == "" {
 		o.arch = DefaultArch()
 	}
+	o.hostID = opts.HostID
+	if o.hostID == "" {
+		o.hostID = defaultHostID()
+	}
 	if o.opts.CallTimeout <= 0 {
 		o.opts.CallTimeout = 30 * time.Second
 	}
@@ -365,7 +395,21 @@ func New(opts Options) (*ORB, error) {
 	}
 	o.tokenBase = binary.BigEndian.Uint64(tok[:])
 
+	// Listen addresses accept scheme URIs (tcp://, inproc://, shm://):
+	// a scheme different from the configured transport's selects the
+	// matching transport for that listener, so a TCP control plane can
+	// carry an shm:// data plane on the same ORB.
 	addr := opts.ListenAddr
+	if scheme, rest := transport.SplitScheme(addr); scheme != "" {
+		if scheme != o.tr.Name() {
+			t, _, ferr := transport.FromAddr(addr, nil)
+			if ferr != nil {
+				return nil, fmt.Errorf("orb: control listener: %w", ferr)
+			}
+			o.tr = t
+		}
+		addr = rest
+	}
 	if addr == "" && o.tr.Name() == "tcp" {
 		addr = "127.0.0.1:0"
 	}
@@ -378,10 +422,25 @@ func New(opts Options) (*ORB, error) {
 
 	if opts.ZeroCopy {
 		daddr := opts.DataListenAddr
-		if daddr == "" && o.tr.Name() == "tcp" {
+		dtr := opts.DataTransport
+		if dtr == nil {
+			dtr = o.tr
+		}
+		if scheme, rest := transport.SplitScheme(daddr); scheme != "" {
+			if scheme != dtr.Name() {
+				t, _, ferr := transport.FromAddr(daddr, nil)
+				if ferr != nil {
+					_ = lis.Close()
+					return nil, fmt.Errorf("orb: data listener: %w", ferr)
+				}
+				dtr = t
+			}
+			daddr = rest
+		}
+		if daddr == "" && dtr.Name() == "tcp" {
 			daddr = "127.0.0.1:0"
 		}
-		dlis, err := o.tr.Listen(daddr)
+		dlis, err := dtr.Listen(daddr)
 		if err != nil {
 			_ = lis.Close()
 			return nil, fmt.Errorf("orb: data listener: %w", err)
@@ -485,8 +544,52 @@ func dialAddr(host string, port uint16) string {
 	return net.JoinHostPort(host, strconv.Itoa(int(port)))
 }
 
+// defaultHostID derives a stable machine identity for shared-memory
+// co-location discovery: two ORBs see the same ID exactly when they
+// can map the same shared memory. machine-id survives reboots; boot-id
+// is the fallback on stripped-down systems; the hostname is the last
+// resort.
+func defaultHostID() string {
+	for _, p := range []string{"/etc/machine-id", "/proc/sys/kernel/random/boot_id"} {
+		if b, err := os.ReadFile(p); err == nil {
+			if id := strings.TrimSpace(string(b)); id != "" {
+				return id
+			}
+		}
+	}
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return "localhost"
+}
+
+// dialData dials a data-channel endpoint. Scheme-qualified addresses
+// (the synthesized shm:// deposit endpoints of ZC-SHM references) pick
+// their transport from the scheme; bare addresses use the ORB's, and a
+// configured DataTransport takes over its own scheme.
+func (o *ORB) dialData(addr string) (transport.Conn, error) {
+	scheme, rest := transport.SplitScheme(addr)
+	switch {
+	case scheme == "":
+		return o.tr.Dial(addr)
+	case o.opts.DataTransport != nil && scheme == o.opts.DataTransport.Name():
+		return o.opts.DataTransport.Dial(rest)
+	case scheme == o.tr.Name():
+		return o.tr.Dial(rest)
+	default:
+		t, _, err := transport.FromAddr(addr, nil)
+		if err != nil {
+			return nil, err
+		}
+		return t.Dial(rest)
+	}
+}
+
 // Arch returns the ORB's architecture signature.
 func (o *ORB) Arch() string { return o.arch }
+
+// HostID returns the machine identity used for co-location discovery.
+func (o *ORB) HostID() string { return o.hostID }
 
 // Stats returns the ORB's counters.
 func (o *ORB) Stats() *Stats { return &o.stats }
@@ -520,6 +623,10 @@ func (o *ORB) RegisterMetrics(x *trace.Exporter) {
 		{"lease_expiries_total", "Deposit-buffer leases reclaimed by the sweeper.", &s.LeaseExpiries},
 		{"body_allocs_total", "Control-message bodies freshly allocated.", &s.BodyAllocs},
 		{"body_reuses_total", "Control-message bodies recycled from the free list.", &s.BodyReuses},
+		{"shm_deposits_total", "Payloads deposited through the shared-memory plane.", &s.ShmDeposits},
+		{"shm_deposit_bytes_total", "Bytes deposited through the shared-memory plane.", &s.ShmDepositBytes},
+		{"shm_claims_total", "Zero-copy shared-memory claims on the receive side.", &s.ShmClaims},
+		{"shm_misses_total", "ZC-SHM profiles unusable by this client.", &s.ShmMisses},
 	} {
 		x.AddCounter(c.name, c.help, c.v.Load)
 	}
@@ -560,9 +667,18 @@ func (o *ORB) Deactivate(key string) {
 func (o *ORB) refForLocked(key, repoID string) *ObjectRef {
 	var comps []ior.TaggedComponent
 	if o.opts.ZeroCopy && o.dataLis != nil {
-		comps = append(comps, ior.ZCDeposit{
-			Arch: o.arch, Host: o.dataHost, Port: o.dataPort,
-		}.Encode())
+		if addr := o.dataLis.Addr(); strings.HasPrefix(addr, "shm://") {
+			// Shared-memory data plane: advertise the ZC-SHM profile so
+			// only co-located, architecture-matched clients take it;
+			// everyone else falls back to standard marshaling.
+			comps = append(comps, ior.ZCShm{
+				Arch: o.arch, HostID: o.hostID, Path: addr,
+			}.Encode())
+		} else {
+			comps = append(comps, ior.ZCDeposit{
+				Arch: o.arch, Host: o.dataHost, Port: o.dataPort,
+			}.Encode())
+		}
 	}
 	ref := ior.NewIIOP(repoID, o.ctrlHost, o.ctrlPort, []byte(key), comps...)
 	return &ObjectRef{orb: o, ior: ref}
@@ -766,7 +882,7 @@ func (o *ORB) dialConn(ctrlAddr string, zc *ior.ZCDeposit, stripe int) (*conn, e
 	c := newConn(o, tc, false)
 
 	if zc != nil {
-		dc, err := o.tr.Dial(dialAddr(zc.Host, zc.Port))
+		dc, err := o.dialData(dialAddr(zc.Host, zc.Port))
 		if err != nil {
 			o.logf("orb: data channel dial failed, falling back: %v", err)
 		} else {
@@ -780,6 +896,9 @@ func (o *ORB) dialConn(ctrlAddr string, zc *ior.ZCDeposit, stripe int) (*conn, e
 			} else {
 				c.data = dc
 				c.dataToken = token
+				if _, ok := dc.(transport.DirectReader); ok {
+					c.shmData.Store(true)
+				}
 			}
 		}
 	}

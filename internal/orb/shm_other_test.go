@@ -1,0 +1,36 @@
+//go:build !linux
+
+package orb
+
+import "testing"
+
+// The shared-memory data plane needs memfd + SCM_RIGHTS, so its ORB
+// integration tests only run on linux. These stubs record why.
+
+func TestShmDataPlaneRoundTrip(t *testing.T) {
+	t.Skip("shm data plane requires linux (memfd_create + SCM_RIGHTS)")
+}
+
+func TestShmDataPlaneReplyPath(t *testing.T) {
+	t.Skip("shm data plane requires linux (memfd_create + SCM_RIGHTS)")
+}
+
+func TestShmHostMismatchFallsBack(t *testing.T) {
+	t.Skip("shm data plane requires linux (memfd_create + SCM_RIGHTS)")
+}
+
+func TestShmSegmentsReclaimedOnShutdown(t *testing.T) {
+	t.Skip("shm data plane requires linux (memfd_create + SCM_RIGHTS)")
+}
+
+func TestShmRingFaultFallsBack(t *testing.T) {
+	t.Skip("shm data plane requires linux (memfd_create + SCM_RIGHTS)")
+}
+
+func TestChaosShmStalledDepositLeaseExpires(t *testing.T) {
+	t.Skip("shm data plane requires linux (memfd_create + SCM_RIGHTS)")
+}
+
+func TestShmInvokeAllocsGate(t *testing.T) {
+	t.Skip("shm data plane requires linux (memfd_create + SCM_RIGHTS)")
+}

@@ -1,0 +1,82 @@
+//go:build linux
+
+package shmem
+
+import (
+	"fmt"
+	"net"
+	"syscall"
+)
+
+// SendFd writes data to the Unix socket with fd attached as an
+// SCM_RIGHTS control message, in a single sendmsg so the payload and
+// the descriptor arrive together.
+func SendFd(c *net.UnixConn, data []byte, fd int) error {
+	oob := syscall.UnixRights(fd)
+	n, oobn, err := c.WriteMsgUnix(data, oob, nil)
+	if err != nil {
+		return err
+	}
+	if n != len(data) || oobn != len(oob) {
+		return fmt.Errorf("shmem: short fd send (%d/%d data, %d/%d oob)",
+			n, len(data), oobn, len(oob))
+	}
+	return nil
+}
+
+// RecvFd reads into data (filling it completely) and collects the
+// SCM_RIGHTS descriptor that rides along. It returns the received fd.
+func RecvFd(c *net.UnixConn, data []byte) (int, error) {
+	oob := make([]byte, syscall.CmsgSpace(4))
+	fd := -1
+	got := 0
+	for got < len(data) {
+		n, oobn, _, _, err := c.ReadMsgUnix(data[got:], oob)
+		if err != nil {
+			if fd >= 0 {
+				syscall.Close(fd)
+			}
+			return -1, err
+		}
+		got += n
+		if oobn > 0 {
+			rfd, err := ParseRightsFd(oob[:oobn])
+			if err != nil {
+				if fd >= 0 {
+					syscall.Close(fd)
+				}
+				return -1, err
+			}
+			if fd >= 0 {
+				syscall.Close(fd) // duplicate control message; keep the last
+			}
+			fd = rfd
+		}
+	}
+	if fd < 0 {
+		return -1, fmt.Errorf("shmem: no fd in control message")
+	}
+	return fd, nil
+}
+
+// ParseRightsFd extracts the single SCM_RIGHTS descriptor from a raw
+// control-message buffer, closing any extras.
+func ParseRightsFd(oob []byte) (int, error) {
+	msgs, err := syscall.ParseSocketControlMessage(oob)
+	if err != nil {
+		return -1, err
+	}
+	for _, m := range msgs {
+		fds, err := syscall.ParseUnixRights(&m)
+		if err != nil {
+			continue
+		}
+		if len(fds) > 0 {
+			for _, extra := range fds[1:] {
+				syscall.Close(extra)
+			}
+			return fds[0], nil
+		}
+	}
+	return -1, fmt.Errorf("shmem: control message carried no fd")
+}

@@ -1,0 +1,283 @@
+package shmem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// tinyCfg is the smallest legal ring: 8 slots of 4 KiB, 16 KiB max
+// payload. Small enough that wrap and credit exhaustion are easy to
+// provoke.
+var tinyCfg = Config{SlotSize: 4096, SlotCount: 8}
+
+func heapPair(t *testing.T, cfg Config) (*Producer, *Consumer, *Segment) {
+	t.Helper()
+	seg, err := NewHeapSegment(cfg)
+	if err != nil {
+		t.Fatalf("NewHeapSegment: %v", err)
+	}
+	t.Cleanup(seg.Close)
+	return seg.Ring(0).Producer(), seg.Ring(0).Consumer(), seg
+}
+
+func fill(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}.WithDefaults()).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	for _, bad := range []Config{
+		{SlotSize: 100, SlotCount: 8},
+		{SlotSize: 8192 + 1, SlotCount: 8},
+		{SlotSize: 4096, SlotCount: 4},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v validated", bad)
+		}
+	}
+	c := Config{SlotSize: 4096, SlotCount: 8}
+	if got, want := c.MaxPayload(), 4096*4; got != want {
+		t.Fatalf("MaxPayload = %d, want %d", got, want)
+	}
+	if c.SegmentBytes() != 2*c.RingBytes() {
+		t.Fatal("segment is not two rings")
+	}
+}
+
+func TestRingRoundTrip(t *testing.T) {
+	p, c, _ := heapPair(t, tinyCfg)
+	for i, n := range []int{1, 100, 4096, 4097, 8192, 0, 16384} {
+		msg := fill(n, byte(i))
+		if _, err := p.Write(msg); err != nil {
+			t.Fatalf("write %d bytes: %v", n, err)
+		}
+		v, err := c.Next()
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		if !bytes.Equal(v.Bytes(), msg) {
+			t.Fatalf("record %d: payload mismatch (%d bytes)", i, n)
+		}
+		v.Release()
+	}
+}
+
+// TestRingWrapPad drives the cursor past the ring end many times with
+// record sizes that do not divide the slot count, so pad records are
+// exercised constantly.
+func TestRingWrapPad(t *testing.T) {
+	p, c, _ := heapPair(t, tinyCfg)
+	for i := 0; i < 200; i++ {
+		msg := fill(3*4096-7, byte(i))
+		if _, err := p.Write(msg); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		v, err := c.Next()
+		if err != nil {
+			t.Fatalf("next %d: %v", i, err)
+		}
+		if !bytes.Equal(v.Bytes(), msg) {
+			t.Fatalf("record %d corrupted across wrap", i)
+		}
+		v.Release()
+	}
+}
+
+func TestRingTooLarge(t *testing.T) {
+	p, _, _ := heapPair(t, tinyCfg)
+	if _, err := p.Write(make([]byte, tinyCfg.MaxPayload()+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize write: %v, want ErrTooLarge", err)
+	}
+}
+
+func TestRingStall(t *testing.T) {
+	p, _, _ := heapPair(t, tinyCfg)
+	p.StallTimeout = 20 * time.Millisecond
+	// Fill the ring; nothing is consumed, so the next write stalls out.
+	for i := 0; i < 2; i++ {
+		if _, err := p.Write(make([]byte, 4*4096)); err != nil {
+			t.Fatalf("fill write %d: %v", i, err)
+		}
+	}
+	start := time.Now()
+	if _, err := p.Write(make([]byte, 4096)); !errors.Is(err, ErrRingStalled) {
+		t.Fatalf("stalled write: %v, want ErrRingStalled", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("stall timeout not honored")
+	}
+}
+
+// TestRingOutOfOrderRelease claims three records and releases them
+// newest-first; credit must only return once the oldest is released.
+func TestRingOutOfOrderRelease(t *testing.T) {
+	p, c, _ := heapPair(t, tinyCfg)
+	p.StallTimeout = 20 * time.Millisecond
+	var views []*View
+	for i := 0; i < 4; i++ {
+		if _, err := p.Write(fill(2*4096, byte(i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		v, err := c.Next()
+		if err != nil {
+			t.Fatalf("next %d: %v", i, err)
+		}
+		views = append(views, v)
+	}
+	// Ring is full. Releasing only the newest returns no credit.
+	views[3].Release()
+	views[2].Release()
+	views[1].Release()
+	if _, err := p.Write(make([]byte, 4*4096)); !errors.Is(err, ErrRingStalled) {
+		t.Fatalf("write with oldest view live: %v, want ErrRingStalled", err)
+	}
+	if got := c.Outstanding(); got != 1 {
+		t.Fatalf("Outstanding = %d, want 1", got)
+	}
+	views[0].Release()
+	if _, err := p.Write(make([]byte, 4*4096)); err != nil {
+		t.Fatalf("write after full release: %v", err)
+	}
+}
+
+func TestRingCorruptDetected(t *testing.T) {
+	p, c, _ := heapPair(t, tinyCfg)
+	p.CorruptNext()
+	if _, err := p.Write(fill(100, 1)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := c.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("next on corrupt record: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRingProducerClose(t *testing.T) {
+	p, c, _ := heapPair(t, tinyCfg)
+	if _, err := p.Write(fill(10, 9)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	p.Close()
+	if _, err := p.Write(fill(1, 0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v, want ErrClosed", err)
+	}
+	v, err := c.Next()
+	if err != nil {
+		t.Fatalf("drain after close: %v", err)
+	}
+	v.Release()
+	if _, err := c.Next(); !errors.Is(err, ErrProducerDone) {
+		t.Fatalf("next after drain: %v, want ErrProducerDone", err)
+	}
+}
+
+func TestRingConsumerCloseFailsProducer(t *testing.T) {
+	p, c, _ := heapPair(t, tinyCfg)
+	p.StallTimeout = time.Second
+	c.Close()
+	// Fill the credit, then the blocked write must notice consClosed.
+	for {
+		_, err := p.Write(make([]byte, 4*4096))
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrPeerDead) {
+			t.Fatalf("write to closed consumer: %v, want ErrPeerDead", err)
+		}
+		break
+	}
+	if _, err := c.Next(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("next on closed consumer: %v, want ErrClosed", err)
+	}
+}
+
+// TestRingConcurrent streams records through a small ring from a
+// separate goroutine, exercising credit waits, pads, and release
+// paths under the race detector.
+func TestRingConcurrent(t *testing.T) {
+	p, c, _ := heapPair(t, tinyCfg)
+	const records = 2000
+	errc := make(chan error, 1)
+	go func() {
+		defer p.Close()
+		for i := 0; i < records; i++ {
+			msg := fill(1+(i*733)%(3*4096), byte(i))
+			if _, err := p.Write(msg); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	for i := 0; i < records; i++ {
+		v, err := c.Next()
+		if err != nil {
+			t.Fatalf("next %d: %v", i, err)
+		}
+		want := fill(1+(i*733)%(3*4096), byte(i))
+		if !bytes.Equal(v.Bytes(), want) {
+			t.Fatalf("record %d corrupted", i)
+		}
+		v.Release()
+	}
+	if _, err := c.Next(); !errors.Is(err, ErrProducerDone) {
+		t.Fatalf("tail: %v, want ErrProducerDone", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+}
+
+// TestSegmentViewKeepsMapping proves a live view pins the segment: the
+// owner can Close while the application still reads the bytes.
+func TestSegmentViewKeepsMapping(t *testing.T) {
+	seg, err := NewHeapSegment(tinyCfg)
+	if err != nil {
+		t.Fatalf("NewHeapSegment: %v", err)
+	}
+	before := LiveSegments()
+	p, c := seg.Ring(0).Producer(), seg.Ring(0).Consumer()
+	if _, err := p.Write(fill(100, 3)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	v, err := c.Next()
+	if err != nil {
+		t.Fatalf("next: %v", err)
+	}
+	seg.Close()
+	if LiveSegments() != before {
+		t.Fatal("segment released while a view was outstanding")
+	}
+	if !bytes.Equal(v.Bytes(), fill(100, 3)) {
+		t.Fatal("view corrupted after owner close")
+	}
+	v.Release()
+	if LiveSegments() != before-1 {
+		t.Fatal("segment not released after last view")
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p, c, _ := heapPair(t, tinyCfg)
+	if _, err := p.Write(fill(10, 0)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	v, err := c.Next()
+	if err != nil {
+		t.Fatalf("next: %v", err)
+	}
+	v.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	v.Release()
+}

@@ -1,0 +1,87 @@
+package shmem
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Segment is one shared mapping holding the two rings of a connection:
+// ring 0 carries dialer→acceptor records, ring 1 the reverse. The
+// creator passes the backing fd to its peer over SCM_RIGHTS; both
+// sides then operate on the same physical pages.
+//
+// The mapping is reference counted: the owner holds one reference and
+// every outstanding consumer View holds another, so Close never yanks
+// pages out from under application code still reading a claimed view.
+type Segment struct {
+	cfg   Config
+	mem   []byte
+	fd    int
+	refs  atomic.Int64
+	unmap func([]byte) error // nil for heap-backed test segments
+	rings [2]*Ring
+}
+
+// newSegment wires a Segment over an already-prepared mapping.
+// create selects initRing (format) vs attachRing (validate).
+func newSegment(mem []byte, fd int, cfg Config, unmap func([]byte) error, create bool) (*Segment, error) {
+	s := &Segment{cfg: cfg, mem: mem, fd: fd, unmap: unmap}
+	rb := cfg.RingBytes()
+	for i := 0; i < 2; i++ {
+		win := mem[i*rb : (i+1)*rb : (i+1)*rb]
+		if create {
+			s.rings[i] = initRing(win, cfg, s)
+		} else {
+			r, err := attachRing(win, cfg, s)
+			if err != nil {
+				return nil, err
+			}
+			s.rings[i] = r
+		}
+	}
+	s.refs.Store(1)
+	liveSegments.Add(1)
+	return s, nil
+}
+
+// NewHeapSegment builds a segment over ordinary process memory. It has
+// no fd and cannot cross a process boundary — it exists so the ring
+// machinery is exercisable by tests on every platform.
+func NewHeapSegment(cfg Config) (*Segment, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Back the slice with uint64s so the header atomics are aligned.
+	words := make([]uint64, cfg.SegmentBytes()/8)
+	mem := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), cfg.SegmentBytes())
+	return newSegment(mem, -1, cfg, nil, true)
+}
+
+// Config returns the segment's ring geometry.
+func (s *Segment) Config() Config { return s.cfg }
+
+// Fd returns the backing file descriptor (-1 for heap segments). It is
+// what travels over SCM_RIGHTS during promotion.
+func (s *Segment) Fd() int { return s.fd }
+
+// Ring returns direction i (0: dialer→acceptor, 1: acceptor→dialer).
+func (s *Segment) Ring(i int) *Ring { return s.rings[i] }
+
+func (s *Segment) retain() { s.refs.Add(1) }
+
+func (s *Segment) release() {
+	if s.refs.Add(-1) != 0 {
+		return
+	}
+	liveSegments.Add(-1)
+	if s.unmap != nil {
+		mem := s.mem
+		s.mem = nil
+		_ = s.unmap(mem)
+	}
+}
+
+// Close drops the owner reference. The mapping is released once the
+// last outstanding View is also released.
+func (s *Segment) Close() { s.release() }

@@ -1,0 +1,115 @@
+//go:build linux
+
+package shmem
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// Supported reports whether this platform has the shared-memory data
+// plane. On Linux it always does (memfd_create with a tmpfs fallback).
+func Supported() bool { return true }
+
+// memfdCreate invokes the raw memfd_create syscall. The stdlib does
+// not wrap it, and the repo is stdlib-only, so the number is selected
+// by architecture.
+func memfdCreate(name string) (int, error) {
+	var nr uintptr
+	switch runtime.GOARCH {
+	case "amd64":
+		nr = 319
+	case "arm64":
+		nr = 279
+	default:
+		return -1, syscall.ENOSYS
+	}
+	p, err := syscall.BytePtrFromString(name)
+	if err != nil {
+		return -1, err
+	}
+	fd, _, errno := syscall.Syscall(nr, uintptr(unsafe.Pointer(p)), uintptr(1 /* MFD_CLOEXEC */), 0)
+	if errno != 0 {
+		return -1, errno
+	}
+	return int(fd), nil
+}
+
+// anonFd returns an fd backed by anonymous shared pages: memfd_create
+// when the kernel/arch has it, otherwise an unlinked temp file (same
+// sharing semantics, marginally weaker isolation).
+func anonFd(name string) (int, error) {
+	fd, err := memfdCreate(name)
+	if err == nil {
+		return fd, nil
+	}
+	if err != syscall.ENOSYS {
+		return -1, err
+	}
+	f, err := os.CreateTemp("", name+"-*")
+	if err != nil {
+		return -1, err
+	}
+	path := f.Name()
+	fd, err = syscall.Dup(int(f.Fd()))
+	f.Close()
+	os.Remove(path)
+	if err != nil {
+		return -1, err
+	}
+	return fd, nil
+}
+
+// Create allocates and maps a fresh segment. The returned segment owns
+// the fd; pass Fd() to the peer over SCM_RIGHTS before Close.
+func Create(cfg Config) (*Segment, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fd, err := anonFd("zcorba-shm")
+	if err != nil {
+		return nil, fmt.Errorf("shmem: create backing fd: %w", err)
+	}
+	if err := syscall.Ftruncate(fd, int64(cfg.SegmentBytes())); err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("shmem: size segment: %w", err)
+	}
+	return mapSegment(fd, cfg, true)
+}
+
+// Open maps a segment received from a peer (fd from SCM_RIGHTS) and
+// validates the ring headers against cfg. The segment takes ownership
+// of fd.
+func Open(fd int, cfg Config) (*Segment, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		syscall.Close(fd)
+		return nil, err
+	}
+	return mapSegment(fd, cfg, false)
+}
+
+func mapSegment(fd int, cfg Config, create bool) (*Segment, error) {
+	mem, err := syscall.Mmap(fd, 0, cfg.SegmentBytes(),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("shmem: mmap segment: %w", err)
+	}
+	unmap := func(b []byte) error {
+		err := syscall.Munmap(b)
+		syscall.Close(fd)
+		return err
+	}
+	s, err := newSegment(mem, fd, cfg, unmap, create)
+	if err != nil {
+		syscall.Munmap(mem)
+		syscall.Close(fd)
+		return nil, err
+	}
+	return s, nil
+}

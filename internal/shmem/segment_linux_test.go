@@ -1,0 +1,78 @@
+//go:build linux
+
+package shmem
+
+import (
+	"bytes"
+	"syscall"
+	"testing"
+)
+
+// TestCreateOpenSharedPages maps one backing fd twice — the in-process
+// stand-in for the two sides of an SCM_RIGHTS handoff — and checks
+// that a record produced through one mapping is visible through the
+// other.
+func TestCreateOpenSharedPages(t *testing.T) {
+	before := LiveSegments()
+	seg, err := Create(tinyCfg)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	dup, err := syscall.Dup(seg.Fd())
+	if err != nil {
+		t.Fatalf("dup: %v", err)
+	}
+	peer, err := Open(dup, tinyCfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	p := seg.Ring(0).Producer()
+	c := peer.Ring(0).Consumer()
+	msg := fill(3*4096, 7)
+	if _, err := p.Write(msg); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	v, err := c.Next()
+	if err != nil {
+		t.Fatalf("next: %v", err)
+	}
+	if !bytes.Equal(v.Bytes(), msg) {
+		t.Fatal("payload not shared across mappings")
+	}
+	v.Release()
+	seg.Close()
+	peer.Close()
+	if LiveSegments() != before {
+		t.Fatalf("LiveSegments = %d, want %d", LiveSegments(), before)
+	}
+}
+
+// TestOpenRejectsGarbage ensures Open refuses an unformatted mapping.
+func TestOpenRejectsGarbage(t *testing.T) {
+	fd, err := anonFd("zcorba-shm-test")
+	if err != nil {
+		t.Fatalf("anonFd: %v", err)
+	}
+	if err := syscall.Ftruncate(fd, int64(tinyCfg.SegmentBytes())); err != nil {
+		t.Fatalf("ftruncate: %v", err)
+	}
+	if _, err := Open(fd, tinyCfg); err == nil {
+		t.Fatal("Open accepted an unformatted segment")
+	}
+}
+
+// TestOpenRejectsGeometryMismatch: peer config must match the creator.
+func TestOpenRejectsGeometryMismatch(t *testing.T) {
+	seg, err := Create(tinyCfg)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer seg.Close()
+	dup, err := syscall.Dup(seg.Fd())
+	if err != nil {
+		t.Fatalf("dup: %v", err)
+	}
+	if _, err := Open(dup, Config{SlotSize: 4096, SlotCount: 16}); err == nil {
+		t.Fatal("Open accepted mismatched geometry")
+	}
+}

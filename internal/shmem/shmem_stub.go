@@ -1,0 +1,15 @@
+//go:build !linux
+
+package shmem
+
+// Supported reports whether this platform has the shared-memory data
+// plane. Segment creation needs memfd/mmap + SCM_RIGHTS plumbing that
+// is only wired up on Linux; elsewhere transport.SHM refuses to start
+// and tests skip with a reason.
+func Supported() bool { return false }
+
+// Create is unavailable off Linux.
+func Create(cfg Config) (*Segment, error) { return nil, ErrUnsupported }
+
+// Open is unavailable off Linux.
+func Open(fd int, cfg Config) (*Segment, error) { return nil, ErrUnsupported }

@@ -65,13 +65,17 @@ const (
 	KindFallback
 	KindLease
 	KindFrame
+	// KindShmDeposit covers one payload deposit into a shared-memory
+	// ring; KindShmClaim the matching zero-copy claim on the receiver.
+	KindShmDeposit
+	KindShmClaim
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"invoke", "marshal", "control_send", "deposit_send", "deposit_recv",
 	"unmarshal", "dispatch", "reply_send", "retry", "fallback", "lease",
-	"frame",
+	"frame", "shm.deposit", "shm.claim",
 }
 
 // String returns the span kind's wire/log name.

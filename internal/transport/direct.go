@@ -1,0 +1,19 @@
+package transport
+
+// Releaser returns a zero-copy view to its owner. It mirrors
+// zcbuf.Releaser structurally, so a transport-issued release token can
+// ride inside a zcbuf.Buffer without an adapter allocation.
+type Releaser interface {
+	Release()
+}
+
+// DirectReader is implemented by connections that can hand the caller
+// a view of the next n received payload bytes without copying them —
+// the shared-memory data plane's claim primitive. ok reports whether
+// the view was available: false means the caller must fall back to the
+// copying Read path (for example, the stream is not ring-backed, or
+// the next record does not align with n). The view stays valid until
+// release.Release() is called.
+type DirectReader interface {
+	ReadDirect(n int) (view []byte, release Releaser, ok bool, err error)
+}

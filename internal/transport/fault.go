@@ -41,6 +41,19 @@ const (
 	// state of previously established conns; on Dial it models a
 	// refused connection.
 	FaultRefuse
+	// FaultPeerKill simulates the shared-memory peer process dying:
+	// the Unix control socket is torn down and the connection's dead
+	// flag raised, so ring waiters on both sides unblock with
+	// peer-dead errors.
+	FaultPeerKill
+	// FaultRingStall simulates ring credit exhaustion: the operation
+	// fails with shmem.ErrRingStalled without touching the ring, which
+	// is the ORB's trigger for degrading to the marshaled path.
+	FaultRingStall
+	// FaultSlotCorrupt arms the producer's corrupt-next hook: the next
+	// published record carries a wrong sequence tag and the consumer
+	// reports it as corrupt.
+	FaultSlotCorrupt
 )
 
 func (k FaultKind) String() string {
@@ -55,6 +68,12 @@ func (k FaultKind) String() string {
 		return "slow"
 	case FaultRefuse:
 		return "refuse"
+	case FaultPeerKill:
+		return "peer-kill"
+	case FaultRingStall:
+		return "ring-stall"
+	case FaultSlotCorrupt:
+		return "slot-corrupt"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -95,6 +114,11 @@ const (
 	ClassAny ConnClass = iota
 	ClassControl
 	ClassData
+	// ClassShm marks ring operations of the shared-memory data plane.
+	// SHM connections consult their injector directly (wrapping them in
+	// Faulty would hide the DirectReader fast path), classifying ring
+	// deposits/claims as ClassShm and stream bytes as ClassControl.
+	ClassShm
 )
 
 func (c ConnClass) String() string {
@@ -105,6 +129,8 @@ func (c ConnClass) String() string {
 		return "ctrl"
 	case ClassData:
 		return "data"
+	case ClassShm:
+		return "shm"
 	default:
 		return fmt.Sprintf("ConnClass(%d)", int(c))
 	}

@@ -1,0 +1,108 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSplitScheme(t *testing.T) {
+	cases := []struct{ in, scheme, rest string }{
+		{"tcp://127.0.0.1:9", "tcp", "127.0.0.1:9"},
+		{"inproc://node-a", "inproc", "node-a"},
+		{"shm:///tmp/x.sock", "shm", "/tmp/x.sock"},
+		{"127.0.0.1:9", "", "127.0.0.1:9"},
+		{"", "", ""},
+	}
+	for _, c := range cases {
+		s, r := SplitScheme(c.in)
+		if s != c.scheme || r != c.rest {
+			t.Fatalf("SplitScheme(%q) = %q,%q want %q,%q", c.in, s, r, c.scheme, c.rest)
+		}
+	}
+}
+
+func TestFromAddr(t *testing.T) {
+	for _, c := range []struct{ in, name, rest string }{
+		{"tcp://h:1", "tcp", "h:1"},
+		{"h:1", "tcp", "h:1"},
+		{"inproc://x", "inproc", "x"},
+		{"shm:///tmp/s.sock", "shm", "/tmp/s.sock"},
+	} {
+		tr, rest, err := FromAddr(c.in, nil)
+		if err != nil {
+			t.Fatalf("FromAddr(%q): %v", c.in, err)
+		}
+		if tr.Name() != c.name || rest != c.rest {
+			t.Fatalf("FromAddr(%q) = %s,%q want %s,%q", c.in, tr.Name(), rest, c.name, c.rest)
+		}
+	}
+	if _, _, err := FromAddr("carrier-pigeon://x", nil); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	// inproc URIs share one registry: a listener parsed through
+	// FromAddr is dialable through FromAddr.
+	tr, rest, _ := FromAddr("inproc://from-addr-test", nil)
+	l, err := tr.Listen(rest)
+	if err != nil {
+		t.Fatalf("inproc listen: %v", err)
+	}
+	defer l.Close()
+	tr2, rest2, _ := FromAddr("inproc://from-addr-test", nil)
+	if _, err := tr2.Dial(rest2); err != nil {
+		t.Fatalf("inproc dial through second FromAddr: %v", err)
+	}
+}
+
+// TestInProcDialCloseRace is the regression test for the listener
+// channel race: a dial landing between Close()'s map removal and
+// channel close used to panic (send on closed channel). Now it must
+// return an error, always.
+func TestInProcDialCloseRace(t *testing.T) {
+	tr := &InProc{}
+	for i := 0; i < 200; i++ {
+		l, err := tr.Listen("race-addr")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			l.Close()
+		}()
+		go func() {
+			defer wg.Done()
+			c, err := tr.Dial("race-addr")
+			if err == nil {
+				// Won the race: the conn must still be usable or at
+				// least closable without incident.
+				c.Close()
+			}
+		}()
+		wg.Wait()
+	}
+}
+
+// TestInProcCloseDrainsQueued: dialers whose conns were queued but
+// never accepted see their connection die with the listener instead
+// of hanging forever.
+func TestInProcCloseDrainsQueued(t *testing.T) {
+	tr := &InProc{}
+	l, err := tr.Listen("drain-addr")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	c, err := tr.Dial("drain-addr")
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	l.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		done <- err
+	}()
+	if err := <-done; err == nil {
+		t.Fatal("queued conn survived listener close")
+	}
+}

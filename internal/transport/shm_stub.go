@@ -1,0 +1,31 @@
+//go:build !linux
+
+package transport
+
+import (
+	"time"
+
+	"zcorba/internal/shmem"
+)
+
+// SHM is the shared-memory transport. Off Linux the memfd/SCM_RIGHTS
+// plumbing is not wired up: the type exists so scheme parsing and
+// configuration code compile everywhere, but Listen and Dial report
+// shmem.ErrUnsupported.
+type SHM struct {
+	Dir          string
+	SlotSize     int
+	SlotCount    int
+	StallTimeout time.Duration
+	Stats        *Stats
+	Faults       *FaultInjector
+}
+
+// Name implements Transport.
+func (t *SHM) Name() string { return "shm" }
+
+// Listen implements Transport (unsupported on this platform).
+func (t *SHM) Listen(addr string) (Listener, error) { return nil, shmem.ErrUnsupported }
+
+// Dial implements Transport (unsupported on this platform).
+func (t *SHM) Dial(addr string) (Conn, error) { return nil, shmem.ErrUnsupported }

@@ -259,14 +259,12 @@ func (t *InProc) Dial(addr string) (Conn, error) {
 	a, b := net.Pipe()
 	ca := &pipeConn{c: a, stats: t.Stats, local: "inproc-client", remote: addr}
 	cb := &pipeConn{c: b, stats: t.Stats, local: addr, remote: "inproc-client"}
-	select {
-	case l.ch <- cb:
-		return ca, nil
-	default:
+	if err := l.deliver(cb); err != nil {
 		_ = a.Close()
 		_ = b.Close()
-		return nil, fmt.Errorf("transport: inproc accept queue full for %q", addr)
+		return nil, err
 	}
+	return ca, nil
 }
 
 func (t *InProc) remove(addr string) {
@@ -276,10 +274,30 @@ func (t *InProc) remove(addr string) {
 }
 
 type inprocListener struct {
-	t      *InProc
-	addr   string
-	ch     chan Conn
-	closed sync.Once
+	t    *InProc
+	addr string
+	ch   chan Conn
+
+	// mu serializes delivery against Close so a dial racing a shutdown
+	// gets a clean error instead of a send on a closed channel.
+	mu     sync.Mutex
+	closed bool
+}
+
+// deliver queues an accepted connection, failing (instead of
+// panicking or hanging) when the listener has been closed.
+func (l *inprocListener) deliver(c Conn) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("transport: inproc address %q not listening", l.addr)
+	}
+	select {
+	case l.ch <- c:
+		return nil
+	default:
+		return fmt.Errorf("transport: inproc accept queue full for %q", l.addr)
+	}
 }
 
 func (l *inprocListener) Accept() (Conn, error) {
@@ -291,10 +309,18 @@ func (l *inprocListener) Accept() (Conn, error) {
 }
 
 func (l *inprocListener) Close() error {
-	l.closed.Do(func() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
 		l.t.remove(l.addr)
 		close(l.ch)
-	})
+	}
+	l.mu.Unlock()
+	// Connections already queued but never accepted would strand their
+	// dialers mid-handshake; close them so the peer errors promptly.
+	for c := range l.ch {
+		_ = c.Close()
+	}
 	return nil
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ttcp
+
+const raceDetectorEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package ttcp
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; the cross-process throughput ratios skip then, since race
+// instrumentation slows the in-process ring spin loop far more than
+// the kernel-side TCP path and the comparison would measure the
+// instrumentation, not the data plane.
+const raceDetectorEnabled = true

@@ -1,0 +1,16 @@
+//go:build !linux
+
+package ttcp
+
+import "testing"
+
+// The cross-process shm tests fork real sink processes wired through
+// memfd + SCM_RIGHTS, so they only run on linux.
+
+func TestShmCrossProcessThroughput(t *testing.T) {
+	t.Skip("shm data plane requires linux (memfd_create + SCM_RIGHTS)")
+}
+
+func TestShmCrossProcessKillReclaims(t *testing.T) {
+	t.Skip("shm data plane requires linux (memfd_create + SCM_RIGHTS)")
+}

@@ -36,6 +36,9 @@ const (
 	ModeCorba Mode = "corba"
 	// ModeZCCorba is the CORBA TTCP using the zero-copy ORB.
 	ModeZCCorba Mode = "zc-corba"
+	// ModeShmCorba is the CORBA TTCP with the shared-memory data plane:
+	// zero-copy deposits straight into a ring mapped by both processes.
+	ModeShmCorba Mode = "shm-corba"
 )
 
 // Result is one benchmark measurement.
@@ -236,7 +239,19 @@ func (s *sinkServant) Reset() error { s.received.Store(0); return nil }
 // controls whether the ORB offers the direct-deposit channel; tracer
 // (optional) records the sink's server-side spans.
 func NewCorbaSink(tr transport.Transport, zeroCopy bool, tracer *trace.Tracer) (*CorbaSink, error) {
-	o, err := orb.New(orb.Options{Transport: tr, ZeroCopy: zeroCopy, Tracer: tracer})
+	return NewCorbaSinkData(tr, zeroCopy, tracer, "")
+}
+
+// NewCorbaSinkData is NewCorbaSink with an explicit data-plane listen
+// address. Scheme URIs select the data transport ("shm://" puts the
+// deposit path on a shared-memory ring); empty keeps the control
+// transport's default.
+func NewCorbaSinkData(tr transport.Transport, zeroCopy bool, tracer *trace.Tracer,
+	dataAddr string) (*CorbaSink, error) {
+	o, err := orb.New(orb.Options{
+		Transport: tr, ZeroCopy: zeroCopy, Tracer: tracer,
+		DataListenAddr: dataAddr,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("ttcp: sink ORB: %w", err)
 	}
@@ -263,12 +278,20 @@ func CorbaSend(client *orb.ORB, iorStr string, blockSize, blocks int, zeroCopy b
 // bounded by one round trip per block. Replies are verified in order;
 // window 1 degenerates to the synchronous CorbaSend.
 func CorbaSendWindow(client *orb.ORB, iorStr string, blockSize, blocks, window int, zeroCopy bool) (Result, error) {
-	if window < 1 {
-		window = 1
-	}
 	mode := ModeCorba
 	if zeroCopy {
 		mode = ModeZCCorba
+	}
+	return CorbaSendWindowMode(client, iorStr, blockSize, blocks, window, zeroCopy, mode)
+}
+
+// CorbaSendWindowMode is CorbaSendWindow with an explicit result-mode
+// label (runs over the shared-memory data plane report as
+// ModeShmCorba; the wire protocol is identical).
+func CorbaSendWindowMode(client *orb.ORB, iorStr string, blockSize, blocks, window int,
+	zeroCopy bool, mode Mode) (Result, error) {
+	if window < 1 {
+		window = 1
 	}
 	res := Result{Mode: mode, Stack: "orb", BlockSize: blockSize, Blocks: blocks, Window: window}
 	ref, err := client.StringToObject(iorStr)

@@ -55,9 +55,18 @@ func (t *LeaseTable) observe(ev LeaseEvent, n int) {
 }
 
 type lease struct {
-	buf      *Buffer
+	buf      *Buffer // nil for buffer-less (GrantFunc) leases
+	bytes    int     // observed size for buffer-less leases
 	deadline time.Time
 	onExpire func()
+}
+
+// size returns the byte count to report to the Observer.
+func (l *lease) size() int {
+	if l.buf != nil {
+		return l.buf.Len()
+	}
+	return l.bytes
 }
 
 // maxFreeLeases bounds the lease free list.
@@ -87,6 +96,33 @@ func (t *LeaseTable) Grant(b *Buffer, deadline time.Time, onExpire func()) Lease
 	return id
 }
 
+// GrantFunc registers a buffer-less lease covering an in-progress
+// transfer of bytes that has no pooled buffer yet — the shared-memory
+// claim window, where the receiver blocks waiting for a ring record
+// rather than reading into pre-granted memory. Expiry runs onExpire
+// (which must unblock the claimer, e.g. by closing the data channel);
+// there is no buffer reference to drop.
+func (t *LeaseTable) GrantFunc(bytes int, deadline time.Time, onExpire func()) LeaseID {
+	t.mu.Lock()
+	if t.leases == nil {
+		t.leases = make(map[LeaseID]*lease)
+	}
+	t.next++
+	id := LeaseID(t.next)
+	var l *lease
+	if n := len(t.free); n > 0 {
+		l = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		l = new(lease)
+	}
+	l.buf, l.bytes, l.deadline, l.onExpire = nil, bytes, deadline, onExpire
+	t.leases[id] = l
+	t.mu.Unlock()
+	t.observe(LeaseGranted, bytes)
+	return id
+}
+
 // Settle completes a lease: the transfer finished (or failed on its
 // own) and the lease's buffer reference is released. It reports whether
 // the lease was still outstanding; false means the sweeper already
@@ -101,10 +137,12 @@ func (t *LeaseTable) Settle(id LeaseID) bool {
 	if l == nil {
 		return false
 	}
-	buf := l.buf
+	buf, size := l.buf, l.size()
 	t.recycle(l)
-	t.observe(LeaseSettled, buf.Len())
-	buf.Release()
+	t.observe(LeaseSettled, size)
+	if buf != nil {
+		buf.Release()
+	}
 	return true
 }
 
@@ -125,10 +163,12 @@ func (t *LeaseTable) Sweep(now time.Time) int {
 		if l.onExpire != nil {
 			l.onExpire()
 		}
-		buf := l.buf
+		buf, size := l.buf, l.size()
 		t.recycle(l)
-		t.observe(LeaseExpired, buf.Len())
-		buf.Release()
+		t.observe(LeaseExpired, size)
+		if buf != nil {
+			buf.Release()
+		}
 	}
 	return len(due)
 }

@@ -31,6 +31,10 @@ type Buffer struct {
 	data []byte // page-aligned window, cap = usable capacity
 	n    int    // effective length
 	refs atomic.Int32
+	// shared, when non-nil, owns the memory behind data (a
+	// shared-memory ring view); the final Release forwards to it
+	// instead of a pool.
+	shared Releaser
 }
 
 // Bytes returns the effective contents: the first Len bytes of the
@@ -68,6 +72,13 @@ func (b *Buffer) Retain() *Buffer {
 func (b *Buffer) Release() {
 	switch refs := b.refs.Add(-1); {
 	case refs == 0:
+		if b.shared != nil {
+			r := b.shared
+			b.pool, b.mem, b.data, b.n, b.shared = nil, nil, nil, 0, nil
+			sharedEnvelopes.Put(b)
+			r.Release()
+			return
+		}
 		if b.pool != nil {
 			b.pool.put(b)
 		}
@@ -195,6 +206,28 @@ func (p *Pool) Trim() {
 // Aligned() reports the truth.
 func Wrap(p []byte) *Buffer {
 	b := &Buffer{mem: p, data: p, n: len(p)}
+	b.refs.Store(1)
+	return b
+}
+
+// Releaser returns externally owned memory to its owner. It mirrors
+// transport.Releaser structurally, so a shared-memory ring view's
+// release token plugs straight in without an adapter allocation.
+type Releaser interface {
+	Release()
+}
+
+// sharedEnvelopes recycles the Buffer headers of WrapShared so the
+// shm claim path does not allocate an envelope per deposit.
+var sharedEnvelopes = sync.Pool{New: func() any { return new(Buffer) }}
+
+// WrapShared adopts externally owned memory — typically a zero-copy
+// view into a shared-memory ring — as a Buffer with reference count 1.
+// The final Release forwards to r, returning the view (and its ring
+// credit) to the owner. The envelope itself is pooled.
+func WrapShared(p []byte, r Releaser) *Buffer {
+	b := sharedEnvelopes.Get().(*Buffer)
+	b.pool, b.mem, b.data, b.n, b.shared = nil, p, p, len(p), r
 	b.refs.Store(1)
 	return b
 }
