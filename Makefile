@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet conformance fuzz chaos race race-all bench bench-all figures measure examples generate clean
+.PHONY: all build test vet conformance fuzz chaos race race-all bench bench-all figures measure examples generate gencheck clean
 
 all: build test
 
@@ -12,7 +12,7 @@ build:
 # The tier-1 gate: vet, the full unit suite (which includes the
 # wire-conformance golden vectors), the race-checked request engine,
 # and the chaos schedules.
-test: vet
+test: vet gencheck
 	$(GO) test ./...
 	$(MAKE) conformance
 	$(MAKE) race
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeComponents -fuzztime $(FUZZTIME) ./internal/ior/
 	$(GO) test -run '^$$' -fuzz FuzzDecoder -fuzztime $(FUZZTIME) ./internal/cdr/
 	$(GO) test -run '^$$' -fuzz FuzzConnReadLoop -fuzztime $(FUZZTIME) ./internal/orb/
+	$(GO) test -run '^$$' -fuzz FuzzDifferentialCDR -fuzztime $(FUZZTIME) ./internal/gentest/
 
 # Deterministic fault-injection suite (docs/FAULTS.md): the seeded
 # chaos scenarios run under -race with three fixed schedules, then once
@@ -61,6 +62,7 @@ race-all:
 # (name -> ns/op, MB/s, B/op, allocs/op) used as the perf gate record.
 bench:
 	$(GO) test -run '^$$' -bench 'Fig5|Fig6|RequestRate|Shm' -benchmem . 2>&1 | tee bench_output.txt
+	$(GO) test -run '^$$' -bench 'Generated|Interpreter|StructMarshal|StructDemarshal|GeneralMarshal|GeneralDemarshal' -benchmem ./internal/gentest/ ./internal/typecode/ 2>&1 | tee -a bench_output.txt
 	$(GO) run ./cmd/benchjson -o BENCH_orb.json bench_output.txt
 
 bench-all:
@@ -88,6 +90,21 @@ generate:
 	$(GO) run ./cmd/idlgen -pkg gentest -o internal/gentest/kitchen_gen.go internal/gentest/kitchen.idl
 	$(GO) run ./cmd/idlgen -pkg main -zerocopy -o examples/matrix/matrix_gen.go examples/matrix/matrix.idl
 	gofmt -w internal/media/media_gen.go internal/gentest/kitchen_gen.go examples/matrix/matrix_gen.go
+
+# Codegen drift check: regenerate every idlgen output into a scratch
+# directory and fail if it differs from what is committed. Keeps the
+# compiled marshalers in lockstep with the generator.
+gencheck:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/idlgen -pkg media -o $$tmp/media_gen.go internal/media/media.idl && \
+	$(GO) run ./cmd/idlgen -pkg gentest -o $$tmp/kitchen_gen.go internal/gentest/kitchen.idl && \
+	$(GO) run ./cmd/idlgen -pkg main -zerocopy -o $$tmp/matrix_gen.go examples/matrix/matrix.idl && \
+	gofmt -w $$tmp/media_gen.go $$tmp/kitchen_gen.go $$tmp/matrix_gen.go && \
+	{ diff -u internal/media/media_gen.go $$tmp/media_gen.go && \
+	  diff -u internal/gentest/kitchen_gen.go $$tmp/kitchen_gen.go && \
+	  diff -u examples/matrix/matrix_gen.go $$tmp/matrix_gen.go || \
+	  { rm -rf $$tmp; echo 'gencheck: generated code is stale; run make generate' >&2; exit 1; }; } && \
+	rm -rf $$tmp && echo 'gencheck: generated code is current'
 
 clean:
 	$(GO) clean ./...

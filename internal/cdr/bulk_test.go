@@ -1,0 +1,168 @@
+package cdr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// writeElems marshals the run element by element through the scalar
+// encoders — the reference the bulk writers must match byte for byte.
+func writeElems[T any](e *Encoder, v []T, w func(*Encoder, T)) {
+	for _, x := range v {
+		w(e, x)
+	}
+}
+
+func checkBulkWrite[T comparable](t *testing.T, name string, v []T,
+	scalar func(*Encoder, T), bulk func(*Encoder, []T),
+	read func(*Decoder, int) ([]T, error)) {
+	t.Helper()
+	for _, order := range []ByteOrder{BigEndian, LittleEndian} {
+		for _, base := range []int{0, 1, 3, 12} {
+			ref := NewEncoder(order, base)
+			ref.WriteOctet(0xAA) // perturb alignment inside the stream
+			writeElems(ref, v, scalar)
+
+			got := NewEncoder(order, base)
+			got.WriteOctet(0xAA)
+			bulk(got, v)
+
+			if !bytes.Equal(ref.Bytes(), got.Bytes()) {
+				t.Fatalf("%s order=%v base=%d: bulk bytes differ\nref %x\ngot %x",
+					name, order, base, ref.Bytes(), got.Bytes())
+			}
+
+			d := NewDecoder(order, base, got.Bytes())
+			if _, err := d.ReadOctet(); err != nil {
+				t.Fatal(err)
+			}
+			out, err := read(d, len(v))
+			if err != nil {
+				t.Fatalf("%s order=%v base=%d: bulk read: %v", name, order, base, err)
+			}
+			if len(out) != len(v) {
+				t.Fatalf("%s: read %d elements, want %d", name, len(out), len(v))
+			}
+			for i := range v {
+				if out[i] != v[i] {
+					t.Fatalf("%s order=%v: element %d = %v, want %v", name, order, i, out[i], v[i])
+				}
+			}
+			if d.Remaining() != 0 {
+				t.Fatalf("%s: %d bytes left over", name, d.Remaining())
+			}
+		}
+	}
+}
+
+func TestBulkRunsMatchScalar(t *testing.T) {
+	checkBulkWrite(t, "ushort", []uint16{0, 1, 0x1234, 0xFFFF},
+		(*Encoder).WriteUShort, (*Encoder).WriteUShortRun, (*Decoder).ReadUShortRun)
+	checkBulkWrite(t, "short", []int16{0, -1, 0x1234, -0x8000},
+		(*Encoder).WriteShort, (*Encoder).WriteShortRun, (*Decoder).ReadShortRun)
+	checkBulkWrite(t, "ulong", []uint32{0, 1, 0xDEADBEEF, 0xFFFFFFFF},
+		(*Encoder).WriteULong, (*Encoder).WriteULongRun, (*Decoder).ReadULongRun)
+	checkBulkWrite(t, "long", []int32{0, -1, 1 << 30, -(1 << 31)},
+		(*Encoder).WriteLong, (*Encoder).WriteLongRun, (*Decoder).ReadLongRun)
+	checkBulkWrite(t, "ulonglong", []uint64{0, 1, 0xDEADBEEFCAFEF00D, math.MaxUint64},
+		(*Encoder).WriteULongLong, (*Encoder).WriteULongLongRun, (*Decoder).ReadULongLongRun)
+	checkBulkWrite(t, "longlong", []int64{0, -1, 1 << 62, math.MinInt64},
+		(*Encoder).WriteLongLong, (*Encoder).WriteLongLongRun, (*Decoder).ReadLongLongRun)
+	checkBulkWrite(t, "float", []float32{0, 1.5, -2.25, math.MaxFloat32, float32(math.Inf(1))},
+		(*Encoder).WriteFloat, (*Encoder).WriteFloatRun, (*Decoder).ReadFloatRun)
+	checkBulkWrite(t, "double", []float64{0, 1.5, -2.25, math.MaxFloat64, math.Inf(-1)},
+		(*Encoder).WriteDouble, (*Encoder).WriteDoubleRun, (*Decoder).ReadDoubleRun)
+}
+
+func TestBulkEmptyRuns(t *testing.T) {
+	e := NewEncoder(NativeOrder, 0)
+	e.WriteULongRun(nil)
+	e.WriteDoubleRun(nil)
+	e.WriteOctetRun(nil)
+	if e.Len() != 0 {
+		t.Fatalf("empty runs wrote %d bytes", e.Len())
+	}
+	d := NewDecoder(NativeOrder, 0, nil)
+	if out, err := d.ReadULongRun(0); err != nil || len(out) != 0 {
+		t.Fatalf("ReadULongRun(0) = %v, %v", out, err)
+	}
+	if out, err := d.ReadOctetRun(0); err != nil || len(out) != 0 {
+		t.Fatalf("ReadOctetRun(0) = %v, %v", out, err)
+	}
+}
+
+func TestBulkEmptyRunAtUnalignedOffset(t *testing.T) {
+	// A zero-length run must not pad the stream: the per-element
+	// reference loop never executes, so it never aligns either.
+	e := NewEncoder(NativeOrder, 0)
+	e.WriteOctet(1)
+	e.WriteDoubleRun(nil)
+	e.WriteOctet(2)
+	if want := []byte{1, 2}; !bytes.Equal(e.Bytes(), want) {
+		t.Fatalf("stream = %x, want %x", e.Bytes(), want)
+	}
+	d := NewDecoder(NativeOrder, 0, e.Bytes())
+	if _, err := d.ReadOctet(); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := d.ReadDoubleRun(0); err != nil || len(out) != 0 {
+		t.Fatalf("ReadDoubleRun(0) = %v, %v", out, err)
+	}
+	if b, err := d.ReadOctet(); err != nil || b != 2 {
+		t.Fatalf("trailing octet = %d, %v", b, err)
+	}
+}
+
+func TestBulkReadGuards(t *testing.T) {
+	e := NewEncoder(NativeOrder, 0)
+	e.WriteULongRun([]uint32{1, 2, 3})
+	d := NewDecoder(NativeOrder, 0, e.Bytes())
+	if _, err := d.ReadULongRun(4); err == nil {
+		t.Fatal("short read succeeded")
+	}
+	d = NewDecoder(NativeOrder, 0, e.Bytes())
+	if _, err := d.ReadULongRun(-1); err == nil {
+		t.Fatal("negative count succeeded")
+	}
+	d = NewDecoder(NativeOrder, 0, e.Bytes())
+	// A hostile count must fail the bounds check before allocating.
+	if _, err := d.ReadDoubleRun(1 << 29); err == nil {
+		t.Fatal("hostile count succeeded")
+	}
+	d = NewDecoder(NativeOrder, 0, []byte{1, 2})
+	if _, err := d.ReadOctetRun(3); err == nil {
+		t.Fatal("short octet run succeeded")
+	}
+	if _, err := d.ReadOctetRun(-1); err == nil {
+		t.Fatal("negative octet run succeeded")
+	}
+}
+
+func TestOctetRunRoundTrip(t *testing.T) {
+	payload := []byte{9, 8, 7, 6, 5}
+	e := NewEncoder(BigEndian, 0)
+	e.WriteOctetRun(payload)
+	d := NewDecoder(BigEndian, 0, e.Bytes())
+	out, err := d.ReadOctetRun(len(payload))
+	if err != nil || !bytes.Equal(out, payload) {
+		t.Fatalf("round trip = %x, %v", out, err)
+	}
+	// The copy must not alias the stream.
+	out[0] = 0xFF
+	if e.Bytes()[0] == 0xFF {
+		t.Fatal("ReadOctetRun aliases the stream")
+	}
+}
+
+func TestHostOrderDetection(t *testing.T) {
+	// Whatever the host is, a native-order bulk write must round-trip
+	// through the scalar reader.
+	e := NewEncoder(HostOrder(), 0)
+	e.WriteULongRun([]uint32{0x01020304})
+	d := NewDecoder(HostOrder(), 0, e.Bytes())
+	v, err := d.ReadULong()
+	if err != nil || v != 0x01020304 {
+		t.Fatalf("native round trip = %#x, %v", v, err)
+	}
+}

@@ -39,14 +39,14 @@ func (o *oven) GetFallback_mode() (Kitchen_Inner_Heat, error) {
 }
 func (o *oven) SetFallback_mode(v Kitchen_Inner_Heat) error { o.fallback = v; return nil }
 
-func (o *oven) Knobs() ([]Kitchen_Inner_Knob, error) {
-	return []Kitchen_Inner_Knob{
+func (o *oven) Knobs() (Kitchen_Panel, error) {
+	return Kitchen_Panel{
 		{Name: "top", Level: Kitchen_Inner_HIGH, Detents: []int32{1, 2, 3}},
 		{Name: "bottom", Level: Kitchen_Inner_OFF, Detents: []int32{0, 0, 0}},
 	}, nil
 }
 
-func (o *oven) Calibrate(panel []Kitchen_Inner_Knob) (int32, error) {
+func (o *oven) Calibrate(panel Kitchen_Panel) (int32, error) {
 	if len(panel) > int(Kitchen_MAX_KNOBS) {
 		return 0, &Kitchen_Overheat{Celsius: 451}
 	}
@@ -58,8 +58,8 @@ func (o *oven) Calibrate(panel []Kitchen_Inner_Knob) (int32, error) {
 	return int32(len(panel)), nil
 }
 
-func (o *oven) Label_all(names []string) ([]string, error) {
-	out := make([]string, len(names))
+func (o *oven) Label_all(names Kitchen_Labels) (Kitchen_Labels, error) {
+	out := make(Kitchen_Labels, len(names))
 	for i, n := range names {
 		out[i] = n + "!"
 	}

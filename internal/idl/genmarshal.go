@@ -1,0 +1,417 @@
+package idl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"zcorba/internal/typecode"
+)
+
+// This file emits the compiled CDR marshalers: for every named IDL
+// type (struct, enum, exception, and non-octet sequence/array typedef)
+// the generator produces static MarshalCDR/UnmarshalCDR methods that
+// move concrete Go fields straight onto the pooled CDR coder — no
+// interface{} boxing, no typecode walk — and an init() that registers
+// the codecs with the ORB keyed by the contract's TypeCode vars.
+// Fixed-layout primitive runs use the bulk fast paths in internal/cdr.
+// The emitted code reproduces the interpreter's alignment, bound,
+// range and length checks exactly, so the wire form is byte-identical
+// (the differential fuzz target in internal/gentest enforces this).
+
+// nextTmp returns a fresh suffix for generated temporaries.
+func nextTmp(tmp *int) int {
+	v := *tmp
+	*tmp = v + 1
+	return v
+}
+
+// hasMarshaler reports whether tc is a named type for which compiled
+// MarshalCDR/UnmarshalCDR methods are emitted.
+func (g *gen) hasMarshaler(tc *typecode.TypeCode) bool {
+	if _, ok := g.goNames[tc]; !ok {
+		return false
+	}
+	switch tc.Kind() {
+	case typecode.Enum, typecode.Struct, typecode.Alias:
+		return g.compilable(tc)
+	}
+	return false
+}
+
+// registered reports whether tc gets an orb.RegisterCDRCodec entry:
+// a named, compilable, non-exception type. Exceptions keep the []any
+// wire form because UserException bodies marshal outside the ORB's
+// parameter path.
+func (g *gen) registered(tc *typecode.TypeCode) bool {
+	return g.hasMarshaler(tc) && !g.exceptions[tc]
+}
+
+// compilable reports whether a static marshaler can reproduce the
+// interpreter's wire form for tc. ZC octet streams are excluded (they
+// map to *zcbuf.Buffer and travel by direct deposit, not through the
+// marshaling engine).
+func (g *gen) compilable(tc *typecode.TypeCode) bool {
+	if v, ok := g.compiledOK[tc]; ok {
+		return v
+	}
+	g.compiledOK[tc] = true // optimistic for recursive references
+	ok := g.compilableUncached(tc)
+	g.compiledOK[tc] = ok
+	return ok
+}
+
+func (g *gen) compilableUncached(tc *typecode.TypeCode) bool {
+	switch tc.Kind() {
+	case typecode.Boolean, typecode.Octet, typecode.Char, typecode.ZCOctet,
+		typecode.Short, typecode.UShort, typecode.Long, typecode.ULong,
+		typecode.LongLong, typecode.ULongLong, typecode.Float, typecode.Double,
+		typecode.String, typecode.Enum, typecode.ObjRef, typecode.Any:
+		return true
+	case typecode.Alias:
+		return g.compilable(tc.Elem())
+	case typecode.Struct:
+		for _, m := range tc.Members() {
+			if !g.compilable(m.Type) {
+				return false
+			}
+		}
+		return true
+	case typecode.Sequence, typecode.Array:
+		if tc.Elem().Resolve().Kind() == typecode.ZCOctet {
+			return false
+		}
+		return g.compilable(tc.Elem())
+	default:
+		return false
+	}
+}
+
+// bulkSuffix returns the internal/cdr bulk-run method suffix for a
+// fixed-width primitive kind, or "" when no bulk path applies.
+func bulkSuffix(k typecode.Kind) string {
+	switch k {
+	case typecode.Short:
+		return "ShortRun"
+	case typecode.UShort:
+		return "UShortRun"
+	case typecode.Long:
+		return "LongRun"
+	case typecode.ULong:
+		return "ULongRun"
+	case typecode.LongLong:
+		return "LongLongRun"
+	case typecode.ULongLong:
+		return "ULongLongRun"
+	case typecode.Float:
+		return "FloatRun"
+	case typecode.Double:
+		return "DoubleRun"
+	default:
+		return ""
+	}
+}
+
+// scalarSuffix returns the Encoder Write* / Decoder Read* suffix for a
+// scalar kind, or "" for composite kinds.
+func scalarSuffix(k typecode.Kind) string {
+	switch k {
+	case typecode.Boolean:
+		return "Boolean"
+	case typecode.Octet, typecode.Char, typecode.ZCOctet:
+		return "Octet"
+	case typecode.Short:
+		return "Short"
+	case typecode.UShort:
+		return "UShort"
+	case typecode.Long:
+		return "Long"
+	case typecode.ULong:
+		return "ULong"
+	case typecode.LongLong:
+		return "LongLong"
+	case typecode.ULongLong:
+		return "ULongLong"
+	case typecode.Float:
+		return "Float"
+	case typecode.Double:
+		return "Double"
+	case typecode.String:
+		return "String"
+	default:
+		return ""
+	}
+}
+
+// emitMarshalers generates the compiled marshaler methods and the
+// ORB codec registrations for every eligible named type.
+func (g *gen) emitMarshalers() {
+	for _, nt := range g.spec.Enums {
+		g.emitEnumMarshal(nt)
+	}
+	for _, nt := range g.spec.Structs {
+		if g.compilable(nt.Type) {
+			g.emitStructMarshal(nt)
+		}
+	}
+	for _, nt := range g.spec.Exceptions {
+		if g.compilable(nt.Type) {
+			g.emitStructMarshal(nt)
+		}
+	}
+	for _, nt := range g.spec.Typedefs {
+		tc := g.zcRewrite(nt.Type)
+		if _, named := g.goNames[tc]; named && g.compilable(tc) {
+			g.emitAliasMarshal(nt, tc)
+		}
+	}
+	if len(g.regs) > 0 {
+		g.marshals.WriteString("// init registers the compiled codecs with the ORB, keyed by the\n")
+		g.marshals.WriteString("// contract TypeCode vars, so SII calls bypass the typecode\n")
+		g.marshals.WriteString("// interpreter in both directions (docs/IDL.md, Compiled marshalers).\n")
+		g.marshals.WriteString("func init() {\n")
+		for _, r := range g.regs {
+			g.marshals.WriteString(r)
+		}
+		g.marshals.WriteString("}\n\n")
+	}
+}
+
+// addReg queues an orb.RegisterCDRCodec stanza for tc.
+func (g *gen) addReg(tc *typecode.TypeCode, goName string) {
+	if !g.registered(tc) {
+		return
+	}
+	g.regs = append(g.regs, fmt.Sprintf(`	orb.RegisterCDRCodec(%s,
+		func(e *cdr.Encoder, v any) error {
+			x, ok := v.(%s)
+			if !ok {
+				return orb.ErrCDRFallback
+			}
+			return x.MarshalCDR(e)
+		},
+		func(d *cdr.Decoder) (any, error) {
+			var x %s
+			if err := x.UnmarshalCDR(d); err != nil {
+				return nil, err
+			}
+			return x, nil
+		})
+`, g.tcVar(tc), goName, goName))
+}
+
+// emitEnumMarshal generates the compiled marshaler for a named enum.
+func (g *gen) emitEnumMarshal(nt *NamedType) {
+	g.needCDR = true
+	g.needFmt = true
+	n := len(nt.Type.Labels())
+	fmt.Fprintf(&g.marshals,
+		"// MarshalCDR writes the enum discriminant, range-checked exactly\n// like the interpreter.\nfunc (v %s) MarshalCDR(e *cdr.Encoder) error {\n\tif uint32(v) >= %d {\n\t\treturn fmt.Errorf(\"%s: enum value %%d out of range\", uint32(v))\n\t}\n\te.WriteULong(uint32(v))\n\treturn nil\n}\n\n",
+		nt.GoName, n, nt.ScopedName)
+	fmt.Fprintf(&g.marshals,
+		"// UnmarshalCDR reads the enum discriminant with the interpreter's\n// range check.\nfunc (v *%s) UnmarshalCDR(d *cdr.Decoder) error {\n\tx, err := d.ReadULong()\n\tif err != nil {\n\t\treturn err\n\t}\n\tif x >= %d {\n\t\treturn fmt.Errorf(\"%s: enum value %%d out of range\", x)\n\t}\n\t*v = %s(x)\n\treturn nil\n}\n\n",
+		nt.GoName, n, nt.ScopedName, nt.GoName)
+	g.addReg(nt.Type, nt.GoName)
+}
+
+// emitStructMarshal generates the compiled marshaler for a named
+// struct or exception.
+func (g *gen) emitStructMarshal(nt *NamedType) {
+	g.needCDR = true
+	var b strings.Builder
+	tmp := 0
+	fmt.Fprintf(&b, "// MarshalCDR writes v in CDR member order — the compiled\n// counterpart of typecode.MarshalValue, byte-identical on the wire.\nfunc (v %s) MarshalCDR(e *cdr.Encoder) error {\n", nt.GoName)
+	for _, m := range nt.Type.Members() {
+		g.marshalStmts(&b, "\t", "v."+exportIdent(m.Name), m.Type, &tmp)
+	}
+	b.WriteString("\treturn nil\n}\n\n")
+
+	tmp = 0
+	fmt.Fprintf(&b, "// UnmarshalCDR reads v from d, matching the interpreter's checks.\nfunc (v *%s) UnmarshalCDR(d *cdr.Decoder) error {\n", nt.GoName)
+	for _, m := range nt.Type.Members() {
+		g.unmarshalStmts(&b, "\t", "v."+exportIdent(m.Name), m.Type, &tmp)
+	}
+	b.WriteString("\treturn nil\n}\n\n")
+	g.marshals.WriteString(b.String())
+	g.addReg(nt.Type, nt.GoName)
+}
+
+// emitAliasMarshal generates the compiled marshaler for a named
+// sequence/array typedef (emitted as a named Go slice type).
+func (g *gen) emitAliasMarshal(nt *NamedType, tc *typecode.TypeCode) {
+	g.needCDR = true
+	goName := g.goNames[tc]
+	r := tc.Resolve()
+	fixed := -1
+	if r.Kind() == typecode.Array {
+		fixed = r.Len()
+	}
+	var b strings.Builder
+	tmp := 0
+	fmt.Fprintf(&b, "// MarshalCDR writes the typedef'd run, using the bulk primitive\n// fast path where the element layout allows it.\nfunc (v %s) MarshalCDR(e *cdr.Encoder) error {\n", goName)
+	g.marshalSeqBody(&b, "\t", "v", r, fixed, &tmp)
+	b.WriteString("\treturn nil\n}\n\n")
+
+	tmp = 0
+	fmt.Fprintf(&b, "// UnmarshalCDR reads the typedef'd run with the interpreter's\n// bound and length checks.\nfunc (v *%s) UnmarshalCDR(d *cdr.Decoder) error {\n", goName)
+	g.unmarshalSeqBody(&b, "\t", "*v", goName, r, fixed, &tmp)
+	b.WriteString("\treturn nil\n}\n\n")
+	g.marshals.WriteString(b.String())
+	g.addReg(tc, goName)
+}
+
+// marshalStmts appends statements marshaling expr (whose Go type is
+// g.goType(tc)) onto encoder e.
+func (g *gen) marshalStmts(b *strings.Builder, ind, expr string, tc *typecode.TypeCode, tmp *int) {
+	if g.hasMarshaler(tc) {
+		fmt.Fprintf(b, "%sif err := %s.MarshalCDR(e); err != nil {\n%s\treturn err\n%s}\n", ind, expr, ind, ind)
+		return
+	}
+	switch tc.Kind() {
+	case typecode.Alias:
+		g.marshalStmts(b, ind, expr, tc.Resolve(), tmp)
+	case typecode.Enum:
+		// Unnamed enum: range-check like the interpreter.
+		g.needFmt = true
+		fmt.Fprintf(b, "%sif uint32(%s) >= %d {\n%s\treturn fmt.Errorf(\"enum value %%d out of range\", uint32(%s))\n%s}\n%se.WriteULong(uint32(%s))\n",
+			ind, expr, len(tc.Labels()), ind, expr, ind, ind, expr)
+	case typecode.ObjRef:
+		fmt.Fprintf(b, "%s%s.Marshal(e)\n", ind, expr)
+	case typecode.Any:
+		fmt.Fprintf(b, "%sif err := typecode.MarshalValue(e, typecode.TCAny, %s); err != nil {\n%s\treturn err\n%s}\n", ind, expr, ind, ind)
+	case typecode.Sequence:
+		g.marshalSeqBody(b, ind, expr, tc, -1, tmp)
+	case typecode.Array:
+		g.marshalSeqBody(b, ind, expr, tc, tc.Len(), tmp)
+	default:
+		if s := scalarSuffix(tc.Kind()); s != "" {
+			fmt.Fprintf(b, "%se.Write%s(%s)\n", ind, s, expr)
+		}
+	}
+}
+
+// marshalSeqBody appends the marshal statements for a sequence
+// (fixedLen < 0) or array (fixedLen = required element count).
+func (g *gen) marshalSeqBody(b *strings.Builder, ind, expr string, tc *typecode.TypeCode, fixedLen int, tmp *int) {
+	elem := tc.Elem()
+	er := elem.Resolve()
+	if fixedLen >= 0 {
+		g.needFmt = true
+		fmt.Fprintf(b, "%sif len(%s) != %d {\n%s\treturn fmt.Errorf(\"array wants %d elements, got %%d\", len(%s))\n%s}\n",
+			ind, expr, fixedLen, ind, fixedLen, expr, ind)
+	} else if tc.Len() > 0 {
+		g.needFmt = true
+		fmt.Fprintf(b, "%sif len(%s) > %d {\n%s\treturn fmt.Errorf(\"sequence bound %d exceeded (%%d)\", len(%s))\n%s}\n",
+			ind, expr, tc.Len(), ind, tc.Len(), expr, ind)
+	}
+	if er.Kind() == typecode.Octet || er.Kind() == typecode.Char {
+		if fixedLen >= 0 {
+			fmt.Fprintf(b, "%se.WriteOctetRun(%s)\n", ind, expr)
+		} else {
+			fmt.Fprintf(b, "%se.WriteOctetSeq(%s)\n", ind, expr)
+		}
+		return
+	}
+	if fixedLen < 0 {
+		fmt.Fprintf(b, "%se.WriteULong(uint32(len(%s)))\n", ind, expr)
+	}
+	if s := bulkSuffix(er.Kind()); s != "" && !g.hasMarshaler(elem) {
+		fmt.Fprintf(b, "%se.Write%s(%s)\n", ind, s, expr)
+		return
+	}
+	i := nextTmp(tmp)
+	fmt.Fprintf(b, "%sfor i%d := range %s {\n", ind, i, expr)
+	g.marshalStmts(b, ind+"\t", fmt.Sprintf("%s[i%d]", expr, i), elem, tmp)
+	fmt.Fprintf(b, "%s}\n", ind)
+}
+
+// unmarshalStmts appends statements reading a value of type tc from
+// decoder d into the assignable location lhs.
+func (g *gen) unmarshalStmts(b *strings.Builder, ind, lhs string, tc *typecode.TypeCode, tmp *int) {
+	if g.hasMarshaler(tc) {
+		fmt.Fprintf(b, "%sif err := %s.UnmarshalCDR(d); err != nil {\n%s\treturn err\n%s}\n", ind, lhs, ind, ind)
+		return
+	}
+	switch tc.Kind() {
+	case typecode.Alias:
+		g.unmarshalStmts(b, ind, lhs, tc.Resolve(), tmp)
+	case typecode.Enum:
+		g.needFmt = true
+		x := nextTmp(tmp)
+		fmt.Fprintf(b, "%sx%d, err := d.ReadULong()\n%sif err != nil {\n%s\treturn err\n%s}\n", ind, x, ind, ind, ind)
+		fmt.Fprintf(b, "%sif x%d >= %d {\n%s\treturn fmt.Errorf(\"enum value %%d out of range\", x%d)\n%s}\n", ind, x, len(tc.Labels()), ind, x, ind)
+		fmt.Fprintf(b, "%s%s = x%d\n", ind, lhs, x)
+	case typecode.ObjRef:
+		g.needIOR = true
+		x := nextTmp(tmp)
+		fmt.Fprintf(b, "%sx%d, err := ior.Unmarshal(d)\n%sif err != nil {\n%s\treturn err\n%s}\n%s%s = x%d\n",
+			ind, x, ind, ind, ind, ind, lhs, x)
+	case typecode.Any:
+		x := nextTmp(tmp)
+		fmt.Fprintf(b, "%sx%d, err := typecode.UnmarshalValue(d, typecode.TCAny)\n%sif err != nil {\n%s\treturn err\n%s}\n%s%s = x%d.(typecode.AnyValue)\n",
+			ind, x, ind, ind, ind, ind, lhs, x)
+	case typecode.Sequence:
+		g.unmarshalSeqBody(b, ind, lhs, "", tc, -1, tmp)
+	case typecode.Array:
+		g.unmarshalSeqBody(b, ind, lhs, "", tc, tc.Len(), tmp)
+	default:
+		if s := scalarSuffix(tc.Kind()); s != "" {
+			x := nextTmp(tmp)
+			fmt.Fprintf(b, "%sx%d, err := d.Read%s()\n%sif err != nil {\n%s\treturn err\n%s}\n%s%s = x%d\n",
+				ind, x, s, ind, ind, ind, ind, lhs, x)
+		}
+	}
+}
+
+// unmarshalSeqBody appends the demarshal statements for a sequence or
+// array into lhs. makeType, when non-empty, is the named slice type to
+// allocate (used by typedef methods); otherwise the anonymous Go type
+// of tc is used.
+func (g *gen) unmarshalSeqBody(b *strings.Builder, ind, lhs, makeType string, tc *typecode.TypeCode, fixedLen int, tmp *int) {
+	elem := tc.Elem()
+	er := elem.Resolve()
+	octets := er.Kind() == typecode.Octet || er.Kind() == typecode.Char
+
+	nExpr := strconv.Itoa(fixedLen)
+	if fixedLen < 0 {
+		n := nextTmp(tmp)
+		fmt.Fprintf(b, "%sn%d, err := d.ReadULong()\n%sif err != nil {\n%s\treturn err\n%s}\n", ind, n, ind, ind, ind)
+		if tc.Len() > 0 {
+			g.needFmt = true
+			fmt.Fprintf(b, "%sif n%d > %d {\n%s\treturn fmt.Errorf(\"sequence bound %d exceeded (%%d)\", n%d)\n%s}\n",
+				ind, n, tc.Len(), ind, tc.Len(), n, ind)
+		}
+		if !octets {
+			// The interpreter bounds element counts at 1<<24 for
+			// non-byte sequences; reproduce that so decode failures
+			// agree.
+			g.needFmt = true
+			fmt.Fprintf(b, "%sif n%d > 1<<24 {\n%s\treturn fmt.Errorf(\"sequence of %%d elements exceeds limit\", n%d)\n%s}\n",
+				ind, n, ind, n, ind)
+		}
+		nExpr = fmt.Sprintf("int(n%d)", n)
+	}
+	if octets {
+		x := nextTmp(tmp)
+		fmt.Fprintf(b, "%sx%d, err := d.ReadOctetRun(%s)\n%sif err != nil {\n%s\treturn err\n%s}\n%s%s = x%d\n",
+			ind, x, nExpr, ind, ind, ind, ind, lhs, x)
+		return
+	}
+	if s := bulkSuffix(er.Kind()); s != "" && !g.hasMarshaler(elem) {
+		x := nextTmp(tmp)
+		fmt.Fprintf(b, "%sx%d, err := d.Read%s(%s)\n%sif err != nil {\n%s\treturn err\n%s}\n%s%s = x%d\n",
+			ind, x, s, nExpr, ind, ind, ind, ind, lhs, x)
+		return
+	}
+	mk := makeType
+	if mk == "" {
+		mk = g.goType(tc)
+	}
+	x := nextTmp(tmp)
+	fmt.Fprintf(b, "%sx%d := make(%s, %s)\n", ind, x, mk, nExpr)
+	i := nextTmp(tmp)
+	fmt.Fprintf(b, "%sfor i%d := range x%d {\n", ind, i, x)
+	g.unmarshalStmts(b, ind+"\t", fmt.Sprintf("x%d[i%d]", x, i), elem, tmp)
+	fmt.Fprintf(b, "%s}\n", ind)
+	fmt.Fprintf(b, "%s%s = x%d\n", ind, lhs, x)
+}

@@ -75,6 +75,16 @@ func (o *ORB) marshalValues(e *cdr.Encoder, types []*typecode.TypeCode, vals []a
 				v = b
 			}
 		}
+		// Compiled fast path: generated types write themselves without
+		// the typecode walk. Values in the generic []any form (DII)
+		// don't implement the interface and take the interpreter.
+		if m, ok := v.(CDRMarshaler); ok {
+			if err := m.MarshalCDR(e); err != nil {
+				return fmt.Errorf("orb: parameter %d: %w", i, err)
+			}
+			o.stats.GeneratedMarshals.Add(1)
+			continue
+		}
 		if err := typecode.MarshalValue(e, tc, v); err != nil {
 			return fmt.Errorf("orb: parameter %d: %w", i, err)
 		}
@@ -105,6 +115,19 @@ func (o *ORB) unmarshalValues(dec *cdr.Decoder, types []*typecode.TypeCode,
 			}
 			vals[i] = deposits[di]
 			di++
+			continue
+		}
+		// Compiled fast path: a codec registered for this exact
+		// TypeCode reconstructs the concrete Go type directly.
+		// Structurally equal TypeCodes built dynamically (DII) are
+		// different pointers, miss here, and take the interpreter.
+		if c, ok := lookupCDRCodec(tc); ok && c.dec != nil {
+			v, err := c.dec(dec)
+			if err != nil {
+				return nil, deposits[di:], fmt.Errorf("orb: parameter %d: %w", i, err)
+			}
+			o.stats.GeneratedDemarshals.Add(1)
+			vals[i] = v
 			continue
 		}
 		v, err := typecode.UnmarshalValue(dec, tc)

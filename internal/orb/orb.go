@@ -244,6 +244,11 @@ type Stats struct {
 	// client could not use (host or architecture mismatch, or shared
 	// memory unsupported on this platform).
 	ShmMisses atomic.Int64
+	// GeneratedMarshals/GeneratedDemarshals count parameters handled by
+	// idlgen-emitted compiled marshalers instead of the typecode
+	// interpreter (docs/IDL.md "Compiled marshalers").
+	GeneratedMarshals   atomic.Int64
+	GeneratedDemarshals atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of the request-path counters,
@@ -627,6 +632,8 @@ func (o *ORB) RegisterMetrics(x *trace.Exporter) {
 		{"shm_deposit_bytes_total", "Bytes deposited through the shared-memory plane.", &s.ShmDepositBytes},
 		{"shm_claims_total", "Zero-copy shared-memory claims on the receive side.", &s.ShmClaims},
 		{"shm_misses_total", "ZC-SHM profiles unusable by this client.", &s.ShmMisses},
+		{"generated_marshals_total", "Parameters marshaled by compiled marshalers.", &s.GeneratedMarshals},
+		{"generated_demarshals_total", "Parameters demarshaled by compiled marshalers.", &s.GeneratedDemarshals},
 	} {
 		x.AddCounter(c.name, c.help, c.v.Load)
 	}

@@ -6,8 +6,10 @@ import (
 	"zcorba/internal/cdr"
 )
 
-// BenchmarkGeneralMarshalLoop1M is the per-byte cost Figure 5 blames:
-// the interpreter's element-wise octet copy.
+// BenchmarkGeneralMarshalLoop1M tracks the interpreter's octet-stream
+// cost — historically the element-wise copy Figure 5 blames, now a
+// single block transfer (WriteOctetRun) but still one full payload
+// copy per marshal, which is what the zero-copy path removes.
 func BenchmarkGeneralMarshalLoop1M(b *testing.B) {
 	p := make([]byte, 1<<20)
 	b.SetBytes(1 << 20)
