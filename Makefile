@@ -18,8 +18,11 @@ test: vet gencheck
 	$(MAKE) race
 	$(MAKE) chaos
 
+# Both build-tag sides must stay healthy: the native side and the
+# !linux skip stubs (shm/kzc data planes are linux-gated).
 vet:
 	$(GO) vet ./...
+	GOOS=darwin $(GO) vet ./internal/transport/ ./internal/orb/ ./internal/zcbuf/
 
 # Golden wire-vector suite (internal/giop/testdata): regenerate
 # deliberately with `go test ./internal/giop -run TestWireVectors -update`.
@@ -61,7 +64,7 @@ race-all:
 # Regenerates bench_output.txt and the machine-readable BENCH_orb.json
 # (name -> ns/op, MB/s, B/op, allocs/op) used as the perf gate record.
 bench:
-	$(GO) test -run '^$$' -bench 'Fig5|Fig6|RequestRate|Shm' -benchmem . 2>&1 | tee bench_output.txt
+	$(GO) test -run '^$$' -bench 'Fig5|Fig6|RequestRate|Shm|Kzc' -benchmem . 2>&1 | tee bench_output.txt
 	$(GO) test -run '^$$' -bench 'Generated|Interpreter|StructMarshal|StructDemarshal|GeneralMarshal|GeneralDemarshal' -benchmem ./internal/gentest/ ./internal/typecode/ 2>&1 | tee -a bench_output.txt
 	$(GO) run ./cmd/benchjson -o BENCH_orb.json bench_output.txt
 

@@ -81,12 +81,25 @@ func (f *fileStore) Invoke(op string, args []any) (any, []any, error) {
 		}
 		return uint64(st.Size()), nil, nil
 	case "read":
-		body, err := os.ReadFile(filepath.Join(f.dir, filepath.Base(args[0].(string))))
+		fh, err := os.Open(filepath.Join(f.dir, filepath.Base(args[0].(string))))
 		if err != nil {
 			return nil, nil, &orb.SystemException{Name: "OBJECT_NOT_EXIST"}
 		}
-		// The file body becomes the deposit payload by reference.
-		return zcbuf.Wrap(body), nil, nil
+		st, err := fh.Stat()
+		if err != nil {
+			_ = fh.Close()
+			return nil, nil, &orb.SystemException{Name: "OBJECT_NOT_EXIST"}
+		}
+		// The open file itself becomes the deposit payload: on a kernel
+		// zero-copy data plane the ORB transmits it disk→wire with
+		// sendfile, so the body never enters this process's user space.
+		// The ORB closes the file after the reply is written.
+		payload, err := zcbuf.WrapFile(fh, 0, st.Size())
+		if err != nil {
+			_ = fh.Close()
+			return nil, nil, &orb.SystemException{Name: "IMP_LIMIT"}
+		}
+		return payload, nil, nil
 	default:
 		return nil, nil, &orb.SystemException{Name: "BAD_OPERATION"}
 	}
@@ -115,7 +128,15 @@ func main() {
 	}
 
 	// --- server: naming service + file store ------------------------------
-	server, err := orb.New(orb.Options{Transport: &transport.TCP{}, ZeroCopy: true})
+	// Prefer the kernel zero-copy data plane (sendfile for the file
+	// bodies); fall back to plain TCP where kzc is unsupported.
+	server, err := orb.New(orb.Options{
+		Transport: &transport.TCP{}, ZeroCopy: true,
+		DataListenAddr: "kzc://127.0.0.1:0",
+	})
+	if err != nil {
+		server, err = orb.New(orb.Options{Transport: &transport.TCP{}, ZeroCopy: true})
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -186,4 +207,7 @@ func main() {
 	st := client.Stats()
 	fmt.Printf("\nclient ORB: %d deposits received (%d bytes), payload copies=%d\n",
 		st.DepositsReceived.Load(), st.DepositBytesRecv.Load(), st.PayloadCopies.Load())
+	sst := server.Stats()
+	fmt.Printf("server ORB: %d kernel-assist deposits (%d bytes via sendfile/MSG_ZEROCOPY)\n",
+		sst.KzcDeposits.Load(), sst.KzcDepositBytes.Load())
 }

@@ -2,6 +2,7 @@ package orb
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"zcorba/internal/ior"
 	"zcorba/internal/shmem"
 	"zcorba/internal/trace"
+	"zcorba/internal/transport"
 	"zcorba/internal/typecode"
 	"zcorba/internal/zcbuf"
 )
@@ -337,10 +339,10 @@ func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any,
 		Operation:        op.Name,
 		Principal:        []byte{},
 	}
-	var payloads [][]byte
+	var deposits []depositSeg
 	if useZC {
 		var sizes []uint32
-		payloads, sizes, err = collectDeposits(inTypes, args)
+		deposits, sizes, err = collectDeposits(inTypes, args)
 		if err != nil {
 			return r.failedCall(op, args, &SystemException{Name: "MARSHAL", Completed: CompletedNo}, tc, start, attempt)
 		}
@@ -379,10 +381,13 @@ func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any,
 		}
 	}
 	o.stats.RequestsSent.Add(1)
-	if err := c.send(giop.MsgRequest, body, payloads, tc, op.Name, trace.KindControlSend); err != nil {
+	if err := c.send(giop.MsgRequest, body, deposits, tc, op.Name, trace.KindControlSend); err != nil {
 		cdr.PutEncoder(e)
 		var dw *errDataWrite
 		if asErr(err, &dw) && c.healthy() {
+			if errors.Is(err, transport.ErrZeroCopyUnavailable) {
+				o.stats.KzcFallbacks.Add(1)
+			}
 			// Only the deposit write failed; the control stream already
 			// carried the request (the server's deposit read will fail
 			// fast once the channel closes, and its TRANSIENT reply to
@@ -412,11 +417,7 @@ func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any,
 	}
 	cdr.PutEncoder(e)
 	if o.opts.OnRequestSent != nil {
-		total := 0
-		for _, p := range payloads {
-			total += len(p)
-		}
-		o.opts.OnRequestSent(op.Name, total)
+		o.opts.OnRequestSent(op.Name, depositBytes(deposits))
 	}
 	if op.Oneway {
 		return r.doneCall(op, nil, nil, nil, tc, start, attempt)

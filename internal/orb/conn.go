@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -46,6 +47,11 @@ type conn struct {
 	// transport.DirectReader): sends count as shm deposits and receives
 	// claim ring views instead of copying into pooled buffers.
 	shmData atomic.Bool
+	// zcw/fsend cache the data channel's kernel-assist capabilities
+	// (MSG_ZEROCOPY sends, sendfile transfers), resolved once when the
+	// channel is established; nil on plain channels.
+	zcw   transport.ZeroCopyWriter
+	fsend transport.FileSender
 	// onLeaseExpire is the deposit-lease expiry hook, built once so
 	// granting a lease does not allocate a closure per transfer.
 	onLeaseExpire func()
@@ -55,6 +61,9 @@ type conn struct {
 	// and gather segment list keeps steady-state sends allocation-free.
 	hdrBuf [giop.HeaderSize]byte
 	segs   [2][]byte
+	// dsegs batches plain deposit segments around kernel-assist sends
+	// into single gather writes (guarded by sendMu).
+	dsegs [][]byte
 
 	// rhdr is the header read scratch, owned by the read loop.
 	rhdr [giop.HeaderSize]byte
@@ -101,6 +110,10 @@ type replyMsg struct {
 
 // replyMsgPool recycles replyMsg envelopes on the reply hot path.
 var replyMsgPool = sync.Pool{New: func() any { return new(replyMsg) }}
+
+// crcTab is the checksum table of the kzc reuse guard
+// (checksum-on-completion, Options.DebugReuseGuard).
+var crcTab = crc32.MakeTable(crc32.Castagnoli)
 
 // replyChanPool recycles the single-slot reply channels handed to
 // invokers. A channel is only returned to the pool by the receiver
@@ -327,8 +340,8 @@ func (e *errTooLarge) Error() string {
 // the send mutex so control and data streams stay ordered. Request and
 // Reply bodies larger than the ORB's fragment threshold are split into
 // GIOP 1.1-style Fragment messages.
-func (c *conn) sendMessage(t giop.MsgType, body []byte, payloads [][]byte) error {
-	return c.send(t, body, payloads, trace.Context{}, "", 0)
+func (c *conn) sendMessage(t giop.MsgType, body []byte, deposits []depositSeg) error {
+	return c.send(t, body, deposits, trace.Context{}, "", 0)
 }
 
 // traceCtx extracts the trace context carried in a message's service
@@ -348,7 +361,7 @@ func (c *conn) traceCtx(scs []giop.ServiceContext) trace.Context {
 // control write is recorded as a span of the given kind (control_send
 // client-side, reply_send server-side) and the deposit write as a
 // deposit_send span, both parented on tc's span.
-func (c *conn) send(t giop.MsgType, body []byte, payloads [][]byte,
+func (c *conn) send(t giop.MsgType, body []byte, deposits []depositSeg,
 	tc trace.Context, op string, kind trace.Kind) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
@@ -386,7 +399,7 @@ func (c *conn) send(t giop.MsgType, body []byte, payloads [][]byte,
 			Bytes: int64(len(body)), Start: t0, Dur: trace.Now() - t0,
 		})
 	}
-	if len(payloads) > 0 {
+	if len(deposits) > 0 {
 		if c.data == nil {
 			return errors.New("orb: deposit payload without data channel")
 		}
@@ -396,20 +409,20 @@ func (c *conn) send(t giop.MsgType, body []byte, payloads [][]byte,
 		if tc.Valid() {
 			t0 = trace.Now()
 		}
-		if _, err := c.data.WriteGather(payloads...); err != nil {
+		n, kzcUsed, err := c.writeDepositsLocked(deposits)
+		if err != nil {
 			return &errDataWrite{err: err}
-		}
-		var n int64
-		for _, p := range payloads {
-			n += int64(len(p))
 		}
 		c.orb.stats.DepositsSent.Add(1)
 		c.orb.stats.DepositBytesSent.Add(n)
 		kind := trace.KindDepositSend
-		if c.shmData.Load() {
+		switch {
+		case c.shmData.Load():
 			kind = trace.KindShmDeposit
 			c.orb.stats.ShmDeposits.Add(1)
 			c.orb.stats.ShmDepositBytes.Add(n)
+		case kzcUsed:
+			kind = trace.KindKzcDeposit
 		}
 		if tc.Valid() {
 			tr.Record(trace.Span{
@@ -420,6 +433,127 @@ func (c *conn) send(t giop.MsgType, body []byte, payloads [][]byte,
 		}
 	}
 	return nil
+}
+
+// writeDepositsLocked transmits deposit segments on the data channel
+// (sendMu held). Plain segments batch into gather writes; pooled
+// buffers at or above the channel's zero-copy threshold go through
+// MSG_ZEROCOPY with completion-gated lease release; file-backed
+// segments go disk→wire with sendfile. kzc reports whether any
+// kernel-assist path was taken.
+func (c *conn) writeDepositsLocked(deposits []depositSeg) (n int64, kzc bool, err error) {
+	for i := range deposits {
+		seg := &deposits[i]
+		switch {
+		case seg.file != nil && c.fsend != nil:
+			if err = c.flushDsegsLocked(); err != nil {
+				return n, kzc, err
+			}
+			var m int64
+			m, err = c.sendFileSeg(seg.file)
+			n += m
+			if err != nil {
+				return n, kzc, err
+			}
+			kzc = true
+		case seg.buf != nil && c.zcw != nil && len(seg.b) >= c.zcw.ZeroCopyThreshold():
+			if err = c.flushDsegsLocked(); err != nil {
+				return n, kzc, err
+			}
+			if err = c.sendZCSeg(seg); err != nil {
+				return n, kzc, err
+			}
+			n += int64(len(seg.b))
+			kzc = true
+		default:
+			b := seg.b
+			if seg.file != nil {
+				// No FileSender on this channel: materialize the
+				// region and deposit it as plain bytes.
+				if b, err = seg.file.Bytes(); err != nil {
+					return n, kzc, err
+				}
+			}
+			c.dsegs = append(c.dsegs, b)
+			n += int64(len(b))
+		}
+	}
+	return n, kzc, c.flushDsegsLocked()
+}
+
+// flushDsegsLocked drains the batched plain segments in one gather
+// write (sendMu held).
+func (c *conn) flushDsegsLocked() error {
+	if len(c.dsegs) == 0 {
+		return nil
+	}
+	_, err := c.data.WriteGather(c.dsegs...)
+	clear(c.dsegs)
+	c.dsegs = c.dsegs[:0]
+	return err
+}
+
+// sendZCSeg sends one pooled-buffer segment with kernel zero-copy: a
+// lease pins the buffer until the MSG_ZEROCOPY completion settles it
+// (release-on-completion, not on write-return), with the lease sweeper
+// as the backstop when a completion never arrives. A connection that
+// cannot zero-copy surfaces transport.ErrZeroCopyUnavailable, which
+// the caller's errDataWrite handling turns into the marshaled-path
+// fallback.
+func (c *conn) sendZCSeg(seg *depositSeg) error {
+	o := c.orb
+	ttl := o.leaseTTL()
+	if ttl <= 0 {
+		// Completion-gated release needs the sweeper as its backstop;
+		// without leases the segment takes the plain copying write.
+		_, err := c.data.Write(seg.b)
+		return err
+	}
+	var notify func(expired bool)
+	if o.opts.DebugReuseGuard {
+		sum := crc32.Checksum(seg.b, crcTab)
+		b := seg.buf
+		notify = func(expired bool) {
+			if crc32.Checksum(b.Bytes(), crcTab) != sum {
+				o.stats.KzcReuseWarnings.Add(1)
+				o.logf("orb: kzc reuse guard: deposit buffer modified before "+
+					"zero-copy completion (expired=%v)", expired)
+			}
+		}
+	}
+	lid := o.leases.GrantNotify(seg.buf, time.Now().Add(ttl), c.onLeaseExpire, notify)
+	ok, err := c.zcw.WriteZeroCopy(seg.b, func(copied bool) {
+		if o.leases.Settle(lid) {
+			o.stats.KzcCompletions.Add(1)
+			if copied {
+				o.stats.KzcCopiedCompletions.Add(1)
+			}
+		}
+	})
+	if !ok {
+		// Nothing was written and done will never fire: drop the lease
+		// here and let the caller degrade to the marshaled path.
+		o.leases.Settle(lid)
+		if err == nil {
+			err = transport.ErrZeroCopyUnavailable
+		}
+		return err
+	}
+	if err == nil {
+		o.stats.KzcDeposits.Add(1)
+		o.stats.KzcDepositBytes.Add(int64(len(seg.b)))
+	}
+	return err
+}
+
+// sendFileSeg transmits one file-backed segment disk→wire.
+func (c *conn) sendFileSeg(x *zcbuf.File) (int64, error) {
+	n, err := c.fsend.SendFile(x.OS(), x.Offset(), x.Len())
+	if err == nil {
+		c.orb.stats.KzcDeposits.Add(1)
+		c.orb.stats.KzcDepositBytes.Add(n)
+	}
+	return n, err
 }
 
 // sendFragmented emits body as an initial message plus Fragment
@@ -532,6 +666,8 @@ func (c *conn) resolveData(token uint64) (transport.Conn, error) {
 	if _, ok := dc.(transport.DirectReader); ok {
 		c.shmData.Store(true)
 	}
+	c.zcw, _ = dc.(transport.ZeroCopyWriter)
+	c.fsend, _ = dc.(transport.FileSender)
 	return dc, nil
 }
 

@@ -15,35 +15,76 @@ import (
 // octet-stream copies are charged to Stats so experiments can assert
 // the zero-copy property instead of taking it on faith.
 
-// bulkBytes extracts the raw bytes of a bulk value, accepting both the
-// pooled buffer form and a plain byte slice.
+// bulkBytes extracts the raw bytes of a bulk value, accepting the
+// pooled buffer form, a plain byte slice, and (reading the region into
+// memory) a file-backed payload.
 func bulkBytes(v any) ([]byte, bool) {
 	switch x := v.(type) {
 	case *zcbuf.Buffer:
 		return x.Bytes(), true
 	case []byte:
 		return x, true
+	case *zcbuf.File:
+		b, err := x.Bytes()
+		if err != nil {
+			return nil, false
+		}
+		return b, true
 	default:
 		return nil, false
 	}
 }
 
+// depositSeg is one data-channel payload segment: plain bytes, or —
+// when the segment should ride a kernel-assist path — the typed value
+// it came from. buf is set for pooled buffers (MSG_ZEROCOPY
+// candidates: the lease pins the pages through the kernel send); file
+// is set for file-backed payloads (sendfile candidates). b always
+// carries the bytes for the copying paths, except for file segments,
+// where it is materialized lazily only if no FileSender is available.
+type depositSeg struct {
+	b    []byte
+	buf  *zcbuf.Buffer
+	file *zcbuf.File
+}
+
 // collectDeposits gathers the payload segments for every ZC octet
 // stream among vals — by reference, never copying (the marshaling
-// bypass of §4.4). It performs no CDR work at all.
-func collectDeposits(types []*typecode.TypeCode, vals []any) (payloads [][]byte, sizes []uint32, err error) {
+// bypass of §4.4). It performs no CDR work at all; file-backed
+// payloads stay on disk here.
+func collectDeposits(types []*typecode.TypeCode, vals []any) (segs []depositSeg, sizes []uint32, err error) {
 	for i, tc := range types {
 		if !tc.IsZCOctetSeq() {
 			continue
 		}
-		b, ok := bulkBytes(vals[i])
-		if !ok {
+		switch x := vals[i].(type) {
+		case *zcbuf.Buffer:
+			segs = append(segs, depositSeg{b: x.Bytes(), buf: x})
+			sizes = append(sizes, uint32(x.Len()))
+		case []byte:
+			segs = append(segs, depositSeg{b: x})
+			sizes = append(sizes, uint32(len(x)))
+		case *zcbuf.File:
+			segs = append(segs, depositSeg{file: x})
+			sizes = append(sizes, uint32(x.Len()))
+		default:
 			return nil, nil, fmt.Errorf("orb: parameter %d: %T is not a ZC octet stream", i, vals[i])
 		}
-		payloads = append(payloads, b)
-		sizes = append(sizes, uint32(len(b)))
 	}
-	return payloads, sizes, nil
+	return segs, sizes, nil
+}
+
+// depositBytes totals the payload bytes of a deposit list.
+func depositBytes(segs []depositSeg) int {
+	n := 0
+	for i := range segs {
+		if segs[i].file != nil {
+			n += int(segs[i].file.Len())
+		} else {
+			n += len(segs[i].b)
+		}
+	}
+	return n
 }
 
 // marshalValues writes vals (described by types) onto e. When skipZC

@@ -115,6 +115,13 @@ type Options struct {
 	// OnRequestServed, if set, observes every dispatched request
 	// after the servant returns (a server-side interceptor).
 	OnRequestServed func(op string, d time.Duration, err error)
+	// DebugReuseGuard enables the kernel zero-copy reuse guard: each
+	// MSG_ZEROCOPY deposit is checksummed at send time and re-checked
+	// when its completion (or lease expiry) fires, flagging application
+	// writes to a buffer whose pages the kernel still had pinned
+	// (Stats.KzcReuseWarnings). Debug aid only — the checksum costs a
+	// full pass over the payload, defeating the zero-copy saving.
+	DebugReuseGuard bool
 }
 
 // defaultFragmentThreshold splits very large control bodies so a
@@ -244,6 +251,25 @@ type Stats struct {
 	// client could not use (host or architecture mismatch, or shared
 	// memory unsupported on this platform).
 	ShmMisses atomic.Int64
+	// KzcDeposits/KzcDepositBytes count payloads sent through a
+	// kernel-assist path (MSG_ZEROCOPY or sendfile) on the data
+	// channel — the subset of DepositsSent whose bytes the ORB never
+	// copied into the socket.
+	KzcDeposits     atomic.Int64
+	KzcDepositBytes atomic.Int64
+	// KzcCompletions counts MSG_ZEROCOPY completions reaped from the
+	// error queue (each settles a deposit lease);
+	// KzcCopiedCompletions is the subset the kernel reported as
+	// copied-after-all (loopback, or a NIC without scatter-gather).
+	KzcCompletions       atomic.Int64
+	KzcCopiedCompletions atomic.Int64
+	// KzcFallbacks counts invocations that degraded from the kernel
+	// zero-copy path to the standard marshaled path (SO_ZEROCOPY
+	// unsupported, or the connection gave up after a copied streak).
+	KzcFallbacks atomic.Int64
+	// KzcReuseWarnings counts deposit buffers the DebugReuseGuard
+	// found modified before their zero-copy completion fired.
+	KzcReuseWarnings atomic.Int64
 	// GeneratedMarshals/GeneratedDemarshals count parameters handled by
 	// idlgen-emitted compiled marshalers instead of the typecode
 	// interpreter (docs/IDL.md "Compiled marshalers").
@@ -632,6 +658,12 @@ func (o *ORB) RegisterMetrics(x *trace.Exporter) {
 		{"shm_deposit_bytes_total", "Bytes deposited through the shared-memory plane.", &s.ShmDepositBytes},
 		{"shm_claims_total", "Zero-copy shared-memory claims on the receive side.", &s.ShmClaims},
 		{"shm_misses_total", "ZC-SHM profiles unusable by this client.", &s.ShmMisses},
+		{"kzc_deposits_total", "Payloads sent through a kernel-assist path.", &s.KzcDeposits},
+		{"kzc_deposit_bytes_total", "Bytes sent through a kernel-assist path.", &s.KzcDepositBytes},
+		{"kzc_completions_total", "MSG_ZEROCOPY completions reaped from the error queue.", &s.KzcCompletions},
+		{"kzc_copied_completions_total", "Zero-copy completions the kernel reported as copied.", &s.KzcCopiedCompletions},
+		{"kzc_fallbacks_total", "Invocations degraded from kernel zero-copy to the marshaled path.", &s.KzcFallbacks},
+		{"kzc_reuse_warnings_total", "Deposit buffers modified before their zero-copy completion.", &s.KzcReuseWarnings},
 		{"generated_marshals_total", "Parameters marshaled by compiled marshalers.", &s.GeneratedMarshals},
 		{"generated_demarshals_total", "Parameters demarshaled by compiled marshalers.", &s.GeneratedDemarshals},
 	} {
@@ -680,6 +712,14 @@ func (o *ORB) refForLocked(key, repoID string) *ObjectRef {
 			// everyone else falls back to standard marshaling.
 			comps = append(comps, ior.ZCShm{
 				Arch: o.arch, HostID: o.hostID, Path: addr,
+			}.Encode())
+		} else if strings.HasPrefix(addr, "kzc://") {
+			// Kernel zero-copy data plane: the full kzc:// address rides
+			// in the host slot (port 0), so dialAddr hands it back intact
+			// and dialData picks the kzc transport from the scheme — no
+			// wire-format change, mirroring the shm:// fold.
+			comps = append(comps, ior.ZCDeposit{
+				Arch: o.arch, Host: addr, Port: 0,
 			}.Encode())
 		} else {
 			comps = append(comps, ior.ZCDeposit{
@@ -906,6 +946,8 @@ func (o *ORB) dialConn(ctrlAddr string, zc *ior.ZCDeposit, stripe int) (*conn, e
 				if _, ok := dc.(transport.DirectReader); ok {
 					c.shmData.Store(true)
 				}
+				c.zcw, _ = dc.(transport.ZeroCopyWriter)
+				c.fsend, _ = dc.(transport.FileSender)
 			}
 		}
 	}

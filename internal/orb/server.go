@@ -1,11 +1,13 @@
 package orb
 
 import (
+	"errors"
 	"time"
 
 	"zcorba/internal/cdr"
 	"zcorba/internal/giop"
 	"zcorba/internal/trace"
+	"zcorba/internal/transport"
 	"zcorba/internal/typecode"
 	"zcorba/internal/zcbuf"
 )
@@ -161,11 +163,11 @@ func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
 	rep := giop.ReplyHeader{RequestID: req.RequestID, Status: giop.ReplyNoException}
 	useZC := c.usableData()
 
-	var payloads [][]byte
+	var deposits []depositSeg
 	if useZC {
 		var sizes []uint32
 		var err error
-		payloads, sizes, err = collectDeposits(types, vals)
+		deposits, sizes, err = collectDeposits(types, vals)
 		if err != nil {
 			o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes}, tc)
 			return
@@ -175,7 +177,7 @@ func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
 				Arch: o.arch, Token: c.dataToken, Sizes: sizes,
 			}.Encode())
 		} else {
-			payloads = nil
+			deposits = nil
 		}
 	}
 	echoTrace(&rep, tc)
@@ -188,7 +190,7 @@ func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
 		o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes}, tc)
 		return
 	}
-	err := c.send(giop.MsgReply, e.Bytes(), payloads, tc, req.Operation, trace.KindReplySend)
+	err := c.send(giop.MsgReply, e.Bytes(), deposits, tc, req.Operation, trace.KindReplySend)
 	cdr.PutEncoder(e)
 	if err != nil {
 		var dw *errDataWrite
@@ -198,15 +200,21 @@ func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
 			// but keep the connection: the client's deposit read fails
 			// fast (its TRANSIENT error drives the retry), and future
 			// replies marshal standard.
+			if errors.Is(err, transport.ErrZeroCopyUnavailable) {
+				o.stats.KzcFallbacks.Add(1)
+			}
 			c.markDataDown()
 			o.logf("orb: reply deposit write failed, degrading: %v", err)
 		} else {
 			c.close(err)
 		}
 	}
-	// The ORB consumed the servant's reply buffers.
+	// The ORB consumed the servant's reply buffers (and file payloads).
 	for _, v := range vals {
-		if b, ok := v.(*zcbuf.Buffer); ok {
+		switch b := v.(type) {
+		case *zcbuf.Buffer:
+			b.Release()
+		case *zcbuf.File:
 			b.Release()
 		}
 	}

@@ -69,13 +69,16 @@ const (
 	// ring; KindShmClaim the matching zero-copy claim on the receiver.
 	KindShmDeposit
 	KindShmClaim
+	// KindKzcDeposit covers one deposit transfer that used a
+	// kernel-assist path (MSG_ZEROCOPY or sendfile).
+	KindKzcDeposit
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"invoke", "marshal", "control_send", "deposit_send", "deposit_recv",
 	"unmarshal", "dispatch", "reply_send", "retry", "fallback", "lease",
-	"frame", "shm.deposit", "shm.claim",
+	"frame", "shm.deposit", "shm.claim", "kzc.deposit",
 }
 
 // String returns the span kind's wire/log name.

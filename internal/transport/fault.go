@@ -54,6 +54,18 @@ const (
 	// published record carries a wrong sequence tag and the consumer
 	// reports it as corrupt.
 	FaultSlotCorrupt
+	// FaultENOBUFS simulates the kernel refusing to pin pages for a
+	// MSG_ZEROCOPY send (optmem exhaustion): the transport degrades
+	// that one send to a plain copying write and completes it
+	// immediately as copied.
+	FaultENOBUFS
+	// FaultShortSplice simulates a sendfile/splice transferring only
+	// part of the requested file region before failing.
+	FaultShortSplice
+	// FaultDropCompletion delivers a zero-copy send's bytes but
+	// suppresses its errqueue completion notification, so the sender's
+	// lease is never settled — the lease sweeper must reclaim it.
+	FaultDropCompletion
 )
 
 func (k FaultKind) String() string {
@@ -74,6 +86,12 @@ func (k FaultKind) String() string {
 		return "ring-stall"
 	case FaultSlotCorrupt:
 		return "slot-corrupt"
+	case FaultENOBUFS:
+		return "enobufs"
+	case FaultShortSplice:
+		return "short-splice"
+	case FaultDropCompletion:
+		return "drop-completion"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -119,6 +137,11 @@ const (
 	// Faulty would hide the DirectReader fast path), classifying ring
 	// deposits/claims as ClassShm and stream bytes as ClassControl.
 	ClassShm
+	// ClassKzc marks kernel zero-copy operations (MSG_ZEROCOPY sends
+	// and sendfile transfers) of the kzc transport. Like SHM, kzc
+	// connections consult their injector directly — a Faulty wrapper
+	// would hide the ZeroCopyWriter/FileSender fast paths.
+	ClassKzc
 )
 
 func (c ConnClass) String() string {
@@ -131,6 +154,8 @@ func (c ConnClass) String() string {
 		return "data"
 	case ClassShm:
 		return "shm"
+	case ClassKzc:
+		return "kzc"
 	default:
 		return fmt.Sprintf("ConnClass(%d)", int(c))
 	}

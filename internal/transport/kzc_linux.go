@@ -1,0 +1,721 @@
+//go:build linux
+
+// The kernel zero-copy transport: plain TCP sockets whose data-channel
+// connections send large payloads with MSG_ZEROCOPY (the kernel pins
+// the pages; a completion on the socket error queue reports when they
+// may be reused) and transmit file-backed payloads disk→wire with
+// sendfile. Every connection starts as a plain stream; the DIALER
+// promotes it when (and only when) its first write begins with the ZC
+// data preamble "ZCDC" — i.e. exactly the connections the ORB uses as
+// data channels, mirroring the shm promotion. Promotion prepends one
+// 16-byte header carrying the dialer's zero-copy threshold, so both
+// ends agree on when MSG_ZEROCOPY is worth attempting. Control
+// connections (GIOP first bytes) never promote and behave like plain
+// TCP.
+//
+// Completion semantics: each MSG_ZEROCOPY sendmsg consumes one 32-bit
+// per-socket sequence number; the kernel reports inclusive ranges
+// [ee_info, ee_data] of completed sequences as SO_EE_ORIGIN_ZEROCOPY
+// extended errors on the error queue, merging adjacent ranges. A
+// completion with SO_EE_CODE_ZEROCOPY_COPIED set means the kernel fell
+// back to copying (loopback, or a NIC without SG) — the send still
+// succeeded, the pages were just not pinned. CopiedLimit>0 degrades
+// the connection after that many consecutive copied completions so
+// callers stop paying the pinning overhead for nothing.
+// docs/ZEROCOPY.md has the full contract.
+
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Linux socket constants absent from the stdlib syscall package.
+const (
+	soZeroCopy  = 60        // SO_ZEROCOPY (SOL_SOCKET)
+	msgZeroCopy = 0x4000000 // MSG_ZEROCOPY sendmsg flag
+
+	soEEOriginZeroCopy     = 5 // sock_extended_err.ee_origin for zc completions
+	soEECodeZeroCopyCopied = 1 // ee_code bit: kernel copied after all
+)
+
+// kzcPromoMagic opens the 16-byte promotion header:
+//
+//	magic[8] | threshold u32 | reserved u32
+//
+// little-endian. The threshold is the dialer's zero-copy threshold;
+// the acceptor adopts it for its reply deposits so both directions of
+// the channel agree.
+const kzcPromoMagic = "ZKZCTCP1"
+
+const kzcPromoLen = 16
+
+// KZC is the kernel zero-copy transport. See the package comment above
+// for the promotion protocol and completion semantics.
+type KZC struct {
+	// Threshold is the minimum payload size for MSG_ZEROCOPY sends
+	// (default DefaultZeroCopyThreshold). Smaller payloads take the
+	// plain write path.
+	Threshold int
+	// CopiedLimit, when > 0, degrades a connection to plain writes
+	// after that many consecutive copied completions (the kernel is
+	// copying anyway, so pinning buys nothing). 0 tolerates copied
+	// completions forever — the right default on loopback, where every
+	// completion is copied but the accounting stays exercised.
+	CopiedLimit int
+	// Disable treats the kernel as lacking SO_ZEROCOPY (tests of the
+	// degraded-kernel fallback): connections still promote and carry
+	// deposits, but WriteZeroCopy reports ErrZeroCopyUnavailable.
+	// SendFile is unaffected.
+	Disable bool
+	Stats   *Stats
+	// Faults, if non-nil, is consulted directly by kzc connections:
+	// zero-copy sends and sendfile transfers classify as ClassKzc.
+	// (Wrapping KZC in Faulty would hide the ZeroCopyWriter/FileSender
+	// fast paths, so the injector is embedded instead, like SHM.)
+	Faults *FaultInjector
+}
+
+// Name implements Transport.
+func (t *KZC) Name() string { return "kzc" }
+
+func (t *KZC) threshold() int {
+	if t.Threshold > 0 {
+		return t.Threshold
+	}
+	return DefaultZeroCopyThreshold
+}
+
+// Listen implements Transport. The empty address (or ":0") binds
+// 127.0.0.1 on an ephemeral port.
+func (t *KZC) Listen(addr string) (Listener, error) {
+	addr = trimKzc(addr)
+	if addr == "" || addr == ":0" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: kzc listen %s: %w", addr, err)
+	}
+	return &kzcListener{l: l.(*net.TCPListener), t: t}, nil
+}
+
+// Dial implements Transport. Dial events are classless: only ClassAny
+// injector rules match, mirroring Faulty.Dial.
+func (t *KZC) Dial(addr string) (Conn, error) {
+	if t.Faults != nil {
+		if r := t.Faults.decide(OpDial, ClassAny); r != nil {
+			switch r.Kind {
+			case FaultStall, FaultSlow:
+				time.Sleep(r.Delay)
+			default:
+				return nil, fmt.Errorf("transport: kzc dial %s: injected %s", addr, r.Kind)
+			}
+		}
+	}
+	c, err := net.Dial("tcp", trimKzc(addr))
+	if err != nil {
+		return nil, fmt.Errorf("transport: kzc dial %s: %w", addr, err)
+	}
+	return newKzcConn(t, c.(*net.TCPConn), true)
+}
+
+// trimKzc accepts both "kzc://host:port" URIs and bare addresses.
+func trimKzc(addr string) string {
+	const pfx = "kzc://"
+	if len(addr) >= len(pfx) && addr[:len(pfx)] == pfx {
+		return addr[len(pfx):]
+	}
+	return addr
+}
+
+type kzcListener struct {
+	l *net.TCPListener
+	t *KZC
+}
+
+func (l *kzcListener) Accept() (Conn, error) {
+	c, err := l.l.AcceptTCP()
+	if err != nil {
+		return nil, err
+	}
+	return newKzcConn(l.t, c, false)
+}
+
+func (l *kzcListener) Close() error { return l.l.Close() }
+func (l *kzcListener) Addr() string { return "kzc://" + l.l.Addr().String() }
+
+func newKzcConn(t *KZC, tc *net.TCPConn, dialer bool) (*kzcConn, error) {
+	_ = tc.SetNoDelay(true)
+	raw, err := tc.SyscallConn()
+	if err != nil {
+		_ = tc.Close()
+		return nil, fmt.Errorf("transport: kzc raw conn: %w", err)
+	}
+	c := &kzcConn{t: t, tc: tc, raw: raw, dialer: dialer, closed: make(chan struct{})}
+	c.thresh.Store(int32(t.threshold()))
+	c.sendFn = func(fd uintptr) bool {
+		c.sendN, c.sendErr = syscall.SendmsgN(int(fd), c.sendBuf, nil, nil, msgZeroCopy)
+		return c.sendErr != syscall.EAGAIN
+	}
+	c.reapFn = func(fd uintptr) {
+		_, c.reapN, _, _, c.reapErr = syscall.Recvmsg(int(fd), c.reapDummy[:],
+			c.oob[:], syscall.MSG_ERRQUEUE|syscall.MSG_DONTWAIT)
+	}
+	return c, nil
+}
+
+// kzcPending tracks the completion callback of one WriteZeroCopy: the
+// inclusive sequence range its sendmsgs consumed, how many sequences
+// are still outstanding, and whether any completed as copied.
+type kzcPending struct {
+	lo, hi uint32
+	remain int
+	copied bool
+	done   func(copied bool)
+}
+
+// kzcConn is one connection: a TCP stream that may promote to
+// zero-copy data-channel mode. Plain reads/writes behave exactly like
+// the TCP transport; WriteZeroCopy and SendFile add the kernel-assist
+// paths.
+type kzcConn struct {
+	t      *KZC
+	tc     *net.TCPConn
+	raw    syscall.RawConn
+	dialer bool
+
+	// zcOn: SO_ZEROCOPY active on this socket (set at promotion /
+	// probe). zcDown: degraded after copied-completion streak. thresh:
+	// the negotiated zero-copy threshold.
+	zcOn   atomic.Bool
+	zcDown atomic.Bool
+	thresh atomic.Int32
+
+	wmu       sync.Mutex
+	gbufs     net.Buffers // stream gather scratch
+	noPromote bool        // dialer: first write was not ZCDC
+	promoted  bool        // dialer: promotion header sent
+
+	// Zero-copy send scratch (wmu held): the raw.Write callback is
+	// built once so the per-send fast path allocates nothing.
+	sendFn  func(fd uintptr) bool
+	sendBuf []byte
+	sendN   int
+	sendErr error
+
+	rmu      sync.Mutex
+	probed   bool   // acceptor: promotion probe done
+	leftover []byte // acceptor: stream bytes consumed by the probe
+
+	// Completion bookkeeping. sendSeq mirrors the kernel's per-socket
+	// zero-copy counter (incremented per successful MSG_ZEROCOPY
+	// sendmsg); pend holds registered callbacks in FIFO order.
+	cmu         sync.Mutex
+	sendSeq     uint32
+	pend        []*kzcPending
+	pendFree    []*kzcPending
+	copiedRun   int // consecutive copied completions
+	outstanding atomic.Int32
+
+	// Errqueue reap scratch, guarded by reapMu (one reaper at a time;
+	// concurrent callers skip — the active one drains everything). The
+	// prebuilt raw.Control callback keeps the reap path allocation-free.
+	reapMu    sync.Mutex
+	reapFn    func(fd uintptr)
+	reapN     int
+	reapErr   error
+	reapDummy [1]byte
+	oob       [512]byte
+	fired     []*kzcPending
+
+	reaperOnce sync.Once
+	closed     chan struct{}
+	closeOnce  sync.Once
+	closeErr   error
+}
+
+// ZeroCopyThreshold implements ZeroCopyWriter.
+func (c *kzcConn) ZeroCopyThreshold() int { return int(c.thresh.Load()) }
+
+// setZeroCopy enables SO_ZEROCOPY on the socket; failure (EOPNOTSUPP
+// on old kernels, or Disable) leaves the connection on plain writes.
+func (c *kzcConn) setZeroCopy() {
+	if c.t.Disable {
+		return
+	}
+	var serr error
+	if err := c.raw.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soZeroCopy, 1)
+	}); err == nil && serr == nil {
+		c.zcOn.Store(true)
+	}
+}
+
+// promoteLocked (dialer, wmu held) sends the promotion header and
+// enables SO_ZEROCOPY. The header precedes the caller's first bytes on
+// the stream; a write failure surfaces through the caller's write.
+func (c *kzcConn) promoteLocked() error {
+	c.promoted = true
+	var hdr [kzcPromoLen]byte
+	copy(hdr[:], kzcPromoMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(c.t.threshold()))
+	if _, err := c.tc.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: kzc promotion header: %w", err)
+	}
+	c.setZeroCopy()
+	return nil
+}
+
+// probeLocked (acceptor, rmu held) inspects the first bytes of the
+// stream: a promotion header adopts the dialer's threshold and enables
+// SO_ZEROCOPY for reply deposits; anything else stays a plain stream
+// with the probed bytes kept as read leftover.
+func (c *kzcConn) probeLocked() error {
+	c.probed = true
+	var hdr [kzcPromoLen]byte
+	got, err := io.ReadFull(c.tc, hdr[:8])
+	if err != nil {
+		c.leftover = append([]byte(nil), hdr[:got]...)
+		if got > 0 {
+			return nil // deliver what arrived; the error resurfaces next read
+		}
+		return err
+	}
+	if string(hdr[:8]) != kzcPromoMagic {
+		c.leftover = append([]byte(nil), hdr[:8]...)
+		return nil
+	}
+	if _, err := io.ReadFull(c.tc, hdr[8:]); err != nil {
+		return fmt.Errorf("transport: kzc promotion header: %w", err)
+	}
+	if th := binary.LittleEndian.Uint32(hdr[8:]); th > 0 {
+		c.thresh.Store(int32(th))
+	}
+	c.setZeroCopy()
+	return nil
+}
+
+func (c *kzcConn) countRead(n int) {
+	if c.t.Stats != nil && n > 0 {
+		c.t.Stats.BytesRecv.Add(int64(n))
+		c.t.Stats.Reads.Add(1)
+	}
+}
+
+func (c *kzcConn) countWrite(n int64, segs int) {
+	if c.t.Stats != nil && n > 0 {
+		c.t.Stats.BytesSent.Add(n)
+		c.t.Stats.Writes.Add(1)
+		if segs > 0 {
+			c.t.Stats.GatherSegments.Add(int64(segs))
+		}
+	}
+}
+
+func (c *kzcConn) Read(p []byte) (int, error) {
+	c.rmu.Lock()
+	if !c.dialer && !c.probed {
+		if err := c.probeLocked(); err != nil {
+			c.rmu.Unlock()
+			return 0, err
+		}
+	}
+	if len(c.leftover) > 0 {
+		n := copy(p, c.leftover)
+		c.leftover = c.leftover[n:]
+		c.rmu.Unlock()
+		c.countRead(n)
+		return n, nil
+	}
+	c.rmu.Unlock()
+	n, err := c.tc.Read(p)
+	c.countRead(n)
+	return n, err
+}
+
+// maybePromoteLocked runs the dialer-side promotion check on the first
+// write (wmu held).
+func (c *kzcConn) maybePromoteLocked(first []byte) error {
+	if !c.dialer || c.promoted || c.noPromote {
+		return nil
+	}
+	if len(first) >= 4 && string(first[:4]) == "ZCDC" {
+		return c.promoteLocked()
+	}
+	c.noPromote = true
+	return nil
+}
+
+func (c *kzcConn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	if err := c.maybePromoteLocked(p); err != nil {
+		c.wmu.Unlock()
+		return 0, err
+	}
+	n, err := c.tc.Write(p)
+	c.wmu.Unlock()
+	c.countWrite(int64(n), 0)
+	return n, err
+}
+
+func (c *kzcConn) WriteGather(segs ...[]byte) (int64, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var first []byte
+	for _, s := range segs {
+		if len(s) > 0 {
+			first = s
+			break
+		}
+	}
+	if err := c.maybePromoteLocked(first); err != nil {
+		return 0, err
+	}
+	bufs := c.gbufs[:0]
+	var total int64
+	for _, s := range segs {
+		if len(s) == 0 {
+			continue
+		}
+		bufs = append(bufs, s)
+		total += int64(len(s))
+	}
+	c.gbufs = bufs
+	nsegs := len(bufs)
+	n, err := bufs.WriteTo(c.tc)
+	clear(c.gbufs[:nsegs])
+	c.gbufs = c.gbufs[:0]
+	c.countWrite(n, len(segs))
+	if err != nil {
+		return n, fmt.Errorf("transport: kzc gather write: %w", err)
+	}
+	if n != total {
+		return n, fmt.Errorf("transport: kzc gather write short: %d of %d", n, total)
+	}
+	return n, nil
+}
+
+// plainWriteLocked writes p without zero-copy (wmu held), for the
+// ENOBUFS and fault degradation paths.
+func (c *kzcConn) plainWriteLocked(p []byte) error {
+	n, err := c.tc.Write(p)
+	c.countWrite(int64(n), 0)
+	return err
+}
+
+// WriteZeroCopy implements ZeroCopyWriter: send p with MSG_ZEROCOPY
+// and fire done exactly once when the kernel releases the pages. See
+// the interface contract in direct.go.
+func (c *kzcConn) WriteZeroCopy(p []byte, done func(copied bool)) (bool, error) {
+	if !c.zcOn.Load() || c.zcDown.Load() {
+		return false, ErrZeroCopyUnavailable
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.t.Faults != nil {
+		if r := c.t.Faults.decide(OpWrite, ClassKzc); r != nil {
+			switch r.Kind {
+			case FaultENOBUFS:
+				// Kernel can't pin pages: degrade this one send to a
+				// plain copying write, completed immediately.
+				err := c.plainWriteLocked(p)
+				done(true)
+				return true, err
+			case FaultDropCompletion:
+				// Bytes arrive, the completion never does: the caller's
+				// lease sweeper must reclaim the buffer.
+				return true, c.plainWriteLocked(p)
+			case FaultReset, FaultPeerKill:
+				done(true)
+				_ = c.Close()
+				return true, fmt.Errorf("kzcconn: injected %s on zero-copy send", r.Kind)
+			case FaultStall, FaultSlow:
+				time.Sleep(r.Delay)
+			}
+		}
+	}
+	sent := 0
+	var lo, hi uint32
+	nseq := 0
+	for sent < len(p) {
+		c.sendBuf = p[sent:]
+		werr := c.raw.Write(c.sendFn)
+		n, serr := c.sendN, c.sendErr
+		c.sendBuf = nil
+		if werr != nil && serr == nil {
+			serr = werr
+		}
+		if serr != nil {
+			if serr == syscall.ENOBUFS {
+				// Optmem exhaustion: finish with a plain copying write.
+				// The kernel holds no reference beyond the sequences
+				// already consumed.
+				perr := c.plainWriteLocked(p[sent:])
+				if nseq == 0 {
+					done(true)
+				} else {
+					c.registerPending(lo, hi, nseq, done, true)
+					c.kickReaper()
+				}
+				return true, perr
+			}
+			// Stream broken mid-payload. Sequences already consumed
+			// complete via the reaper (or the caller's sweeper).
+			if nseq == 0 {
+				done(true)
+			} else {
+				c.registerPending(lo, hi, nseq, done, true)
+				c.kickReaper()
+			}
+			return true, fmt.Errorf("transport: kzc zero-copy send: %w", serr)
+		}
+		// One successful MSG_ZEROCOPY sendmsg = one kernel sequence.
+		c.cmu.Lock()
+		seq := c.sendSeq
+		c.sendSeq++
+		c.cmu.Unlock()
+		if nseq == 0 {
+			lo = seq
+		}
+		hi = seq
+		nseq++
+		sent += n
+	}
+	c.countWrite(int64(len(p)), 0)
+	c.registerPending(lo, hi, nseq, done, false)
+	c.kickReaper()
+	c.reapOnce() // opportunistic non-blocking drain
+	return true, nil
+}
+
+// registerPending records a completion callback for sequences [lo,hi].
+func (c *kzcConn) registerPending(lo, hi uint32, nseq int, done func(bool), copied bool) {
+	c.cmu.Lock()
+	var p *kzcPending
+	if n := len(c.pendFree); n > 0 {
+		p = c.pendFree[n-1]
+		c.pendFree = c.pendFree[:n-1]
+	} else {
+		p = new(kzcPending)
+	}
+	p.lo, p.hi, p.remain, p.copied, p.done = lo, hi, nseq, copied, done
+	c.pend = append(c.pend, p)
+	c.cmu.Unlock()
+	c.outstanding.Add(1)
+}
+
+// kickReaper starts the background completion reaper on first use.
+func (c *kzcConn) kickReaper() {
+	c.reaperOnce.Do(func() { go c.reapLoop() })
+}
+
+// reapLoop drains errqueue completions until the connection closes.
+// The errqueue cannot be waited on through the runtime poller without
+// also waking on data readability, so the loop polls: tight while
+// completions are outstanding, parked otherwise.
+func (c *kzcConn) reapLoop() {
+	idle := time.NewTicker(500 * time.Microsecond)
+	defer idle.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-idle.C:
+		}
+		if c.outstanding.Load() == 0 {
+			continue
+		}
+		c.reapOnce()
+	}
+}
+
+// reapOnce drains all currently queued completions (non-blocking).
+// Only one reaper runs at a time; a concurrent caller skips, since the
+// active one loops until the queue is empty anyway.
+func (c *kzcConn) reapOnce() {
+	if !c.reapMu.TryLock() {
+		return
+	}
+	defer c.reapMu.Unlock()
+	for {
+		cerr := c.raw.Control(c.reapFn)
+		if cerr != nil || c.reapErr != nil || c.reapN <= 0 {
+			return
+		}
+		// Walk the cmsg chain by hand: the stdlib parser allocates per
+		// message, and this runs once per completion on the hot path.
+		fired := c.fired[:0]
+		rem := c.oob[:c.reapN]
+		c.cmu.Lock()
+		for len(rem) >= syscall.SizeofCmsghdr {
+			h := (*syscall.Cmsghdr)(unsafe.Pointer(&rem[0]))
+			l := int(h.Len)
+			if l < syscall.SizeofCmsghdr || l > len(rem) {
+				break
+			}
+			data := rem[syscall.SizeofCmsghdr:l]
+			// sock_extended_err: ee_errno u32 | ee_origin u8 | ee_type u8
+			// | ee_code u8 | pad | ee_info u32 | ee_data u32.
+			if isRecvErr(h.Level, h.Type) && len(data) >= 16 &&
+				data[4] == soEEOriginZeroCopy {
+				copied := data[6]&soEECodeZeroCopyCopied != 0
+				clo := binary.NativeEndian.Uint32(data[8:])
+				chi := binary.NativeEndian.Uint32(data[12:])
+				fired = append(fired, c.completeRangeLocked(clo, chi, copied)...)
+			}
+			adv := syscall.CmsgSpace(l - syscall.SizeofCmsghdr)
+			if adv <= 0 || adv > len(rem) {
+				break
+			}
+			rem = rem[adv:]
+		}
+		c.cmu.Unlock()
+		for _, p := range fired {
+			cp := p.copied
+			d := p.done
+			c.recyclePending(p)
+			c.outstanding.Add(-1)
+			if d != nil {
+				d(cp)
+			}
+		}
+		clear(fired)
+		c.fired = fired[:0]
+	}
+}
+
+// completeRangeLocked applies one completion range [clo,chi] (inclusive
+// kernel sequence numbers) to the pending list, returning the entries
+// whose every sequence has now completed. Caller holds cmu.
+func (c *kzcConn) completeRangeLocked(clo, chi uint32, copied bool) []*kzcPending {
+	n := int(chi - clo + 1)
+	if copied {
+		c.copiedRun += n
+		if lim := c.t.CopiedLimit; lim > 0 && c.copiedRun >= lim {
+			c.zcDown.Store(true)
+		}
+	} else {
+		c.copiedRun = 0
+	}
+	var full []*kzcPending
+	kept := c.pend[:0]
+	for _, p := range c.pend {
+		// Overlap of [p.lo,p.hi] with [clo,chi]; sequence wraparound is
+		// ignored (2^32 sends per connection is out of scope).
+		lo, hi := max(p.lo, clo), min(p.hi, chi)
+		if lo <= hi {
+			p.remain -= int(hi - lo + 1)
+			if copied {
+				p.copied = true
+			}
+			if p.remain <= 0 {
+				full = append(full, p)
+				continue
+			}
+		}
+		kept = append(kept, p)
+	}
+	// Drop references past the kept prefix so completed entries are
+	// not pinned by the backing array.
+	for i := len(kept); i < len(c.pend); i++ {
+		c.pend[i] = nil
+	}
+	c.pend = kept
+	return full
+}
+
+func (c *kzcConn) recyclePending(p *kzcPending) {
+	*p = kzcPending{}
+	c.cmu.Lock()
+	if len(c.pendFree) < 32 {
+		c.pendFree = append(c.pendFree, p)
+	}
+	c.cmu.Unlock()
+}
+
+// isRecvErr reports whether a cmsg carries an extended socket error
+// (IPv4 or IPv6 error queue).
+func isRecvErr(level, typ int32) bool {
+	return (level == syscall.SOL_IP && typ == syscall.IP_RECVERR) ||
+		(level == syscall.SOL_IPV6 && typ == syscall.IPV6_RECVERR)
+}
+
+// SendFile implements FileSender: transmit n bytes of f starting at
+// off with sendfile, disk→wire without entering user space. It works
+// on any kzc connection regardless of SO_ZEROCOPY state.
+func (c *kzcConn) SendFile(f *os.File, off, n int64) (int64, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	want := n
+	if c.t.Faults != nil {
+		if r := c.t.Faults.decide(OpWrite, ClassKzc); r != nil {
+			switch r.Kind {
+			case FaultShortSplice:
+				want = n / 2
+			case FaultReset, FaultPeerKill:
+				_ = c.Close()
+				return 0, fmt.Errorf("kzcconn: injected %s on sendfile", r.Kind)
+			case FaultStall, FaultSlow:
+				time.Sleep(r.Delay)
+			}
+		}
+	}
+	src := int(f.Fd())
+	var sent int64
+	for sent < want {
+		chunk := int(min(want-sent, 1<<20))
+		var wn int
+		var serr error
+		pos := off + sent
+		werr := c.raw.Write(func(fd uintptr) bool {
+			wn, serr = syscall.Sendfile(int(fd), src, &pos, chunk)
+			return serr != syscall.EAGAIN
+		})
+		if wn > 0 {
+			sent += int64(wn)
+		}
+		if werr != nil && serr == nil {
+			serr = werr
+		}
+		if serr != nil {
+			c.countWrite(sent, 0)
+			return sent, fmt.Errorf("transport: kzc sendfile: %w", serr)
+		}
+		if wn == 0 {
+			c.countWrite(sent, 0)
+			return sent, fmt.Errorf("transport: kzc sendfile: %w", io.ErrUnexpectedEOF)
+		}
+	}
+	runtime.KeepAlive(f)
+	c.countWrite(sent, 0)
+	if sent < n {
+		// Injected short splice: the stream is now desynced by design.
+		return sent, fmt.Errorf("transport: kzc sendfile short: %d of %d", sent, n)
+	}
+	return sent, nil
+}
+
+func (c *kzcConn) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.closeErr = c.tc.Close()
+		// Pending completion callbacks are deliberately NOT fired: the
+		// kernel may still hold page references, and the caller's lease
+		// sweeper is the authority on reclaiming them.
+	})
+	return c.closeErr
+}
+
+func (c *kzcConn) LocalAddr() string  { return "kzc://" + c.tc.LocalAddr().String() }
+func (c *kzcConn) RemoteAddr() string { return "kzc://" + c.tc.RemoteAddr().String() }

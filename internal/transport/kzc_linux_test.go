@@ -1,0 +1,378 @@
+//go:build linux
+
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func kzcPair(t *testing.T, tr *KZC) (Conn, Conn) {
+	t.Helper()
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatalf("kzc listen: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	var (
+		srv  Conn
+		aerr error
+		wg   sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv, aerr = l.Accept()
+	}()
+	cli, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("kzc dial: %v", err)
+	}
+	wg.Wait()
+	if aerr != nil {
+		t.Fatalf("kzc accept: %v", aerr)
+	}
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return cli, srv
+}
+
+// TestKZCStreamMode: a connection whose first bytes are not the ZC
+// preamble never promotes (no header on the wire, SO_ZEROCOPY off) and
+// behaves like plain TCP in both directions — the control path.
+func TestKZCStreamMode(t *testing.T) {
+	cli, srv := kzcPair(t, &KZC{})
+	msg := []byte("GIOP control traffic")
+	if _, err := cli.Write(msg); err != nil {
+		t.Fatalf("client write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(srv, got); err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("control bytes corrupted")
+	}
+	if _, err := srv.WriteGather([]byte("re"), []byte("ply")); err != nil {
+		t.Fatalf("server gather: %v", err)
+	}
+	got = make([]byte, 5)
+	if _, err := io.ReadFull(cli, got); err != nil {
+		t.Fatalf("client read: %v", err)
+	}
+	if string(got) != "reply" {
+		t.Fatalf("reply = %q", got)
+	}
+	if cli.(*kzcConn).zcOn.Load() || srv.(*kzcConn).zcOn.Load() {
+		t.Fatal("stream-mode conn enabled SO_ZEROCOPY")
+	}
+	// A zero-copy send on an unpromoted conn must decline cleanly.
+	if ok, err := cli.(*kzcConn).WriteZeroCopy(msg, func(bool) {}); ok || !errors.Is(err, ErrZeroCopyUnavailable) {
+		t.Fatalf("unpromoted WriteZeroCopy: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestKZCPromotionThresholdNegotiation: a ZCDC first write promotes the
+// dialer, the acceptor strips the 16-byte header and adopts the
+// dialer's threshold, and the app-level byte stream is unchanged.
+func TestKZCPromotionThresholdNegotiation(t *testing.T) {
+	cli, srv := kzcPair(t, &KZC{Threshold: 12345})
+	if _, err := cli.Write(preamble(0)); err != nil {
+		t.Fatalf("preamble write: %v", err)
+	}
+	got := make([]byte, 12)
+	if _, err := io.ReadFull(srv, got); err != nil {
+		t.Fatalf("server preamble read: %v", err)
+	}
+	if !bytes.Equal(got, preamble(0)) {
+		t.Fatal("preamble corrupted (promotion header leaked into the stream?)")
+	}
+	if th := srv.(*kzcConn).ZeroCopyThreshold(); th != 12345 {
+		t.Fatalf("acceptor threshold = %d, want 12345", th)
+	}
+	if !cli.(*kzcConn).zcOn.Load() {
+		t.Fatal("dialer did not enable SO_ZEROCOPY on promotion")
+	}
+	if !srv.(*kzcConn).zcOn.Load() {
+		t.Fatal("acceptor did not enable SO_ZEROCOPY on probe")
+	}
+}
+
+// promoteKzc walks a pair through the ZCDC promotion handshake.
+func promoteKzc(t *testing.T, cli, srv Conn) {
+	t.Helper()
+	if _, err := cli.Write(preamble(0)); err != nil {
+		t.Fatalf("preamble: %v", err)
+	}
+	if _, err := io.ReadFull(srv, make([]byte, 12)); err != nil {
+		t.Fatalf("server preamble: %v", err)
+	}
+}
+
+// TestKZCWriteZeroCopyCompletion: a promoted send delivers the bytes
+// intact and fires the completion callback exactly once (on loopback
+// the kernel reports it as copied, which still counts as completed).
+func TestKZCWriteZeroCopyCompletion(t *testing.T) {
+	cli, srv := kzcPair(t, &KZC{Threshold: 4096})
+	promoteKzc(t, cli, srv)
+	payload := bytes.Repeat([]byte{0xC7}, 64<<10)
+	var fired atomic.Int32
+	got := make([]byte, len(payload))
+	rdone := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(srv, got)
+		rdone <- err
+	}()
+	ok, err := cli.(*kzcConn).WriteZeroCopy(payload, func(copied bool) {
+		fired.Add(1)
+	})
+	if !ok || err != nil {
+		t.Fatalf("WriteZeroCopy: ok=%v err=%v", ok, err)
+	}
+	if err := <-rdone; err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted through MSG_ZEROCOPY")
+	}
+	// Loopback completions land a few ms after the send; the background
+	// reaper must deliver exactly one callback.
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("completion callback never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("completion fired %d times, want 1", n)
+	}
+}
+
+// TestKZCDisableFallsBack: Disable models a kernel without SO_ZEROCOPY.
+// The conn still promotes and carries plain traffic, but WriteZeroCopy
+// reports ErrZeroCopyUnavailable without writing or firing done.
+func TestKZCDisableFallsBack(t *testing.T) {
+	cli, srv := kzcPair(t, &KZC{Disable: true})
+	promoteKzc(t, cli, srv)
+	ok, err := cli.(*kzcConn).WriteZeroCopy(make([]byte, 64<<10), func(bool) {
+		t.Error("done fired on a declined send")
+	})
+	if ok || !errors.Is(err, ErrZeroCopyUnavailable) {
+		t.Fatalf("disabled WriteZeroCopy: ok=%v err=%v", ok, err)
+	}
+	// The plain write path still works end to end.
+	if _, err := cli.Write([]byte("still a stream")); err != nil {
+		t.Fatalf("plain write: %v", err)
+	}
+	got := make([]byte, 14)
+	if _, err := io.ReadFull(srv, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(got) != "still a stream" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestKZCSendFile: a file region travels disk→wire byte-identical,
+// including a sub-range with a non-zero offset.
+func TestKZCSendFile(t *testing.T) {
+	cli, srv := kzcPair(t, &KZC{})
+	promoteKzc(t, cli, srv)
+	body := make([]byte, 2<<20)
+	for i := range body {
+		body[i] = byte(i * 13)
+	}
+	path := filepath.Join(t.TempDir(), "payload.bin")
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, r := range []struct{ off, n int64 }{
+		{0, int64(len(body))},
+		{4096, 100_000},
+	} {
+		got := make([]byte, r.n)
+		rdone := make(chan error, 1)
+		go func() {
+			_, err := io.ReadFull(srv, got)
+			rdone <- err
+		}()
+		sent, err := cli.(*kzcConn).SendFile(f, r.off, r.n)
+		if err != nil || sent != r.n {
+			t.Fatalf("SendFile(off=%d,n=%d): sent=%d err=%v", r.off, r.n, sent, err)
+		}
+		if err := <-rdone; err != nil {
+			t.Fatalf("server read: %v", err)
+		}
+		if !bytes.Equal(got, body[r.off:r.off+r.n]) {
+			t.Fatalf("sendfile region [%d,%d) corrupted", r.off, r.off+r.n)
+		}
+	}
+}
+
+// TestKZCCopiedLimitDegrades: on loopback every completion is copied,
+// so CopiedLimit=1 must degrade the connection to
+// ErrZeroCopyUnavailable after the first completion is reaped.
+func TestKZCCopiedLimitDegrades(t *testing.T) {
+	cli, srv := kzcPair(t, &KZC{Threshold: 4096, CopiedLimit: 1})
+	promoteKzc(t, cli, srv)
+	go io.Copy(io.Discard, srv)
+	payload := make([]byte, 64<<10)
+	kc := cli.(*kzcConn)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok, err := kc.WriteZeroCopy(payload, func(bool) {})
+		if !ok {
+			if !errors.Is(err, ErrZeroCopyUnavailable) {
+				t.Fatalf("degraded error = %v, want ErrZeroCopyUnavailable", err)
+			}
+			return // degraded, as required
+		}
+		if err != nil {
+			t.Fatalf("WriteZeroCopy: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("connection never degraded despite copied completions")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestKZCFaultInjection drives the kernel-ZC fault kinds end to end.
+func TestKZCFaultInjection(t *testing.T) {
+	t.Run("enobufs", func(t *testing.T) {
+		inj := NewFaultInjector(1).Add(Rule{Op: OpWrite, Class: ClassKzc, Kind: FaultENOBUFS, Nth: 1})
+		cli, srv := kzcPair(t, &KZC{Threshold: 4096, Faults: inj})
+		promoteKzc(t, cli, srv)
+		payload := bytes.Repeat([]byte{0x11}, 32<<10)
+		var fired atomic.Int32
+		got := make([]byte, len(payload))
+		rdone := make(chan error, 1)
+		go func() {
+			_, err := io.ReadFull(srv, got)
+			rdone <- err
+		}()
+		ok, err := cli.(*kzcConn).WriteZeroCopy(payload, func(copied bool) {
+			if !copied {
+				t.Error("ENOBUFS degradation must complete as copied")
+			}
+			fired.Add(1)
+		})
+		if !ok || err != nil {
+			t.Fatalf("ENOBUFS send: ok=%v err=%v", ok, err)
+		}
+		if fired.Load() != 1 {
+			t.Fatal("ENOBUFS degradation must complete immediately")
+		}
+		if err := <-rdone; err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("payload corrupted on the ENOBUFS plain-write path")
+		}
+	})
+	t.Run("drop-completion", func(t *testing.T) {
+		inj := NewFaultInjector(1).Add(Rule{Op: OpWrite, Class: ClassKzc, Kind: FaultDropCompletion, Nth: 1})
+		cli, srv := kzcPair(t, &KZC{Threshold: 4096, Faults: inj})
+		promoteKzc(t, cli, srv)
+		payload := bytes.Repeat([]byte{0x22}, 32<<10)
+		var fired atomic.Int32
+		got := make([]byte, len(payload))
+		rdone := make(chan error, 1)
+		go func() {
+			_, err := io.ReadFull(srv, got)
+			rdone <- err
+		}()
+		ok, err := cli.(*kzcConn).WriteZeroCopy(payload, func(bool) { fired.Add(1) })
+		if !ok || err != nil {
+			t.Fatalf("dropped-completion send: ok=%v err=%v", ok, err)
+		}
+		if err := <-rdone; err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("payload corrupted")
+		}
+		// The bytes arrived but the completion must never: reclaiming the
+		// buffer is the caller's lease sweeper's job.
+		time.Sleep(50 * time.Millisecond)
+		if fired.Load() != 0 {
+			t.Fatal("dropped completion fired anyway")
+		}
+	})
+	t.Run("short-splice", func(t *testing.T) {
+		inj := NewFaultInjector(1).Add(Rule{Op: OpWrite, Class: ClassKzc, Kind: FaultShortSplice, Nth: 1})
+		cli, srv := kzcPair(t, &KZC{Faults: inj})
+		promoteKzc(t, cli, srv)
+		go io.Copy(io.Discard, srv)
+		body := make([]byte, 1<<20)
+		path := filepath.Join(t.TempDir(), "f.bin")
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		sent, err := cli.(*kzcConn).SendFile(f, 0, int64(len(body)))
+		if err == nil || !strings.Contains(err.Error(), "short") {
+			t.Fatalf("short splice: err=%v", err)
+		}
+		if sent != int64(len(body))/2 {
+			t.Fatalf("short splice sent %d, want %d", sent, len(body)/2)
+		}
+	})
+	t.Run("reset", func(t *testing.T) {
+		inj := NewFaultInjector(1).Add(Rule{Op: OpWrite, Class: ClassKzc, Kind: FaultReset, Nth: 1})
+		cli, srv := kzcPair(t, &KZC{Threshold: 4096, Faults: inj})
+		promoteKzc(t, cli, srv)
+		var fired atomic.Int32
+		ok, err := cli.(*kzcConn).WriteZeroCopy(make([]byte, 32<<10), func(bool) { fired.Add(1) })
+		if !ok || err == nil {
+			t.Fatalf("reset send: ok=%v err=%v, want ok with error", ok, err)
+		}
+		if fired.Load() != 1 {
+			t.Fatal("reset must still complete the callback (stream torn down)")
+		}
+	})
+}
+
+// TestKZCSchemeDispatch: FromAddr resolves kzc:// URIs to the KZC
+// transport, and Listen/Dial round-trip the scheme-qualified form.
+func TestKZCSchemeDispatch(t *testing.T) {
+	tr, rest, err := FromAddr("kzc://127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("FromAddr: %v", err)
+	}
+	if tr.Name() != "kzc" || rest != "127.0.0.1:0" {
+		t.Fatalf("FromAddr = %s,%q", tr.Name(), rest)
+	}
+	l, err := tr.Listen(rest)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	if !strings.HasPrefix(l.Addr(), "kzc://") {
+		t.Fatalf("listener addr %q not scheme-qualified", l.Addr())
+	}
+	go l.Accept()
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("dial scheme-qualified addr: %v", err)
+	}
+	c.Close()
+}

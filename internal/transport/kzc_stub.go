@@ -1,0 +1,27 @@
+//go:build !linux
+
+package transport
+
+// KZC is the kernel zero-copy transport (MSG_ZEROCOPY + sendfile),
+// which requires Linux. This stub keeps non-Linux builds compiling;
+// Listen and Dial report ErrKernelZCUnsupported.
+type KZC struct {
+	Threshold   int
+	CopiedLimit int
+	Disable     bool
+	Stats       *Stats
+	Faults      *FaultInjector
+}
+
+// Name implements Transport.
+func (t *KZC) Name() string { return "kzc" }
+
+// Listen implements Transport; it always fails on non-Linux platforms.
+func (t *KZC) Listen(addr string) (Listener, error) {
+	return nil, ErrKernelZCUnsupported
+}
+
+// Dial implements Transport; it always fails on non-Linux platforms.
+func (t *KZC) Dial(addr string) (Conn, error) {
+	return nil, ErrKernelZCUnsupported
+}

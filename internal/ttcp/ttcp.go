@@ -39,6 +39,11 @@ const (
 	// ModeShmCorba is the CORBA TTCP with the shared-memory data plane:
 	// zero-copy deposits straight into a ring mapped by both processes.
 	ModeShmCorba Mode = "shm-corba"
+	// ModeKzcCorba is the CORBA TTCP with the kernel zero-copy data
+	// plane: blocks at or above the negotiated threshold are sent with
+	// MSG_ZEROCOPY (pages pinned until the errqueue completion), the
+	// rest plain-written on the same channel.
+	ModeKzcCorba Mode = "kzc-corba"
 )
 
 // Result is one benchmark measurement.

@@ -59,6 +59,13 @@ type lease struct {
 	bytes    int     // observed size for buffer-less leases
 	deadline time.Time
 	onExpire func()
+	// notify, if set, fires exactly once when the lease leaves the
+	// table: notify(false) on Settle (before the buffer reference is
+	// released), notify(true) on Sweep expiry (after onExpire, before
+	// the release). Kernel zero-copy sends use it to observe the
+	// buffer while its pages are still pinned — the reuse guard's
+	// checksum-on-completion hook.
+	notify func(expired bool)
 }
 
 // size returns the byte count to report to the Observer.
@@ -90,6 +97,36 @@ func (t *LeaseTable) Grant(b *Buffer, deadline time.Time, onExpire func()) Lease
 		l = new(lease)
 	}
 	l.buf, l.deadline, l.onExpire = b, deadline, onExpire
+	t.leases[id] = l
+	t.mu.Unlock()
+	t.observe(LeaseGranted, b.Len())
+	return id
+}
+
+// GrantNotify is Grant with a completion hook: notify fires exactly
+// once when the lease leaves the table — notify(false) from Settle,
+// notify(true) from Sweep — in both cases while the lease's buffer
+// reference is still held. The kernel zero-copy send path grants its
+// deposit buffers this way: the lease pins the pages until the
+// MSG_ZEROCOPY completion settles it, and the sweeper is the backstop
+// when a completion never arrives. This is the first step toward the
+// registered-buffer API on the roadmap.
+func (t *LeaseTable) GrantNotify(b *Buffer, deadline time.Time, onExpire func(), notify func(expired bool)) LeaseID {
+	b.Retain()
+	t.mu.Lock()
+	if t.leases == nil {
+		t.leases = make(map[LeaseID]*lease)
+	}
+	t.next++
+	id := LeaseID(t.next)
+	var l *lease
+	if n := len(t.free); n > 0 {
+		l = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		l = new(lease)
+	}
+	l.buf, l.deadline, l.onExpire, l.notify = b, deadline, onExpire, notify
 	t.leases[id] = l
 	t.mu.Unlock()
 	t.observe(LeaseGranted, b.Len())
@@ -137,6 +174,9 @@ func (t *LeaseTable) Settle(id LeaseID) bool {
 	if l == nil {
 		return false
 	}
+	if l.notify != nil {
+		l.notify(false)
+	}
 	buf, size := l.buf, l.size()
 	t.recycle(l)
 	t.observe(LeaseSettled, size)
@@ -162,6 +202,9 @@ func (t *LeaseTable) Sweep(now time.Time) int {
 	for _, l := range due {
 		if l.onExpire != nil {
 			l.onExpire()
+		}
+		if l.notify != nil {
+			l.notify(true)
 		}
 		buf, size := l.buf, l.size()
 		t.recycle(l)
