@@ -496,10 +496,15 @@ func (c *conn) flushDsegsLocked() error {
 // sendZCSeg sends one pooled-buffer segment with kernel zero-copy: a
 // lease pins the buffer until the MSG_ZEROCOPY completion settles it
 // (release-on-completion, not on write-return), with the lease sweeper
-// as the backstop when a completion never arrives. A connection that
-// cannot zero-copy surfaces transport.ErrZeroCopyUnavailable, which
-// the caller's errDataWrite handling turns into the marshaled-path
-// fallback.
+// as the backstop when a completion is lost or merely slower than the
+// TTL. Expiry runs onLeaseExpire (markDataDown → data.Close) BEFORE
+// the sweeper releases the buffer, and the kzc transport turns that
+// close into an abort (RST) while completions are outstanding, purging
+// the send queue so the kernel holds no reference to the buffer's
+// pages by the time they return to the pool for reuse. A connection
+// that cannot zero-copy surfaces transport.ErrZeroCopyUnavailable,
+// which the caller's errDataWrite handling turns into the
+// marshaled-path fallback.
 func (c *conn) sendZCSeg(seg *depositSeg) error {
 	o := c.orb
 	ttl := o.leaseTTL()

@@ -60,6 +60,14 @@ const kzcPromoMagic = "ZKZCTCP1"
 
 const kzcPromoLen = 16
 
+// kzcMaxThreshold caps the peer-negotiated zero-copy threshold. The
+// header field is a u32; a hostile or corrupt value >= 2^31 would wrap
+// negative through the int32 store and force every deposit — any size —
+// onto the MSG_ZEROCOPY path, letting a peer impose pinning/completion
+// overhead on all sends. Out-of-range values are ignored in favor of
+// the local default.
+const kzcMaxThreshold = 1 << 30
+
 // KZC is the kernel zero-copy transport. See the package comment above
 // for the promotion protocol and completion semantics.
 type KZC struct {
@@ -162,7 +170,8 @@ func newKzcConn(t *KZC, tc *net.TCPConn, dialer bool) (*kzcConn, error) {
 		_ = tc.Close()
 		return nil, fmt.Errorf("transport: kzc raw conn: %w", err)
 	}
-	c := &kzcConn{t: t, tc: tc, raw: raw, dialer: dialer, closed: make(chan struct{})}
+	c := &kzcConn{t: t, tc: tc, raw: raw, dialer: dialer,
+		reapWake: make(chan struct{}, 1), closed: make(chan struct{})}
 	c.thresh.Store(int32(t.threshold()))
 	c.sendFn = func(fd uintptr) bool {
 		c.sendN, c.sendErr = syscall.SendmsgN(int(fd), c.sendBuf, nil, nil, msgZeroCopy)
@@ -177,10 +186,19 @@ func newKzcConn(t *KZC, tc *net.TCPConn, dialer bool) (*kzcConn, error) {
 
 // kzcPending tracks the completion callback of one WriteZeroCopy: the
 // inclusive sequence range its sendmsgs consumed, how many sequences
-// are still outstanding, and whether any completed as copied.
+// are still outstanding, and whether any completed as copied. The
+// entry is registered BEFORE the write's first sendmsg and stays open
+// while the send loop runs: the kernel merges adjacent completion
+// ranges across writes, so the reaper can see a range covering this
+// write's sequences (merged with an earlier write's) before the loop
+// finishes, and must find the entry rather than drop the range. An
+// open entry never fires, even at remain==0, until the writer closes
+// it.
 type kzcPending struct {
 	lo, hi uint32
 	remain int
+	nseq   int  // sequences reserved over the entry's lifetime
+	open   bool // send loop still running; hold even at remain==0
 	copied bool
 	done   func(copied bool)
 }
@@ -240,6 +258,7 @@ type kzcConn struct {
 	fired     []*kzcPending
 
 	reaperOnce sync.Once
+	reapWake   chan struct{} // signals the parked reaper on registration
 	closed     chan struct{}
 	closeOnce  sync.Once
 	closeErr   error
@@ -299,7 +318,7 @@ func (c *kzcConn) probeLocked() error {
 	if _, err := io.ReadFull(c.tc, hdr[8:]); err != nil {
 		return fmt.Errorf("transport: kzc promotion header: %w", err)
 	}
-	if th := binary.LittleEndian.Uint32(hdr[8:]); th > 0 {
+	if th := binary.LittleEndian.Uint32(hdr[8:]); th > 0 && th <= kzcMaxThreshold {
 		c.thresh.Store(int32(th))
 	}
 	c.setZeroCopy()
@@ -445,10 +464,15 @@ func (c *kzcConn) WriteZeroCopy(p []byte, done func(copied bool)) (bool, error) 
 			}
 		}
 	}
+	pd := c.reservePending(done)
 	sent := 0
-	var lo, hi uint32
-	nseq := 0
 	for sent < len(p) {
+		// Reserve the sequence the sendmsg will consume BEFORE issuing
+		// it: the kernel can queue (and the reaper drain) the completion
+		// the moment the syscall returns, so recording the sequence
+		// afterwards would race a merged completion against an
+		// unregistered range.
+		c.reserveSeq(pd)
 		c.sendBuf = p[sent:]
 		werr := c.raw.Write(c.sendFn)
 		n, serr := c.sendN, c.sendErr
@@ -457,50 +481,35 @@ func (c *kzcConn) WriteZeroCopy(p []byte, done func(copied bool)) (bool, error) 
 			serr = werr
 		}
 		if serr != nil {
+			// A failed sendmsg consumed no kernel sequence (the kernel
+			// aborts the zero-copy id on error), so the reservation
+			// rolls back.
+			c.unreserveSeq(pd)
 			if serr == syscall.ENOBUFS {
 				// Optmem exhaustion: finish with a plain copying write.
 				// The kernel holds no reference beyond the sequences
 				// already consumed.
 				perr := c.plainWriteLocked(p[sent:])
-				if nseq == 0 {
-					done(true)
-				} else {
-					c.registerPending(lo, hi, nseq, done, true)
-					c.kickReaper()
-				}
+				c.closePending(pd, true)
 				return true, perr
 			}
 			// Stream broken mid-payload. Sequences already consumed
 			// complete via the reaper (or the caller's sweeper).
-			if nseq == 0 {
-				done(true)
-			} else {
-				c.registerPending(lo, hi, nseq, done, true)
-				c.kickReaper()
-			}
+			c.closePending(pd, true)
 			return true, fmt.Errorf("transport: kzc zero-copy send: %w", serr)
 		}
-		// One successful MSG_ZEROCOPY sendmsg = one kernel sequence.
-		c.cmu.Lock()
-		seq := c.sendSeq
-		c.sendSeq++
-		c.cmu.Unlock()
-		if nseq == 0 {
-			lo = seq
-		}
-		hi = seq
-		nseq++
 		sent += n
 	}
 	c.countWrite(int64(len(p)), 0)
-	c.registerPending(lo, hi, nseq, done, false)
-	c.kickReaper()
+	c.closePending(pd, false)
 	c.reapOnce() // opportunistic non-blocking drain
 	return true, nil
 }
 
-// registerPending records a completion callback for sequences [lo,hi].
-func (c *kzcConn) registerPending(lo, hi uint32, nseq int, done func(bool), copied bool) {
+// reservePending registers an open pending entry before a write's
+// first MSG_ZEROCOPY sendmsg, so completions reaped while the send
+// loop is still running always find their entry.
+func (c *kzcConn) reservePending(done func(bool)) *kzcPending {
 	c.cmu.Lock()
 	var p *kzcPending
 	if n := len(c.pendFree); n > 0 {
@@ -509,34 +518,110 @@ func (c *kzcConn) registerPending(lo, hi uint32, nseq int, done func(bool), copi
 	} else {
 		p = new(kzcPending)
 	}
-	p.lo, p.hi, p.remain, p.copied, p.done = lo, hi, nseq, copied, done
+	p.lo, p.hi, p.remain, p.nseq, p.copied, p.done = 0, 0, 0, 0, false, done
+	p.open = true
 	c.pend = append(c.pend, p)
 	c.cmu.Unlock()
 	c.outstanding.Add(1)
+	c.kickReaper()
+	return p
 }
 
-// kickReaper starts the background completion reaper on first use.
+// reserveSeq mirrors the kernel's per-socket zero-copy counter: it
+// assigns the sequence the next successful MSG_ZEROCOPY sendmsg will
+// consume and extends p to cover it.
+func (c *kzcConn) reserveSeq(p *kzcPending) {
+	c.cmu.Lock()
+	seq := c.sendSeq
+	c.sendSeq++
+	if p.nseq == 0 {
+		p.lo = seq
+	}
+	p.hi = seq
+	p.nseq++
+	p.remain++
+	c.cmu.Unlock()
+}
+
+// unreserveSeq rolls back a reservation whose sendmsg failed outright:
+// the kernel's counter did not advance, so no completion for the
+// sequence can ever arrive. (wmu serializes writers, so the rolled-back
+// sequence is reused by this write's next attempt or the next write.)
+func (c *kzcConn) unreserveSeq(p *kzcPending) {
+	c.cmu.Lock()
+	c.sendSeq--
+	p.hi--
+	p.nseq--
+	p.remain--
+	c.cmu.Unlock()
+}
+
+// closePending ends a write's send loop: the entry stops accepting
+// sequences and may now fire. If every reserved sequence has already
+// completed (or none were consumed at all), done fires here; otherwise
+// the reaper fires it when the last completion lands. copiedTail marks
+// the write as copied when its tail bytes went out as a plain
+// fallback write.
+func (c *kzcConn) closePending(p *kzcPending, copiedTail bool) {
+	c.cmu.Lock()
+	p.open = false
+	if copiedTail {
+		p.copied = true
+	}
+	fire := p.remain <= 0
+	if fire {
+		for i, q := range c.pend {
+			if q == p {
+				copy(c.pend[i:], c.pend[i+1:])
+				c.pend[len(c.pend)-1] = nil
+				c.pend = c.pend[:len(c.pend)-1]
+				break
+			}
+		}
+	}
+	cp, d := p.copied, p.done
+	c.cmu.Unlock()
+	if fire {
+		c.recyclePending(p)
+		c.outstanding.Add(-1)
+		if d != nil {
+			d(cp)
+		}
+	}
+}
+
+// kickReaper starts the background completion reaper on first use and
+// wakes it if it is parked with nothing outstanding.
 func (c *kzcConn) kickReaper() {
 	c.reaperOnce.Do(func() { go c.reapLoop() })
+	select {
+	case c.reapWake <- struct{}{}:
+	default:
+	}
 }
 
 // reapLoop drains errqueue completions until the connection closes.
 // The errqueue cannot be waited on through the runtime poller without
-// also waking on data readability, so the loop polls: tight while
-// completions are outstanding, parked otherwise.
+// also waking on data readability, so the loop polls at 500µs — but
+// only while completions are outstanding. With none it parks on
+// reapWake until the next write registers a pending entry, so an idle
+// promoted connection costs no wakeups.
 func (c *kzcConn) reapLoop() {
-	idle := time.NewTicker(500 * time.Microsecond)
-	defer idle.Stop()
 	for {
+		if c.outstanding.Load() == 0 {
+			select {
+			case <-c.closed:
+				return
+			case <-c.reapWake:
+			}
+		}
 		select {
 		case <-c.closed:
 			return
-		case <-idle.C:
-		}
-		if c.outstanding.Load() == 0 {
-			continue
+		default:
 		}
 		c.reapOnce()
+		time.Sleep(500 * time.Microsecond)
 	}
 }
 
@@ -612,14 +697,17 @@ func (c *kzcConn) completeRangeLocked(clo, chi uint32, copied bool) []*kzcPendin
 	kept := c.pend[:0]
 	for _, p := range c.pend {
 		// Overlap of [p.lo,p.hi] with [clo,chi]; sequence wraparound is
-		// ignored (2^32 sends per connection is out of scope).
+		// ignored (2^32 sends per connection is out of scope). An entry
+		// with no reserved sequences yet has meaningless lo/hi and
+		// cannot match; an open entry absorbs completions but is held
+		// until its send loop closes it (more sequences may follow).
 		lo, hi := max(p.lo, clo), min(p.hi, chi)
-		if lo <= hi {
+		if p.nseq > 0 && lo <= hi {
 			p.remain -= int(hi - lo + 1)
 			if copied {
 				p.copied = true
 			}
-			if p.remain <= 0 {
+			if p.remain <= 0 && !p.open {
 				full = append(full, p)
 				continue
 			}
@@ -709,10 +797,24 @@ func (c *kzcConn) SendFile(f *os.File, off, n int64) (int64, error) {
 func (c *kzcConn) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.closed)
-		c.closeErr = c.tc.Close()
 		// Pending completion callbacks are deliberately NOT fired: the
 		// kernel may still hold page references, and the caller's lease
-		// sweeper is the authority on reclaiming them.
+		// sweeper is the authority on reclaiming them. But a graceful
+		// close keeps transmitting queued zero-copy skbs that reference
+		// the caller's pages — after the sweeper has released the
+		// buffers for reuse, a reused-and-overwritten buffer would
+		// corrupt bytes still going out on the wire. So while
+		// completions are outstanding the close aborts (SO_LINGER 0 →
+		// RST): the kernel purges the send queue and drops its page
+		// references before Close returns, making the subsequent
+		// buffer release safe.
+		if c.outstanding.Load() > 0 {
+			_ = c.raw.Control(func(fd uintptr) {
+				_ = syscall.SetsockoptLinger(int(fd), syscall.SOL_SOCKET,
+					syscall.SO_LINGER, &syscall.Linger{Onoff: 1, Linger: 0})
+			})
+		}
+		c.closeErr = c.tc.Close()
 	})
 	return c.closeErr
 }

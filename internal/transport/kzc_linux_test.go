@@ -4,8 +4,10 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -375,4 +377,210 @@ func TestKZCSchemeDispatch(t *testing.T) {
 		t.Fatalf("dial scheme-qualified addr: %v", err)
 	}
 	c.Close()
+}
+
+// TestKZCMergedCompletionSpanningOpenWrite regression-tests the
+// completion/registration race: the kernel merges adjacent completion
+// ranges, so the reaper can see a single range covering a finished
+// write's sequences AND sequences of a write whose send loop is still
+// running. The open write's portion must be absorbed (not dropped) and
+// its callback held until the loop closes the entry.
+func TestKZCMergedCompletionSpanningOpenWrite(t *testing.T) {
+	cli, srv := kzcPair(t, &KZC{Threshold: 4096})
+	promoteKzc(t, cli, srv)
+	c := cli.(*kzcConn)
+	fireAll := func(fired []*kzcPending) {
+		for _, p := range fired {
+			cp, d := p.copied, p.done
+			c.recyclePending(p)
+			c.outstanding.Add(-1)
+			if d != nil {
+				d(cp)
+			}
+		}
+	}
+	var aFired, bFired atomic.Int32
+	// Write A: two sequences (0,1), send loop finished.
+	a := c.reservePending(func(bool) { aFired.Add(1) })
+	c.reserveSeq(a)
+	c.reserveSeq(a)
+	c.closePending(a, false)
+	// Write B: one sequence (2) so far, send loop still running.
+	b := c.reservePending(func(bool) { bFired.Add(1) })
+	c.reserveSeq(b)
+	// The kernel reports one merged range [0,2] spanning both writes.
+	c.cmu.Lock()
+	fired := c.completeRangeLocked(0, 2, true)
+	c.cmu.Unlock()
+	fireAll(fired)
+	if n := aFired.Load(); n != 1 {
+		t.Fatalf("finished write fired %d times, want 1", n)
+	}
+	if bFired.Load() != 0 {
+		t.Fatal("open write fired before its send loop closed")
+	}
+	// B consumes one more sequence; its completion arrives while the
+	// loop is still open, then the loop ends.
+	c.reserveSeq(b)
+	c.cmu.Lock()
+	fired = c.completeRangeLocked(3, 3, true)
+	c.cmu.Unlock()
+	if len(fired) != 0 {
+		t.Fatal("open entry returned as complete")
+	}
+	c.closePending(b, false)
+	if n := bFired.Load(); n != 1 {
+		t.Fatalf("open write fired %d times after close, want 1", n)
+	}
+	if n := c.outstanding.Load(); n != 0 {
+		t.Fatalf("outstanding = %d after all completions, want 0", n)
+	}
+	c.cmu.Lock()
+	npend := len(c.pend)
+	c.cmu.Unlock()
+	if npend != 0 {
+		t.Fatalf("%d pending entries leaked", npend)
+	}
+}
+
+// TestKZCUnreserveSeqRollsBack: a sendmsg that fails outright consumes
+// no kernel sequence; the mirror counter and the pending entry must
+// roll back so the next send reuses the sequence.
+func TestKZCUnreserveSeqRollsBack(t *testing.T) {
+	cli, srv := kzcPair(t, &KZC{Threshold: 4096})
+	promoteKzc(t, cli, srv)
+	c := cli.(*kzcConn)
+	var fired atomic.Int32
+	p := c.reservePending(func(bool) { fired.Add(1) })
+	c.reserveSeq(p)
+	c.unreserveSeq(p)
+	c.cmu.Lock()
+	seq := c.sendSeq
+	c.cmu.Unlock()
+	if seq != 0 {
+		t.Fatalf("sendSeq = %d after rollback, want 0", seq)
+	}
+	// A completion range containing sequence 0 must not match the
+	// rolled-back (now sequence-less) entry.
+	c.cmu.Lock()
+	fired2 := c.completeRangeLocked(0, 0, false)
+	c.cmu.Unlock()
+	if len(fired2) != 0 {
+		t.Fatal("sequence-less entry matched a completion range")
+	}
+	c.closePending(p, true)
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("done fired %d times, want 1 (immediately at close)", n)
+	}
+	if n := c.outstanding.Load(); n != 0 {
+		t.Fatalf("outstanding = %d, want 0", n)
+	}
+}
+
+// TestKZCThresholdClampsHostileValue: a peer-supplied threshold that
+// would wrap negative through the int32 store (forcing every deposit
+// onto the MSG_ZEROCOPY path) is ignored in favor of the local default.
+func TestKZCThresholdClampsHostileValue(t *testing.T) {
+	tr := &KZC{}
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	var (
+		srv  Conn
+		aerr error
+		wg   sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv, aerr = l.Accept()
+	}()
+	nc, err := net.Dial("tcp", trimKzc(l.Addr()))
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	defer nc.Close()
+	wg.Wait()
+	if aerr != nil {
+		t.Fatalf("accept: %v", aerr)
+	}
+	defer srv.Close()
+	var hdr [kzcPromoLen]byte
+	copy(hdr[:], kzcPromoMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], 1<<31) // wraps negative as int32
+	if _, err := nc.Write(append(hdr[:], "payload"...)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, 7)
+	if _, err := io.ReadFull(srv, got); err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	if th := srv.(*kzcConn).ZeroCopyThreshold(); th != DefaultZeroCopyThreshold {
+		t.Fatalf("threshold = %d after hostile header, want default %d",
+			th, DefaultZeroCopyThreshold)
+	}
+}
+
+// TestKZCCloseAbortsWhileCompletionsOutstanding: with zero-copy
+// completions outstanding the kernel's send queue may still reference
+// caller pages, so Close must abort the connection (RST, purging the
+// queue) rather than close gracefully — the peer sees a reset, not
+// EOF. With nothing outstanding the close stays graceful.
+func TestKZCCloseAbortsWhileCompletionsOutstanding(t *testing.T) {
+	t.Run("outstanding-rst", func(t *testing.T) {
+		cli, srv := kzcPair(t, &KZC{Threshold: 4096})
+		promoteKzc(t, cli, srv)
+		c := cli.(*kzcConn)
+		p := c.reservePending(func(bool) {})
+		c.reserveSeq(p) // a completion that will never settle
+		if err := cli.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		_, err := io.ReadFull(srv, make([]byte, 1))
+		if err == nil || errors.Is(err, io.EOF) {
+			t.Fatalf("peer observed graceful close (err=%v), want connection reset", err)
+		}
+	})
+	t.Run("idle-graceful", func(t *testing.T) {
+		cli, srv := kzcPair(t, &KZC{Threshold: 4096})
+		promoteKzc(t, cli, srv)
+		if err := cli.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if _, err := io.ReadFull(srv, make([]byte, 1)); !errors.Is(err, io.EOF) {
+			t.Fatalf("peer err = %v, want io.EOF (graceful close)", err)
+		}
+	})
+}
+
+// TestKZCReaperWakesAfterIdle: once every completion settles the reaper
+// parks (no wakeups on an idle connection); a later write must wake it
+// and still get its completion callback.
+func TestKZCReaperWakesAfterIdle(t *testing.T) {
+	cli, srv := kzcPair(t, &KZC{Threshold: 4096})
+	promoteKzc(t, cli, srv)
+	go io.Copy(io.Discard, srv)
+	kc := cli.(*kzcConn)
+	payload := make([]byte, 64<<10)
+	for round := 0; round < 2; round++ {
+		var fired atomic.Int32
+		ok, err := kc.WriteZeroCopy(payload, func(bool) { fired.Add(1) })
+		if !ok || err != nil {
+			t.Fatalf("round %d WriteZeroCopy: ok=%v err=%v", round, ok, err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for fired.Load() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d completion never fired", round)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// Let the reaper drain and park before the next round.
+		for kc.outstanding.Load() != 0 && !time.Now().After(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
