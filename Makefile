@@ -2,7 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet conformance fuzz chaos race race-all bench bench-all figures measure examples generate gencheck clean
+.PHONY: all build test vet conformance fuzz chaos race race-all bench bench-all scale figures measure examples generate gencheck clean
+
+UNAME_S := $(shell uname -s)
 
 all: build test
 
@@ -11,12 +13,15 @@ build:
 
 # The tier-1 gate: vet, the full unit suite (which includes the
 # wire-conformance golden vectors), the race-checked request engine,
-# and the chaos schedules.
+# the chaos schedules, and (on Linux) the connection-scale tier.
 test: vet gencheck
 	$(GO) test ./...
 	$(MAKE) conformance
 	$(MAKE) race
 	$(MAKE) chaos
+ifeq ($(UNAME_S),Linux)
+	$(MAKE) scale
+endif
 
 # Both build-tag sides must stay healthy: the native side and the
 # !linux skip stubs (shm/kzc data planes are linux-gated).
@@ -71,6 +76,17 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 	$(GO) run ./cmd/benchjson -o BENCH_orb.json bench_output.txt
+
+# Connection-scale tier (Linux, docs/PERF.md): the 10k-idle-connection
+# engine proof (bounded goroutines, every conn still answers), the
+# deterministic load-shed scenario, and a short run of the
+# request-rate-vs-connection-count bench for both server tiers. Raises
+# the fd soft limit to the hard limit best-effort first — the idle
+# herd wants ~10k fds on each side.
+scale:
+	@sh -c 'ulimit -n $$(ulimit -Hn) 2>/dev/null || true; \
+	  $(GO) test -count=1 -run "TestEngine_10kIdleConns|TestEngineLoadShed" ./internal/orb/ && \
+	  $(GO) test -count=1 -run "^$$" -bench "RequestRate_ConnScale" -benchtime 1000x -benchmem .'
 
 # Paper figures/tables from the calibrated model (fast, deterministic).
 figures:

@@ -34,6 +34,12 @@
 // transport fault schedule (see -chaos-seed) into the CORBA client and
 // enables the retry policy, reporting fired faults and recoveries.
 //
+// The CORBA server can swap its connection tier with -engine
+// (docs/PERF.md, Linux): idle connections are held as epoll
+// registrations instead of parked goroutines, -dispatchers bounds the
+// servicing pool, -max-inflight sheds excess requests with TRANSIENT,
+// and -max-conns pauses the accept loop at a connection ceiling.
+//
 // Observability (docs/OBSERVABILITY.md): -trace FILE records every
 // CORBA-mode span (client and sink side alike, correlated by trace ID)
 // and dumps them as a replayable NDJSON span log on exit; -debug ADDR
@@ -71,6 +77,10 @@ func main() {
 	window := flag.Int("window", 1, "CORBA client: pipelined in-flight requests (1 = synchronous)")
 	chaos := flag.Bool("chaos", false, "CORBA client: inject seeded transport faults and enable the retry policy")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed for -chaos")
+	engine := flag.Bool("engine", false, "CORBA server: event-driven connection engine (Linux; idle conns cost an epoll registration, not a goroutine)")
+	maxInFlight := flag.Int("max-inflight", 0, "CORBA server: admission cap; requests beyond it are shed with TRANSIENT (0 = unlimited)")
+	dispatchers := flag.Int("dispatchers", 0, "CORBA server: engine dispatcher pool size (0 = 2×GOMAXPROCS, min 4)")
+	maxConns := flag.Int("max-conns", 0, "CORBA server: pause accepting beyond this many connections (0 = unlimited)")
 	traceFile := flag.String("trace", "", "CORBA mode: write a replayable span log (NDJSON) to this file on exit")
 	debugAddr := flag.String("debug", "", "serve /metrics, /spans, /debug/vars and /debug/pprof on this address")
 	flag.Parse()
@@ -129,7 +139,16 @@ func main() {
 		case *kzc:
 			dataAddr = "kzc://127.0.0.1:0"
 		}
-		sink, err := ttcp.NewCorbaSinkData(tr, *zerocopy, tracer, dataAddr)
+		sink, err := ttcp.NewCorbaSinkConfig(ttcp.SinkConfig{
+			Transport:   tr,
+			ZeroCopy:    *zerocopy,
+			Tracer:      tracer,
+			DataAddr:    dataAddr,
+			Engine:      *engine,
+			MaxInFlight: *maxInFlight,
+			Dispatchers: *dispatchers,
+			MaxConns:    *maxConns,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -140,7 +159,7 @@ func main() {
 			if err := os.WriteFile(*iorFile, []byte(sink.IOR), 0o644); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("ttcp: CORBA sink up (zerocopy=%v shm=%v kzc=%v), IOR written to %s\n", *zerocopy, *shm, *kzc, *iorFile)
+			fmt.Printf("ttcp: CORBA sink up (zerocopy=%v shm=%v kzc=%v engine=%v), IOR written to %s\n", *zerocopy, *shm, *kzc, *engine, *iorFile)
 		} else {
 			fmt.Println(sink.IOR)
 		}

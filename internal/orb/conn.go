@@ -70,9 +70,14 @@ type conn struct {
 
 	closed atomic.Bool
 
-	mu            sync.Mutex // guards err and pendingLocate
+	mu            sync.Mutex // guards err, pendingLocate, and onClose
 	pendingLocate map[uint32]chan locateResult
 	err           error
+	// onClose runs exactly once during close, before the control stream
+	// is torn down: the event engine deregisters the connection's fd
+	// there while the fd is still open (a deregistration after Close
+	// could hit a reused fd number).
+	onClose func()
 
 	pending [pendingShards]pendingShard
 
@@ -236,7 +241,11 @@ func (c *conn) close(err error) {
 		c.err = err
 		locWaiters := c.pendingLocate
 		c.pendingLocate = map[uint32]chan locateResult{}
+		onClose := c.onClose
 		c.mu.Unlock()
+		if onClose != nil {
+			onClose()
+		}
 		// Publish the closed flag before sweeping the shards: register
 		// either lands in a shard before the sweep (and is failed
 		// below) or observes closed afterwards.
@@ -266,6 +275,16 @@ func (c *conn) close(err error) {
 			ch <- &replyMsg{err: commErr}
 		}
 	})
+}
+
+// setOnClose installs the close hook (see the field comment). A hook
+// installed after close has already run never fires; the installer
+// must detect the dead connection itself (the engine does so when fd
+// registration fails on the closed socket).
+func (c *conn) setOnClose(fn func()) {
+	c.mu.Lock()
+	c.onClose = fn
+	c.mu.Unlock()
 }
 
 // healthy reports whether the connection is still usable.
@@ -815,7 +834,9 @@ func releaseAll(bufs []*zcbuf.Buffer) {
 	}
 }
 
-// readLoop processes inbound messages until the connection dies.
+// readLoop processes inbound messages until the connection dies — the
+// goroutine-per-connection tier. The event engine feeds the same
+// handleMessage from its dispatcher pool instead.
 func (c *conn) readLoop() {
 	for {
 		hdr, body, err := c.readMessage()
@@ -828,165 +849,213 @@ func (c *conn) readLoop() {
 			c.close(err)
 			return
 		}
-		order := hdr.Order()
-		dec := cdr.GetDecoder(order, giop.HeaderSize, body)
-		switch hdr.Type {
-		case giop.MsgRequest:
-			if !c.isServer {
-				c.freeInline(dec, body)
-				c.protocolError("Request on client connection")
-				return
-			}
-			req, err := giop.UnmarshalRequestHeader(dec)
-			if err != nil {
-				c.freeInline(dec, body)
-				c.protocolError("bad request header: %v", err)
-				return
-			}
-			tc := c.traceCtx(req.ServiceContexts)
-			deposits, err := c.readDeposits(req.ServiceContexts, tc, req.Operation)
-			if err != nil {
-				var dt *errDepositTransfer
-				if asErr(err, &dt) {
-					// The bulk transfer aborted but the control stream
-					// is still framed: retire the data channel, answer
-					// TRANSIENT, and keep serving (degraded) instead of
-					// killing every in-flight call on the connection.
-					c.orb.stats.DepositAborts.Add(1)
-					c.markDataDown()
-					c.orb.logf("orb: request deposit aborted, degrading: %v", err)
-					if tc.Valid() {
-						c.orb.tracer.Record(trace.Span{
-							Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindFallback,
-							Op: req.Operation, Err: true, Start: trace.Now(),
-						})
-					}
-					c.orb.replySystemException(c, req,
-						&SystemException{Name: "TRANSIENT", Completed: CompletedNo}, tc)
-					c.freeInline(dec, body)
-					continue
-				}
-				// A malformed deposit announcement is a protocol error.
-				c.freeInline(dec, body)
-				c.protocolError("deposit: %v", err)
-				return
-			}
-			c.orb.wg.Add(1)
-			go func() {
-				defer c.orb.wg.Done()
-				defer c.freeInline(dec, body)
-				c.orb.handleRequest(c, req, dec, deposits, tc)
-			}()
-
-		case giop.MsgReply:
-			if c.isServer {
-				c.freeInline(dec, body)
-				c.protocolError("Reply on server connection")
-				return
-			}
-			rep, err := giop.UnmarshalReplyHeader(dec)
-			if err != nil {
-				c.freeInline(dec, body)
-				c.protocolError("bad reply header: %v", err)
-				return
-			}
-			// The server echoes the request's trace context in its reply,
-			// so the reply-side deposit read lands in the same trace.
-			tc := c.traceCtx(rep.ServiceContexts)
-			deposits, err := c.readDeposits(rep.ServiceContexts, tc, "")
-			if err != nil {
-				var dt *errDepositTransfer
-				if asErr(err, &dt) {
-					// The reply's bulk payload was lost; fail just this
-					// call (TRANSIENT — the server did execute it) and
-					// degrade the channel, keeping the connection and
-					// its other in-flight calls alive.
-					c.orb.stats.DepositAborts.Add(1)
-					c.markDataDown()
-					c.orb.logf("orb: reply deposit aborted, degrading: %v", err)
-					if tc.Valid() {
-						c.orb.tracer.Record(trace.Span{
-							Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindFallback,
-							Err: true, Start: trace.Now(),
-						})
-					}
-					c.freeInline(dec, body)
-					msg := replyMsgPool.Get().(*replyMsg)
-					msg.hdr.RequestID = rep.RequestID
-					msg.err = &SystemException{Name: "TRANSIENT", Completed: CompletedMaybe}
-					c.deliver(msg)
-					continue
-				}
-				c.freeInline(dec, body)
-				c.protocolError("reply deposit: %v", err)
-				return
-			}
-			msg := replyMsgPool.Get().(*replyMsg)
-			msg.hdr, msg.dec, msg.deposits, msg.body = rep, dec, deposits, body
-			c.deliver(msg)
-
-		case giop.MsgLocateRequest:
-			if !c.isServer {
-				c.freeInline(dec, body)
-				c.protocolError("LocateRequest on client connection")
-				return
-			}
-			lreq, err := giop.UnmarshalLocateRequestHeader(dec)
-			c.freeInline(dec, body)
-			if err != nil {
-				c.protocolError("bad locate request: %v", err)
-				return
-			}
-			status := giop.LocateUnknownObject
-			if _, ok := c.orb.servant(string(lreq.ObjectKey)); ok {
-				status = giop.LocateObjectHere
-			}
-			e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
-			lrep := giop.LocateReplyHeader{RequestID: lreq.RequestID, Status: status}
-			lrep.Marshal(e)
-			err = c.sendMessage(giop.MsgLocateReply, e.Bytes(), nil)
-			cdr.PutEncoder(e)
-			if err != nil {
-				c.close(err)
-				return
-			}
-
-		case giop.MsgLocateReply:
-			lrep, err := giop.UnmarshalLocateReplyHeader(dec)
-			c.freeInline(dec, body)
-			if err != nil {
-				c.protocolError("bad locate reply: %v", err)
-				return
-			}
-			c.mu.Lock()
-			ch := c.pendingLocate[lrep.RequestID]
-			delete(c.pendingLocate, lrep.RequestID)
-			c.mu.Unlock()
-			if ch != nil {
-				ch <- locateResult{hdr: lrep}
-			}
-
-		case giop.MsgCancelRequest:
-			// Best-effort semantics: the reply is simply discarded by
-			// the client; nothing to do server-side in this ORB.
-			c.freeInline(dec, body)
-
-		case giop.MsgCloseConnection:
-			c.freeInline(dec, body)
-			c.close(io.EOF)
-			return
-
-		case giop.MsgMessageError:
-			c.freeInline(dec, body)
-			c.close(errors.New("orb: peer reported message error"))
-			return
-
-		case giop.MsgFragment:
-			c.freeInline(dec, body)
-			c.protocolError("unexpected Fragment")
+		if !c.handleMessage(hdr, body, false) {
 			return
 		}
 	}
+}
+
+// handleMessage processes one complete logical GIOP message (fragments
+// already reassembled) and consumes body (returning it to the pool on
+// every path). inline selects the dispatch mode for requests: the
+// event engine's workers run the servant on the calling goroutine
+// (bounded concurrency = pool size), the legacy tier spawns a handler
+// goroutine per request. It reports false when the connection is
+// finished (closed, or a fatal protocol error was answered).
+func (c *conn) handleMessage(hdr giop.Header, body []byte, inline bool) bool {
+	dec := cdr.GetDecoder(hdr.Order(), giop.HeaderSize, body)
+	switch hdr.Type {
+	case giop.MsgRequest:
+		if !c.isServer {
+			c.freeInline(dec, body)
+			c.protocolError("Request on client connection")
+			return false
+		}
+		req, err := giop.UnmarshalRequestHeader(dec)
+		if err != nil {
+			c.freeInline(dec, body)
+			c.protocolError("bad request header: %v", err)
+			return false
+		}
+		tc := c.traceCtx(req.ServiceContexts)
+		deposits, err := c.readDeposits(req.ServiceContexts, tc, req.Operation)
+		if err != nil {
+			var dt *errDepositTransfer
+			if asErr(err, &dt) {
+				// The bulk transfer aborted but the control stream
+				// is still framed: retire the data channel, answer
+				// TRANSIENT, and keep serving (degraded) instead of
+				// killing every in-flight call on the connection.
+				c.orb.stats.DepositAborts.Add(1)
+				c.markDataDown()
+				c.orb.logf("orb: request deposit aborted, degrading: %v", err)
+				if tc.Valid() {
+					c.orb.tracer.Record(trace.Span{
+						Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindFallback,
+						Op: req.Operation, Err: true, Start: trace.Now(),
+					})
+				}
+				c.orb.replySystemException(c, req,
+					&SystemException{Name: "TRANSIENT", Completed: CompletedNo}, tc)
+				c.freeInline(dec, body)
+				return true
+			}
+			// A malformed deposit announcement is a protocol error.
+			c.freeInline(dec, body)
+			c.protocolError("deposit: %v", err)
+			return false
+		}
+		c.dispatchRequest(req, dec, body, deposits, tc, inline)
+		return true
+
+	case giop.MsgReply:
+		if c.isServer {
+			c.freeInline(dec, body)
+			c.protocolError("Reply on server connection")
+			return false
+		}
+		rep, err := giop.UnmarshalReplyHeader(dec)
+		if err != nil {
+			c.freeInline(dec, body)
+			c.protocolError("bad reply header: %v", err)
+			return false
+		}
+		// The server echoes the request's trace context in its reply,
+		// so the reply-side deposit read lands in the same trace.
+		tc := c.traceCtx(rep.ServiceContexts)
+		deposits, err := c.readDeposits(rep.ServiceContexts, tc, "")
+		if err != nil {
+			var dt *errDepositTransfer
+			if asErr(err, &dt) {
+				// The reply's bulk payload was lost; fail just this
+				// call (TRANSIENT — the server did execute it) and
+				// degrade the channel, keeping the connection and
+				// its other in-flight calls alive.
+				c.orb.stats.DepositAborts.Add(1)
+				c.markDataDown()
+				c.orb.logf("orb: reply deposit aborted, degrading: %v", err)
+				if tc.Valid() {
+					c.orb.tracer.Record(trace.Span{
+						Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindFallback,
+						Err: true, Start: trace.Now(),
+					})
+				}
+				c.freeInline(dec, body)
+				msg := replyMsgPool.Get().(*replyMsg)
+				msg.hdr.RequestID = rep.RequestID
+				msg.err = &SystemException{Name: "TRANSIENT", Completed: CompletedMaybe}
+				c.deliver(msg)
+				return true
+			}
+			c.freeInline(dec, body)
+			c.protocolError("reply deposit: %v", err)
+			return false
+		}
+		msg := replyMsgPool.Get().(*replyMsg)
+		msg.hdr, msg.dec, msg.deposits, msg.body = rep, dec, deposits, body
+		c.deliver(msg)
+		return true
+
+	case giop.MsgLocateRequest:
+		if !c.isServer {
+			c.freeInline(dec, body)
+			c.protocolError("LocateRequest on client connection")
+			return false
+		}
+		lreq, err := giop.UnmarshalLocateRequestHeader(dec)
+		c.freeInline(dec, body)
+		if err != nil {
+			c.protocolError("bad locate request: %v", err)
+			return false
+		}
+		status := giop.LocateUnknownObject
+		if _, ok := c.orb.servant(string(lreq.ObjectKey)); ok {
+			status = giop.LocateObjectHere
+		}
+		e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
+		lrep := giop.LocateReplyHeader{RequestID: lreq.RequestID, Status: status}
+		lrep.Marshal(e)
+		err = c.sendMessage(giop.MsgLocateReply, e.Bytes(), nil)
+		cdr.PutEncoder(e)
+		if err != nil {
+			c.close(err)
+			return false
+		}
+		return true
+
+	case giop.MsgLocateReply:
+		lrep, err := giop.UnmarshalLocateReplyHeader(dec)
+		c.freeInline(dec, body)
+		if err != nil {
+			c.protocolError("bad locate reply: %v", err)
+			return false
+		}
+		c.mu.Lock()
+		ch := c.pendingLocate[lrep.RequestID]
+		delete(c.pendingLocate, lrep.RequestID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- locateResult{hdr: lrep}
+		}
+		return true
+
+	case giop.MsgCancelRequest:
+		// Best-effort semantics: the reply is simply discarded by
+		// the client; nothing to do server-side in this ORB.
+		c.freeInline(dec, body)
+		return true
+
+	case giop.MsgCloseConnection:
+		c.freeInline(dec, body)
+		c.close(io.EOF)
+		return false
+
+	case giop.MsgMessageError:
+		c.freeInline(dec, body)
+		c.close(errors.New("orb: peer reported message error"))
+		return false
+
+	case giop.MsgFragment:
+		c.freeInline(dec, body)
+		c.protocolError("unexpected Fragment")
+		return false
+
+	default:
+		c.freeInline(dec, body)
+		c.protocolError("unknown message type %v", hdr.Type)
+		return false
+	}
+}
+
+// dispatchRequest runs admission control and hands one request to the
+// servant layer. Requests beyond the MaxInFlight cap are shed with
+// TRANSIENT instead of queueing (the deposits were already consumed,
+// so the data channel's framing survives the rejection). inline=true
+// dispatches on the calling goroutine — the event engine's bounded
+// worker pool — while the legacy tier spawns a handler goroutine to
+// keep per-connection pipelining.
+func (c *conn) dispatchRequest(req giop.RequestHeader, dec *cdr.Decoder, body []byte,
+	deposits []*zcbuf.Buffer, tc trace.Context, inline bool) {
+	o := c.orb
+	if !o.acquireSlot() {
+		releaseAll(deposits)
+		o.shedRequest(c, req, tc)
+		c.freeInline(dec, body)
+		return
+	}
+	if inline {
+		o.handleRequest(c, req, dec, deposits, tc)
+		o.releaseSlot()
+		c.freeInline(dec, body)
+		return
+	}
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+		defer o.releaseSlot()
+		defer c.freeInline(dec, body)
+		o.handleRequest(c, req, dec, deposits, tc)
+	}()
 }
 
 // freeInline returns a message's decoder and body buffer to their

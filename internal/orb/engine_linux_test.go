@@ -1,0 +1,333 @@
+//go:build linux
+
+package orb
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"zcorba/internal/transport"
+)
+
+// herdConns resolves the connection-herd size: 10000 by default (the
+// scale target of docs/PERF.md), overridable via ORB_ENGINE_HERD_N for
+// debugging on fd-starved machines.
+func herdConns() int {
+	if s := os.Getenv("ORB_ENGINE_HERD_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 10000
+}
+
+// herdPass performs exactly one invocation per connection stripe: the
+// per-ref round-robin counter assigns n concurrent invokes to n
+// distinct stripes, so a pass both dials every connection (first pass)
+// and proves every connection still answers (later passes).
+func herdPass(ref *ObjectRef, n, workers int) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	next := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		next <- struct{}{}
+	}
+	close(next)
+	op := storeIface.Ops["swap"]
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range next {
+				if _, _, err := ref.Invoke(op, []any{"herd"}); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// TestEngineHerdHelper is not a test: it is the client half of
+// TestEngine_10kIdleConns, re-executed from this test binary so each
+// side of the 10k-connection herd owns its own fd table (one process
+// holding both ends would need twice the fd budget). It dials one
+// striped connection per herd member, reports "pass1" via the status
+// file, then waits for one byte on stdin before re-invoking on every
+// connection ("pass2"); the parent closing stdin is the shutdown
+// signal.
+func TestEngineHerdHelper(t *testing.T) {
+	if os.Getenv("ORB_ENGINE_HERD") == "" {
+		t.Skip("cross-process helper entry point; spawned by TestEngine_10kIdleConns")
+	}
+	n, err := strconv.Atoi(os.Getenv("ORB_ENGINE_HERD"))
+	if err != nil || n <= 0 {
+		fmt.Fprintln(os.Stderr, "herd helper: bad ORB_ENGINE_HERD")
+		os.Exit(1)
+	}
+	client, err := New(Options{
+		Transport:        &transport.TCP{},
+		ConnsPerEndpoint: n,
+		CallTimeout:      60 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "herd helper: client ORB:", err)
+		os.Exit(1)
+	}
+	ref, err := client.StringToObject(os.Getenv("ORB_ENGINE_IOR"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "herd helper: IOR:", err)
+		os.Exit(1)
+	}
+	status := os.Getenv("ORB_ENGINE_STATUS")
+	report := func(tag string) {
+		if err := os.WriteFile(status, []byte(tag), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "herd helper: status:", err)
+			os.Exit(1)
+		}
+	}
+	if err := herdPass(ref, n, 32); err != nil {
+		fmt.Fprintln(os.Stderr, "herd helper: pass1:", err)
+		os.Exit(1)
+	}
+	report("pass1")
+	if _, err := os.Stdin.Read(make([]byte, 1)); err != nil {
+		os.Exit(0) // parent went away before asking for pass2
+	}
+	if err := herdPass(ref, n, 32); err != nil {
+		fmt.Fprintln(os.Stderr, "herd helper: pass2:", err)
+		os.Exit(1)
+	}
+	report("pass2")
+	_, _ = io.Copy(io.Discard, os.Stdin) // parent's stdin close = shutdown
+	client.Shutdown()
+}
+
+// waitHerdStatus polls the helper's status file for the given tag.
+func waitHerdStatus(t *testing.T, path, tag string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if b, err := os.ReadFile(path); err == nil && string(b) == tag {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("herd helper never reported %q", tag)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestEngine_10kIdleConns is the engine's scale proof: 10 000 idle
+// inbound connections must cost one registered fd each — not one
+// parked goroutine each — and every one of them must still answer
+// after idling. The client herd runs in a re-executed child process so
+// both fd tables stay inside the default limit.
+func TestEngine_10kIdleConns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-connection soak skipped in -short mode")
+	}
+	n := herdConns()
+	base := runtime.NumGoroutine()
+	server, err := New(Options{Transport: &transport.TCP{}, Engine: true})
+	if err != nil {
+		t.Fatalf("server ORB: %v", err)
+	}
+	t.Cleanup(server.Shutdown)
+	if server.engine == nil {
+		t.Fatal("event engine unavailable on Linux")
+	}
+	ref, err := server.Activate("store", newStoreServant())
+	if err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+
+	status := filepath.Join(t.TempDir(), "status")
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestEngineHerdHelper$")
+	cmd.Env = append(os.Environ(),
+		"ORB_ENGINE_HERD="+strconv.Itoa(n),
+		"ORB_ENGINE_IOR="+ref.String(),
+		"ORB_ENGINE_STATUS="+status)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatalf("stdin pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn herd: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = stdin.Close()
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+
+	checkScale := func(pass string) {
+		t.Helper()
+		if got := server.Stats().EngineConns.Load(); got != int64(n) {
+			t.Fatalf("%s: EngineConns = %d, want %d (connections fell off the event tier)",
+				pass, got, n)
+		}
+		// The scale claim itself: goroutines stay O(dispatcher pool),
+		// not O(connections).
+		if g := runtime.NumGoroutine(); g > base+64 {
+			t.Fatalf("%s: %d goroutines for %d idle conns (baseline %d): engine is not parking them",
+				pass, g, n, base)
+		}
+	}
+
+	waitHerdStatus(t, status, "pass1", 3*time.Minute)
+	checkScale("pass1 (herd idle)")
+
+	// Wake every parked connection back up.
+	if _, err := stdin.Write([]byte{1}); err != nil {
+		t.Fatalf("signal pass2: %v", err)
+	}
+	waitHerdStatus(t, status, "pass2", 3*time.Minute)
+	checkScale("pass2 (herd re-invoked)")
+	if got, want := server.Stats().RequestsServed.Load(), int64(2*n); got != want {
+		t.Fatalf("RequestsServed = %d, want %d", got, want)
+	}
+	if got := server.Stats().ShedRequests.Load(); got != 0 {
+		t.Fatalf("herd shed %d requests with no admission cap", got)
+	}
+
+	// Close stdin: the herd shuts down and every fd must deregister.
+	_ = stdin.Close()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("herd helper: %v", err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("herd helper did not exit after stdin close")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for server.Stats().EngineConns.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("EngineConns stuck at %d after the herd exited",
+				server.Stats().EngineConns.Load())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestEngineChaosResetMidDispatch injects a connection reset on the
+// client's control stream while a dispatch is still running in the
+// engine's worker: both outstanding calls must fail (never hang), the
+// server must deregister the dead fd and return its in-flight slot,
+// and a fresh client must be served as if nothing happened.
+func TestEngineChaosResetMidDispatch(t *testing.T) {
+	server, err := New(Options{Transport: &transport.TCP{}, Engine: true})
+	if err != nil {
+		t.Fatalf("server ORB: %v", err)
+	}
+	t.Cleanup(server.Shutdown)
+	if server.engine == nil {
+		t.Fatal("event engine unavailable on Linux")
+	}
+	sv := newStoreServant()
+	sv.slowDur = 400 * time.Millisecond
+	ref, err := server.Activate("store", sv)
+	if err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	iorStr := ref.String()
+
+	// The second control write the chaos client makes — the request
+	// racing the in-flight slow dispatch — resets the connection.
+	inj := transport.NewFaultInjector(11).Add(transport.Rule{
+		Op: transport.OpWrite, Class: transport.ClassControl,
+		Kind: transport.FaultReset, Nth: 2,
+	})
+	chaos, err := New(Options{
+		Transport:   &transport.Faulty{Inner: &transport.TCP{}, Inj: inj},
+		CallTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("chaos client ORB: %v", err)
+	}
+	cref, err := chaos.StringToObject(iorStr)
+	if err != nil {
+		t.Fatalf("StringToObject: %v", err)
+	}
+
+	slowErr := make(chan error, 1)
+	go func() {
+		_, _, err := cref.Invoke(storeIface.Ops["slow"], nil)
+		slowErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for server.Stats().InFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow dispatch never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Mid-dispatch reset: this request's write tears the conn down.
+	if _, _, err := cref.Invoke(storeIface.Ops["swap"], []any{"x"}); err == nil {
+		t.Fatal("invoke on the reset connection succeeded")
+	}
+	select {
+	case err := <-slowErr:
+		if err == nil {
+			t.Fatal("slow invoke succeeded across a connection reset")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("slow invoke hung after the connection reset")
+	}
+	chaos.Shutdown()
+
+	// The engine must drop the dead fd and the dispatcher must return
+	// its slot even though the reply write failed.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		ec := server.Stats().EngineConns.Load()
+		inf := server.Stats().InFlight.Load()
+		if ec == 0 && inf == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead connection not reclaimed: EngineConns %d, InFlight %d", ec, inf)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The engine is still healthy: a fresh client gets served.
+	fresh, err := New(Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatalf("fresh client ORB: %v", err)
+	}
+	t.Cleanup(fresh.Shutdown)
+	fref, err := fresh.StringToObject(iorStr)
+	if err != nil {
+		t.Fatalf("StringToObject: %v", err)
+	}
+	if _, _, err := fref.Invoke(storeIface.Ops["swap"], []any{"again"}); err != nil {
+		t.Fatalf("post-chaos invoke: %v", err)
+	}
+	if server.Stats().EngineConns.Load() != 1 {
+		t.Fatalf("fresh connection did not join the engine")
+	}
+}

@@ -100,6 +100,34 @@ type Options struct {
 	// no explicit activation — a POA default-servant policy, useful
 	// for gateways that mint object keys on the fly.
 	DefaultServant Servant
+	// Engine enables the event-driven connection engine on the server
+	// side: inbound control connections are parked in a shared epoll
+	// readiness set and serviced by a bounded dispatcher pool, so an
+	// idle connection costs one registered fd instead of a goroutine
+	// (docs/PERF.md "Event-driven connection engine"). Linux-only; on
+	// other platforms — and for connections whose transport cannot
+	// expose a raw socket — the ORB falls back to the legacy
+	// goroutine-per-connection read loop.
+	Engine bool
+	// EngineDispatchers sizes the engine's dispatcher pool (the number
+	// of goroutines that drain ready connections and run servant
+	// dispatch). 0 picks max(4, 2*GOMAXPROCS).
+	EngineDispatchers int
+	// EngineWakeupBatch bounds both the epoll events harvested per
+	// wakeup and the messages one connection may consume per service
+	// pass before it is requeued behind other ready connections
+	// (per-connection fairness). 0 uses 64.
+	EngineWakeupBatch int
+	// MaxInFlight caps concurrently dispatched requests across all
+	// server connections. Requests beyond the cap are shed with a
+	// TRANSIENT system exception (minor code shedMinor) instead of
+	// queuing without bound; retry-policy clients back off and retry.
+	// 0 or negative means unlimited.
+	MaxInFlight int
+	// MaxConns caps accepted server connections; the accept loop
+	// pauses (leaving further connections in the kernel backlog) until
+	// a slot frees. 0 or negative means unlimited.
+	MaxConns int
 	// Tracer, if set, records per-invocation spans and histograms for
 	// every request this ORB sends or serves (docs/OBSERVABILITY.md).
 	// The trace context travels in a GIOP service context, so both
@@ -156,6 +184,54 @@ func (o *ORB) connStripes() int {
 	}
 	return o.opts.ConnsPerEndpoint
 }
+
+// engineDispatchers resolves the dispatcher pool size.
+func (o *ORB) engineDispatchers() int {
+	if o.opts.EngineDispatchers > 0 {
+		return o.opts.EngineDispatchers
+	}
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// engineWakeupBatch resolves the wakeup/fairness batch size.
+func (o *ORB) engineWakeupBatch() int {
+	if o.opts.EngineWakeupBatch > 0 {
+		return o.opts.EngineWakeupBatch
+	}
+	return 64
+}
+
+// shedMinor is the TRANSIENT minor code carried by admission-control
+// rejections, so clients (and tests) can distinguish a shed from other
+// transient failures.
+const shedMinor = 0x5a43_0001 // "ZC" shed
+
+// acquireSlot claims one in-flight dispatch slot, honoring the
+// admission cap. The gauge is maintained even when the cap is off so
+// /metrics always reports live dispatch concurrency.
+func (o *ORB) acquireSlot() bool {
+	max := int64(o.opts.MaxInFlight)
+	if max <= 0 {
+		o.stats.InFlight.Add(1)
+		return true
+	}
+	for {
+		n := o.stats.InFlight.Load()
+		if n >= max {
+			return false
+		}
+		if o.stats.InFlight.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// releaseSlot returns an in-flight dispatch slot.
+func (o *ORB) releaseSlot() { o.stats.InFlight.Add(-1) }
 
 // maxPooledBody bounds the capacity of control-message bodies retained
 // by the body free list; larger bodies (bulk standard-path transfers)
@@ -275,6 +351,25 @@ type Stats struct {
 	// interpreter (docs/IDL.md "Compiled marshalers").
 	GeneratedMarshals   atomic.Int64
 	GeneratedDemarshals atomic.Int64
+	// EngineConns gauges connections currently parked in the event
+	// engine's readiness set (server side, engine tier only).
+	EngineConns atomic.Int64
+	// EngineWakeups counts epoll waits that returned at least one ready
+	// connection; EngineWakeups≪messages handled means wakeup batching
+	// is amortizing poller trips.
+	EngineWakeups atomic.Int64
+	// DispatchQueueDepth gauges connections waiting in the engine's
+	// dispatcher queue (ready but not yet serviced).
+	DispatchQueueDepth atomic.Int64
+	// InFlight gauges requests currently dispatched to servants (both
+	// tiers); the admission cap (Options.MaxInFlight) bounds it.
+	InFlight atomic.Int64
+	// ShedRequests counts requests rejected by admission control with
+	// a TRANSIENT system exception instead of being dispatched.
+	ShedRequests atomic.Int64
+	// AcceptPauses counts times the accept loop paused on the MaxConns
+	// cap (backpressure pushed into the kernel listen backlog).
+	AcceptPauses atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of the request-path counters,
@@ -344,6 +439,13 @@ type ORB struct {
 	dataChans   map[uint64]*dataChanEntry
 	dataWaiters map[uint64][]chan transport.Conn
 	closed      bool
+	// acceptCond parks the accept loop while serverConns is at the
+	// MaxConns cap; removeServerConn and Shutdown signal it.
+	acceptCond *sync.Cond
+
+	// engine is the event-driven connection engine (nil when disabled,
+	// unsupported on this platform, or failed to initialize).
+	engine *engine
 
 	reqID     atomic.Uint32
 	tokenBase uint64
@@ -425,6 +527,19 @@ func New(opts Options) (*ORB, error) {
 		return nil, fmt.Errorf("orb: token seed: %w", err)
 	}
 	o.tokenBase = binary.BigEndian.Uint64(tok[:])
+	o.acceptCond = sync.NewCond(&o.mu)
+
+	if opts.Engine {
+		eng, err := newEngine(o)
+		if err != nil {
+			// Degrade to the goroutine-per-connection tier — the stub
+			// path on non-Linux platforms, and the safety net when epoll
+			// setup fails.
+			o.logf("orb: event engine unavailable, using goroutine-per-conn tier: %v", err)
+		} else {
+			o.engine = eng
+		}
+	}
 
 	// Listen addresses accept scheme URIs (tcp://, inproc://, shm://):
 	// a scheme different from the configured transport's selects the
@@ -666,8 +781,21 @@ func (o *ORB) RegisterMetrics(x *trace.Exporter) {
 		{"kzc_reuse_warnings_total", "Deposit buffers modified before their zero-copy completion.", &s.KzcReuseWarnings},
 		{"generated_marshals_total", "Parameters marshaled by compiled marshalers.", &s.GeneratedMarshals},
 		{"generated_demarshals_total", "Parameters demarshaled by compiled marshalers.", &s.GeneratedDemarshals},
+		{"engine_wakeups_total", "Epoll waits that returned ready connections.", &s.EngineWakeups},
+		{"shed_requests_total", "Requests rejected by admission control (TRANSIENT).", &s.ShedRequests},
+		{"accept_pauses_total", "Accept-loop pauses at the MaxConns cap.", &s.AcceptPauses},
 	} {
 		x.AddCounter(c.name, c.help, c.v.Load)
+	}
+	for _, g := range []struct {
+		name, help string
+		v          *atomic.Int64
+	}{
+		{"engine_conns", "Connections parked in the event engine.", &s.EngineConns},
+		{"dispatch_queue_depth", "Ready connections awaiting a dispatcher.", &s.DispatchQueueDepth},
+		{"inflight_requests", "Requests currently dispatched to servants.", &s.InFlight},
+	} {
+		x.AddGauge(g.name, g.help, g.v.Load)
 	}
 }
 
@@ -676,6 +804,15 @@ func (o *ORB) Pool() *zcbuf.Pool { return o.pool }
 
 // Addr returns the control endpoint address.
 func (o *ORB) Addr() string { return o.ctrlLis.Addr() }
+
+// ServerConns reports the number of live inbound control connections
+// (both tiers: engine-parked and goroutine-served). Scale tests use it
+// to wait until the accept loop has absorbed a connection herd.
+func (o *ORB) ServerConns() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.serverConns)
+}
 
 // Activate registers servant under the given object key and returns an
 // object reference for it. Keys are arbitrary non-empty strings.
@@ -779,10 +916,15 @@ func (o *ORB) nextToken() uint64 {
 	return o.tokenBase + o.tokenSeq.Add(1)
 }
 
-// acceptControl accepts inbound IIOP connections.
+// acceptControl accepts inbound IIOP connections. Each is either
+// registered with the event engine (idle cost: one epoll entry) or
+// handed a legacy reader goroutine. When MaxConns is set, the loop
+// pauses at the cap — backpressure lands in the kernel listen backlog
+// instead of unbounded per-connection state.
 func (o *ORB) acceptControl() {
 	defer o.wg.Done()
 	for {
+		o.waitAcceptSlot()
 		tc, err := o.ctrlLis.Accept()
 		if err != nil {
 			return
@@ -796,15 +938,46 @@ func (o *ORB) acceptControl() {
 		}
 		o.serverConns[c] = struct{}{}
 		o.mu.Unlock()
+		if o.engine != nil && o.engine.add(c) {
+			continue
+		}
 		o.wg.Add(1)
 		go func() {
 			defer o.wg.Done()
 			c.readLoop()
-			o.mu.Lock()
-			delete(o.serverConns, c)
-			o.mu.Unlock()
+			o.removeServerConn(c)
 		}()
 	}
+}
+
+// waitAcceptSlot blocks while the server connection count sits at the
+// MaxConns cap (no-op when unlimited or shut down).
+func (o *ORB) waitAcceptSlot() {
+	max := o.opts.MaxConns
+	if max <= 0 {
+		return
+	}
+	o.mu.Lock()
+	paused := false
+	for !o.closed && len(o.serverConns) >= max {
+		if !paused {
+			paused = true
+			o.stats.AcceptPauses.Add(1)
+		}
+		o.acceptCond.Wait()
+	}
+	o.mu.Unlock()
+}
+
+// removeServerConn retires a server connection's registry entry and
+// wakes an accept loop paused on the MaxConns cap.
+func (o *ORB) removeServerConn(c *conn) {
+	o.mu.Lock()
+	if _, ok := o.serverConns[c]; ok {
+		delete(o.serverConns, c)
+		o.acceptCond.Signal()
+	}
+	o.mu.Unlock()
 }
 
 // dataPreambleMagic opens every data-channel connection, followed by
@@ -998,6 +1171,7 @@ func (o *ORB) Shutdown() {
 	o.mu.Unlock()
 
 	close(o.done)
+	o.acceptCond.Broadcast()
 	_ = o.ctrlLis.Close()
 	if o.dataLis != nil {
 		_ = o.dataLis.Close()
@@ -1012,6 +1186,9 @@ func (o *ORB) Shutdown() {
 		for range ws {
 			// Waiters time out on their own; nothing to send.
 		}
+	}
+	if o.engine != nil {
+		o.engine.stop()
 	}
 	o.wg.Wait()
 }

@@ -143,6 +143,27 @@ func (o *ORB) handleRequest(c *conn, req giop.RequestHeader, dec *cdr.Decoder,
 	o.replyValues(c, req, op, types, vals, tc)
 }
 
+// shedRequest rejects a request that exceeded the admission cap
+// (Options.MaxInFlight): the client gets an immediate TRANSIENT system
+// exception (minor shedMinor) instead of queueing behind an overloaded
+// dispatcher — retry-policy clients back off and re-invoke, which is
+// the backpressure loop docs/FAULTS.md describes. Oneway requests are
+// shed silently (replySystemException already suppresses replies the
+// client never waits for). Deposits announced with the request were
+// consumed by the caller, so the data channel's framing stays intact.
+func (o *ORB) shedRequest(c *conn, req giop.RequestHeader, tc trace.Context) {
+	o.stats.ShedRequests.Add(1)
+	if tc.Valid() {
+		o.tracer.Record(trace.Span{
+			Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindShed,
+			Op: req.Operation, Err: true, Start: trace.Now(),
+		})
+	}
+	o.replySystemException(c, req, &SystemException{
+		Name: "TRANSIENT", Minor: shedMinor, Completed: CompletedNo,
+	}, tc)
+}
+
 // echoTrace appends the request's trace context to a reply header so
 // the client side of the trace can attribute the reply's deposits. A
 // zero context appends nothing, keeping untraced replies byte-identical.

@@ -12,20 +12,47 @@ import (
 
 // TestSoakMixedWorkload drives a small cluster with a mixed workload
 // (ZC bulk, standard bulk, small control calls, oneways, failures) and
-// verifies the ORBs shut down without leaking goroutines.
+// verifies the ORBs shut down without leaking goroutines. It runs once
+// per server tier: the legacy goroutine-per-connection loop and the
+// event-driven engine must be workload-equivalent.
 func TestSoakMixedWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
+	for _, tier := range serverTiers {
+		t.Run(tier.name, func(t *testing.T) { soakMixedWorkload(t, tier.engine) })
+	}
+}
+
+func soakMixedWorkload(t *testing.T, engine bool) {
 	before := runtime.NumGoroutine()
 
 	func() {
-		server, err := New(Options{Transport: &transport.TCP{}, ZeroCopy: true})
+		server, err := New(Options{Transport: &transport.TCP{}, ZeroCopy: true, Engine: engine})
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer server.Shutdown()
 		sv := newStoreServant()
+		// Drain oneway notifications for the server's whole lifetime:
+		// the engine tier dispatches inline from a bounded worker pool,
+		// so a servant blocking on a full channel would stall every
+		// dispatcher (the blocking-servant hazard docs/PERF.md calls
+		// out). The drainer outlives Shutdown (LIFO defers) so even a
+		// late oneway finds a consumer.
+		drainStop := make(chan struct{})
+		drainDone := make(chan struct{})
+		go func() {
+			defer close(drainDone)
+			for {
+				select {
+				case <-sv.notified:
+				case <-drainStop:
+					return
+				}
+			}
+		}()
+		defer func() { close(drainStop); <-drainDone }()
+		defer server.Shutdown()
 		ref, err := server.Activate("store", sv)
 		if err != nil {
 			t.Fatal(err)
@@ -92,15 +119,6 @@ func TestSoakMixedWorkload(t *testing.T) {
 		for err := range errs {
 			t.Fatal(err)
 		}
-		// Drain the oneway notifications so nothing blocks shutdown.
-		for {
-			select {
-			case <-sv.notified:
-				continue
-			default:
-			}
-			break
-		}
 		if got := server.Stats().RequestsServed.Load(); got < int64(clients*32) {
 			t.Fatalf("served only %d requests", got)
 		}
@@ -124,9 +142,16 @@ func TestSoakMixedWorkload(t *testing.T) {
 }
 
 // TestManyConnectionsOneServer exercises the connection cache and the
-// data-channel registry with many distinct client ORBs.
+// data-channel registry with many distinct client ORBs, against both
+// server tiers.
 func TestManyConnectionsOneServer(t *testing.T) {
-	server, err := New(Options{Transport: &transport.TCP{}, ZeroCopy: true})
+	for _, tier := range serverTiers {
+		t.Run(tier.name, func(t *testing.T) { manyConnectionsOneServer(t, tier.engine) })
+	}
+}
+
+func manyConnectionsOneServer(t *testing.T, engine bool) {
+	server, err := New(Options{Transport: &transport.TCP{}, ZeroCopy: true, Engine: engine})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +188,15 @@ func TestManyConnectionsOneServer(t *testing.T) {
 // invokes, fire-a-window asynchronous calls, and pipelined submission.
 // Its value is highest under `make race`.
 func TestConcurrentInvokersSharedConn(t *testing.T) {
-	p := tcpPair(t, true)
+	for _, tier := range serverTiers {
+		t.Run(tier.name, func(t *testing.T) { concurrentInvokersSharedConn(t, tier.engine) })
+	}
+}
+
+func concurrentInvokersSharedConn(t *testing.T, engine bool) {
+	p := newPair(t,
+		Options{Transport: &transport.TCP{}, ZeroCopy: true, Engine: engine},
+		Options{Transport: &transport.TCP{}, ZeroCopy: true})
 	op := storeIface.Ops["put"]
 	const goroutines = 9
 	const iters = 48

@@ -39,6 +39,7 @@ type Exporter struct {
 type promCounter struct {
 	name, help string
 	fn         func() int64
+	gauge      bool
 }
 
 // AddCounter registers a pull-style counter exported as
@@ -46,6 +47,14 @@ type promCounter struct {
 func (x *Exporter) AddCounter(name, help string, fn func() int64) {
 	x.mu.Lock()
 	x.counters = append(x.counters, promCounter{name: name, help: help, fn: fn})
+	x.mu.Unlock()
+}
+
+// AddGauge registers a pull-style gauge (a level that can go down —
+// connection counts, queue depths) exported as <namespace>_<name>.
+func (x *Exporter) AddGauge(name, help string, fn func() int64) {
+	x.mu.Lock()
+	x.counters = append(x.counters, promCounter{name: name, help: help, fn: fn, gauge: true})
 	x.mu.Unlock()
 }
 
@@ -118,8 +127,12 @@ func (x *Exporter) WriteProm(w io.Writer) error {
 	x.mu.Unlock()
 	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
 	for _, c := range counters {
+		typ := "counter"
+		if c.gauge {
+			typ = "gauge"
+		}
 		fmt.Fprintf(bw, "# HELP %s_%s %s\n", ns, c.name, c.help)
-		fmt.Fprintf(bw, "# TYPE %s_%s counter\n", ns, c.name)
+		fmt.Fprintf(bw, "# TYPE %s_%s %s\n", ns, c.name, typ)
 		fmt.Fprintf(bw, "%s_%s %d\n", ns, c.name, c.fn())
 	}
 

@@ -72,13 +72,16 @@ const (
 	// KindKzcDeposit covers one deposit transfer that used a
 	// kernel-assist path (MSG_ZEROCOPY or sendfile).
 	KindKzcDeposit
+	// KindShed marks one request rejected by server admission control
+	// (TRANSIENT shed) instead of being dispatched.
+	KindShed
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"invoke", "marshal", "control_send", "deposit_send", "deposit_recv",
 	"unmarshal", "dispatch", "reply_send", "retry", "fallback", "lease",
-	"frame", "shm.deposit", "shm.claim", "kzc.deposit",
+	"frame", "shm.deposit", "shm.claim", "kzc.deposit", "shed",
 }
 
 // String returns the span kind's wire/log name.

@@ -27,6 +27,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 )
 
 // Conn is a reliable byte-stream connection.
@@ -41,6 +42,18 @@ type Conn interface {
 	// LocalAddr and RemoteAddr return endpoint descriptions.
 	LocalAddr() string
 	RemoteAddr() string
+}
+
+// RawConner is implemented by connections that can expose their
+// underlying OS socket for readiness registration — the hook the
+// server-side event engine (internal/orb, docs/PERF.md "Event-driven
+// connection engine") uses to park idle connections in an epoll set
+// instead of a goroutine. Wrappers that intercept Read (Copying,
+// Faulty) deliberately do NOT forward it: the engine's raw socket
+// reads would bypass their instrumentation, so wrapped connections
+// fall back to the goroutine-per-conn tier.
+type RawConner interface {
+	SyscallConn() (syscall.RawConn, error)
 }
 
 // Listener accepts inbound connections.
@@ -211,6 +224,16 @@ func (c *tcpConn) WriteGather(segs ...[]byte) (int64, error) {
 func (c *tcpConn) Close() error       { return c.c.Close() }
 func (c *tcpConn) LocalAddr() string  { return c.c.LocalAddr().String() }
 func (c *tcpConn) RemoteAddr() string { return c.c.RemoteAddr().String() }
+
+// SyscallConn implements RawConner: TCP connections expose their socket
+// so the server-side event engine can register them for readiness.
+func (c *tcpConn) SyscallConn() (syscall.RawConn, error) {
+	sc, ok := c.c.(syscall.Conn)
+	if !ok {
+		return nil, errors.New("transport: connection does not expose a raw socket")
+	}
+	return sc.SyscallConn()
+}
 
 // ---------------------------------------------------------------------------
 // In-process transport

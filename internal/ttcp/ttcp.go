@@ -253,9 +253,43 @@ func NewCorbaSink(tr transport.Transport, zeroCopy bool, tracer *trace.Tracer) (
 // transport's default.
 func NewCorbaSinkData(tr transport.Transport, zeroCopy bool, tracer *trace.Tracer,
 	dataAddr string) (*CorbaSink, error) {
+	return NewCorbaSinkConfig(SinkConfig{
+		Transport: tr, ZeroCopy: zeroCopy, Tracer: tracer, DataAddr: dataAddr,
+	})
+}
+
+// SinkConfig configures a CORBA sink beyond the transport/ZC pair: the
+// server-side connection engine and its admission-control knobs, which
+// cmd/ttcp exposes as flags for connection-scale runs.
+type SinkConfig struct {
+	Transport transport.Transport
+	ZeroCopy  bool
+	Tracer    *trace.Tracer
+	// DataAddr is the data-plane listen address (see NewCorbaSinkData).
+	DataAddr string
+	// Engine parks inbound connections in the epoll-driven event tier
+	// (orb.Options.Engine); ignored off Linux.
+	Engine bool
+	// MaxInFlight caps concurrently dispatching requests; excess is
+	// shed with TRANSIENT (orb.Options.MaxInFlight). 0 = unlimited.
+	MaxInFlight int
+	// Dispatchers sizes the engine's worker pool
+	// (orb.Options.EngineDispatchers). 0 = default.
+	Dispatchers int
+	// MaxConns pauses the accept loop above this many live inbound
+	// connections (orb.Options.MaxConns). 0 = unlimited.
+	MaxConns int
+}
+
+// NewCorbaSinkConfig starts a sink ORB from the full configuration.
+func NewCorbaSinkConfig(cfg SinkConfig) (*CorbaSink, error) {
 	o, err := orb.New(orb.Options{
-		Transport: tr, ZeroCopy: zeroCopy, Tracer: tracer,
-		DataListenAddr: dataAddr,
+		Transport: cfg.Transport, ZeroCopy: cfg.ZeroCopy, Tracer: cfg.Tracer,
+		DataListenAddr:    cfg.DataAddr,
+		Engine:            cfg.Engine,
+		MaxInFlight:       cfg.MaxInFlight,
+		EngineDispatchers: cfg.Dispatchers,
+		MaxConns:          cfg.MaxConns,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ttcp: sink ORB: %w", err)
