@@ -27,7 +27,7 @@ endif
 # !linux skip stubs (shm/kzc data planes are linux-gated).
 vet:
 	$(GO) vet ./...
-	GOOS=darwin $(GO) vet ./internal/transport/ ./internal/orb/ ./internal/zcbuf/
+	GOOS=darwin $(GO) vet ./internal/transport/ ./internal/orb/ ./internal/zcbuf/ ./internal/shmem/ ./internal/events/
 
 # Golden wire-vector suite (internal/giop/testdata): regenerate
 # deliberately with `go test ./internal/giop -run TestWireVectors -update`.
@@ -47,6 +47,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecoder -fuzztime $(FUZZTIME) ./internal/cdr/
 	$(GO) test -run '^$$' -fuzz FuzzConnReadLoop -fuzztime $(FUZZTIME) ./internal/orb/
 	$(GO) test -run '^$$' -fuzz FuzzDifferentialCDR -fuzztime $(FUZZTIME) ./internal/gentest/
+	$(GO) test -run '^$$' -fuzz FuzzBroadcastRingHeader -fuzztime $(FUZZTIME) ./internal/shmem/
 
 # Deterministic fault-injection suite (docs/FAULTS.md): the seeded
 # chaos scenarios run under -race with three fixed schedules, then once
@@ -57,11 +58,12 @@ chaos:
 	CHAOS_SEED=202 $(GO) test -race -count=1 -run 'Chaos' ./internal/orb/
 	CHAOS_SEED=303 $(GO) test -race -count=1 -run 'Chaos' ./internal/orb/
 	$(GO) test -race -count=1 -v -run 'TestChaosRandomSeeded' ./internal/orb/
+	$(GO) test -race -count=1 -run 'TestBcastCrossProcess' ./internal/shmem/
 
 # Race-checks the concurrent request engine (shared-connection
 # invokers, pipelining, pending-table striping).
 race:
-	$(GO) test -race ./internal/orb/... ./internal/ttcp/...
+	$(GO) test -race ./internal/orb/... ./internal/ttcp/... ./internal/shmem/... ./internal/events/...
 
 race-all:
 	$(GO) test -race ./...
@@ -71,6 +73,7 @@ race-all:
 bench:
 	$(GO) test -run '^$$' -bench 'Fig5|Fig6|RequestRate|Shm|Kzc' -benchmem . 2>&1 | tee bench_output.txt
 	$(GO) test -run '^$$' -bench 'Generated|Interpreter|StructMarshal|StructDemarshal|GeneralMarshal|GeneralDemarshal' -benchmem ./internal/gentest/ ./internal/typecode/ 2>&1 | tee -a bench_output.txt
+	$(GO) test -run '^$$' -bench 'EventsFanout' -benchmem ./internal/events/ 2>&1 | tee -a bench_output.txt
 	$(GO) run ./cmd/benchjson -o BENCH_orb.json bench_output.txt
 
 bench-all:
@@ -101,6 +104,7 @@ examples:
 	$(GO) run ./examples/filetransfer
 	$(GO) run ./examples/discovery
 	$(GO) run ./examples/matrix -n 512
+	$(GO) run ./examples/fanout -consumers 8 -events 128 -size 16384
 	$(GO) run ./examples/transcoder -workers 3 -frames 40
 
 # Regenerate all idlgen outputs (golden tests keep them honest).

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"zcorba/internal/events"
+	"zcorba/internal/orb"
+	"zcorba/internal/transport"
+	"zcorba/internal/typecode"
+)
+
+// runEventsFanout is the pub/sub counterpart of the point-to-point
+// benchmark modes: one event channel, n co-located subscribers (each
+// on its own ORB, as separate processes would be), and a supplier
+// pushing `blocks` events of `size` bytes through the full CORBA path.
+// With bcast the channel is backed by the ZC-SHM-BCAST ring and every
+// subscriber maps it (one encode + one ring write per event regardless
+// of n); otherwise each event is copied out per subscriber.
+func runEventsFanout(tr transport.Transport, n int, bcast bool, size, blocks int) error {
+	server, err := orb.New(orb.Options{Transport: tr})
+	if err != nil {
+		return err
+	}
+	defer server.Shutdown()
+	// Explicit ring geometry (rather than the defaults) so the supplier
+	// throttle below knows the eviction window, and so up to 32
+	// subscribers can map it.
+	bopts := events.BcastOptions{SlotSize: 4096, SlotCount: 8192, MaxConsumers: 32, LagWindow: 4096}
+	var (
+		ref     *orb.ObjectRef
+		channel *events.Channel
+	)
+	if bcast {
+		ref, channel, err = events.ServeBcast(server, "events", bopts)
+	} else {
+		ref, channel, err = events.Serve(server, "events")
+	}
+	if err != nil {
+		return err
+	}
+	defer channel.Close()
+	if bcast && !channel.BcastActive() {
+		fmt.Println("ttcp: events: broadcast ring unsupported here, using the copy path")
+		bcast = false
+	}
+
+	var delivered atomic.Int64
+	count := events.ConsumerFunc(func(typecode.AnyValue) { delivered.Add(1) })
+	mapped := 0
+	for i := 0; i < n; i++ {
+		sub, err := orb.New(orb.Options{Transport: tr})
+		if err != nil {
+			return err
+		}
+		defer sub.Shutdown()
+		p, err := events.Connect(sub, ref.String())
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("fanout-%d", i)
+		if bcast {
+			s, err := events.SubscribeZC(sub, p, name, count)
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			if s.ZC {
+				mapped++
+			}
+		} else if _, _, err := events.SubscribeFunc(sub, p, name, count); err != nil {
+			return err
+		}
+	}
+
+	supplier, err := orb.New(orb.Options{Transport: tr})
+	if err != nil {
+		return err
+	}
+	defer supplier.Shutdown()
+	ps, err := events.Connect(supplier, ref.String())
+	if err != nil {
+		return err
+	}
+	ev := typecode.AnyValue{Type: typecode.TCOctetSeq, Value: make([]byte, size)}
+	// Keep mapped subscribers inside the eviction window: the ring
+	// producer never blocks, so an unthrottled supplier would measure
+	// the cost of evicting its own subscribers.
+	half := int64(bopts.LagWindow / 2)
+	start := time.Now()
+	for i := 0; i < blocks; i++ {
+		if err := ps.Push(ev); err != nil {
+			return err
+		}
+		if bcast {
+			for channel.BcastMaxLag() > half {
+				runtime.Gosched()
+			}
+		}
+	}
+	want := int64(blocks) * int64(n)
+	deadline := time.Now().Add(2 * time.Minute)
+	for delivered.Load() < want {
+		if channel.Dropped() > 0 || channel.BcastEvictions() > 0 {
+			break // best-effort plane lost subscribers; report what happened
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("events: delivered %d/%d", delivered.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	evPerSec := float64(blocks) / elapsed.Seconds()
+	mbit := float64(delivered.Load()) * float64(size) * 8 / 1e6 / elapsed.Seconds()
+	plane := "copy"
+	if bcast {
+		plane = "zc-shm-bcast"
+	}
+	fmt.Printf("ttcp: events %s: %d subscribers (%d mapped), %d events x %d B in %v\n",
+		plane, n, mapped, blocks, size, elapsed.Round(time.Microsecond))
+	fmt.Printf("ttcp: events %s: %.0f events/s published, %d delivered (%.1f Mbit/s aggregate), dropped=%d evicted=%d\n",
+		plane, evPerSec, delivered.Load(), mbit, channel.Dropped(), channel.BcastEvictions())
+	return nil
+}

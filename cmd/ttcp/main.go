@@ -34,6 +34,15 @@
 // transport fault schedule (see -chaos-seed) into the CORBA client and
 // enables the retry policy, reporting fired faults and recoveries.
 //
+// Event fan-out mode (docs/EVENTS.md) benchmarks pub/sub instead of
+// point-to-point: one channel, N co-located subscribers, -blocks
+// events of -size bytes. With -events-bcast the channel is backed by
+// the ZC-SHM-BCAST broadcast ring, so subscribers map the segment and
+// the publish cost stays flat in N:
+//
+//	ttcp -events 16 -size 4096 -blocks 2048                # per-copy fan-out
+//	ttcp -events 16 -events-bcast -size 4096 -blocks 2048  # shared ring
+//
 // The CORBA server can swap its connection tier with -engine
 // (docs/PERF.md, Linux): idle connections are held as epoll
 // registrations instead of parked goroutines, -dispatchers bounds the
@@ -77,6 +86,8 @@ func main() {
 	window := flag.Int("window", 1, "CORBA client: pipelined in-flight requests (1 = synchronous)")
 	chaos := flag.Bool("chaos", false, "CORBA client: inject seeded transport faults and enable the retry policy")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed for -chaos")
+	eventsN := flag.Int("events", 0, "fan-out mode: run a pub/sub benchmark with this many co-located subscribers")
+	eventsBcast := flag.Bool("events-bcast", false, "fan-out mode: back the channel with the ZC-SHM-BCAST broadcast ring")
 	engine := flag.Bool("engine", false, "CORBA server: event-driven connection engine (Linux; idle conns cost an epoll registration, not a goroutine)")
 	maxInFlight := flag.Int("max-inflight", 0, "CORBA server: admission cap; requests beyond it are shed with TRANSIENT (0 = unlimited)")
 	dispatchers := flag.Int("dispatchers", 0, "CORBA server: engine dispatcher pool size (0 = 2×GOMAXPROCS, min 4)")
@@ -117,6 +128,11 @@ func main() {
 	}
 
 	switch {
+	case *eventsN > 0:
+		if err := runEventsFanout(tr, *eventsN, *eventsBcast, *size, *blocks); err != nil {
+			fatal(err)
+		}
+
 	case *server && !*corba:
 		str, saddr := resolveAddr(tr, *addr)
 		sink, err := ttcp.NewSocketSink(str, saddr)

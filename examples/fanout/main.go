@@ -1,0 +1,188 @@
+// Fanout: one producer broadcasting to 16 co-located consumers over
+// the event channel's ZC-SHM-BCAST ring (docs/EVENTS.md).
+//
+//	go run ./examples/fanout [-consumers 16] [-events 256] [-size 65536] [-copy]
+//
+// The channel is served with a shared-memory broadcast ring advertised
+// in its IOR; every consumer runs on its own ORB (as separate
+// processes would) and attaches with SubscribeZC, so each published
+// frame is encoded and written exactly once no matter how many
+// consumers read it. Pass -copy to force the classic per-subscriber
+// oneway path and compare the publish rates. On platforms without the
+// shm plane the ring degrades to the copy path automatically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zcorba/internal/events"
+	"zcorba/internal/orb"
+	"zcorba/internal/transport"
+	"zcorba/internal/typecode"
+)
+
+func main() {
+	consumers := flag.Int("consumers", 16, "co-located consumers (own ORB each)")
+	nevents := flag.Int("events", 256, "frames to publish")
+	size := flag.Int("size", 64<<10, "frame payload bytes")
+	forceCopy := flag.Bool("copy", false, "disable the broadcast ring (per-subscriber copies)")
+	flag.Parse()
+
+	// The channel host: one ORB serving the event channel, ring-backed
+	// unless -copy asked for the baseline.
+	server, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Shutdown()
+	bopts := events.BcastOptions{SlotSize: 4096, SlotCount: 4096, MaxConsumers: 32, LagWindow: 2048}
+	var (
+		ref     *orb.ObjectRef
+		channel *events.Channel
+	)
+	if *forceCopy {
+		ref, channel, err = events.Serve(server, "events")
+	} else {
+		ref, channel, err = events.ServeBcast(server, "events", bopts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer channel.Close()
+
+	// Frame payloads are self-describing anys: a struct with a sequence
+	// number and the pixel bytes.
+	frameTC := typecode.StructOf("IDL:zcorba/Fanout/Frame:1.0", "Frame",
+		typecode.Member{Name: "seq", Type: typecode.TCULong},
+		typecode.Member{Name: "data", Type: typecode.TCOctetSeq})
+
+	// Consumers: each logs the frame sequence it observes. Oneway
+	// pushes from the supplier may be dispatched concurrently by the
+	// channel's ORB, so the ring order can differ from the supplier's
+	// numbering — the broadcast invariant is that every consumer sees
+	// every frame exactly once AND all mapped consumers see the same
+	// total order.
+	type log2 struct {
+		mu   sync.Mutex
+		seqs []uint32
+	}
+	logs := make([]*log2, *consumers)
+	var received atomic.Int64
+	mapped := 0
+	for i := 0; i < *consumers; i++ {
+		c, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Shutdown()
+		p, err := events.Connect(c, ref.String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		l := &log2{}
+		logs[i] = l
+		handler := events.ConsumerFunc(func(ev typecode.AnyValue) {
+			fields, ok := ev.Value.([]any)
+			if !ok || len(fields) != 2 {
+				return
+			}
+			l.mu.Lock()
+			l.seqs = append(l.seqs, fields[0].(uint32))
+			l.mu.Unlock()
+			received.Add(1)
+		})
+		name := fmt.Sprintf("consumer-%d", i)
+		if *forceCopy {
+			if _, _, err := events.SubscribeFunc(c, p, name, handler); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			sub, err := events.SubscribeZC(c, p, name, handler)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer sub.Close()
+			if sub.ZC {
+				mapped++
+			}
+		}
+	}
+	fmt.Printf("fanout: %d consumers subscribed, %d mapped the broadcast ring\n", *consumers, mapped)
+
+	// The producer: its own ORB, pushing through the CORBA channel. The
+	// ring producer never blocks — it evicts laggards — so a polite
+	// producer paces itself against the worst subscriber lag.
+	sup, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sup.Shutdown()
+	ps, err := events.Connect(sup, ref.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload := make([]byte, *size)
+	start := time.Now()
+	for seq := 0; seq < *nevents; seq++ {
+		ev := typecode.AnyValue{Type: frameTC, Value: []any{uint32(seq), payload}}
+		if err := ps.Push(ev); err != nil {
+			log.Fatal(err)
+		}
+		for channel.BcastMaxLag() > int64(bopts.LagWindow/2) {
+			runtime.Gosched()
+		}
+	}
+	want := int64(*nevents) * int64(*consumers)
+	for received.Load() < want && channel.Dropped() == 0 && channel.BcastEvictions() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	// Exactly-once per consumer; mapped consumers must agree on the
+	// total order (they all read the same ring).
+	exact := true
+	for _, l := range logs {
+		if len(l.seqs) != *nevents {
+			exact = false
+			continue
+		}
+		seen := make(map[uint32]bool, *nevents)
+		for _, s := range l.seqs {
+			if seen[s] {
+				exact = false
+			}
+			seen[s] = true
+		}
+	}
+	sameOrder := true
+	if mapped == *consumers && *consumers > 1 && exact {
+		for _, l := range logs[1:] {
+			for j, s := range l.seqs {
+				if s != logs[0].seqs[j] {
+					sameOrder = false
+				}
+			}
+		}
+	}
+
+	mode := "zc-shm-bcast"
+	if *forceCopy || mapped == 0 {
+		mode = "copy"
+	}
+	fmt.Printf("fanout: %s: published %d frames x %d B in %v (%.0f frames/s)\n",
+		mode, *nevents, *size, elapsed.Round(time.Microsecond),
+		float64(*nevents)/elapsed.Seconds())
+	fmt.Printf("fanout: delivered %d/%d (%.1f Mbit/s aggregate), exactly-once=%v same-order=%v dropped=%d evicted=%d\n",
+		received.Load(), want,
+		float64(received.Load())*float64(*size)*8/1e6/elapsed.Seconds(),
+		exact, sameOrder, channel.Dropped(), channel.BcastEvictions())
+	if !exact || !sameOrder {
+		log.Fatal("fanout: delivery contract violated")
+	}
+}

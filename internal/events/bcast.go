@@ -1,0 +1,284 @@
+package events
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"zcorba/internal/cdr"
+	"zcorba/internal/ior"
+	"zcorba/internal/orb"
+	"zcorba/internal/shmem"
+	"zcorba/internal/trace"
+	"zcorba/internal/typecode"
+)
+
+// BcastOptions tunes the broadcast ring behind a ServeBcast channel.
+// The zero value selects the shmem defaults (4 KiB slots, 8192 slots,
+// 16 consumers, half-ring lag window).
+type BcastOptions struct {
+	SlotSize     int
+	SlotCount    int
+	MaxConsumers int
+	// LagWindow is the eviction threshold in slots: a mapped
+	// subscriber lagging the producer by more than this is evicted
+	// rather than waited for.
+	LagWindow int
+	// SocketPath overrides the attach socket location (a fresh
+	// temp-dir path by default).
+	SocketPath string
+}
+
+func (o BcastOptions) ringConfig() shmem.BcastConfig {
+	return shmem.BcastConfig{
+		SlotSize:     o.SlotSize,
+		SlotCount:    o.SlotCount,
+		MaxConsumers: o.MaxConsumers,
+		LagWindow:    o.LagWindow,
+	}.WithDefaults()
+}
+
+// bcastState is the producer-side ring attached to a channel: the
+// mapped segment, its publisher, and the Unix attach listener that
+// hands subscribers the memfd and then watches their liveness.
+type bcastState struct {
+	seg  *shmem.BcastSegment
+	prod *shmem.BcastProducer
+	lis  *net.UnixListener
+	path string // filesystem path of the attach socket
+
+	mu    sync.Mutex
+	conns map[*net.UnixConn]struct{}
+	done  bool
+	wg    sync.WaitGroup
+
+	bcastPublished atomic.Int64
+	encodeFailures atomic.Int64
+}
+
+func (st *bcastState) close() {
+	st.mu.Lock()
+	st.done = true
+	conns := make([]*net.UnixConn, 0, len(st.conns))
+	for c := range st.conns {
+		conns = append(conns, c)
+	}
+	st.mu.Unlock()
+	if st.lis != nil {
+		st.lis.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	st.wg.Wait()
+	st.prod.Close()
+	st.seg.Close()
+}
+
+// publishBcast deposits one event into the broadcast ring, if active.
+// The cost is one CDR encode and one ring write no matter how many
+// subscribers are mapped; laggards are evicted by the ring itself.
+func (c *Channel) publishBcast(ev typecode.AnyValue) {
+	st := c.bcast.Load()
+	if st == nil {
+		return
+	}
+	b, err := encodeEvent(ev)
+	if err != nil {
+		st.encodeFailures.Add(1)
+		return
+	}
+	if err := st.prod.Publish(b); err != nil {
+		// ErrTooLarge (event exceeds ring payload) or closed: the copy
+		// path still delivered, so this is a degraded event, not a lost
+		// one — mapped subscribers simply miss it.
+		st.encodeFailures.Add(1)
+		return
+	}
+	st.bcastPublished.Add(1)
+}
+
+// BcastActive reports whether this channel carries a broadcast ring.
+func (c *Channel) BcastActive() bool { return c.bcast.Load() != nil }
+
+// BcastPath returns the attach socket path ("" without a ring).
+func (c *Channel) BcastPath() string {
+	if st := c.bcast.Load(); st != nil {
+		return st.path
+	}
+	return ""
+}
+
+// BcastPublished reports events deposited into the ring.
+func (c *Channel) BcastPublished() int64 {
+	if st := c.bcast.Load(); st != nil {
+		return st.bcastPublished.Load()
+	}
+	return 0
+}
+
+// MappedSubscribers reports currently attached ring subscribers.
+func (c *Channel) MappedSubscribers() int64 {
+	if st := c.bcast.Load(); st != nil {
+		return int64(st.seg.AttachedConsumers())
+	}
+	return 0
+}
+
+// BcastEvictions reports mapped subscribers evicted for lagging (or
+// dying) beyond the ring's window.
+func (c *Channel) BcastEvictions() int64 {
+	if st := c.bcast.Load(); st != nil {
+		return int64(st.seg.Evictions())
+	}
+	return 0
+}
+
+// BcastMaxLag reports the worst current subscriber lag in ring slots.
+func (c *Channel) BcastMaxLag() int64 {
+	if st := c.bcast.Load(); st != nil {
+		return int64(st.seg.MaxLag())
+	}
+	return 0
+}
+
+// RegisterMetrics exposes the channel's counters through the trace
+// exporter, alongside the ORB's own rows.
+func (c *Channel) RegisterMetrics(x *trace.Exporter) {
+	x.AddCounter("events_published_total", "Events accepted by channel push.", c.Published)
+	x.AddCounter("events_dropped_total", "Copy-path deliveries that failed.", c.Dropped)
+	x.AddCounter("events_bcast_published_total", "Events deposited into the broadcast ring.", c.BcastPublished)
+	x.AddCounter("events_bcast_evictions_total", "Mapped subscribers evicted for lagging beyond the ring window.", c.BcastEvictions)
+	x.AddGauge("events_bcast_mapped_subscribers", "Subscribers currently attached to the broadcast ring.", c.MappedSubscribers)
+	x.AddGauge("events_bcast_max_lag", "Worst attached-subscriber lag in ring slots.", c.BcastMaxLag)
+}
+
+// Close releases the channel's broadcast ring, if any: the attach
+// listener stops, mapped subscribers observe producer shutdown and
+// drain, and the segment unmaps once the last of them detaches.
+func (c *Channel) Close() {
+	if st := c.bcast.Swap(nil); st != nil {
+		st.close()
+	}
+}
+
+// ServeBcast activates a channel like Serve and, where the platform
+// supports it, backs it with a shared-memory broadcast ring advertised
+// in the channel IOR as the ZC-SHM-BCAST component. On platforms
+// without the shm plane it degrades to a plain copying channel (same
+// reference shape, no component). Close the returned channel to
+// release the ring.
+func ServeBcast(o *orb.ORB, key string, opts BcastOptions) (*orb.ObjectRef, *Channel, error) {
+	ch := NewChannel(o)
+	st, comp, err := newBcastState(o, opts)
+	if err != nil {
+		if errors.Is(err, shmem.ErrUnsupported) {
+			ref, aerr := o.Activate(key, ch)
+			return ref, ch, aerr
+		}
+		return nil, nil, err
+	}
+	ch.bcast.Store(st)
+	ref, err := o.ActivateWithComponents(key, ch, comp)
+	if err != nil {
+		ch.Close()
+		return nil, nil, err
+	}
+	return ref, ch, nil
+}
+
+// encodeEvent serializes one event for the ring: a byte-order marker
+// followed by the CDR encapsulation of the any (native order — the
+// ring is same-host/same-arch by construction, so no byteswap).
+func encodeEvent(ev typecode.AnyValue) ([]byte, error) {
+	e := cdr.NewEncoder(cdr.NativeOrder, 1)
+	if err := typecode.MarshalValue(e, typecode.TCAny, ev); err != nil {
+		return nil, err
+	}
+	return append([]byte{byte(cdr.NativeOrder)}, e.Bytes()...), nil
+}
+
+// decodeEvent parses a ring record back into an any.
+func decodeEvent(b []byte) (typecode.AnyValue, error) {
+	if len(b) < 1 {
+		return typecode.AnyValue{}, fmt.Errorf("events: empty ring record")
+	}
+	d := cdr.NewDecoder(cdr.ByteOrder(b[0]&1), 1, b[1:])
+	v, err := typecode.UnmarshalValue(d, typecode.TCAny)
+	if err != nil {
+		return typecode.AnyValue{}, err
+	}
+	av, ok := v.(typecode.AnyValue)
+	if !ok {
+		return typecode.AnyValue{}, fmt.Errorf("events: ring record decoded to %T", v)
+	}
+	return av, nil
+}
+
+// Subscription is the handle SubscribeZC returns: either a mapped
+// ring attachment (ZC true) or a classic copy-path subscription.
+type Subscription struct {
+	// ID and Key identify a copy-path subscription (zero/empty for a
+	// mapped one).
+	ID  uint32
+	Key string
+	// ZC reports whether events arrive via the mapped broadcast ring.
+	ZC bool
+
+	o       *orb.ORB
+	p       Proxy
+	closeFn func() error
+}
+
+// Close tears the subscription down: a mapped subscriber detaches from
+// the ring (freeing its cursor slot); a copy-path subscriber
+// unsubscribes and deactivates its consumer object.
+func (s *Subscription) Close() error {
+	if s.closeFn != nil {
+		fn := s.closeFn
+		s.closeFn = nil
+		return fn()
+	}
+	if s.Key != "" {
+		_, err := s.p.Unsubscribe(s.ID)
+		s.o.Deactivate(s.Key)
+		s.Key = ""
+		return err
+	}
+	return nil
+}
+
+// SubscribeZC subscribes fn to the channel the fastest way available:
+// when the channel advertises a ZC-SHM-BCAST profile and this process
+// is co-located (same host ID, same architecture, shm plane present),
+// it maps the broadcast ring and consumes events in place; otherwise —
+// or if the attach fails for any reason — it falls back to the classic
+// copy path via SubscribeFunc. The choice is reported in the returned
+// Subscription's ZC field.
+func SubscribeZC(o *orb.ORB, p Proxy, name string, fn ConsumerFunc) (*Subscription, error) {
+	if z, ok := p.Ref.IOR().ZCShmBcast(); ok && shmem.Supported() &&
+		z.Arch == o.Arch() && z.HostID == o.HostID() {
+		if closeFn, err := attachBcast(z, fn); err == nil {
+			return &Subscription{ZC: true, closeFn: closeFn}, nil
+		}
+		// Attach failures (stale socket, full consumer table, hostile
+		// preamble) degrade to the copy path rather than erroring: the
+		// profile is an optimization, not a contract.
+	}
+	id, key, err := SubscribeFunc(o, p, name, fn)
+	if err != nil {
+		return nil, err
+	}
+	return &Subscription{ID: id, Key: key, o: o, p: p}, nil
+}
+
+// bcastPathOf strips the bcast:// scheme from an advertised path.
+func bcastPathOf(z ior.ZCShmBcast) string {
+	const scheme = "bcast://"
+	if len(z.Path) >= len(scheme) && z.Path[:len(scheme)] == scheme {
+		return z.Path[len(scheme):]
+	}
+	return z.Path
+}

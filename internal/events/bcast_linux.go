@@ -1,0 +1,228 @@
+//go:build linux
+
+package events
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"zcorba/internal/ior"
+	"zcorba/internal/orb"
+	"zcorba/internal/shmem"
+)
+
+// Attach protocol (one Unix socket round trip per subscriber):
+//
+//	server -> client: 32-byte preamble + memfd via SCM_RIGHTS
+//	  "ZBCAST01" | slotSize u32 | slotCount u32 | maxConsumers u32 |
+//	  lagWindow u32 | reserved u64          (all little-endian)
+//	client -> server: 8-byte ack
+//	  slot u32 | generation u32
+//
+// The connection then stays open as a liveness watchdog: when the
+// subscriber's end drops (clean detach or SIGKILL alike), the server
+// evicts that {slot, generation} so a dead subscriber's cursor stops
+// informing lag metrics immediately — the producer itself never
+// blocked on it either way.
+const (
+	bcastPreambleMagic = "ZBCAST01"
+	bcastPreambleLen   = 32
+	bcastAckLen        = 8
+	bcastAckTimeout    = 10 * time.Second
+)
+
+var bcastSockSeq atomic.Uint64
+
+// newBcastState creates the ring, the attach listener, and the IOR
+// component advertising them.
+func newBcastState(o *orb.ORB, opts BcastOptions) (*bcastState, ior.TaggedComponent, error) {
+	cfg := opts.ringConfig()
+	seg, err := shmem.CreateBcast(cfg)
+	if err != nil {
+		return nil, ior.TaggedComponent{}, err
+	}
+	sock := opts.SocketPath
+	if sock == "" {
+		sock = filepath.Join(os.TempDir(),
+			fmt.Sprintf("zbcast-%d-%d.sock", os.Getpid(), bcastSockSeq.Add(1)))
+	}
+	os.Remove(sock)
+	lis, err := net.ListenUnix("unix", &net.UnixAddr{Name: sock, Net: "unix"})
+	if err != nil {
+		seg.Close()
+		return nil, ior.TaggedComponent{}, fmt.Errorf("events: bcast attach listener: %w", err)
+	}
+	st := &bcastState{
+		seg:   seg,
+		prod:  seg.Publisher(),
+		lis:   lis,
+		path:  sock,
+		conns: make(map[*net.UnixConn]struct{}),
+	}
+	st.wg.Add(1)
+	go st.acceptLoop()
+	comp := ior.ZCShmBcast{
+		Arch: o.Arch(), HostID: o.HostID(), Path: "bcast://" + sock,
+	}.Encode()
+	return st, comp, nil
+}
+
+func (st *bcastState) acceptLoop() {
+	defer st.wg.Done()
+	for {
+		conn, err := st.lis.AcceptUnix()
+		if err != nil {
+			return // listener closed
+		}
+		st.mu.Lock()
+		if st.done {
+			st.mu.Unlock()
+			conn.Close()
+			return
+		}
+		st.conns[conn] = struct{}{}
+		st.wg.Add(1)
+		st.mu.Unlock()
+		go st.handleAttach(conn)
+	}
+}
+
+func (st *bcastState) handleAttach(conn *net.UnixConn) {
+	defer st.wg.Done()
+	defer func() {
+		st.mu.Lock()
+		delete(st.conns, conn)
+		st.mu.Unlock()
+		conn.Close()
+	}()
+	cfg := st.seg.Config()
+	pre := make([]byte, bcastPreambleLen)
+	copy(pre, bcastPreambleMagic)
+	binary.LittleEndian.PutUint32(pre[8:], uint32(cfg.SlotSize))
+	binary.LittleEndian.PutUint32(pre[12:], uint32(cfg.SlotCount))
+	binary.LittleEndian.PutUint32(pre[16:], uint32(cfg.MaxConsumers))
+	binary.LittleEndian.PutUint32(pre[20:], uint32(cfg.LagWindow))
+	if err := shmem.SendFd(conn, pre, st.seg.Fd()); err != nil {
+		return
+	}
+	ack := make([]byte, bcastAckLen)
+	conn.SetReadDeadline(time.Now().Add(bcastAckTimeout))
+	if _, err := io.ReadFull(conn, ack); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	slot := int(binary.LittleEndian.Uint32(ack))
+	gen := binary.LittleEndian.Uint32(ack[4:])
+	// Watchdog: park on the connection until the subscriber's end
+	// drops, then evict its cursor. A subscriber that already detached
+	// cleanly (slot freed) or was lag-evicted makes the CAS a no-op.
+	io.Copy(io.Discard, conn)
+	st.seg.Evict(slot, gen)
+}
+
+// attachBcast maps the advertised ring and starts a reader goroutine
+// feeding fn. The returned closer detaches, unmaps, and waits for the
+// reader to exit.
+func attachBcast(z ior.ZCShmBcast, fn ConsumerFunc) (func() error, error) {
+	raddr := &net.UnixAddr{Name: bcastPathOf(z), Net: "unix"}
+	conn, err := net.DialUnix("unix", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	pre := make([]byte, bcastPreambleLen)
+	conn.SetReadDeadline(time.Now().Add(bcastAckTimeout))
+	fd, err := shmem.RecvFd(conn, pre)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Time{})
+	if string(pre[:8]) != bcastPreambleMagic {
+		syscall.Close(fd)
+		conn.Close()
+		return nil, fmt.Errorf("events: bad bcast preamble magic %q", pre[:8])
+	}
+	cfg := shmem.BcastConfig{
+		SlotSize:     int(binary.LittleEndian.Uint32(pre[8:])),
+		SlotCount:    int(binary.LittleEndian.Uint32(pre[12:])),
+		MaxConsumers: int(binary.LittleEndian.Uint32(pre[16:])),
+		LagWindow:    int(binary.LittleEndian.Uint32(pre[20:])),
+	}
+	seg, err := shmem.OpenBcast(fd, cfg) // validates geometry vs mapped header
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	cons, err := seg.Attach()
+	if err != nil {
+		seg.Close()
+		conn.Close()
+		return nil, err
+	}
+	ack := make([]byte, bcastAckLen)
+	binary.LittleEndian.PutUint32(ack, uint32(cons.Slot()))
+	binary.LittleEndian.PutUint32(ack[4:], cons.Gen())
+	if _, err := conn.Write(ack); err != nil {
+		cons.Close()
+		seg.Close()
+		conn.Close()
+		return nil, err
+	}
+
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The reader owns the consumer and segment handles: they are
+		// released only after the loop exits, so the mapping cannot be
+		// torn down under a read.
+		defer seg.Close()
+		defer cons.Close()
+		for spin := 0; ; spin++ {
+			if stop.Load() {
+				return
+			}
+			v, err := cons.Poll()
+			if err != nil {
+				// Evicted, producer done, or corrupt: terminal.
+				return
+			}
+			if v == nil {
+				if spin < 64 {
+					runtime.Gosched()
+				} else {
+					time.Sleep(100 * time.Microsecond)
+				}
+				continue
+			}
+			spin = 0
+			// Decode while the view pins the bytes; deliver only if the
+			// release confirms the record wasn't torn by an eviction.
+			ev, derr := decodeEvent(v.Bytes())
+			if rerr := v.Release(); rerr != nil {
+				return
+			}
+			if derr == nil {
+				fn(ev)
+			}
+		}
+	}()
+	return func() error {
+		// Detach first (the reader frees its cursor slot on exit), then
+		// drop the watchdog connection — otherwise the server's EOF
+		// handler races the clean detach and records a spurious
+		// eviction.
+		stop.Store(true)
+		<-done
+		conn.Close()
+		return nil
+	}, nil
+}

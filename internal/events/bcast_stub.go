@@ -1,0 +1,22 @@
+//go:build !linux
+
+package events
+
+import (
+	"zcorba/internal/ior"
+	"zcorba/internal/orb"
+	"zcorba/internal/shmem"
+)
+
+// newBcastState is unavailable off Linux; ServeBcast degrades to a
+// plain copying channel.
+func newBcastState(o *orb.ORB, opts BcastOptions) (*bcastState, ior.TaggedComponent, error) {
+	return nil, ior.TaggedComponent{}, shmem.ErrUnsupported
+}
+
+// attachBcast is unavailable off Linux; SubscribeZC (whose
+// shmem.Supported gate already precludes reaching this) falls back to
+// the copy path.
+func attachBcast(z ior.ZCShmBcast, fn ConsumerFunc) (func() error, error) {
+	return nil, shmem.ErrUnsupported
+}

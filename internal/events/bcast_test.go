@@ -1,0 +1,317 @@
+package events
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"zcorba/internal/shmem"
+	"zcorba/internal/trace"
+	"zcorba/internal/typecode"
+)
+
+// smallBcastOpts keeps ring tests fast and eviction windows tight.
+var smallBcastOpts = BcastOptions{SlotCount: 64, MaxConsumers: 4, LagWindow: 32}
+
+// TestUnsubscribeDuringFanoutIsBestEffort pins the documented
+// delivery contract: an unsubscribe processed after a fanout has
+// snapshotted the subscriber set still delivers that in-flight event
+// to the removed consumer — removal is best-effort, not a barrier.
+func TestUnsubscribeDuringFanoutIsBestEffort(t *testing.T) {
+	server := newORB(t)
+	ref, channel, err := Serve(server, "events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := newORB(t)
+	p, err := Connect(client, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan typecode.AnyValue, 8)
+	id, _, err := SubscribeFunc(client, p, "race", func(ev typecode.AnyValue) { got <- ev })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The gate fires between the snapshot and delivery: exactly the
+	// window where an unsubscribe can no longer affect the in-flight
+	// event. Driving the servant op directly keeps it deterministic.
+	var once sync.Once
+	channel.fanoutGate = func() {
+		once.Do(func() {
+			if _, _, err := channel.Invoke("unsubscribe", []any{id}); err != nil {
+				t.Errorf("unsubscribe during fanout: %v", err)
+			}
+		})
+	}
+	if err := p.Push(typecode.AnyValue{Type: typecode.TCLong, Value: int32(41)}); err != nil {
+		t.Fatal(err)
+	}
+	// Best-effort contract: the removed consumer still receives the
+	// event its unsubscribe raced with.
+	ev := waitFor(t, got)
+	if ev.Value.(int32) != 41 {
+		t.Fatalf("event %+v", ev)
+	}
+	// ... but the removal itself took effect for every later event.
+	if n, _ := p.Consumers(); n != 0 {
+		t.Fatalf("consumers=%d after raced unsubscribe", n)
+	}
+	if err := p.Push(typecode.AnyValue{Type: typecode.TCLong, Value: int32(42)}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-got:
+		t.Fatalf("delivery after unsubscribe: %+v", ev)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+// TestFanoutBoundedConcurrencyDropsIndependently: with many
+// subscribers where some are dead, live ones are still delivered to
+// and the dead ones are counted dropped — the serial-fanout pathology
+// (one dead consumer stalling everyone behind it) stays fixed.
+func TestFanoutBoundedConcurrency(t *testing.T) {
+	server := newORB(t)
+	ref, channel, err := Serve(server, "events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const live = 5
+	got := make(chan typecode.AnyValue, live*2)
+	client := newORB(t)
+	p, err := Connect(client, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < live; i++ {
+		name := "live-" + string(rune('a'+i))
+		if _, _, err := SubscribeFunc(client, p, name, func(ev typecode.AnyValue) { got <- ev }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := newORB(t)
+	pv, err := Connect(victim, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SubscribeFunc(victim, pv, "dead", func(typecode.AnyValue) {}); err != nil {
+		t.Fatal(err)
+	}
+	victim.Shutdown()
+
+	if err := p.Push(typecode.AnyValue{Type: typecode.TCString, Value: "go"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < live; i++ {
+		waitFor(t, got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for channel.Dropped() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead consumer never counted dropped")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if channel.Published() == 0 {
+		t.Fatal("published counter never advanced")
+	}
+}
+
+// TestServeBcastZCSubscribe proves the zero-copy fan-out path end to
+// end in one process: the channel advertises ZC-SHM-BCAST, a
+// co-located subscriber maps the ring via SubscribeZC, and events
+// arrive through shared memory while a plain copy-path subscriber
+// coexists on the same channel.
+func TestServeBcastZCSubscribe(t *testing.T) {
+	if !shmem.Supported() {
+		t.Skip("shm plane not supported on this platform")
+	}
+	baseSegs := shmem.LiveSegments()
+	server := newORB(t)
+	ref, channel, err := ServeBcast(server, "events", smallBcastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(channel.Close)
+	if !channel.BcastActive() {
+		t.Fatal("broadcast ring inactive on Linux")
+	}
+	if _, ok := ref.IOR().ZCShmBcast(); !ok {
+		t.Fatal("channel IOR missing ZC-SHM-BCAST component")
+	}
+
+	client := newORB(t)
+	p, err := Connect(client, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotZC := make(chan typecode.AnyValue, 8)
+	sub, err := SubscribeZC(client, p, "zc", func(ev typecode.AnyValue) { gotZC <- ev })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.ZC {
+		t.Fatal("co-located subscriber did not take the ring path")
+	}
+	gotCopy := make(chan typecode.AnyValue, 8)
+	copyClient := newORB(t)
+	pc, err := Connect(copyClient, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SubscribeFunc(copyClient, pc, "copy", func(ev typecode.AnyValue) { gotCopy <- ev }); err != nil {
+		t.Fatal(err)
+	}
+	if got := channel.MappedSubscribers(); got != 1 {
+		t.Fatalf("mapped subscribers: %d, want 1", got)
+	}
+
+	frameTC := typecode.StructOf("IDL:zcorba/Events/Frame:1.0", "Frame",
+		typecode.Member{Name: "seq", Type: typecode.TCULong},
+		typecode.Member{Name: "pts", Type: typecode.TCDouble})
+	sup := newORB(t)
+	ps, err := Connect(sup, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Push(typecode.AnyValue{Type: frameTC, Value: []any{uint32(9), 1.5}}); err != nil {
+		t.Fatal(err)
+	}
+	for name, ch := range map[string]chan typecode.AnyValue{"ring": gotZC, "copy": gotCopy} {
+		ev := waitFor(t, ch)
+		if !ev.Type.Equal(frameTC) {
+			t.Fatalf("%s path: type %s", name, ev.Type)
+		}
+		fields := ev.Value.([]any)
+		if fields[0].(uint32) != 9 || fields[1].(float64) != 1.5 {
+			t.Fatalf("%s path: fields %v", name, fields)
+		}
+	}
+	if channel.BcastPublished() != 1 {
+		t.Fatalf("bcast published: %d, want 1", channel.BcastPublished())
+	}
+
+	// Clean detach frees the cursor slot without an eviction.
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for channel.MappedSubscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("mapped subscriber never detached")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := channel.BcastEvictions(); got != 0 {
+		t.Fatalf("evictions after clean detach: %d, want 0", got)
+	}
+
+	// Tearing the channel down releases every segment mapping.
+	channel.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for shmem.LiveSegments() != baseSegs {
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked segments: %d live, want %d", shmem.LiveSegments(), baseSegs)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSubscribeZCFallsBackWhenRemote: a subscriber whose host identity
+// does not match the advertised profile takes the copy path and still
+// receives events.
+func TestSubscribeZCFallsBackWhenRemote(t *testing.T) {
+	server := newORB(t)
+	ref, channel, err := ServeBcast(server, "events", smallBcastOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(channel.Close)
+
+	// A "remote" client: different host identity, so the co-location
+	// gate must refuse the ring even though the socket is reachable.
+	remote := newORBWithHostID(t, "remote-host-id")
+	p, err := Connect(remote, ref.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan typecode.AnyValue, 8)
+	sub, err := SubscribeZC(remote, p, "remote", func(ev typecode.AnyValue) { got <- ev })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sub.Close() })
+	if sub.ZC {
+		t.Fatal("remote subscriber took the ring path")
+	}
+	if err := p.Push(typecode.AnyValue{Type: typecode.TCString, Value: "copy"}); err != nil {
+		t.Fatal(err)
+	}
+	if ev := waitFor(t, got); ev.Value.(string) != "copy" {
+		t.Fatalf("event %+v", ev)
+	}
+	if channel.MappedSubscribers() != 0 {
+		t.Fatal("remote subscriber counted as mapped")
+	}
+}
+
+// TestBcastChannelMetrics: the channel's rows appear in the exporter's
+// Prometheus rendering.
+func TestBcastChannelMetrics(t *testing.T) {
+	server := newORB(t)
+	_, channel, err := Serve(server, "events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := &trace.Exporter{}
+	channel.RegisterMetrics(x)
+	var sb strings.Builder
+	x.WriteProm(&sb)
+	out := sb.String()
+	for _, row := range []string{
+		"events_published_total",
+		"events_dropped_total",
+		"events_bcast_published_total",
+		"events_bcast_evictions_total",
+		"events_bcast_mapped_subscribers",
+		"events_bcast_max_lag",
+	} {
+		if !strings.Contains(out, row) {
+			t.Errorf("metric %s missing from exporter output", row)
+		}
+	}
+}
+
+// TestEventCodecRoundTrip covers the ring's record codec directly.
+func TestEventCodecRoundTrip(t *testing.T) {
+	frameTC := typecode.StructOf("IDL:zcorba/Events/Frame:1.0", "Frame",
+		typecode.Member{Name: "seq", Type: typecode.TCULong},
+		typecode.Member{Name: "pts", Type: typecode.TCDouble})
+	for _, ev := range []typecode.AnyValue{
+		{Type: typecode.TCString, Value: "hello"},
+		{Type: typecode.TCLong, Value: int32(-7)},
+		{Type: frameTC, Value: []any{uint32(3), 0.5}},
+		{Type: typecode.TCOctetSeq, Value: make([]byte, 10000)},
+	} {
+		b, err := encodeEvent(ev)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", ev, err)
+		}
+		back, err := decodeEvent(b)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", ev, err)
+		}
+		if !back.Type.Equal(ev.Type) {
+			t.Fatalf("type changed: %s -> %s", ev.Type, back.Type)
+		}
+	}
+	if _, err := decodeEvent(nil); err == nil {
+		t.Fatal("empty record decoded")
+	}
+	if _, err := decodeEvent([]byte{0, 0xFF, 0x13}); err == nil {
+		t.Fatal("garbage record decoded")
+	}
+}

@@ -2,67 +2,119 @@ package events
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"zcorba/internal/orb"
-	"zcorba/internal/transport"
+	"zcorba/internal/shmem"
 	"zcorba/internal/typecode"
 )
 
-// BenchmarkFanout measures end-to-end event delivery through the
-// channel to N consumers (one oneway hop in, N oneway hops out).
-func BenchmarkFanout(b *testing.B) {
-	for _, consumers := range []int{1, 4} {
-		b.Run(fmt.Sprintf("consumers-%d", consumers), func(b *testing.B) {
-			server, err := orb.New(orb.Options{Transport: &transport.TCP{}})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer server.Shutdown()
-			ref, _, err := Serve(server, "events")
-			if err != nil {
-				b.Fatal(err)
-			}
-			var delivered atomic.Int64
-			for i := 0; i < consumers; i++ {
-				c, err := orb.New(orb.Options{Transport: &transport.TCP{}})
-				if err != nil {
-					b.Fatal(err)
-				}
-				defer c.Shutdown()
-				p, err := Connect(c, ref.String())
-				if err != nil {
-					b.Fatal(err)
-				}
-				if _, _, err := SubscribeFunc(c, p, fmt.Sprint(i),
-					func(typecode.AnyValue) { delivered.Add(1) }); err != nil {
-					b.Fatal(err)
-				}
-			}
-			sup, err := orb.New(orb.Options{Transport: &transport.TCP{}})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer sup.Shutdown()
-			ps, err := Connect(sup, ref.String())
-			if err != nil {
-				b.Fatal(err)
-			}
-			ev := typecode.AnyValue{Type: typecode.TCULong, Value: uint32(7)}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := ps.Push(ev); err != nil {
-					b.Fatal(err)
-				}
-			}
-			// Wait for the oneway pipeline to drain so every benched
-			// push includes its deliveries.
-			want := int64(b.N * consumers)
-			for delivered.Load() < want {
-				time.Sleep(100 * time.Microsecond)
-			}
+// benchBcastOpts gives the ring enough slots that the publish throttle
+// below rarely engages, and a window wide enough that a briefly
+// descheduled subscriber is not evicted mid-benchmark.
+var benchBcastOpts = BcastOptions{SlotSize: 4096, SlotCount: 2048, MaxConsumers: 32, LagWindow: 1024}
+
+// BenchmarkEventsFanout measures the channel-side cost of publishing
+// one 1 KiB event to N co-located subscribers on the two delivery
+// planes:
+//
+//	copy   — classic per-subscriber oneway push (N encodes, N sends)
+//	bcast  — ZC-SHM-BCAST ring (one encode, one ring write for all N)
+//
+// The copy series scales linearly with the subscriber count; the bcast
+// series should stay near-flat — that gap is the recorded
+// BENCH_orb.json evidence for the broadcast tier.
+func BenchmarkEventsFanout(b *testing.B) {
+	payload := make([]byte, 1024)
+	ev := typecode.AnyValue{Type: typecode.TCOctetSeq, Value: payload}
+	for _, subs := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("copy/subs=%d", subs), func(b *testing.B) {
+			benchFanout(b, subs, false, ev)
 		})
+		b.Run(fmt.Sprintf("bcast/subs=%d", subs), func(b *testing.B) {
+			benchFanout(b, subs, true, ev)
+		})
+	}
+}
+
+func benchFanout(b *testing.B, subs int, bcast bool, ev typecode.AnyValue) {
+	if bcast && !shmem.Supported() {
+		b.Skip("shm plane not supported on this platform")
+	}
+	server := newORB(b)
+	var (
+		ref     *orb.ObjectRef
+		channel *Channel
+		err     error
+	)
+	if bcast {
+		ref, channel, err = ServeBcast(server, "events", benchBcastOpts)
+	} else {
+		ref, channel, err = Serve(server, "events")
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer channel.Close()
+
+	// Each subscriber lives on its own ORB, as separate processes would.
+	var delivered atomic.Int64
+	count := ConsumerFunc(func(typecode.AnyValue) { delivered.Add(1) })
+	for i := 0; i < subs; i++ {
+		client := newORB(b)
+		p, err := Connect(client, ref.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := fmt.Sprintf("bench-%d", i)
+		if bcast {
+			sub, err := SubscribeZC(client, p, name, count)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !sub.ZC {
+				b.Fatal("co-located bench subscriber did not map the ring")
+			}
+			defer sub.Close()
+		} else if _, _, err := SubscribeFunc(client, p, name, count); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Publish at the servant boundary (what a supplier's oneway push
+	// dispatches into), so the series isolates fan-out cost from the
+	// supplier's own IIOP ingress.
+	half := int64(benchBcastOpts.LagWindow / 2)
+	b.SetBytes(int64(len(ev.Value.([]byte))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		channel.fanout(ev)
+		if bcast {
+			// The producer never blocks; the benchmark must not outrun
+			// the window or it would measure the cost of evicting its
+			// own subscribers.
+			for channel.BcastMaxLag() > half {
+				runtime.Gosched()
+			}
+		}
+	}
+	want := int64(b.N) * int64(subs)
+	deadline := time.Now().Add(2 * time.Minute)
+	for delivered.Load() < want {
+		if time.Now().After(deadline) {
+			b.Fatalf("delivered %d/%d events", delivered.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.StopTimer()
+	if n := channel.Dropped(); n != 0 {
+		b.Fatalf("dropped %d deliveries mid-benchmark", n)
+	}
+	if n := channel.BcastEvictions(); n != 0 {
+		b.Fatalf("evicted %d subscribers mid-benchmark", n)
 	}
 }

@@ -5,11 +5,36 @@
 // companion service the paper's era deployments paired with an ORB,
 // and it exercises the dynamic type system (Any), object-reference
 // parameters, and oneway dispatch together.
+//
+// # Delivery guarantees
+//
+// Delivery is best-effort, per the classic event service: a push that
+// fails for one consumer is counted in Dropped and does not disturb
+// the others. Unsubscription is best-effort too — a fanout snapshots
+// the subscriber set when the event arrives, so an "unsubscribe"
+// processed while that fanout is in flight may still deliver that
+// final event to the removed consumer. Callers that need a hard
+// cut-off must make the consumer itself discard events after
+// unsubscribing (TestUnsubscribeDuringFanoutIsBestEffort pins this
+// contract).
+//
+// # ZC-SHM-BCAST
+//
+// On Linux, ServeBcast additionally backs the channel with a
+// shared-memory broadcast ring (internal/shmem.BcastSegment) and
+// advertises it in the channel IOR as the ZC-SHM-BCAST component.
+// Co-located subscribers (same host ID and architecture) attach via
+// SubscribeZC and consume every event in place from the mapped ring —
+// the publish cost is one CDR encode plus one ring write regardless of
+// their number, and a slow or dead mapped subscriber is evicted, never
+// waited for (see docs/EVENTS.md). Remote or non-Linux subscribers
+// keep the per-copy oneway path transparently.
 package events
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"zcorba/internal/ior"
 	"zcorba/internal/orb"
@@ -60,9 +85,21 @@ type Channel struct {
 	mu     sync.Mutex
 	nextID uint32
 	subs   map[uint32]*orb.ObjectRef
-	// dropped counts events that could not be delivered to a consumer
-	// (push is best-effort, as in the classic event service).
-	dropped int64
+
+	// published counts events accepted by push; dropped counts
+	// deliveries that failed (push is best-effort, as in the classic
+	// event service).
+	published atomic.Int64
+	dropped   atomic.Int64
+
+	// bcast is the optional broadcast-ring state (ServeBcast); nil for
+	// a plain copying channel.
+	bcast atomic.Pointer[bcastState]
+
+	// fanoutGate, when set by a test, runs after the subscriber
+	// snapshot is taken and before any delivery — the window in which
+	// an unsubscribe is provably too late for the in-flight event.
+	fanoutGate func()
 }
 
 // NewChannel creates a channel servant bound to o (used to convert
@@ -126,30 +163,64 @@ func (c *Channel) Invoke(op string, args []any) (any, []any, error) {
 	}
 }
 
-// fanout delivers one event to every subscriber (best effort).
+// fanoutConcurrency bounds parallel deliveries per event: enough that
+// one dead consumer's timeout cannot serialize the rest behind it,
+// small enough not to stampede the ORB's connection pool.
+func fanoutConcurrency(n int) int {
+	if n > 8 {
+		return 8
+	}
+	return n
+}
+
+// fanout delivers one event to every subscriber (best effort). The
+// broadcast ring, when active, is written first (one encode, one ring
+// deposit for all mapped subscribers); copy-path subscribers then get
+// their oneway pushes with bounded concurrency, so one slow or dead
+// consumer delays at most its own delivery lane, not every consumer
+// after it in map order.
 func (c *Channel) fanout(ev typecode.AnyValue) {
+	c.published.Add(1)
 	c.mu.Lock()
 	targets := make([]*orb.ObjectRef, 0, len(c.subs))
 	for _, ref := range c.subs {
 		targets = append(targets, ref)
 	}
 	c.mu.Unlock()
+	if gate := c.fanoutGate; gate != nil {
+		gate()
+	}
+	c.publishBcast(ev)
 	pushOp := ConsumerIface.Ops["push"]
-	for _, ref := range targets {
-		if _, _, err := ref.Invoke(pushOp, []any{ev}); err != nil {
-			c.mu.Lock()
-			c.dropped++
-			c.mu.Unlock()
+	switch len(targets) {
+	case 0:
+	case 1:
+		// Single subscriber: deliver inline, no goroutine tax.
+		if _, _, err := targets[0].Invoke(pushOp, []any{ev}); err != nil {
+			c.dropped.Add(1)
 		}
+	default:
+		sem := make(chan struct{}, fanoutConcurrency(len(targets)))
+		var wg sync.WaitGroup
+		for _, ref := range targets {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(ref *orb.ObjectRef) {
+				defer func() { <-sem; wg.Done() }()
+				if _, _, err := ref.Invoke(pushOp, []any{ev}); err != nil {
+					c.dropped.Add(1)
+				}
+			}(ref)
+		}
+		wg.Wait()
 	}
 }
 
 // Dropped reports undeliverable events (for monitoring and tests).
-func (c *Channel) Dropped() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dropped
-}
+func (c *Channel) Dropped() int64 { return c.dropped.Load() }
+
+// Published reports events accepted by push.
+func (c *Channel) Published() int64 { return c.published.Load() }
 
 // Proxy is the client-side face of a channel.
 type Proxy struct {

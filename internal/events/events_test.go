@@ -10,9 +10,19 @@ import (
 	"zcorba/internal/typecode"
 )
 
-func newORB(t *testing.T) *orb.ORB {
+func newORB(t testing.TB) *orb.ORB {
 	t.Helper()
 	o, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Shutdown)
+	return o
+}
+
+func newORBWithHostID(t *testing.T, hid string) *orb.ORB {
+	t.Helper()
+	o, err := orb.New(orb.Options{Transport: &transport.TCP{}, HostID: hid})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -101,6 +101,16 @@ func vecZCShmIOR() ior.IOR {
 		[]byte("store/0"), shm.Encode())
 }
 
+func vecBcastIOR() ior.IOR {
+	bc := ior.ZCShmBcast{
+		Arch:   "amd64/little/go",
+		HostID: "0123456789abcdef0123456789abcdef",
+		Path:   "bcast:///run/zcorba/events.sock",
+	}
+	return ior.NewIIOP("IDL:zcorba/EventChannel:1.0", "10.0.0.2", 9900,
+		[]byte("events/0"), bc.Encode())
+}
+
 func vecReplyPlain() ReplyHeader {
 	return ReplyHeader{RequestID: 0x01020304, Status: ReplyNoException}
 }
@@ -286,6 +296,48 @@ func wireVectors() []wireVector {
 				if z.Arch != "amd64/little/go" || z.HostID != "0123456789abcdef0123456789abcdef" ||
 					z.Path != "shm:///run/zcorba/data.sock" {
 					t.Fatalf("ZC-SHM component %+v", z)
+				}
+				remarshal(t, order, msg[HeaderSize:], func(e *cdr.Encoder) {
+					rep.Marshal(e)
+					ref.Marshal(e)
+				})
+			},
+		},
+		{
+			// A reply carrying an event-channel reference with the
+			// ZC-SHM-BCAST profile (TagZCShmBcast): the broadcast-ring
+			// attach endpoint co-located subscribers use for zero-copy
+			// fan-out. Inner encapsulation is cdr.NativeOrder, so the
+			// bytes are machine-stable.
+			name: "reply_zcbcast_ior",
+			build: func(order cdr.ByteOrder) []byte {
+				h := ReplyHeader{RequestID: 12, Status: ReplyNoException}
+				ref := vecBcastIOR()
+				return buildMessage(MsgReply, order, 0, func(e *cdr.Encoder) {
+					h.Marshal(e)
+					ref.Marshal(e)
+				})
+			},
+			roundTrip: func(t *testing.T, order cdr.ByteOrder, msg []byte) {
+				_, d := decodeBody(t, msg)
+				rep, err := UnmarshalReplyHeader(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.RequestID != 12 || rep.Status != ReplyNoException {
+					t.Fatalf("reply header %+v", rep)
+				}
+				ref, err := ior.Unmarshal(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				z, ok := ref.ZCShmBcast()
+				if !ok {
+					t.Fatal("no ZC-SHM-BCAST component in decoded reference")
+				}
+				if z.Arch != "amd64/little/go" || z.HostID != "0123456789abcdef0123456789abcdef" ||
+					z.Path != "bcast:///run/zcorba/events.sock" {
+					t.Fatalf("ZC-SHM-BCAST component %+v", z)
 				}
 				remarshal(t, order, msg[HeaderSize:], func(e *cdr.Encoder) {
 					rep.Marshal(e)

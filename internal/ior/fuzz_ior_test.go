@@ -15,6 +15,7 @@ import (
 func FuzzIORParse(f *testing.F) {
 	f.Add(sampleIOR().String())
 	f.Add(sampleShmIOR().String())
+	f.Add(sampleBcastIOR().String())
 	f.Add(NewIIOP("IDL:test/Store:1.0", "h", 1, []byte("k")).String())
 	f.Add("corbaloc::host:2809/NameService")
 	f.Add("corbaloc::1.2@host:2809/key")
@@ -52,6 +53,17 @@ func FuzzIORParse(f *testing.F) {
 			back, err := DecodeZCShm(z.Encode().Data)
 			if err != nil || back != z {
 				t.Fatalf("ZCShm round trip: %+v -> %+v, %v", z, back, err)
+			}
+		}
+		if z, ok := ref.ZCShmBcast(); ok {
+			for _, v := range []string{z.Arch, z.HostID, z.Path} {
+				if strings.ContainsRune(v, 0) || len(v) > maxShmName {
+					t.Fatalf("hostile ZCShmBcast field survived validation: %q", v)
+				}
+			}
+			back, err := DecodeZCShmBcast(z.Encode().Data)
+			if err != nil || back != z {
+				t.Fatalf("ZCShmBcast round trip: %+v -> %+v, %v", z, back, err)
 			}
 		}
 		for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {

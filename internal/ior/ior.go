@@ -42,6 +42,12 @@ const (
 	// socket path of its shm data listener. Only a client on the same
 	// host with a matching architecture signature may use it.
 	TagZCShm uint32 = 0x5A430004
+	// TagZCShmBcast advertises the ZC-SHM-BCAST pub/sub profile of an
+	// event channel: the producer's host identity plus the Unix socket
+	// where co-located subscribers attach to the broadcast ring. Same
+	// co-location precondition as TagZCShm; remote subscribers ignore
+	// it and keep the per-copy oneway push path.
+	TagZCShmBcast uint32 = 0x5A430005
 )
 
 // TaggedComponent is an opaque component inside an IIOP profile.
@@ -303,6 +309,75 @@ func (r IOR) ZCShm() (ZCShm, bool) {
 	z, err := DecodeZCShm(data)
 	if err != nil {
 		return ZCShm{}, false
+	}
+	return z, true
+}
+
+// ZCShmBcast is the decoded form of a TagZCShmBcast component: the
+// ZC-SHM-BCAST profile of a broadcast event channel.
+type ZCShmBcast struct {
+	// Arch is the architecture signature, same precondition as
+	// ZCDeposit.Arch: the ring's records are native-order CDR.
+	Arch string
+	// HostID identifies the producer's machine; a subscriber maps the
+	// ring only when its own host ID matches.
+	HostID string
+	// Path is the ring attach endpoint ("bcast:///path/to.sock"): a
+	// Unix socket that hands the subscriber the segment geometry and
+	// the memfd over SCM_RIGHTS.
+	Path string
+}
+
+// Encode serializes a ZCShmBcast as a tagged component.
+func (z ZCShmBcast) Encode() TaggedComponent {
+	e := cdr.NewEncoder(cdr.NativeOrder, 1)
+	e.WriteString(z.Arch)
+	e.WriteString(z.HostID)
+	e.WriteString(z.Path)
+	data := append([]byte{byte(cdr.NativeOrder)}, e.Bytes()...)
+	return TaggedComponent{Tag: TagZCShmBcast, Data: data}
+}
+
+// DecodeZCShmBcast parses a TagZCShmBcast component body, with the
+// same NUL/overlong hostile-field rejection as DecodeZCShm.
+func DecodeZCShmBcast(data []byte) (ZCShmBcast, error) {
+	var z ZCShmBcast
+	if len(data) < 1 {
+		return z, fmt.Errorf("ior: empty ZCShmBcast component")
+	}
+	d := cdr.NewDecoder(cdr.ByteOrder(data[0]&1), 1, data[1:])
+	var err error
+	if z.Arch, err = d.ReadString(); err != nil {
+		return z, fmt.Errorf("ior: ZCShmBcast arch: %w", err)
+	}
+	if z.HostID, err = d.ReadString(); err != nil {
+		return z, fmt.Errorf("ior: ZCShmBcast host ID: %w", err)
+	}
+	if z.Path, err = d.ReadString(); err != nil {
+		return z, fmt.Errorf("ior: ZCShmBcast path: %w", err)
+	}
+	for _, f := range [...]struct{ name, v string }{
+		{"arch", z.Arch}, {"host ID", z.HostID}, {"path", z.Path},
+	} {
+		if strings.ContainsRune(f.v, 0) {
+			return ZCShmBcast{}, fmt.Errorf("ior: ZCShmBcast %s contains NUL", f.name)
+		}
+		if len(f.v) > maxShmName {
+			return ZCShmBcast{}, fmt.Errorf("ior: ZCShmBcast %s overlong (%d bytes)", f.name, len(f.v))
+		}
+	}
+	return z, nil
+}
+
+// ZCShmBcast returns the decoded broadcast component, if present.
+func (r IOR) ZCShmBcast() (ZCShmBcast, bool) {
+	data, ok := r.Component(TagZCShmBcast)
+	if !ok {
+		return ZCShmBcast{}, false
+	}
+	z, err := DecodeZCShmBcast(data)
+	if err != nil {
+		return ZCShmBcast{}, false
 	}
 	return z, true
 }

@@ -1,0 +1,99 @@
+package ior
+
+import (
+	"strings"
+	"testing"
+
+	"zcorba/internal/cdr"
+)
+
+func sampleBcastIOR() IOR {
+	bc := ZCShmBcast{
+		Arch:   "amd64/little/go",
+		HostID: "0123456789abcdef0123456789abcdef",
+		Path:   "bcast:///run/zcorba/events.sock",
+	}
+	return NewIIOP("IDL:zcorba/EventChannel:1.0", "10.0.0.2", 9900,
+		[]byte("events/0"), bc.Encode())
+}
+
+func TestZCShmBcastComponentRoundTrip(t *testing.T) {
+	r := sampleBcastIOR()
+	z, ok := r.ZCShmBcast()
+	if !ok {
+		t.Fatal("no ZC-SHM-BCAST component")
+	}
+	if z.Arch != "amd64/little/go" || z.Path != "bcast:///run/zcorba/events.sock" {
+		t.Fatalf("component %+v", z)
+	}
+	back, err := DecodeZCShmBcast(z.Encode().Data)
+	if err != nil || back != z {
+		t.Fatalf("round trip: %+v -> %+v, %v", z, back, err)
+	}
+	parsed, err := Parse(r.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if pz, ok := parsed.ZCShmBcast(); !ok || pz != z {
+		t.Fatalf("stringified component %+v ok=%v", pz, ok)
+	}
+	// Absent on a plain reference, and distinct from the point-to-point
+	// ZC-SHM tag (an event channel may carry either, or both).
+	plain := NewIIOP("IDL:test/Store:1.0", "h", 1, []byte("k"))
+	if _, ok := plain.ZCShmBcast(); ok {
+		t.Fatal("unexpected ZC-SHM-BCAST component on plain IOR")
+	}
+	if _, ok := r.ZCShm(); ok {
+		t.Fatal("bcast component leaked through the ZCShm accessor")
+	}
+}
+
+func TestZCShmBcastRejectsHostileNames(t *testing.T) {
+	cases := []struct {
+		name string
+		z    ZCShmBcast
+	}{
+		{"nul in path", ZCShmBcast{Arch: "a", HostID: "h", Path: "bcast:///x\x00y"}},
+		{"nul in host ID", ZCShmBcast{Arch: "a", HostID: "h\x00", Path: "p"}},
+		{"nul in arch", ZCShmBcast{Arch: "\x00", HostID: "h", Path: "p"}},
+		{"overlong path", ZCShmBcast{Arch: "a", HostID: "h", Path: strings.Repeat("p", maxShmName+1)}},
+		{"overlong host ID", ZCShmBcast{Arch: "a", HostID: strings.Repeat("h", maxShmName+1), Path: "p"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeZCShmBcast(tc.z.Encode().Data); err == nil {
+				t.Fatalf("hostile component accepted: %+v", tc.z)
+			}
+			r := NewIIOP("IDL:test/Store:1.0", "h", 1, []byte("k"), tc.z.Encode())
+			if _, ok := r.ZCShmBcast(); ok {
+				t.Fatal("accessor exposed a hostile ZC-SHM-BCAST component")
+			}
+		})
+	}
+}
+
+func TestZCShmBcastTruncated(t *testing.T) {
+	good := ZCShmBcast{Arch: "a", HostID: "h", Path: "p"}.Encode().Data
+	for n := 0; n < len(good); n++ {
+		if _, err := DecodeZCShmBcast(good[:n]); err == nil {
+			t.Fatalf("truncated component of %d bytes accepted", n)
+		}
+	}
+}
+
+func TestZCShmBcastCDRMarshal(t *testing.T) {
+	r := sampleBcastIOR()
+	for _, order := range []cdr.ByteOrder{cdr.BigEndian, cdr.LittleEndian} {
+		e := cdr.NewEncoder(order, 0)
+		r.Marshal(e)
+		d := cdr.NewDecoder(order, 0, e.Bytes())
+		got, err := Unmarshal(d)
+		if err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		z, ok := got.ZCShmBcast()
+		if !ok || z.Path != "bcast:///run/zcorba/events.sock" {
+			t.Fatalf("order %v: component %+v ok=%v", order, z, ok)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"zcorba/internal/ior"
 	"zcorba/internal/transport"
 	"zcorba/internal/typecode"
 )
@@ -29,6 +30,45 @@ func TestActivateAutoUniqueKeys(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(p1.ObjectKey), "auto/Store/") {
 		t.Fatalf("key %q", p1.ObjectKey)
+	}
+}
+
+func TestActivateWithComponents(t *testing.T) {
+	o, err := New(Options{Transport: &transport.InProc{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Shutdown)
+	bc := ior.ZCShmBcast{Arch: "amd64/little/go", HostID: "hid", Path: "bcast:///tmp/x.sock"}
+	ref, err := o.ActivateWithComponents("events/0", newStoreServant(), bc.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ref.IOR().ZCShmBcast()
+	if !ok || got != bc {
+		t.Fatalf("component on minted ref: %+v ok=%v", got, ok)
+	}
+	// Re-minting through RefFor carries the component too (clients that
+	// receive the reference indirectly still see the profile).
+	if _, ok := o.RefFor("events/0", "IDL:test/Store:1.0").IOR().ZCShmBcast(); !ok {
+		t.Fatal("RefFor dropped the registered component")
+	}
+	// Other keys are unaffected.
+	plain, err := o.Activate("plain", newStoreServant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain.IOR().ZCShmBcast(); ok {
+		t.Fatal("component leaked onto an unrelated key")
+	}
+	// Deactivate clears the registration; a reactivated key mints
+	// plain references again.
+	o.Deactivate("events/0")
+	if _, err := o.Activate("events/0", newStoreServant()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := o.RefFor("events/0", "IDL:test/Store:1.0").IOR().ZCShmBcast(); ok {
+		t.Fatal("component survived Deactivate")
 	}
 }
 

@@ -434,6 +434,11 @@ type ORB struct {
 
 	mu          sync.Mutex
 	servants    map[string]Servant
+	// extraComps holds per-object IOR components registered through
+	// ActivateWithComponents (e.g. the ZC-SHM-BCAST profile an event
+	// channel advertises); merged into every reference minted for the
+	// key. Lazily allocated.
+	extraComps  map[string][]ior.TaggedComponent
 	clientConns map[string]*conn
 	serverConns map[*conn]struct{}
 	dataChans   map[uint64]*dataChanEntry
@@ -817,6 +822,15 @@ func (o *ORB) ServerConns() int {
 // Activate registers servant under the given object key and returns an
 // object reference for it. Keys are arbitrary non-empty strings.
 func (o *ORB) Activate(key string, s Servant) (*ObjectRef, error) {
+	return o.ActivateWithComponents(key, s)
+}
+
+// ActivateWithComponents registers a servant like Activate and
+// additionally attaches tagged components to every reference this ORB
+// mints for the key — the hook a service uses to advertise its own
+// data plane in the IOR (the event channel's ZC-SHM-BCAST profile
+// rides here). The components live until Deactivate.
+func (o *ORB) ActivateWithComponents(key string, s Servant, comps ...ior.TaggedComponent) (*ObjectRef, error) {
 	if key == "" {
 		return nil, fmt.Errorf("orb: empty object key")
 	}
@@ -829,6 +843,12 @@ func (o *ORB) Activate(key string, s Servant) (*ObjectRef, error) {
 		return nil, fmt.Errorf("orb: object key %q already active", key)
 	}
 	o.servants[key] = s
+	if len(comps) > 0 {
+		if o.extraComps == nil {
+			o.extraComps = make(map[string][]ior.TaggedComponent)
+		}
+		o.extraComps[key] = append([]ior.TaggedComponent(nil), comps...)
+	}
 	return o.refForLocked(key, s.Interface().RepoID), nil
 }
 
@@ -836,6 +856,7 @@ func (o *ORB) Activate(key string, s Servant) (*ObjectRef, error) {
 func (o *ORB) Deactivate(key string) {
 	o.mu.Lock()
 	delete(o.servants, key)
+	delete(o.extraComps, key)
 	o.mu.Unlock()
 }
 
@@ -864,6 +885,7 @@ func (o *ORB) refForLocked(key, repoID string) *ObjectRef {
 			}.Encode())
 		}
 	}
+	comps = append(comps, o.extraComps[key]...)
 	ref := ior.NewIIOP(repoID, o.ctrlHost, o.ctrlPort, []byte(key), comps...)
 	return &ObjectRef{orb: o, ior: ref}
 }

@@ -1,0 +1,666 @@
+package shmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Broadcast ring: the multi-consumer generalization of the SPSC ring
+// pair. One producer publishes records into a shared slot array; up to
+// MaxConsumers consumers each hold their own read cursor in the mapped
+// header and observe every record, in order, with zero copies on the
+// consume side. Where the SPSC ring gives the producer credit-based
+// backpressure, the broadcast ring gives it a *lag window*: a consumer
+// whose cursor falls more than LagWindow slots behind the producer is
+// marked evicted and dropped from the credit computation, so the
+// producer NEVER blocks — a dead, wedged, or merely slow subscriber
+// costs one eviction, not the channel's throughput (the
+// slowest-consumer eviction policy of the ROS 2 Agnocast lineage).
+//
+// Layout (one mapping, single direction):
+//
+//	header page | descriptor array | slot array
+//
+// The header page carries the geometry, the producer cursor, the
+// eviction counter, and a fixed consumer table: one cache-line entry
+// per consumer slot holding {generation<<32|state, cursor}. All
+// cross-process coordination is sync/atomic on these words — a peer
+// dying mid-anything cannot strand a lock.
+//
+// Torn-read detection. Because eviction lets the producer overwrite
+// slots an evicted consumer may still be reading, every record's
+// descriptor plays a seqlock role: before reusing a slot run the
+// producer poisons the sequence tags of every slot in the run, then
+// writes the payload, then stores the final tag, then release-stores
+// the head. A consumer validates the tag against its cursor when it
+// claims a view AND again in Release — a mismatch means the bytes were
+// (or may have been) overwritten mid-read, and Release reports
+// ErrEvicted so the application discards the torn record. A consumer
+// that stays inside the lag window is never overwritten and never sees
+// a mismatch.
+const (
+	bcastMagic   uint32 = 0x5A425247 // "ZBRG"
+	bcastVersion uint32 = 1
+
+	bOffMagic        = 0
+	bOffVersion      = 4
+	bOffSlotSize     = 8
+	bOffSlotCount    = 12
+	bOffMaxConsumers = 16
+	bOffLagWindow    = 20
+	bOffHead         = 64  // producer cursor (monotonic slot count)
+	bOffProdClosed   = 128 // producer finished (drain then EOF)
+	bOffEvictions    = 192 // lifetime eviction counter
+
+	// Consumer table: bConsEntryBytes-sized entries starting at
+	// bConsTable. Entry layout: word (gen<<32|state) at +0, cursor at
+	// +8; the rest of the cache line is padding so two consumers
+	// advancing their cursors never false-share.
+	bConsTable      = 1024
+	bConsEntryBytes = 64
+
+	// BcastMaxConsumers bounds MaxConsumers: the table must fit the
+	// header page ((4096-1024)/64 = 48; 32 keeps headroom).
+	BcastMaxConsumers = 32
+
+	// Consumer slot states (low 32 bits of the slot word).
+	bSlotFree      uint32 = 0
+	bSlotAttaching uint32 = 1
+	bSlotAttached  uint32 = 2
+	bSlotEvicted   uint32 = 3
+
+	// bPoisonTag marks a descriptor whose slot run is being rewritten.
+	// No record ever carries it as a sequence tag (cursors would need
+	// 2^64-1 published slots).
+	bPoisonTag = ^uint64(0)
+)
+
+// Errors specific to the broadcast ring.
+var (
+	// ErrEvicted: this consumer lagged beyond the ring's window (or its
+	// slot was reclaimed) and the record it holds may be torn; the
+	// consumer must discard the view and detach.
+	ErrEvicted = errors.New("shmem: consumer evicted (lagged beyond ring window)")
+	// ErrNoSlot: the consumer table is full.
+	ErrNoSlot = errors.New("shmem: no free consumer slot")
+)
+
+// BcastConfig is the broadcast-ring geometry. The zero value selects
+// the defaults.
+type BcastConfig struct {
+	// SlotSize is the slot granularity in bytes; must be a multiple of
+	// 4096 so record payloads start page-aligned. Default 4096.
+	SlotSize int
+	// SlotCount is the number of slots. Default 8192.
+	SlotCount int
+	// MaxConsumers sizes the consumer table (1..BcastMaxConsumers).
+	// Default 16.
+	MaxConsumers int
+	// LagWindow is the eviction threshold in slots: a consumer whose
+	// cursor would lag the post-publish head by more than this is
+	// evicted. 1..SlotCount; default SlotCount/2.
+	LagWindow int
+}
+
+// WithDefaults resolves zero fields to the default geometry.
+func (c BcastConfig) WithDefaults() BcastConfig {
+	if c.SlotSize == 0 {
+		c.SlotSize = 4096
+	}
+	if c.SlotCount == 0 {
+		c.SlotCount = 8192
+	}
+	if c.MaxConsumers == 0 {
+		c.MaxConsumers = 16
+	}
+	if c.LagWindow == 0 {
+		c.LagWindow = c.SlotCount / 2
+	}
+	return c
+}
+
+// Validate checks the geometry.
+func (c BcastConfig) Validate() error {
+	if c.SlotSize < 4096 || c.SlotSize%4096 != 0 {
+		return errors.New("shmem: bcast SlotSize must be a positive multiple of 4096")
+	}
+	if c.SlotCount < 8 {
+		return errors.New("shmem: bcast SlotCount must be at least 8")
+	}
+	if c.MaxConsumers < 1 || c.MaxConsumers > BcastMaxConsumers {
+		return fmt.Errorf("shmem: bcast MaxConsumers must be 1..%d", BcastMaxConsumers)
+	}
+	if c.LagWindow < 1 || c.LagWindow > c.SlotCount {
+		return errors.New("shmem: bcast LagWindow must be 1..SlotCount")
+	}
+	return nil
+}
+
+// descArea returns the descriptor-array size, page rounded.
+func (c BcastConfig) descArea() int {
+	n := c.SlotCount * descBytes
+	return (n + hdrBytes - 1) &^ (hdrBytes - 1)
+}
+
+// Bytes returns the mapped size of the broadcast segment.
+func (c BcastConfig) Bytes() int {
+	return hdrBytes + c.descArea() + c.SlotCount*c.SlotSize
+}
+
+// MaxPayload returns the largest record the ring accepts: half the
+// slot array, which bounds a record plus its worst-case wrap pad under
+// one full ring.
+func (c BcastConfig) MaxPayload() int { return c.SlotSize * c.SlotCount / 2 }
+
+// BcastSegment is one mapped broadcast ring. The mapping is reference
+// counted: the owner holds one reference and every attached consumer
+// holds another, so Close never unmaps pages under a live reader.
+type BcastSegment struct {
+	cfg   BcastConfig
+	mem   []byte
+	hdr   []byte
+	desc  []byte
+	data  []byte
+	fd    int
+	refs  atomic.Int64
+	unmap func([]byte) error // nil for heap-backed test segments
+}
+
+// newBcastSegment wires a BcastSegment over an already-prepared
+// mapping. create selects format vs validate.
+func newBcastSegment(mem []byte, fd int, cfg BcastConfig, unmap func([]byte) error, create bool) (*BcastSegment, error) {
+	da := cfg.descArea()
+	s := &BcastSegment{
+		cfg:   cfg,
+		mem:   mem,
+		hdr:   mem[:hdrBytes:hdrBytes],
+		desc:  mem[hdrBytes : hdrBytes+da : hdrBytes+da],
+		data:  mem[hdrBytes+da : cfg.Bytes() : cfg.Bytes()],
+		fd:    fd,
+		unmap: unmap,
+	}
+	if create {
+		putU32(s.hdr, bOffVersion, bcastVersion)
+		putU32(s.hdr, bOffSlotSize, uint32(cfg.SlotSize))
+		putU32(s.hdr, bOffSlotCount, uint32(cfg.SlotCount))
+		putU32(s.hdr, bOffMaxConsumers, uint32(cfg.MaxConsumers))
+		putU32(s.hdr, bOffLagWindow, uint32(cfg.LagWindow))
+		// Magic last: a peer mapping a half-initialized segment sees no
+		// magic and refuses to attach.
+		atomic.StoreUint32(u32p(s.hdr, bOffMagic), bcastMagic)
+	} else {
+		if atomic.LoadUint32(u32p(s.hdr, bOffMagic)) != bcastMagic {
+			return nil, fmt.Errorf("shmem: bad bcast ring magic")
+		}
+		if v := getU32(s.hdr, bOffVersion); v != bcastVersion {
+			return nil, fmt.Errorf("shmem: bcast ring version %d, want %d", v, bcastVersion)
+		}
+		if getU32(s.hdr, bOffSlotSize) != uint32(cfg.SlotSize) ||
+			getU32(s.hdr, bOffSlotCount) != uint32(cfg.SlotCount) ||
+			getU32(s.hdr, bOffMaxConsumers) != uint32(cfg.MaxConsumers) ||
+			getU32(s.hdr, bOffLagWindow) != uint32(cfg.LagWindow) {
+			return nil, fmt.Errorf("shmem: bcast ring geometry mismatch")
+		}
+	}
+	s.refs.Store(1)
+	liveSegments.Add(1)
+	return s, nil
+}
+
+// NewHeapBcast builds a broadcast segment over ordinary process
+// memory: no fd, cannot cross a process boundary, exists so the ring
+// machinery is exercisable by tests on every platform.
+func NewHeapBcast(cfg BcastConfig) (*BcastSegment, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	words := make([]uint64, cfg.Bytes()/8)
+	mem := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), cfg.Bytes())
+	return newBcastSegment(mem, -1, cfg, nil, true)
+}
+
+// Config returns the segment's geometry.
+func (s *BcastSegment) Config() BcastConfig { return s.cfg }
+
+// Fd returns the backing file descriptor (-1 for heap segments).
+func (s *BcastSegment) Fd() int { return s.fd }
+
+func (s *BcastSegment) retain() { s.refs.Add(1) }
+
+func (s *BcastSegment) release() {
+	if s.refs.Add(-1) != 0 {
+		return
+	}
+	liveSegments.Add(-1)
+	if s.unmap != nil {
+		mem := s.mem
+		s.mem = nil
+		_ = s.unmap(mem)
+	}
+}
+
+// Close drops the owner reference; the mapping is released once every
+// attached consumer has also closed.
+func (s *BcastSegment) Close() { s.release() }
+
+// Header accessors.
+func (s *BcastSegment) head() *uint64       { return u64p(s.hdr, bOffHead) }
+func (s *BcastSegment) prodClosed() *uint32 { return u32p(s.hdr, bOffProdClosed) }
+func (s *BcastSegment) evictions() *uint64  { return u64p(s.hdr, bOffEvictions) }
+
+// consWord returns the state word of consumer slot i (gen<<32|state).
+func (s *BcastSegment) consWord(i int) *uint64 {
+	return u64p(s.hdr, bConsTable+i*bConsEntryBytes)
+}
+
+// consCursor returns the cursor of consumer slot i.
+func (s *BcastSegment) consCursor(i int) *uint64 {
+	return u64p(s.hdr, bConsTable+i*bConsEntryBytes+8)
+}
+
+func bWord(gen, state uint32) uint64 { return uint64(gen)<<32 | uint64(state) }
+func bState(w uint64) uint32         { return uint32(w) }
+func bGen(w uint64) uint32           { return uint32(w >> 32) }
+
+// descAt returns pointers to the two descriptor words of slot idx.
+func (s *BcastSegment) descAt(idx int) (*uint64, *uint64) {
+	off := idx * descBytes
+	return u64p(s.desc, off), u64p(s.desc, off+8)
+}
+
+// Head returns the producer cursor (monotonic published slot count).
+func (s *BcastSegment) Head() uint64 { return atomic.LoadUint64(s.head()) }
+
+// Evictions returns the lifetime eviction count recorded in the
+// mapped header (visible to every process sharing the segment).
+func (s *BcastSegment) Evictions() uint64 { return atomic.LoadUint64(s.evictions()) }
+
+// BcastSlot is a point-in-time snapshot of one consumer-table entry,
+// for metrics and tests.
+type BcastSlot struct {
+	State  uint32 // bSlotFree/Attaching/Attached/Evicted values
+	Gen    uint32
+	Cursor uint64
+}
+
+// Attached reports whether the slot holds a live consumer.
+func (b BcastSlot) Attached() bool { return b.State == bSlotAttached }
+
+// Evicted reports whether the slot's consumer was evicted.
+func (b BcastSlot) Evicted() bool { return b.State == bSlotEvicted }
+
+// Slot snapshots consumer-table entry i.
+func (s *BcastSegment) Slot(i int) BcastSlot {
+	w := atomic.LoadUint64(s.consWord(i))
+	return BcastSlot{
+		State:  bState(w),
+		Gen:    bGen(w),
+		Cursor: atomic.LoadUint64(s.consCursor(i)),
+	}
+}
+
+// AttachedConsumers counts live (attached, non-evicted) consumers.
+func (s *BcastSegment) AttachedConsumers() int {
+	n := 0
+	for i := 0; i < s.cfg.MaxConsumers; i++ {
+		if s.Slot(i).Attached() {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxLag returns the largest head-minus-cursor distance over attached
+// consumers (0 when none are attached) — the metric the eviction
+// policy acts on.
+func (s *BcastSegment) MaxLag() uint64 {
+	head := s.Head()
+	var lag uint64
+	for i := 0; i < s.cfg.MaxConsumers; i++ {
+		sl := s.Slot(i)
+		if !sl.Attached() || sl.Cursor > head {
+			continue
+		}
+		if d := head - sl.Cursor; d > lag {
+			lag = d
+		}
+	}
+	return lag
+}
+
+// Evict marks consumer slot i (at generation gen) evicted. It is the
+// watchdog hook: the event channel calls it when a subscriber's
+// liveness socket drops, so a dead consumer's cursor stops gating lag
+// metrics immediately instead of waiting for the window to fill.
+func (s *BcastSegment) Evict(slot int, gen uint32) bool {
+	if slot < 0 || slot >= s.cfg.MaxConsumers {
+		return false
+	}
+	if atomic.CompareAndSwapUint64(s.consWord(slot), bWord(gen, bSlotAttached), bWord(gen, bSlotEvicted)) {
+		atomic.AddUint64(s.evictions(), 1)
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Producer
+
+// BcastProducer is the publishing side. Publish never blocks: lagging
+// consumers are evicted, not waited for. Safe for concurrent use
+// (writes serialize on a process-local mutex).
+type BcastProducer struct {
+	s      *BcastSegment
+	mu     sync.Mutex
+	head   uint64
+	closed bool
+}
+
+// Publisher returns the writing handle. Call once, in the creating
+// process (single-producer discipline).
+func (s *BcastSegment) Publisher() *BcastProducer {
+	p := &BcastProducer{s: s}
+	p.head = atomic.LoadUint64(s.head())
+	return p
+}
+
+// evictLaggards evicts every attached consumer whose lag after the
+// upcoming publish would exceed the window. Corrupted cursors ahead of
+// the head underflow the subtraction to a huge lag and are evicted
+// too — a hostile mapping cannot wedge the producer.
+func (s *BcastSegment) evictLaggards(newHead uint64) {
+	window := uint64(s.cfg.LagWindow)
+	for i := 0; i < s.cfg.MaxConsumers; i++ {
+		w := atomic.LoadUint64(s.consWord(i))
+		if bState(w) != bSlotAttached {
+			continue
+		}
+		cur := atomic.LoadUint64(s.consCursor(i))
+		if newHead-cur > window {
+			if atomic.CompareAndSwapUint64(s.consWord(i), w, bWord(bGen(w), bSlotEvicted)) {
+				atomic.AddUint64(s.evictions(), 1)
+			}
+		}
+	}
+}
+
+// poisonRun invalidates the sequence tags of slots [start, start+n)
+// before their bytes are rewritten: a lagging consumer that reads the
+// run mid-overwrite sees the poison (or, later, a tag from a newer
+// lap) and reports ErrEvicted instead of consuming torn data.
+func (s *BcastSegment) poisonRun(start, n int) {
+	for i := start; i < start+n; i++ {
+		_, w1 := s.descAt(i)
+		atomic.StoreUint64(w1, bPoisonTag)
+	}
+}
+
+// Publish deposits b as one record. It never blocks on consumers: any
+// consumer the publish would push beyond the lag window is evicted
+// first, so the cost of Publish is one memcpy plus O(MaxConsumers)
+// atomic loads, independent of subscriber behavior.
+func (p *BcastProducer) Publish(b []byte) error {
+	s := p.s
+	slotSize := s.cfg.SlotSize
+	count := s.cfg.SlotCount
+	if len(b) > s.cfg.MaxPayload() {
+		return ErrTooLarge
+	}
+	need := (len(b) + slotSize - 1) / slotSize
+	if need == 0 {
+		need = 1 // zero-length records still need a descriptor
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	start := int(p.head % uint64(count))
+	pad := 0
+	if start+need > count {
+		pad = count - start
+	}
+	s.evictLaggards(p.head + uint64(pad+need))
+
+	head := p.head
+	if pad > 0 {
+		s.poisonRun(start, pad)
+		w0, w1 := s.descAt(start)
+		atomic.StoreUint64(w0, packDesc(kindPad, pad*slotSize))
+		atomic.StoreUint64(w1, head)
+		head += uint64(pad)
+		start = 0
+	}
+	s.poisonRun(start, need)
+	copy(s.data[start*slotSize:], b)
+	w0, w1 := s.descAt(start)
+	atomic.StoreUint64(w0, packDesc(kindData, len(b)))
+	atomic.StoreUint64(w1, head)
+	head += uint64(need)
+	// Release-store: every descriptor and payload byte above
+	// happens-before a consumer's acquire-load of the new head.
+	atomic.StoreUint64(s.head(), head)
+	p.head = head
+	return nil
+}
+
+// Close marks the producer finished: consumers drain what was
+// published and then observe ErrProducerDone.
+func (p *BcastProducer) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		atomic.StoreUint32(p.s.prodClosed(), 1)
+	}
+	p.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Consumer
+
+// BcastView is one claimed record: a window straight into the mapped
+// slot run. The bytes stay valid until Release; Release re-validates
+// the record's sequence tag and returns ErrEvicted when the producer
+// lapped this consumer mid-read (the bytes may be torn and must be
+// discarded).
+type BcastView struct {
+	c     *BcastConsumer
+	b     []byte
+	seq   uint64
+	slots int
+}
+
+// Bytes returns the record contents, valid until Release.
+func (v *BcastView) Bytes() []byte { return v.b }
+
+// Seq returns the record's ring sequence (monotonic slot index).
+func (v *BcastView) Seq() uint64 { return v.seq }
+
+// Release retires the view, advancing this consumer's shared cursor.
+// A nil return guarantees the bytes read were the record as published;
+// ErrEvicted means the view may be torn and the consumer is detached.
+func (v *BcastView) Release() error {
+	c := v.c
+	s := c.s
+	idx := int(v.seq % uint64(s.cfg.SlotCount))
+	_, w1 := s.descAt(idx)
+	tagOK := atomic.LoadUint64(w1) == v.seq
+	w := atomic.LoadUint64(s.consWord(c.slot))
+	if !tagOK || w != bWord(c.gen, bSlotAttached) {
+		return ErrEvicted
+	}
+	// CAS, not store: if our slot was evicted and reclaimed by a new
+	// consumer between the checks above and here, the cursor no longer
+	// holds our sequence and the CAS refuses to clobber the newcomer.
+	if !atomic.CompareAndSwapUint64(s.consCursor(c.slot), v.seq, v.seq+uint64(v.slots)) {
+		return ErrEvicted
+	}
+	c.cursor = v.seq + uint64(v.slots)
+	v.b = nil
+	return nil
+}
+
+// BcastConsumer is one attached reader with its own cursor.
+type BcastConsumer struct {
+	s      *BcastSegment
+	slot   int
+	gen    uint32
+	cursor uint64 // local mirror of the shared cursor
+	closed atomic.Bool
+	view   BcastView // reused claim scratch (one outstanding view at a time)
+}
+
+// Attach claims a consumer slot and joins the stream at the current
+// head (records published from now on are observed; history is not
+// replayed). It fails with ErrNoSlot when the table is full.
+func (s *BcastSegment) Attach() (*BcastConsumer, error) {
+	for i := 0; i < s.cfg.MaxConsumers; i++ {
+		w := atomic.LoadUint64(s.consWord(i))
+		st := bState(w)
+		if st != bSlotFree && st != bSlotEvicted {
+			continue
+		}
+		gen := bGen(w) + 1
+		// Claim via a transient attaching state so the producer never
+		// reads a stale cursor from a half-attached slot.
+		if !atomic.CompareAndSwapUint64(s.consWord(i), w, bWord(gen, bSlotAttaching)) {
+			continue
+		}
+		c := &BcastConsumer{s: s, slot: i, gen: gen}
+		c.cursor = atomic.LoadUint64(s.head())
+		atomic.StoreUint64(s.consCursor(i), c.cursor)
+		atomic.StoreUint64(s.consWord(i), bWord(gen, bSlotAttached))
+		s.retain()
+		return c, nil
+	}
+	return nil, ErrNoSlot
+}
+
+// Slot returns the consumer-table index this consumer occupies.
+func (c *BcastConsumer) Slot() int { return c.slot }
+
+// Gen returns the slot generation of this attachment.
+func (c *BcastConsumer) Gen() uint32 { return c.gen }
+
+// Lag returns how many slots this consumer trails the producer.
+func (c *BcastConsumer) Lag() uint64 {
+	head := atomic.LoadUint64(c.s.head())
+	if head < c.cursor {
+		return 0
+	}
+	return head - c.cursor
+}
+
+// Evicted reports whether the producer evicted this consumer.
+func (c *BcastConsumer) Evicted() bool {
+	w := atomic.LoadUint64(c.s.consWord(c.slot))
+	return w == bWord(c.gen, bSlotEvicted)
+}
+
+// Poll claims the next record without blocking. It returns (nil, nil)
+// when the ring is drained and the producer is still open,
+// ErrProducerDone once drained after an orderly producer Close,
+// ErrEvicted when this consumer lost its slot, and ErrCorrupt when the
+// mapped descriptors fail validation. Every error is terminal: the
+// consumer must Close. One view may be outstanding at a time; claiming
+// again before Release re-reads the same record.
+func (c *BcastConsumer) Poll() (*BcastView, error) {
+	s := c.s
+	count := uint64(s.cfg.SlotCount)
+	slotSize := s.cfg.SlotSize
+	for {
+		if c.closed.Load() {
+			return nil, ErrClosed
+		}
+		if w := atomic.LoadUint64(s.consWord(c.slot)); w != bWord(c.gen, bSlotAttached) {
+			return nil, ErrEvicted
+		}
+		head := atomic.LoadUint64(s.head()) // acquire: pairs with the publish store
+		if head == c.cursor {
+			if atomic.LoadUint32(s.prodClosed()) != 0 {
+				return nil, ErrProducerDone
+			}
+			return nil, nil
+		}
+		if head < c.cursor || head-c.cursor > count {
+			// A head behind our cursor (or implausibly far ahead of a
+			// still-attached cursor) is mapped-header corruption.
+			return nil, ErrCorrupt
+		}
+		idx := int(c.cursor % count)
+		w0, w1 := s.descAt(idx)
+		tag := atomic.LoadUint64(w1)
+		if tag != c.cursor {
+			// Poisoned or re-tagged: the producer is overwriting (or has
+			// overwritten) this run — we were lapped.
+			if c.Evicted() {
+				return nil, ErrEvicted
+			}
+			return nil, ErrCorrupt
+		}
+		d0 := atomic.LoadUint64(w0)
+		kind := int(d0 >> 56)
+		size := int(uint32(d0))
+		switch kind {
+		case kindPad:
+			slots := size / slotSize
+			if slots <= 0 || uint64(slots) > head-c.cursor {
+				return nil, ErrCorrupt
+			}
+			if !atomic.CompareAndSwapUint64(s.consCursor(c.slot), c.cursor, c.cursor+uint64(slots)) {
+				return nil, ErrEvicted
+			}
+			c.cursor += uint64(slots)
+			continue
+		case kindData:
+			slots := (size + slotSize - 1) / slotSize
+			if slots == 0 {
+				slots = 1
+			}
+			if uint64(slots) > head-c.cursor || size > s.cfg.MaxPayload() || idx+slots > int(count) {
+				return nil, ErrCorrupt
+			}
+			v := &c.view
+			v.c = c
+			v.b = s.data[idx*slotSize : idx*slotSize+size : idx*slotSize+slots*slotSize]
+			v.seq, v.slots = c.cursor, slots
+			return v, nil
+		default:
+			return nil, ErrCorrupt
+		}
+	}
+}
+
+// Next blocks for the next record, with the package's spin/yield/sleep
+// backoff. Terminal errors are those of Poll.
+func (c *BcastConsumer) Next() (*BcastView, error) {
+	for spin := 0; ; spin++ {
+		v, err := c.Poll()
+		if err != nil {
+			return nil, err
+		}
+		if v != nil {
+			return v, nil
+		}
+		backoff(spin)
+	}
+}
+
+// Close detaches the consumer: its slot returns to the free pool (or
+// stays evicted, equally reclaimable) and its segment reference drops.
+// Safe to call twice.
+func (c *BcastConsumer) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	// Only surrender the slot if it is still ours at our generation; an
+	// evicted slot is left as-is (Attach reclaims either state).
+	atomic.CompareAndSwapUint64(c.s.consWord(c.slot),
+		bWord(c.gen, bSlotAttached), bWord(c.gen, bSlotFree))
+	c.s.release()
+}

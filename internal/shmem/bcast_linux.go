@@ -1,0 +1,60 @@
+//go:build linux
+
+package shmem
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// CreateBcast allocates and maps a fresh broadcast segment over
+// anonymous shared pages. The segment owns the fd; pass Fd() to each
+// subscriber over SCM_RIGHTS before Close.
+func CreateBcast(cfg BcastConfig) (*BcastSegment, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fd, err := anonFd("zcorba-bcast")
+	if err != nil {
+		return nil, fmt.Errorf("shmem: create bcast backing fd: %w", err)
+	}
+	if err := syscall.Ftruncate(fd, int64(cfg.Bytes())); err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("shmem: size bcast segment: %w", err)
+	}
+	return mapBcast(fd, cfg, true)
+}
+
+// OpenBcast maps a broadcast segment received from the producer (fd
+// from SCM_RIGHTS) and validates the header against cfg. The segment
+// takes ownership of fd.
+func OpenBcast(fd int, cfg BcastConfig) (*BcastSegment, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		syscall.Close(fd)
+		return nil, err
+	}
+	return mapBcast(fd, cfg, false)
+}
+
+func mapBcast(fd int, cfg BcastConfig, create bool) (*BcastSegment, error) {
+	mem, err := syscall.Mmap(fd, 0, cfg.Bytes(),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("shmem: mmap bcast segment: %w", err)
+	}
+	unmap := func(b []byte) error {
+		err := syscall.Munmap(b)
+		syscall.Close(fd)
+		return err
+	}
+	s, err := newBcastSegment(mem, fd, cfg, unmap, create)
+	if err != nil {
+		syscall.Munmap(mem)
+		syscall.Close(fd)
+		return nil, err
+	}
+	return s, nil
+}

@@ -1,0 +1,379 @@
+//go:build linux
+
+package shmem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// procBcastCfg is the fixed geometry both sides of the cross-process
+// tests use: small enough that the eviction window is crossed in a
+// handful of publishes, large enough for multi-slot records.
+var procBcastCfg = BcastConfig{SlotSize: 4096, SlotCount: 64, MaxConsumers: 8, LagWindow: 16}
+
+// TestBcastConsumerHelper is not a test: it is the consumer half of
+// the cross-process broadcast tests, re-executed from this test binary
+// with BCAST_HELPER set. The parent passes the ring's memfd as fd 3
+// (ExtraFiles). The helper prints machine-readable lines on stdout:
+//
+//	attached <slot> <gen>
+//	holding <seq>          (midread mode, view claimed)
+//	done <count>           (consume mode, ring drained)
+//	evicted <count>        (consume mode, lost the slot)
+//	corrupt <err>          (consume mode, validation failure)
+//
+// Modes (BCAST_HELPER): "consume" reads every record and verifies
+// order; "stall" attaches and never reads; "midread" reads a few
+// records, then parks holding a claimed view until killed.
+func TestBcastConsumerHelper(t *testing.T) {
+	mode := os.Getenv("BCAST_HELPER")
+	if mode == "" {
+		t.Skip("cross-process helper entry point; spawned by the tests below")
+	}
+	seg, err := OpenBcast(3, procBcastCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper: open:", err)
+		os.Exit(1)
+	}
+	defer seg.Close()
+	cons, err := seg.Attach()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "helper: attach:", err)
+		os.Exit(1)
+	}
+	defer cons.Close()
+	fmt.Printf("attached %d %d\n", cons.Slot(), cons.Gen())
+
+	switch mode {
+	case "stall":
+		// Hold the slot, never read: the parent proves the producer
+		// evicts us at exactly the configured window and never blocks.
+		_, _ = io.Copy(io.Discard, os.Stdin)
+	case "midread":
+		// Consume a little honest traffic, then claim a view and park:
+		// SIGKILL arrives while a record is logically "being read".
+		var lastSeq uint64
+		for n := 0; n < 3; {
+			v, err := cons.Next()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "helper: next:", err)
+				os.Exit(1)
+			}
+			lastSeq = binary.LittleEndian.Uint64(v.Bytes())
+			if err := v.Release(); err != nil {
+				fmt.Fprintln(os.Stderr, "helper: release:", err)
+				os.Exit(1)
+			}
+			n++
+		}
+		v, err := cons.Next()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "helper: claim:", err)
+			os.Exit(1)
+		}
+		_ = lastSeq
+		fmt.Printf("holding %d\n", v.Seq())
+		_, _ = io.Copy(io.Discard, os.Stdin) // parked until SIGKILL
+	case "consume":
+		var count, want uint64
+		for {
+			v, err := cons.Next()
+			if errors.Is(err, ErrProducerDone) {
+				fmt.Printf("done %d\n", count)
+				return
+			}
+			if errors.Is(err, ErrEvicted) {
+				fmt.Printf("evicted %d\n", count)
+				return
+			}
+			if err != nil {
+				fmt.Printf("corrupt %v\n", err)
+				return
+			}
+			if got := binary.LittleEndian.Uint64(v.Bytes()); got != want {
+				fmt.Printf("corrupt out-of-order: got %d want %d\n", got, want)
+				return
+			}
+			if err := v.Release(); err != nil {
+				fmt.Printf("evicted %d\n", count)
+				return
+			}
+			count++
+			want++
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "helper: unknown mode", mode)
+		os.Exit(1)
+	}
+}
+
+// bcastChild is one spawned consumer process.
+type bcastChild struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	lines chan string
+	slot  int
+	gen   uint32
+}
+
+// spawnBcastConsumer forks this test binary as a broadcast consumer in
+// the given mode, inheriting the segment fd, and waits for it to
+// report its consumer-table slot.
+func spawnBcastConsumer(t *testing.T, seg *BcastSegment, mode string) *bcastChild {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestBcastConsumerHelper$")
+	cmd.Env = append(os.Environ(), "BCAST_HELPER="+mode)
+	// Hand the child a dup: os.File would otherwise own (and later
+	// finalize-close) the segment's own descriptor.
+	dup, err := syscall.Dup(seg.Fd())
+	if err != nil {
+		t.Fatalf("dup segment fd: %v", err)
+	}
+	segFile := os.NewFile(uintptr(dup), "bcast-seg")
+	defer segFile.Close()
+	cmd.ExtraFiles = []*os.File{segFile} // child fd 3
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatalf("stdin pipe: %v", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn consumer: %v", err)
+	}
+	c := &bcastChild{cmd: cmd, stdin: stdin, lines: make(chan string, 64)}
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			c.lines <- sc.Text()
+		}
+		close(c.lines)
+	}()
+	t.Cleanup(func() {
+		_ = stdin.Close()
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	line := c.waitLine(t, "attached ")
+	if _, err := fmt.Sscanf(line, "attached %d %d", &c.slot, &c.gen); err != nil {
+		t.Fatalf("bad attach line %q: %v", line, err)
+	}
+	return c
+}
+
+// waitLine waits for the next child line with the given prefix.
+func (c *bcastChild) waitLine(t *testing.T, prefix string) string {
+	t.Helper()
+	deadline := time.After(20 * time.Second)
+	for {
+		select {
+		case line, ok := <-c.lines:
+			if !ok {
+				t.Fatalf("consumer exited before printing %q", prefix)
+			}
+			if strings.HasPrefix(line, prefix) {
+				return line
+			}
+		case <-deadline:
+			t.Fatalf("consumer never printed %q", prefix)
+		}
+	}
+}
+
+// publishSeq publishes n one-slot records tagged with consecutive
+// sequence numbers starting at start. When keepUp slots are given, the
+// publish loop throttles against those consumers' shared cursors so
+// they stay inside half the lag window — only consumers NOT listed
+// (the dead or stalled ones under test) can cross it and be evicted.
+func publishSeq(t *testing.T, seg *BcastSegment, prod *BcastProducer, start, n int, keepUp ...int) {
+	t.Helper()
+	buf := make([]byte, 64)
+	half := uint64(seg.Config().LagWindow) / 2
+	for i := 0; i < n; i++ {
+		for spin := 0; ; spin++ {
+			worst := uint64(0)
+			head := seg.Head()
+			for _, slot := range keepUp {
+				sl := seg.Slot(slot)
+				if sl.Attached() && sl.Cursor <= head && head-sl.Cursor > worst {
+					worst = head - sl.Cursor
+				}
+			}
+			if worst <= half {
+				break
+			}
+			if spin > 1_000_000 {
+				t.Fatalf("live consumer wedged: lag %d never drained", worst)
+			}
+			backoff(spin)
+		}
+		binary.LittleEndian.PutUint64(buf, uint64(start+i))
+		if err := prod.Publish(buf); err != nil {
+			t.Fatalf("Publish %d: %v", start+i, err)
+		}
+	}
+}
+
+// TestBcastCrossProcessSIGKILLMidRead is the headline chaos case: one
+// of three consumer processes is SIGKILLed while it holds a claimed
+// view. The producer must keep publishing (never blocks), exactly the
+// dead consumer's cursor must be evicted once the window passes, the
+// two survivors must still observe every record in order, and the
+// parent's mapping must be the only live segment accounting — which
+// returns to baseline on close (no leaks).
+func TestBcastCrossProcessSIGKILLMidRead(t *testing.T) {
+	base := LiveSegments()
+	seg, err := CreateBcast(procBcastCfg)
+	if err != nil {
+		t.Fatalf("CreateBcast: %v", err)
+	}
+	prod := seg.Publisher()
+
+	victim := spawnBcastConsumer(t, seg, "midread")
+	s1 := spawnBcastConsumer(t, seg, "consume")
+	s2 := spawnBcastConsumer(t, seg, "consume")
+	if victim.slot == s1.slot || victim.slot == s2.slot || s1.slot == s2.slot {
+		t.Fatalf("consumer slots collide: %d %d %d", victim.slot, s1.slot, s2.slot)
+	}
+
+	// Feed the victim its warmup records and wait until it parks with
+	// a claimed view.
+	publishSeq(t, seg, prod, 0, 4, s1.slot, s2.slot)
+	victim.waitLine(t, "holding ")
+
+	if err := victim.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill victim: %v", err)
+	}
+	_, _ = victim.cmd.Process.Wait()
+
+	// The producer keeps going; once the dead cursor lags past the
+	// window, it is evicted — exactly it, exactly once.
+	const total = 200
+	publishSeq(t, seg, prod, 4, total-4, s1.slot, s2.slot)
+	if got := seg.Evictions(); got != 1 {
+		t.Fatalf("evictions: %d, want exactly 1 (the killed consumer)", got)
+	}
+	vs := seg.Slot(victim.slot)
+	if !vs.Evicted() || vs.Gen != victim.gen {
+		t.Fatalf("victim slot %d state %+v, want evicted at gen %d", victim.slot, vs, victim.gen)
+	}
+	for _, s := range []*bcastChild{s1, s2} {
+		if st := seg.Slot(s.slot); !st.Attached() {
+			t.Fatalf("survivor slot %d state %+v, want attached", s.slot, st)
+		}
+	}
+
+	// Survivors drain everything, in order, exactly once.
+	prod.Close()
+	for _, s := range []*bcastChild{s1, s2} {
+		line := s.waitLine(t, "done ")
+		var count int
+		if _, err := fmt.Sscanf(line, "done %d", &count); err != nil || count != total {
+			t.Fatalf("survivor slot %d: %q, want done %d", s.slot, line, total)
+		}
+	}
+
+	// The kernel reclaimed the dead child's mapping with the process;
+	// the parent's close must return the local gauge to baseline.
+	seg.Close()
+	if got := LiveSegments(); got != base {
+		t.Fatalf("segments leaked: %d live, baseline %d", got, base)
+	}
+}
+
+// TestBcastCrossProcessEvictionWindow pins the eviction policy across
+// a process boundary: a stalled consumer in another process survives
+// exactly LagWindow one-slot publishes and is evicted by the next one.
+func TestBcastCrossProcessEvictionWindow(t *testing.T) {
+	seg, err := CreateBcast(procBcastCfg)
+	if err != nil {
+		t.Fatalf("CreateBcast: %v", err)
+	}
+	defer seg.Close()
+	prod := seg.Publisher()
+	stalled := spawnBcastConsumer(t, seg, "stall")
+
+	window := procBcastCfg.LagWindow
+	publishSeq(t, seg, prod, 0, window)
+	if st := seg.Slot(stalled.slot); !st.Attached() {
+		t.Fatalf("stalled consumer evicted after %d publishes; window is %d (state %+v)",
+			window, window, st)
+	}
+	publishSeq(t, seg, prod, window, 1)
+	st := seg.Slot(stalled.slot)
+	if !st.Evicted() || st.Gen != stalled.gen {
+		t.Fatalf("stalled consumer not evicted at window+1: state %+v", st)
+	}
+	if got := seg.Evictions(); got != 1 {
+		t.Fatalf("evictions: %d, want 1", got)
+	}
+}
+
+// TestBcastCrossProcessStalledConsumerThroughput: after the one-time
+// eviction, a wedged subscriber process costs the producer nothing.
+// The run must complete (a blocking producer would hang the test), and
+// without the race detector the publish rate with a stalled consumer
+// attached must stay within 3x of the unencumbered rate.
+func TestBcastCrossProcessStalledConsumerThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison skipped in -short mode")
+	}
+	const records = 20000
+	payload := make([]byte, 1024)
+
+	rate := func(seg *BcastSegment) float64 {
+		prod := seg.Publisher()
+		start := time.Now()
+		for i := 0; i < records; i++ {
+			binary.LittleEndian.PutUint64(payload, uint64(i))
+			if err := prod.Publish(payload); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+		}
+		elapsed := time.Since(start)
+		prod.Close()
+		return float64(records) / elapsed.Seconds()
+	}
+
+	free, err := CreateBcast(procBcastCfg)
+	if err != nil {
+		t.Fatalf("CreateBcast: %v", err)
+	}
+	defer free.Close()
+	baseline := rate(free)
+
+	encumbered, err := CreateBcast(procBcastCfg)
+	if err != nil {
+		t.Fatalf("CreateBcast: %v", err)
+	}
+	defer encumbered.Close()
+	spawnBcastConsumer(t, encumbered, "stall")
+	stalledRate := rate(encumbered)
+	if got := encumbered.Evictions(); got != 1 {
+		t.Fatalf("evictions with stalled consumer: %d, want 1", got)
+	}
+
+	ratio := baseline / stalledRate
+	t.Logf("publish rate: %.0f/s free, %.0f/s with stalled consumer (%.2fx)",
+		baseline, stalledRate, ratio)
+	if raceDetectorEnabled {
+		t.Log("race detector enabled: skipping throughput ratio gate")
+		return
+	}
+	if ratio > 3 {
+		t.Fatalf("stalled consumer slowed the producer %.1fx; eviction must decouple it", ratio)
+	}
+}

@@ -1,0 +1,467 @@
+package shmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// smallBcast is the test geometry: small enough that wrap, pad and
+// eviction paths are exercised in a handful of publishes.
+func smallBcast(t testing.TB, cfg BcastConfig) *BcastSegment {
+	t.Helper()
+	if cfg.SlotSize == 0 {
+		cfg.SlotSize = 4096
+	}
+	if cfg.SlotCount == 0 {
+		cfg.SlotCount = 8
+	}
+	if cfg.MaxConsumers == 0 {
+		cfg.MaxConsumers = 4
+	}
+	if cfg.LagWindow == 0 {
+		cfg.LagWindow = cfg.SlotCount
+	}
+	seg, err := NewHeapBcast(cfg)
+	if err != nil {
+		t.Fatalf("NewHeapBcast: %v", err)
+	}
+	t.Cleanup(seg.Close)
+	return seg
+}
+
+// record builds a payload of n bytes carrying seq in its first 8 bytes
+// and a deterministic fill after, so consumers can verify both order
+// and content integrity.
+func record(seq uint64, n int) []byte {
+	b := make([]byte, n)
+	if n >= 8 {
+		binary.LittleEndian.PutUint64(b, seq)
+	}
+	for i := 8; i < n; i++ {
+		b[i] = byte(seq + uint64(i))
+	}
+	return b
+}
+
+func checkRecord(t *testing.T, got []byte, seq uint64, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("record %d: got %d bytes, want %d", seq, len(got), n)
+	}
+	if n >= 8 && binary.LittleEndian.Uint64(got) != seq {
+		t.Fatalf("record %d: header says %d", seq, binary.LittleEndian.Uint64(got))
+	}
+	for i := 8; i < n; i++ {
+		if got[i] != byte(seq+uint64(i)) {
+			t.Fatalf("record %d: fill corrupt at byte %d", seq, i)
+		}
+	}
+}
+
+func TestBcastConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  BcastConfig
+		ok   bool
+	}{
+		{"defaults", BcastConfig{}.WithDefaults(), true},
+		{"slot size not page multiple", BcastConfig{SlotSize: 1000, SlotCount: 8, MaxConsumers: 2, LagWindow: 4}, false},
+		{"slot count too small", BcastConfig{SlotSize: 4096, SlotCount: 4, MaxConsumers: 2, LagWindow: 2}, false},
+		{"too many consumers", BcastConfig{SlotSize: 4096, SlotCount: 8, MaxConsumers: BcastMaxConsumers + 1, LagWindow: 4}, false},
+		{"window beyond ring", BcastConfig{SlotSize: 4096, SlotCount: 8, MaxConsumers: 2, LagWindow: 9}, false},
+		{"max consumers at cap", BcastConfig{SlotSize: 4096, SlotCount: 8, MaxConsumers: BcastMaxConsumers, LagWindow: 8}, true},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+		}
+	}
+	// The consumer table must fit the header page at the cap.
+	if bConsTable+BcastMaxConsumers*bConsEntryBytes > hdrBytes {
+		t.Fatalf("consumer table overflows the header page")
+	}
+}
+
+func TestBcastPublishConsumeInterleaved(t *testing.T) {
+	seg := smallBcast(t, BcastConfig{})
+	prod := seg.Publisher()
+	cons, err := seg.Attach()
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	defer cons.Close()
+
+	// Sizes chosen to hit: sub-slot, exact slot, multi-slot, and a
+	// multi-slot record that forces a pad (wrap) on an 8-slot ring.
+	sizes := []int{100, 4096, 3 * 4096, 2 * 4096, 3 * 4096, 16, 0, 4097}
+	for seq, n := range sizes {
+		if err := prod.Publish(record(uint64(seq), n)); err != nil {
+			t.Fatalf("Publish %d: %v", seq, err)
+		}
+		v, err := cons.Next()
+		if err != nil {
+			t.Fatalf("Next %d: %v", seq, err)
+		}
+		checkRecord(t, v.Bytes(), uint64(seq), n)
+		if err := v.Release(); err != nil {
+			t.Fatalf("Release %d: %v", seq, err)
+		}
+	}
+	prod.Close()
+	if _, err := cons.Next(); !errors.Is(err, ErrProducerDone) {
+		t.Fatalf("after producer close: got %v, want ErrProducerDone", err)
+	}
+}
+
+func TestBcastTooLargeAndClosed(t *testing.T) {
+	seg := smallBcast(t, BcastConfig{})
+	prod := seg.Publisher()
+	if err := prod.Publish(make([]byte, seg.Config().MaxPayload()+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized publish: got %v, want ErrTooLarge", err)
+	}
+	prod.Close()
+	if err := prod.Publish([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("publish after close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestBcastEvictionAtWindow pins the eviction policy deterministically:
+// with a lag window W and one-slot records, a consumer that never
+// reads survives exactly W publishes and is evicted by publish W+1.
+func TestBcastEvictionAtWindow(t *testing.T) {
+	const window = 3
+	seg := smallBcast(t, BcastConfig{SlotCount: 8, LagWindow: window})
+	prod := seg.Publisher()
+	cons, err := seg.Attach()
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	defer cons.Close()
+
+	for i := 0; i < window; i++ {
+		if err := prod.Publish(record(uint64(i), 64)); err != nil {
+			t.Fatalf("Publish %d: %v", i, err)
+		}
+		if cons.Evicted() {
+			t.Fatalf("evicted after %d publishes; window is %d", i+1, window)
+		}
+	}
+	if got := seg.Evictions(); got != 0 {
+		t.Fatalf("evictions after %d publishes: %d, want 0", window, got)
+	}
+	if err := prod.Publish(record(window, 64)); err != nil {
+		t.Fatalf("Publish %d: %v", window, err)
+	}
+	if !cons.Evicted() {
+		t.Fatalf("not evicted after %d publishes; window is %d", window+1, window)
+	}
+	if got := seg.Evictions(); got != 1 {
+		t.Fatalf("evictions: %d, want 1", got)
+	}
+	if _, err := cons.Poll(); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("Poll after eviction: got %v, want ErrEvicted", err)
+	}
+}
+
+// TestBcastProducerNeverBlocks: a permanently stalled consumer costs
+// one eviction; the producer then publishes many full laps without
+// ever waiting on it.
+func TestBcastProducerNeverBlocks(t *testing.T) {
+	seg := smallBcast(t, BcastConfig{SlotCount: 8, LagWindow: 4})
+	prod := seg.Publisher()
+	stalled, err := seg.Attach()
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	defer stalled.Close()
+
+	for i := 0; i < 10*seg.Config().SlotCount; i++ {
+		if err := prod.Publish(record(uint64(i), 128)); err != nil {
+			t.Fatalf("Publish %d: %v", i, err)
+		}
+	}
+	if !stalled.Evicted() {
+		t.Fatalf("stalled consumer not evicted")
+	}
+	if got := seg.Evictions(); got != 1 {
+		t.Fatalf("evictions: %d, want exactly 1 (the stalled consumer)", got)
+	}
+}
+
+// TestBcastEvictedMidReadTornDetected drives a consumer holding a view
+// while the producer laps it — interleaved in a single goroutine so
+// the deliberate overwrite isn't a detector race. Release must report
+// ErrEvicted (the bytes may be torn), never success.
+func TestBcastEvictedMidReadTornDetected(t *testing.T) {
+	seg := smallBcast(t, BcastConfig{SlotCount: 8, LagWindow: 2})
+	prod := seg.Publisher()
+	cons, err := seg.Attach()
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	defer cons.Close()
+
+	if err := prod.Publish(record(0, 256)); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	v, err := cons.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	// With the view still claimed, lap the ring: slot 0 is rewritten.
+	for i := 1; i < 12; i++ {
+		if err := prod.Publish(record(uint64(i), 256)); err != nil {
+			t.Fatalf("Publish %d: %v", i, err)
+		}
+	}
+	if err := v.Release(); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("Release of lapped view: got %v, want ErrEvicted", err)
+	}
+	if got := atomic.LoadUint64(seg.consCursor(cons.Slot())); got != 0 {
+		t.Fatalf("evicted Release advanced the shared cursor to %d", got)
+	}
+}
+
+func TestBcastAttachLimitAndSlotReuse(t *testing.T) {
+	seg := smallBcast(t, BcastConfig{MaxConsumers: 2, SlotCount: 8, LagWindow: 2})
+	c0, err := seg.Attach()
+	if err != nil {
+		t.Fatalf("Attach c0: %v", err)
+	}
+	c1, err := seg.Attach()
+	if err != nil {
+		t.Fatalf("Attach c1: %v", err)
+	}
+	if _, err := seg.Attach(); !errors.Is(err, ErrNoSlot) {
+		t.Fatalf("third attach: got %v, want ErrNoSlot", err)
+	}
+
+	// Detach frees the slot for reuse at a higher generation.
+	slot, gen := c1.Slot(), c1.Gen()
+	c1.Close()
+	c2, err := seg.Attach()
+	if err != nil {
+		t.Fatalf("Attach after close: %v", err)
+	}
+	defer c2.Close()
+	if c2.Slot() != slot || c2.Gen() != gen+1 {
+		t.Fatalf("reused slot %d gen %d, want slot %d gen %d", c2.Slot(), c2.Gen(), slot, gen+1)
+	}
+
+	// An evicted slot is reclaimable too, and the evictee's stale
+	// handle cannot disturb the newcomer.
+	prod := seg.Publisher()
+	for i := 0; i < 4; i++ {
+		if err := prod.Publish(record(uint64(i), 64)); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	if !c0.Evicted() {
+		t.Fatalf("c0 not evicted")
+	}
+	c3, err := seg.Attach()
+	if err != nil {
+		t.Fatalf("Attach over evicted slot: %v", err)
+	}
+	defer c3.Close()
+	if c3.Slot() != c0.Slot() && c3.Slot() != c2.Slot() {
+		t.Fatalf("attach did not reuse a table slot: got %d", c3.Slot())
+	}
+	if _, err := c0.Poll(); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("stale evictee Poll: got %v, want ErrEvicted", err)
+	}
+	c0.Close() // must not free the reclaimed slot out from under c3
+	if c3.Slot() == c0.Slot() {
+		if got := seg.Slot(c3.Slot()); !got.Attached() || got.Gen != c3.Gen() {
+			t.Fatalf("stale Close disturbed reclaimed slot: %+v", got)
+		}
+	}
+}
+
+// TestBcastEveryConsumerSeesEveryRecord is the cursor-invariant
+// property test: N concurrent consumers, none evicted (the producer is
+// throttled by the slowest cursor, test-side only), and every consumer
+// observes every record exactly once, in publish order, with intact
+// contents.
+func TestBcastEveryConsumerSeesEveryRecord(t *testing.T) {
+	const (
+		consumers = 4
+		records   = 400
+	)
+	seg := smallBcast(t, BcastConfig{SlotCount: 16, MaxConsumers: consumers, LagWindow: 16})
+	prod := seg.Publisher()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, consumers)
+	for i := 0; i < consumers; i++ {
+		cons, err := seg.Attach()
+		if err != nil {
+			t.Fatalf("Attach %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cons.Close()
+			var seen uint64
+			for {
+				v, err := cons.Next()
+				if errors.Is(err, ErrProducerDone) {
+					if seen != records {
+						errs <- errors.New("consumer finished early")
+					}
+					return
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				b := v.Bytes()
+				if len(b) < 8 || binary.LittleEndian.Uint64(b) != seen {
+					errs <- errors.New("out-of-order or corrupt record")
+					return
+				}
+				// Full content check on a sample to keep the loop hot.
+				if seen%17 == 0 {
+					sz := len(b)
+					for j := 8; j < sz; j++ {
+						if b[j] != byte(seen+uint64(j)) {
+							errs <- errors.New("payload fill corrupt")
+							return
+						}
+					}
+				}
+				if err := v.Release(); err != nil {
+					errs <- err
+					return
+				}
+				seen++
+			}
+		}()
+	}
+
+	sizes := []int{64, 4096, 8192, 300, 12288, 24}
+	for i := 0; i < records; i++ {
+		// Throttle: never outrun the slowest consumer past half the
+		// window, so eviction cannot fire and the exactly-once claim is
+		// deterministic.
+		for spin := 0; seg.MaxLag() > uint64(seg.Config().LagWindow)/2; spin++ {
+			backoff(spin)
+		}
+		if err := prod.Publish(record(uint64(i), sizes[i%len(sizes)])); err != nil {
+			t.Fatalf("Publish %d: %v", i, err)
+		}
+	}
+	prod.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("consumer: %v", err)
+	}
+	if got := seg.Evictions(); got != 0 {
+		t.Fatalf("evictions during throttled run: %d, want 0", got)
+	}
+}
+
+// TestBcastHeapSegmentRefcount: the mapping must outlive the last
+// consumer, and LiveSegments must return to baseline.
+func TestBcastHeapSegmentRefcount(t *testing.T) {
+	base := LiveSegments()
+	seg, err := NewHeapBcast(BcastConfig{SlotCount: 8, MaxConsumers: 2, LagWindow: 8})
+	if err != nil {
+		t.Fatalf("NewHeapBcast: %v", err)
+	}
+	if LiveSegments() != base+1 {
+		t.Fatalf("LiveSegments after create: %d, want %d", LiveSegments(), base+1)
+	}
+	c, err := seg.Attach()
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	seg.Close() // owner gone; consumer still holds a reference
+	if LiveSegments() != base+1 {
+		t.Fatalf("LiveSegments after owner close with live consumer: %d, want %d", LiveSegments(), base+1)
+	}
+	c.Close()
+	if LiveSegments() != base {
+		t.Fatalf("LiveSegments after last close: %d, want %d", LiveSegments(), base)
+	}
+}
+
+// FuzzBroadcastRingHeader mutates the mapped header words a hostile or
+// dying peer could scribble on — consumer cursors, slot state words
+// (generation/state), the shared head, the eviction counter — and then
+// drives both sides. The producer must keep publishing without error
+// or blocking (Publish has no wait states by construction) and the
+// consumer must reach a terminal verdict in bounded steps: records,
+// drain, ErrEvicted, or ErrCorrupt — never a panic or a livelock.
+func FuzzBroadcastRingHeader(f *testing.F) {
+	f.Add(uint32(bOffHead), uint64(1<<40), uint8(3))
+	f.Add(uint32(bConsTable), uint64(bSlotEvicted), uint8(1))
+	f.Add(uint32(bConsTable+8), ^uint64(0), uint8(5))
+	f.Add(uint32(bOffEvictions), uint64(7), uint8(2))
+	f.Add(uint32(bOffProdClosed), uint64(1), uint8(0))
+	f.Add(uint32(bConsTable+bConsEntryBytes), uint64(99)<<32|uint64(bSlotAttached), uint8(4))
+
+	f.Fuzz(func(t *testing.T, off uint32, val uint64, extra uint8) {
+		seg, err := NewHeapBcast(BcastConfig{SlotCount: 8, MaxConsumers: 4, LagWindow: 4})
+		if err != nil {
+			t.Fatalf("NewHeapBcast: %v", err)
+		}
+		defer seg.Close()
+		prod := seg.Publisher()
+		cons, err := seg.Attach()
+		if err != nil {
+			t.Fatalf("Attach: %v", err)
+		}
+		defer cons.Close()
+
+		// A little honest traffic first.
+		for i := 0; i < 3; i++ {
+			if err := prod.Publish(record(uint64(i), 64)); err != nil {
+				t.Fatalf("Publish: %v", err)
+			}
+		}
+
+		// Scribble one aligned header word.
+		word := int(off) % (hdrBytes / 8)
+		atomic.StoreUint64(u64p(seg.hdr, word*8), val)
+
+		// Producer: must complete every publish; never blocks, never
+		// panics, and a corrupt consumer cursor reads as huge lag (and
+		// is evicted), not as a stall.
+		for i := 0; i < int(extra)+4; i++ {
+			if err := prod.Publish(record(uint64(i), 200)); err != nil {
+				t.Fatalf("Publish after corruption: %v", err)
+			}
+		}
+		prod.Close()
+
+		// Consumer: bounded polling must reach a terminal state. Each
+		// Poll either advances the cursor, returns a view (released,
+		// advancing), or errors; SlotCount*4 iterations is generous.
+		for i := 0; i < seg.Config().SlotCount*4; i++ {
+			v, err := cons.Poll()
+			if err != nil {
+				return // ErrEvicted / ErrCorrupt / ErrProducerDone: all fine
+			}
+			if v == nil {
+				continue // drained but header said producer open — bounded retry
+			}
+			_ = v.Bytes()
+			if err := v.Release(); err != nil {
+				return
+			}
+		}
+		// Never reaching a terminal verdict is fine only if the header
+		// was scribbled into "producer open, ring drained" — anything
+		// else should have terminated above; either way we got here
+		// without panicking or wedging, which is the invariant.
+	})
+}

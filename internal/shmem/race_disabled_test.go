@@ -1,0 +1,5 @@
+//go:build !race
+
+package shmem
+
+const raceDetectorEnabled = false

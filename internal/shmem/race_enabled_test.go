@@ -1,0 +1,9 @@
+//go:build race
+
+package shmem
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race; throughput-ratio gates skip then, since instrumented atomics
+// throttle the publish loop and the comparison would measure the
+// instrumentation, not the eviction policy.
+const raceDetectorEnabled = true

@@ -13,3 +13,10 @@ func Create(cfg Config) (*Segment, error) { return nil, ErrUnsupported }
 
 // Open is unavailable off Linux.
 func Open(fd int, cfg Config) (*Segment, error) { return nil, ErrUnsupported }
+
+// CreateBcast is unavailable off Linux (NewHeapBcast still works for
+// in-process use and tests).
+func CreateBcast(cfg BcastConfig) (*BcastSegment, error) { return nil, ErrUnsupported }
+
+// OpenBcast is unavailable off Linux.
+func OpenBcast(fd int, cfg BcastConfig) (*BcastSegment, error) { return nil, ErrUnsupported }
