@@ -27,7 +27,7 @@ endif
 # !linux skip stubs (shm/kzc data planes are linux-gated).
 vet:
 	$(GO) vet ./...
-	GOOS=darwin $(GO) vet ./internal/transport/ ./internal/orb/ ./internal/zcbuf/ ./internal/shmem/ ./internal/events/
+	GOOS=darwin $(GO) vet ./internal/transport/ ./internal/orb/ ./internal/zcbuf/ ./internal/shmem/ ./internal/events/ ./internal/naming/ ./internal/group/
 
 # Golden wire-vector suite (internal/giop/testdata): regenerate
 # deliberately with `go test ./internal/giop -run TestWireVectors -update`.
@@ -59,11 +59,12 @@ chaos:
 	CHAOS_SEED=303 $(GO) test -race -count=1 -run 'Chaos' ./internal/orb/
 	$(GO) test -race -count=1 -v -run 'TestChaosRandomSeeded' ./internal/orb/
 	$(GO) test -race -count=1 -run 'TestBcastCrossProcess' ./internal/shmem/
+	$(GO) test -race -count=1 -run 'Chaos|Failover|ReplicaDrain|MemberKill' ./internal/naming/ ./internal/group/ ./internal/orb/
 
 # Race-checks the concurrent request engine (shared-connection
 # invokers, pipelining, pending-table striping).
 race:
-	$(GO) test -race ./internal/orb/... ./internal/ttcp/... ./internal/shmem/... ./internal/events/...
+	$(GO) test -race ./internal/orb/... ./internal/ttcp/... ./internal/shmem/... ./internal/events/... ./internal/naming/... ./internal/group/...
 
 race-all:
 	$(GO) test -race ./...
@@ -74,6 +75,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'Fig5|Fig6|RequestRate|Shm|Kzc' -benchmem . 2>&1 | tee bench_output.txt
 	$(GO) test -run '^$$' -bench 'Generated|Interpreter|StructMarshal|StructDemarshal|GeneralMarshal|GeneralDemarshal' -benchmem ./internal/gentest/ ./internal/typecode/ 2>&1 | tee -a bench_output.txt
 	$(GO) test -run '^$$' -bench 'EventsFanout' -benchmem ./internal/events/ 2>&1 | tee -a bench_output.txt
+	$(GO) test -run '^$$' -bench 'Resolve' -benchmem ./internal/naming/ 2>&1 | tee -a bench_output.txt
 	$(GO) run ./cmd/benchjson -o BENCH_orb.json bench_output.txt
 
 bench-all:

@@ -1,6 +1,10 @@
 // Command iordump decodes stringified object references: the
 // equivalent of MICO's iordump debugging tool. It prints the type ID,
-// every IIOP profile, and the zero-copy extension components.
+// every tagged profile with its tagged components annotated — the
+// zero-copy extensions (ZCDeposit, ZCShm, ZCShmBcast), the
+// PriorityWeight ordering component, and the object-group component —
+// and, for multi-profile references, the effective dial order a client
+// derives from the priorities (docs/NAMING.md).
 //
 //	iordump 'IOR:0100000022000000...'
 //	echo corbaloc::host:2809/NameService | iordump
@@ -63,22 +67,82 @@ func dump(s string) error {
 			fmt.Printf("profile %d: IIOP %d.%d  endpoint %s:%d  key %q\n",
 				i, p.Major, p.Minor, p.Host, p.Port, p.ObjectKey)
 			for _, comp := range p.Components {
-				switch comp.Tag {
-				case ior.TagZCDeposit:
-					z, err := ior.DecodeZCDeposit(comp.Data)
-					if err != nil {
-						fmt.Printf("  component ZCDeposit (undecodable: %v)\n", err)
-						continue
-					}
-					fmt.Printf("  component ZCDeposit: arch %q, data channel %s:%d\n",
-						z.Arch, z.Host, z.Port)
-				default:
-					fmt.Printf("  component tag %d: %d bytes\n", comp.Tag, len(comp.Data))
-				}
+				dumpComponent(comp)
 			}
 		default:
 			fmt.Printf("profile %d: tag %d, %d bytes\n", i, tp.Tag, len(tp.Data))
 		}
 	}
+	// Multi-profile references: show the order a client actually dials
+	// (ascending priority, descending weight, IOR order as tiebreak).
+	if ordered := ref.OrderedIIOPProfiles(); len(ordered) > 1 {
+		fmt.Println("dial order:")
+		for rank, p := range ordered {
+			pw := p.PriorityWeight()
+			fmt.Printf("  %d. %s:%d  (priority %d, weight %d)\n",
+				rank+1, p.Host, p.Port, pw.Priority, pw.Weight)
+		}
+	}
 	return nil
+}
+
+// dumpComponent prints one tagged component with the richest
+// annotation its tag allows.
+func dumpComponent(comp ior.TaggedComponent) {
+	switch comp.Tag {
+	case ior.TagZCDeposit:
+		z, err := ior.DecodeZCDeposit(comp.Data)
+		if err != nil {
+			fmt.Printf("  component ZCDeposit (undecodable: %v)\n", err)
+			return
+		}
+		fmt.Printf("  component ZCDeposit: arch %q, data channel %s:%d\n",
+			z.Arch, z.Host, z.Port)
+	case ior.TagZCShm:
+		z, err := ior.DecodeZCShm(comp.Data)
+		if err != nil {
+			fmt.Printf("  component ZCShm (undecodable: %v)\n", err)
+			return
+		}
+		fmt.Printf("  component ZCShm: arch %q, host ID %q, path %q\n",
+			z.Arch, z.HostID, z.Path)
+	case ior.TagZCShmBcast:
+		z, err := ior.DecodeZCShmBcast(comp.Data)
+		if err != nil {
+			fmt.Printf("  component ZCShmBcast (undecodable: %v)\n", err)
+			return
+		}
+		fmt.Printf("  component ZCShmBcast: arch %q, host ID %q, path %q\n",
+			z.Arch, z.HostID, z.Path)
+	case ior.TagZCPriority:
+		pw, err := ior.DecodePriorityWeight(comp.Data)
+		if err != nil {
+			fmt.Printf("  component PriorityWeight (undecodable: %v)\n", err)
+			return
+		}
+		fmt.Printf("  component PriorityWeight: priority %d, weight %d\n",
+			pw.Priority, pw.Weight)
+	case ior.TagZCGroup:
+		g, err := ior.DecodeGroup(comp.Data)
+		if err != nil {
+			fmt.Printf("  component Group (undecodable: %v)\n", err)
+			return
+		}
+		fmt.Printf("  component Group: group %q, member %q, policy %s\n",
+			g.Name, g.Member, policyName(g.Policy))
+	default:
+		fmt.Printf("  component tag %d: %d bytes\n", comp.Tag, len(comp.Data))
+	}
+}
+
+// policyName renders a balancing policy for humans.
+func policyName(p uint32) string {
+	switch p {
+	case ior.PolicyRoundRobin:
+		return "round-robin"
+	case ior.PolicyLeastLoaded:
+		return "least-loaded"
+	default:
+		return fmt.Sprintf("policy(%d)", p)
+	}
 }

@@ -1,0 +1,347 @@
+package group
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"zcorba/internal/ior"
+	"zcorba/internal/orb"
+	"zcorba/internal/transport"
+	"zcorba/internal/typecode"
+)
+
+// worker is a trivial group member servant: "work" returns its tag,
+// "block" parks until the gate opens (to build load for the
+// least-loaded policy tests).
+type worker struct {
+	tag  int32
+	gate chan struct{}
+}
+
+var workerIface = orb.NewInterface("IDL:test/Worker:1.0", "Worker",
+	&orb.Operation{Name: "work", Result: typecode.TCLong, Idempotent: true},
+	&orb.Operation{Name: "block", Result: typecode.TCLong, Idempotent: true},
+	&orb.Operation{Name: "boom", Result: typecode.TCLong, Idempotent: true},
+)
+
+func (w *worker) Interface() *orb.Interface { return workerIface }
+func (w *worker) Invoke(op string, args []any) (any, []any, error) {
+	switch op {
+	case "block":
+		if w.gate != nil {
+			<-w.gate
+		}
+	case "boom":
+		return nil, nil, errors.New("servant failure")
+	}
+	return w.tag, nil, nil
+}
+
+// oneORB starts a server ORB with one worker activated under "w".
+func oneORB(t *testing.T, tag int32) (*orb.ORB, *orb.ObjectRef) {
+	t.Helper()
+	o, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Shutdown)
+	ref, err := o.Activate("w", &worker{tag: tag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, ref
+}
+
+// clientORB starts a plain client ORB.
+func clientORB(t *testing.T) *orb.ORB {
+	t.Helper()
+	o, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Shutdown)
+	return o
+}
+
+// TestGroupActivateSingleORB proves the one-process convenience path:
+// Activate publishes every member on one ORB under distinct keys and
+// round-robin spreads exactly evenly.
+func TestGroupActivateSingleORB(t *testing.T) {
+	server, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	gior, err := Activate(server, "workers", ior.PolicyRoundRobin, map[string]orb.Servant{
+		"m-0": &worker{tag: 0}, "m-1": &worker{tag: 1}, "m-2": &worker{tag: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBalancer(clientORB(t), gior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Members(); len(got) != 3 || got[0] != "m-0" || got[2] != "m-2" {
+		t.Fatalf("Members() = %v", got)
+	}
+	for i := 0; i < 9; i++ {
+		if _, _, err := b.Invoke(workerIface.Ops["work"], nil); err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+	}
+	for _, id := range b.Members() {
+		if n := b.Served(id); n != 3 {
+			t.Fatalf("member %s served %d of 9, want 3", id, n)
+		}
+	}
+}
+
+// TestGroupIORComponents pins the wire shape: every profile of a group
+// reference carries the group component (name, member, policy) and it
+// survives a stringify/parse round trip.
+func TestGroupIORComponents(t *testing.T) {
+	_, r0 := oneORB(t, 0)
+	_, r1 := oneORB(t, 1)
+	gior, err := IORFromMembers("enc", ior.PolicyLeastLoaded,
+		[]string{"a", "b"}, []*orb.ObjectRef{r0, r1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ior.Parse(gior.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs := back.IIOPProfiles()
+	if len(profs) != 2 {
+		t.Fatalf("%d profiles after round trip", len(profs))
+	}
+	wantMember := []string{"a", "b"}
+	for i, p := range profs {
+		g, ok := p.Group()
+		if !ok {
+			t.Fatalf("profile %d lost its group component", i)
+		}
+		if g.Name != "enc" || g.Member != wantMember[i] || g.Policy != ior.PolicyLeastLoaded {
+			t.Fatalf("profile %d group = %+v", i, g)
+		}
+		if pw := p.PriorityWeight(); pw.Priority != ior.DefaultPriority {
+			t.Fatalf("profile %d priority = %d", i, pw.Priority)
+		}
+	}
+	// A plain multi-profile IOR (no group component) is not a group.
+	plain, _ := r0.IOR().IIOP()
+	if _, err := NewBalancer(clientORB(t), ior.NewMultiIIOP("IDL:x:1.0", plain)); err == nil {
+		t.Fatal("NewBalancer accepted a groupless reference")
+	}
+}
+
+// TestGroupLeastLoaded parks a call on one member and proves the
+// policy routes new traffic to the idle member.
+func TestGroupLeastLoaded(t *testing.T) {
+	server, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	gate := make(chan struct{})
+	gior, err := Activate(server, "workers", ior.PolicyLeastLoaded, map[string]orb.Servant{
+		"m-0": &worker{tag: 0, gate: gate},
+		"m-1": &worker{tag: 1, gate: gate},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBalancer(clientORB(t), gior)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park a blocking call; ties pick the first member, so it lands on
+	// m-0 and leaves its in-flight count at 1.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := b.Invoke(workerIface.Ops["block"], nil); err != nil {
+			t.Errorf("blocked call: %v", err)
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for b.members[0].inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocking call never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Quick calls must all avoid the loaded member.
+	for i := 0; i < 4; i++ {
+		res, _, err := b.Invoke(workerIface.Ops["work"], nil)
+		if err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+		if res.(int32) != 1 {
+			t.Fatalf("invoke %d landed on loaded member (tag %v)", i, res)
+		}
+	}
+	close(gate)
+	wg.Wait()
+}
+
+// TestGroupMemberKillMidTraffic is the group half of the chaos
+// acceptance criterion: killing one member mid-traffic loses no client
+// call, the dead member is evicted after the failure threshold, and
+// the survivors absorb its share.
+func TestGroupMemberKillMidTraffic(t *testing.T) {
+	o0, r0 := oneORB(t, 0)
+	_, r1 := oneORB(t, 1)
+	_, r2 := oneORB(t, 2)
+	gior, err := IORFromMembers("workers", ior.PolicyRoundRobin,
+		[]string{"m-0", "m-1", "m-2"}, []*orb.ObjectRef{r0, r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBalancer(clientORB(t), gior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Cooldown = time.Minute // keep the dead member out once evicted
+
+	// Warm-up: all three serve.
+	for i := 0; i < 6; i++ {
+		if _, _, err := b.Invoke(workerIface.Ops["work"], nil); err != nil {
+			t.Fatalf("warm-up %d: %v", i, err)
+		}
+	}
+	if b.Served("m-0") != 2 || b.Served("m-1") != 2 || b.Served("m-2") != 2 {
+		t.Fatalf("warm-up spread: %d/%d/%d",
+			b.Served("m-0"), b.Served("m-1"), b.Served("m-2"))
+	}
+
+	// Kill m-0 and keep the traffic flowing: no call may fail.
+	o0.Shutdown()
+	for i := 0; i < 12; i++ {
+		if _, _, err := b.Invoke(workerIface.Ops["work"], nil); err != nil {
+			t.Fatalf("invoke %d after member kill: %v", i, err)
+		}
+	}
+	if n := b.Evictions(); n < 1 {
+		t.Fatalf("evictions = %d, want >= 1", n)
+	}
+	if b.Served("m-0") != 2 {
+		t.Fatalf("dead member served %d calls after kill", b.Served("m-0")-2)
+	}
+	// Survivors carried the 12 post-kill calls between them.
+	if got := b.Served("m-1") + b.Served("m-2"); got != 16 {
+		t.Fatalf("survivors served %d total, want 16", got)
+	}
+}
+
+// TestGroupCooldownReadmits proves an evicted member rejoins after its
+// cooldown: traffic avoids it while evicted and returns once the
+// window passes (the member never actually died here — the gate
+// evicted it on injected failure counts).
+func TestGroupCooldownReadmits(t *testing.T) {
+	server, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	gior, err := Activate(server, "workers", ior.PolicyRoundRobin, map[string]orb.Servant{
+		"m-0": &worker{tag: 0}, "m-1": &worker{tag: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBalancer(clientORB(t), gior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Cooldown = 50 * time.Millisecond
+
+	// Force m-0 over the threshold.
+	for i := 0; i < b.threshold(); i++ {
+		b.markFailure(b.members[0])
+	}
+	if b.Evictions() != 1 {
+		t.Fatalf("evictions = %d", b.Evictions())
+	}
+	for i := 0; i < 4; i++ {
+		if _, _, err := b.Invoke(workerIface.Ops["work"], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := b.Served("m-0"); n != 0 {
+		t.Fatalf("evicted member served %d calls during cooldown", n)
+	}
+
+	// After the cooldown the member takes traffic again, and a success
+	// clears its gate entirely.
+	time.Sleep(60 * time.Millisecond)
+	for i := 0; i < 4; i++ {
+		if _, _, err := b.Invoke(workerIface.Ops["work"], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := b.Served("m-0"); n == 0 {
+		t.Fatal("member never readmitted after cooldown")
+	}
+	if !b.members[0].healthy(time.Now()) {
+		t.Fatal("successful call did not clear the eviction")
+	}
+}
+
+// TestGroupAllDead pins the total-outage shape: a clean error, fast.
+func TestGroupAllDead(t *testing.T) {
+	o0, r0 := oneORB(t, 0)
+	o1, r1 := oneORB(t, 1)
+	gior, err := IORFromMembers("workers", ior.PolicyRoundRobin,
+		[]string{"m-0", "m-1"}, []*orb.ObjectRef{r0, r1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBalancer(clientORB(t), gior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o0.Shutdown()
+	o1.Shutdown()
+	_, _, err = b.Invoke(workerIface.Ops["work"], nil)
+	var sys *orb.SystemException
+	if !errors.As(err, &sys) {
+		t.Fatalf("want a system exception with all members dead, got %v", err)
+	}
+}
+
+// TestGroupApplicationErrorNotRetried proves servant-level failures
+// surface directly: they are not connection failures, must not count
+// against member health, and must not be re-run on another member.
+func TestGroupApplicationErrorNotRetried(t *testing.T) {
+	server, err := orb.New(orb.Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Shutdown)
+	gior, err := Activate(server, "workers", ior.PolicyRoundRobin, map[string]orb.Servant{
+		"m-0": &worker{tag: 0}, "m-1": &worker{tag: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBalancer(clientORB(t), gior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Invoke(workerIface.Ops["boom"], nil); err == nil {
+		t.Fatal("boom must fail")
+	}
+	if n := b.Served("m-0") + b.Served("m-1"); n != 0 {
+		t.Fatalf("failed call counted as served (%d)", n)
+	}
+	if b.Evictions() != 0 {
+		t.Fatalf("application error evicted a member")
+	}
+}

@@ -1,0 +1,99 @@
+package ior
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"zcorba/internal/cdr"
+)
+
+// The IOR wire-vector suite locks the CDR byte format of multi-profile
+// and group-component references against canonical fixtures under
+// testdata/, in both byte orders — the same contract the GIOP
+// conformance suite enforces for message headers. Component
+// encapsulations are always cdr.NativeOrder (a compile-time constant),
+// so the fixtures are identical on every machine. Regenerate
+// deliberately with
+//
+//	go test ./internal/ior -run TestIORWireVectors -update
+//
+// after which `git diff internal/ior/testdata` is the wire-format
+// change under review.
+var update = flag.Bool("update", false, "rewrite the golden IOR wire vectors")
+
+var iorVectors = []struct {
+	name string
+	ref  func() IOR
+}{
+	{"multiprofile", sampleMultiIOR},
+	{"group", sampleGroupIOR},
+}
+
+var iorVecOrders = []struct {
+	name  string
+	order cdr.ByteOrder
+}{
+	{"be", cdr.BigEndian},
+	{"le", cdr.LittleEndian},
+}
+
+// marshalIOR renders the reference in its standard CDR form under the
+// given outer byte order.
+func marshalIOR(r IOR, order cdr.ByteOrder) []byte {
+	e := cdr.NewEncoder(order, 0)
+	r.Marshal(e)
+	return e.Bytes()
+}
+
+func TestIORWireVectors(t *testing.T) {
+	for _, vec := range iorVectors {
+		for _, ord := range iorVecOrders {
+			name := fmt.Sprintf("%s_%s", vec.name, ord.name)
+			t.Run(name, func(t *testing.T) {
+				got := marshalIOR(vec.ref(), ord.order)
+				path := filepath.Join("testdata", name+".bin")
+				if *update {
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden vector (run with -update): %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("wire bytes diverged from %s:\n got %x\nwant %x", path, got, want)
+				}
+				// The fixture must decode back to an equivalent reference
+				// with ordering and group components intact.
+				d := cdr.NewDecoder(ord.order, 0, want)
+				back, err := Unmarshal(d)
+				if err != nil {
+					t.Fatalf("golden vector does not decode: %v", err)
+				}
+				ref := vec.ref()
+				if back.TypeID != ref.TypeID || len(back.Profiles) != len(ref.Profiles) {
+					t.Fatalf("decoded reference diverged: %+v", back)
+				}
+				wantOrder := ref.OrderedIIOPProfiles()
+				gotOrder := back.OrderedIIOPProfiles()
+				for i := range wantOrder {
+					if gotOrder[i].Host != wantOrder[i].Host ||
+						gotOrder[i].PriorityWeight() != wantOrder[i].PriorityWeight() {
+						t.Fatalf("dial order diverged at %d: %+v", i, gotOrder[i])
+					}
+					wg, wok := wantOrder[i].Group()
+					gg, gok := gotOrder[i].Group()
+					if wok != gok || wg != gg {
+						t.Fatalf("group component diverged at %d: %+v ok=%v", i, gg, gok)
+					}
+				}
+			})
+		}
+	}
+}

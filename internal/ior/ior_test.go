@@ -173,6 +173,137 @@ func TestDecodeIIOPRejectsGarbage(t *testing.T) {
 	}
 }
 
+// sampleMultiIOR is a three-endpoint replicated reference: two
+// priority-0 replicas with unequal weights and one priority-1 backup,
+// deliberately listed out of dial order.
+func sampleMultiIOR() IOR {
+	return NewMultiIIOP("IDL:zcorba/Naming/Context:1.0",
+		IIOPProfile{Host: "10.0.0.3", Port: 2811, ObjectKey: []byte("NameService"),
+			Components: []TaggedComponent{PriorityWeight{Priority: 1, Weight: 1}.Encode()}},
+		IIOPProfile{Host: "10.0.0.1", Port: 2809, ObjectKey: []byte("NameService"),
+			Components: []TaggedComponent{PriorityWeight{Priority: 0, Weight: 3}.Encode()}},
+		IIOPProfile{Host: "10.0.0.2", Port: 2810, ObjectKey: []byte("NameService"),
+			Components: []TaggedComponent{PriorityWeight{Priority: 0, Weight: 1}.Encode()}},
+	)
+}
+
+// sampleGroupIOR is a two-member object-group reference.
+func sampleGroupIOR() IOR {
+	return NewMultiIIOP("IDL:test/Worker:1.0",
+		IIOPProfile{Host: "10.0.1.1", Port: 7001, ObjectKey: []byte("w-1"),
+			Components: []TaggedComponent{
+				Group{Name: "workers", Member: "w-1", Policy: PolicyLeastLoaded}.Encode(),
+				PriorityWeight{Priority: 0, Weight: 2}.Encode(),
+			}},
+		IIOPProfile{Host: "10.0.1.2", Port: 7002, ObjectKey: []byte("w-2"),
+			Components: []TaggedComponent{
+				Group{Name: "workers", Member: "w-2", Policy: PolicyLeastLoaded}.Encode(),
+			}},
+	)
+}
+
+func TestMultiProfileOrdering(t *testing.T) {
+	r := sampleMultiIOR()
+	all := r.IIOPProfiles()
+	if len(all) != 3 {
+		t.Fatalf("IIOPProfiles: %d profiles", len(all))
+	}
+	// Raw order preserves the publisher's list.
+	if all[0].Host != "10.0.0.3" {
+		t.Fatalf("raw order changed: %+v", all[0])
+	}
+	ordered := r.OrderedIIOPProfiles()
+	want := []string{"10.0.0.1", "10.0.0.2", "10.0.0.3"}
+	for i, h := range want {
+		if ordered[i].Host != h {
+			t.Fatalf("dial order[%d] = %s, want %s", i, ordered[i].Host, h)
+		}
+	}
+	// A component-free profile sorts with the defaults.
+	plain := NewIIOP("IDL:x:1.0", "h", 1, []byte("k"))
+	pw := plain.IIOPProfiles()[0].PriorityWeight()
+	if pw.Priority != DefaultPriority || pw.Weight != DefaultWeight {
+		t.Fatalf("default PriorityWeight = %+v", pw)
+	}
+}
+
+func TestMultiProfileRoundTrip(t *testing.T) {
+	r := sampleMultiIOR()
+	got, err := Parse(r.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := got.OrderedIIOPProfiles()
+	if len(ordered) != 3 || ordered[0].Host != "10.0.0.1" {
+		t.Fatalf("multi-profile ordering lost after stringify: %+v", ordered)
+	}
+	pw := ordered[0].PriorityWeight()
+	if pw.Priority != 0 || pw.Weight != 3 {
+		t.Fatalf("PriorityWeight lost: %+v", pw)
+	}
+}
+
+func TestAddProfile(t *testing.T) {
+	r := NewIIOP("IDL:x:1.0", "a", 1, []byte("k"))
+	grown := r.AddProfile(IIOPProfile{Host: "b", Port: 2, ObjectKey: []byte("k")})
+	if len(r.Profiles) != 1 {
+		t.Fatal("AddProfile mutated the receiver")
+	}
+	ps := grown.IIOPProfiles()
+	if len(ps) != 2 || ps[1].Host != "b" || ps[1].Major != 1 {
+		t.Fatalf("grown profiles: %+v", ps)
+	}
+}
+
+func TestGroupComponent(t *testing.T) {
+	r := sampleGroupIOR()
+	g, ok := r.Group()
+	if !ok {
+		t.Fatal("no group component")
+	}
+	if g.Name != "workers" || g.Member != "w-1" || g.Policy != PolicyLeastLoaded {
+		t.Fatalf("group = %+v", g)
+	}
+	for i, p := range r.IIOPProfiles() {
+		pg, ok := p.Group()
+		if !ok || pg.Name != "workers" {
+			t.Fatalf("profile %d group: %+v ok=%v", i, pg, ok)
+		}
+	}
+	// Round trip through the stringified form.
+	got, err := Parse(r.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, ok := got.Group()
+	if !ok || g2 != g {
+		t.Fatalf("group round trip: %+v -> %+v", g, g2)
+	}
+}
+
+func TestDecodeGroupRejectsHostileFields(t *testing.T) {
+	if _, err := DecodeGroup(nil); err == nil {
+		t.Fatal("want error for empty component")
+	}
+	bad := Group{Name: "a\x00b", Member: "m"}.Encode()
+	if _, err := DecodeGroup(bad.Data); err == nil {
+		t.Fatal("want error for NUL in group name")
+	}
+	long := Group{Name: strings.Repeat("n", maxShmName+1), Member: "m"}.Encode()
+	if _, err := DecodeGroup(long.Data); err == nil {
+		t.Fatal("want error for overlong group name")
+	}
+}
+
+func TestDecodePriorityWeightRejectsGarbage(t *testing.T) {
+	if _, err := DecodePriorityWeight(nil); err == nil {
+		t.Fatal("want error for empty component")
+	}
+	if _, err := DecodePriorityWeight([]byte{0, 1}); err == nil {
+		t.Fatal("want error for truncated component")
+	}
+}
+
 func TestDecodeZCDepositRejectsGarbage(t *testing.T) {
 	if _, err := DecodeZCDeposit(nil); err == nil {
 		t.Fatal("want error for empty component")

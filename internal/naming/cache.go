@@ -1,0 +1,125 @@
+package naming
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zcorba/internal/ior"
+	"zcorba/internal/orb"
+)
+
+// CachedResolver is a naming client with a client-side resolution
+// cache: a resolve hit is a map lookup instead of a nameserver round
+// trip (BenchmarkResolve in replica_test.go quantifies the gap).
+// Entries age out after a TTL, can be dropped explicitly with
+// Invalidate, and are dropped automatically when the ORB observes a
+// LOCATION_FORWARD for a cached reference — the forward proves the
+// cached endpoint moved, so serving it again would only re-trigger the
+// forward chase on every call.
+//
+// Staleness window: a binding rebound elsewhere is served from cache
+// for at most TTL. That is the standard discovery-cache trade; callers
+// that must see a rebind immediately call Invalidate (or Resolve after
+// any application-level failure, which re-resolves on the next call
+// because a dead endpoint's entry was invalidated by the failure
+// handler below).
+type CachedResolver struct {
+	// Client performs the underlying (uncached) naming calls.
+	*Client
+	ttl time.Duration
+
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// cacheEntry is one cached resolution.
+type cacheEntry struct {
+	ref     ior.IOR
+	str     string // ref.String(), precomputed for forward matching
+	expires time.Time
+}
+
+// DefaultResolveTTL is the cache TTL used when none is given.
+const DefaultResolveTTL = 5 * time.Second
+
+// NewCachedResolver connects to the naming service (stringified IOR or
+// corbaloc URL) and returns a caching client. ttl <= 0 selects
+// DefaultResolveTTL. The resolver registers a LOCATION_FORWARD hook on
+// o: any forward whose old reference matches a cached entry evicts it.
+func NewCachedResolver(o *orb.ORB, iorStr string, ttl time.Duration) (*CachedResolver, error) {
+	c, err := Connect(o, iorStr)
+	if err != nil {
+		return nil, err
+	}
+	if ttl <= 0 {
+		ttl = DefaultResolveTTL
+	}
+	r := &CachedResolver{Client: c, ttl: ttl, entries: make(map[string]cacheEntry)}
+	o.OnLocationForward(func(from, _ ior.IOR) { r.invalidateRef(from) })
+	return r, nil
+}
+
+// Resolve returns the object bound under name, from cache when fresh.
+func (r *CachedResolver) Resolve(name string) (*orb.ObjectRef, error) {
+	now := time.Now()
+	r.mu.Lock()
+	if e, ok := r.entries[name]; ok && now.Before(e.expires) {
+		r.mu.Unlock()
+		r.hits.Add(1)
+		return r.orb.ObjectFromIOR(e.ref), nil
+	}
+	r.mu.Unlock()
+	r.misses.Add(1)
+	ref, err := r.Client.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	got := ref.IOR()
+	r.mu.Lock()
+	r.entries[name] = cacheEntry{ref: got, str: got.String(), expires: now.Add(r.ttl)}
+	r.mu.Unlock()
+	return ref, nil
+}
+
+// Invalidate drops the cached resolution for name (no-op if absent);
+// the next Resolve goes back to the nameserver.
+func (r *CachedResolver) Invalidate(name string) {
+	r.mu.Lock()
+	delete(r.entries, name)
+	r.mu.Unlock()
+}
+
+// invalidateRef evicts every entry whose cached reference is from
+// (called by the ORB's LOCATION_FORWARD hook).
+func (r *CachedResolver) invalidateRef(from ior.IOR) {
+	key := from.String()
+	r.mu.Lock()
+	for name, e := range r.entries {
+		if e.str == key {
+			delete(r.entries, name)
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Unbind removes the binding and drops any cached resolution for it.
+func (r *CachedResolver) Unbind(name string) error {
+	r.Invalidate(name)
+	return r.Client.Unbind(name)
+}
+
+// Rebind replaces the binding and drops any cached resolution for it.
+func (r *CachedResolver) Rebind(name string, obj *orb.ObjectRef) error {
+	r.Invalidate(name)
+	return r.Client.Rebind(name, obj)
+}
+
+// Hits returns the number of cache hits served.
+func (r *CachedResolver) Hits() int64 { return r.hits.Load() }
+
+// Misses returns the number of resolutions that went to the server.
+func (r *CachedResolver) Misses() int64 { return r.misses.Load() }

@@ -55,12 +55,17 @@ var Iface = orb.NewInterface(RepoID, "Context",
 			{Name: "obj", Type: typecode.TCObjRef, Dir: orb.In},
 		},
 		Result: typecode.TCVoid,
+		// Re-running a rebind that may have completed lands the same
+		// binding, so the retry policy may re-send it (and fail it over
+		// to another replica) after a CompletedMaybe failure.
+		Idempotent: true,
 	},
 	&orb.Operation{
 		Name:       "resolve",
 		Params:     []orb.Param{{Name: "name", Type: typecode.TCString, Dir: orb.In}},
 		Result:     typecode.TCObjRef,
 		Exceptions: []*typecode.TypeCode{TCNotFound},
+		Idempotent: true,
 	},
 	&orb.Operation{
 		Name:       "unbind",
@@ -69,9 +74,10 @@ var Iface = orb.NewInterface(RepoID, "Context",
 		Exceptions: []*typecode.TypeCode{TCNotFound},
 	},
 	&orb.Operation{
-		Name:   "list",
-		Params: []orb.Param{{Name: "prefix", Type: typecode.TCString, Dir: orb.In}},
-		Result: typecode.SequenceOf(typecode.TCString, 0),
+		Name:       "list",
+		Params:     []orb.Param{{Name: "prefix", Type: typecode.TCString, Dir: orb.In}},
+		Result:     typecode.SequenceOf(typecode.TCString, 0),
+		Idempotent: true,
 	},
 )
 

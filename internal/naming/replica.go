@@ -1,0 +1,706 @@
+package naming
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"zcorba/internal/ior"
+	"zcorba/internal/orb"
+	"zcorba/internal/typecode"
+)
+
+// This file implements the replicated naming tier: N nameserver peers
+// that each accept bind/rebind/unbind and converge to the same table
+// through a simple log-shipping follower-sync protocol carried over
+// the ORB itself (docs/NAMING.md).
+//
+// Replication model, in one paragraph: every mutation is stamped with
+// a logical epoch (a Lamport clock merged across peers) plus the
+// originating node ID, applied locally, appended to the node's
+// replication log, and pushed best-effort to every peer. Each replica
+// additionally pulls every peer's log on a short interval (the
+// follower-sync), so a lost push — or a replica that was down — is
+// repaired by the next pull; a follower whose cursor has fallen off
+// the peer's bounded log receives a full snapshot instead. Conflicts
+// resolve last-writer-wins by (epoch, node), and unbind leaves a
+// tombstone so a deletion cannot be resurrected by an older bind
+// arriving late. Reads are served by whichever replica the client is
+// connected to; the service reference lists every replica as one IIOP
+// profile, so client-side failover (internal/orb) keeps resolution
+// alive when any replica dies.
+
+// Replication wire types. RepOp is one logged mutation; PullReply is
+// the follower-sync response: the ops after the follower's cursor (or
+// a full snapshot when the cursor fell off the log), plus the new
+// cursor position.
+var (
+	// TCRepOp: {kind, name, obj, epoch, node}. kind 2 (unbind) carries
+	// a nil obj; epoch/node are the LWW stamp.
+	TCRepOp = typecode.StructOf("IDL:zcorba/Naming/RepOp:1.0", "RepOp",
+		typecode.Member{Name: "kind", Type: typecode.TCULong},
+		typecode.Member{Name: "name", Type: typecode.TCString},
+		typecode.Member{Name: "obj", Type: typecode.TCObjRef},
+		typecode.Member{Name: "epoch", Type: typecode.TCULongLong},
+		typecode.Member{Name: "node", Type: typecode.TCULong},
+	)
+	// TCPullReply: {next, snapshot, ops}.
+	TCPullReply = typecode.StructOf("IDL:zcorba/Naming/PullReply:1.0", "PullReply",
+		typecode.Member{Name: "next", Type: typecode.TCULongLong},
+		typecode.Member{Name: "snapshot", Type: typecode.TCBoolean},
+		typecode.Member{Name: "ops", Type: typecode.SequenceOf(TCRepOp, 0)},
+	)
+)
+
+// Mutation kinds carried in RepOp.kind.
+const (
+	opBind   uint32 = 0
+	opRebind uint32 = 1
+	opUnbind uint32 = 2
+)
+
+// replicaOps are the replication operations appended to the public
+// Context interface; they are served and invoked only by peers.
+var replicaOps = []*orb.Operation{
+	{
+		// repl_apply pushes one freshly-stamped mutation to a peer.
+		// Idempotent by construction (LWW apply), so the retry policy
+		// may re-send it after a connection failure.
+		Name:       "repl_apply",
+		Idempotent: true,
+		Params:     []orb.Param{{Name: "op", Type: TCRepOp, Dir: orb.In}},
+		Result:     typecode.TCVoid,
+	},
+	{
+		// repl_pull ships the caller this node's log from the given
+		// cursor (follower-sync); from 0 — or a cursor off the log —
+		// yields a snapshot.
+		Name:       "repl_pull",
+		Idempotent: true,
+		Params:     []orb.Param{{Name: "from", Type: typecode.TCULongLong, Dir: orb.In}},
+		Result:     TCPullReply,
+	},
+	{
+		// repl_depart announces a peer's graceful shutdown: the
+		// receiver stops pushing/pulling to it until it comes back.
+		Name:       "repl_depart",
+		Idempotent: true,
+		Params:     []orb.Param{{Name: "node", Type: typecode.TCULong, Dir: orb.In}},
+		Result:     typecode.TCVoid,
+	},
+}
+
+// ReplicaIface is the wire contract of a replicated naming context:
+// the public Context operations plus the replication protocol. The
+// repository ID is unchanged, so naming.Client works against a replica
+// exactly as against the standalone Server.
+var ReplicaIface = func() *orb.Interface {
+	ops := make([]*orb.Operation, 0, len(Iface.Ops)+len(replicaOps))
+	for _, op := range Iface.Ops {
+		ops = append(ops, op)
+	}
+	ops = append(ops, replicaOps...)
+	return orb.NewInterface(RepoID, "Context", ops...)
+}()
+
+// stamp is the LWW version of one table entry: a merged logical epoch
+// plus the originating node for deterministic tie-breaking.
+type stamp struct {
+	epoch uint64
+	node  uint32
+}
+
+// less orders stamps; the higher stamp wins an LWW conflict.
+func (s stamp) less(t stamp) bool {
+	if s.epoch != t.epoch {
+		return s.epoch < t.epoch
+	}
+	return s.node < t.node
+}
+
+// rentry is one replicated table entry. Tombstones (deleted=true) are
+// retained so a late-arriving older bind cannot resurrect a deletion.
+type rentry struct {
+	ref     ior.IOR
+	st      stamp
+	deleted bool
+}
+
+// rop is one logged mutation, in wire form plus its log seq.
+type rop struct {
+	kind uint32
+	name string
+	ref  ior.IOR
+	st   stamp
+}
+
+// peerState tracks one replication peer.
+type peerState struct {
+	addr   string // host:port of the peer's control endpoint
+	ref    *orb.ObjectRef
+	cursor uint64 // next log seq to pull (0 = snapshot first)
+	down   bool   // departed or unreachable; probed at a slower rate
+	skips  int    // pull ticks skipped while down
+}
+
+// Replica is a replicated naming servant: one member of a nameserver
+// trio (or larger fleet). The zero value is not ready — use
+// NewReplica, then Activate it under DefaultKey and call Start.
+type Replica struct {
+	// Node is this replica's unique ID among its peers (stamps and
+	// depart announcements identify nodes by it).
+	Node uint32
+	// StorePath, if non-empty, persists the stamped table as JSON.
+	StorePath string
+	// SyncInterval is the follower-sync pull period (default 200ms).
+	SyncInterval time.Duration
+	// PushTimeout bounds one best-effort push to a peer (default 1s).
+	PushTimeout time.Duration
+	// Logf, if set, receives replication diagnostics.
+	Logf func(format string, args ...any)
+
+	o *orb.ORB
+
+	mu      sync.Mutex
+	table   map[string]rentry
+	epoch   uint64 // highest epoch seen (Lamport clock)
+	log     []rop
+	baseSeq uint64 // seq of log[0]
+	nextSeq uint64 // seq the next append receives
+	peers   []*peerState
+	drain   bool
+
+	wg     sync.WaitGroup // follower-sync loop
+	pushWg sync.WaitGroup // in-flight best-effort pushes
+	done   chan struct{}
+}
+
+// maxLog bounds the in-memory replication log; followers that fall
+// further behind catch up via snapshot.
+const maxLog = 4096
+
+// NodeID derives a stable node ID from a replica's listen address —
+// convenient when peers are configured by address only.
+func NodeID(addr string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(addr))
+	return h.Sum32()
+}
+
+// NewReplica returns a replica with the given node ID.
+func NewReplica(node uint32) *Replica {
+	return &Replica{
+		Node:  node,
+		table: make(map[string]rentry),
+		// Seqs start at 1 so a cursor of 0 always requests a snapshot.
+		baseSeq: 1,
+		nextSeq: 1,
+		done:    make(chan struct{}),
+	}
+}
+
+// Interface implements orb.Servant.
+func (r *Replica) Interface() *orb.Interface { return ReplicaIface }
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Start wires the replica to its ORB and peers and launches the
+// follower-sync loop. peerAddrs are the control endpoints
+// (host:port) of the other replicas; the replica must already be
+// activated on o (under DefaultKey) so peers can reach it back.
+func (r *Replica) Start(o *orb.ORB, peerAddrs []string) error {
+	r.mu.Lock()
+	r.o = o
+	for _, addr := range peerAddrs {
+		ref, err := o.StringToObject("corbaloc::" + addr + "/" + DefaultKey)
+		if err != nil {
+			r.mu.Unlock()
+			return fmt.Errorf("naming: peer %q: %w", addr, err)
+		}
+		r.peers = append(r.peers, &peerState{addr: addr, ref: ref})
+	}
+	r.mu.Unlock()
+	if len(peerAddrs) > 0 {
+		r.wg.Add(1)
+		go r.syncLoop()
+	}
+	return nil
+}
+
+// syncInterval resolves the effective pull period.
+func (r *Replica) syncInterval() time.Duration {
+	if r.SyncInterval > 0 {
+		return r.SyncInterval
+	}
+	return 200 * time.Millisecond
+}
+
+// pushTimeout resolves the effective push deadline.
+func (r *Replica) pushTimeout() time.Duration {
+	if r.PushTimeout > 0 {
+		return r.PushTimeout
+	}
+	return time.Second
+}
+
+// downProbeEvery is how many pull ticks a down peer is skipped before
+// being probed again (it may have restarted).
+const downProbeEvery = 8
+
+// syncLoop is the follower-sync: on every tick, pull each live peer's
+// log from our cursor and apply what arrived. Down peers are probed at
+// a slower rate so a restarted replica is re-adopted automatically.
+func (r *Replica) syncLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.syncInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+			r.pullPeers()
+		}
+	}
+}
+
+// pullPeers runs one follower-sync round.
+func (r *Replica) pullPeers() {
+	r.mu.Lock()
+	peers := make([]*peerState, len(r.peers))
+	copy(peers, r.peers)
+	r.mu.Unlock()
+	for _, p := range peers {
+		r.mu.Lock()
+		if p.down {
+			p.skips++
+			if p.skips < downProbeEvery {
+				r.mu.Unlock()
+				continue
+			}
+			p.skips = 0
+		}
+		cursor := p.cursor
+		r.mu.Unlock()
+		r.pullOne(p, cursor)
+	}
+}
+
+// pullOne pulls a single peer from the given cursor and applies the
+// returned ops.
+func (r *Replica) pullOne(p *peerState, cursor uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.pushTimeout())
+	res, _, err := p.ref.InvokeCtx(ctx, ReplicaIface.Ops["repl_pull"], []any{cursor})
+	cancel()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		if !p.down {
+			r.logf("naming: pull from %s failed: %v", p.addr, err)
+		}
+		p.down = true
+		return
+	}
+	if p.down {
+		r.logf("naming: peer %s is back", p.addr)
+		p.down = false
+		// A restarted peer has a fresh log; resync from a snapshot.
+		p.cursor = 0
+	}
+	fields, ok := res.([]any)
+	if !ok || len(fields) != 3 {
+		r.logf("naming: malformed pull reply from %s", p.addr)
+		return
+	}
+	next, _ := fields[0].(uint64)
+	snapshot, _ := fields[1].(bool)
+	ops, _ := fields[2].([]any)
+	if snapshot && cursor != 0 {
+		r.logf("naming: cursor %d fell off %s's log, resyncing from snapshot", cursor, p.addr)
+	}
+	for _, f := range ops {
+		op, ok := decodeRepOp(f)
+		if !ok {
+			continue
+		}
+		r.applyLocked(op)
+	}
+	p.cursor = next
+	if len(ops) > 0 {
+		r.persistLocked()
+	}
+}
+
+// decodeRepOp converts the wire form ([]any struct fields) to an rop.
+func decodeRepOp(v any) (rop, bool) {
+	fields, ok := v.([]any)
+	if !ok || len(fields) != 5 {
+		return rop{}, false
+	}
+	kind, _ := fields[0].(uint32)
+	name, _ := fields[1].(string)
+	ref, _ := fields[2].(ior.IOR)
+	epoch, _ := fields[3].(uint64)
+	node, _ := fields[4].(uint32)
+	if name == "" || kind > opUnbind {
+		return rop{}, false
+	}
+	return rop{kind: kind, name: name, ref: ref, st: stamp{epoch: epoch, node: node}}, true
+}
+
+// encodeRepOp converts an rop to its wire form.
+func encodeRepOp(op rop) []any {
+	return []any{op.kind, op.name, op.ref, op.st.epoch, op.st.node}
+}
+
+// applyLocked merges one (possibly remote) op into the table with
+// last-writer-wins semantics; the caller holds r.mu. It advances the
+// Lamport clock past the op's epoch and reports whether the op won.
+func (r *Replica) applyLocked(op rop) bool {
+	if op.st.epoch > r.epoch {
+		r.epoch = op.st.epoch
+	}
+	cur, exists := r.table[op.name]
+	if exists && !cur.st.less(op.st) {
+		return false // we already have the same or a newer write
+	}
+	switch op.kind {
+	case opUnbind:
+		r.table[op.name] = rentry{st: op.st, deleted: true}
+	default:
+		r.table[op.name] = rentry{ref: op.ref, st: op.st}
+	}
+	return true
+}
+
+// stampLocked mints the stamp for a local mutation.
+func (r *Replica) stampLocked() stamp {
+	r.epoch++
+	return stamp{epoch: r.epoch, node: r.Node}
+}
+
+// recordLocked appends a local mutation to the replication log
+// (compacting the front when over budget) and returns the op.
+func (r *Replica) recordLocked(kind uint32, name string, ref ior.IOR, st stamp) rop {
+	op := rop{kind: kind, name: name, ref: ref, st: st}
+	r.log = append(r.log, op)
+	r.nextSeq++
+	if len(r.log) > maxLog {
+		drop := len(r.log) / 2
+		r.log = append(r.log[:0:0], r.log[drop:]...)
+		r.baseSeq += uint64(drop)
+	}
+	return op
+}
+
+// push sends one op to every live peer, best-effort: a failed push is
+// repaired by the peer's next pull, so errors only mark the peer down.
+func (r *Replica) push(op rop) {
+	r.mu.Lock()
+	if r.drain {
+		// Drain already snapshotted the push set; starting another
+		// would race its WaitGroup. The peers' pulls repair the gap.
+		r.mu.Unlock()
+		return
+	}
+	peers := make([]*peerState, 0, len(r.peers))
+	for _, p := range r.peers {
+		if !p.down {
+			peers = append(peers, p)
+		}
+	}
+	// Add under the lock: it is ordered before any drain=true store,
+	// so it can never race Drain's pushWg.Wait.
+	r.pushWg.Add(len(peers))
+	r.mu.Unlock()
+	for _, p := range peers {
+		p := p
+		go func() {
+			defer r.pushWg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.pushTimeout())
+			_, _, err := p.ref.InvokeCtx(ctx, ReplicaIface.Ops["repl_apply"], []any{encodeRepOp(op)})
+			cancel()
+			if err != nil {
+				r.logf("naming: push %q to %s failed (pull will repair): %v", op.name, p.addr, err)
+				r.mu.Lock()
+				p.down = true
+				r.mu.Unlock()
+			}
+		}()
+	}
+}
+
+// Drain begins a graceful departure: announce repl_depart to every
+// peer (so they stop syncing against this node), stop the sync loop,
+// and wait for in-flight pushes to finish. The caller then stops the
+// ORB listener, drains dispatched requests, and shuts down
+// (cmd/nameserver wires the full sequence).
+func (r *Replica) Drain() {
+	r.mu.Lock()
+	if r.drain {
+		r.mu.Unlock()
+		return
+	}
+	r.drain = true
+	peers := make([]*peerState, 0, len(r.peers))
+	for _, p := range r.peers {
+		if !p.down {
+			peers = append(peers, p)
+		}
+	}
+	r.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), r.pushTimeout())
+			_, _, err := p.ref.InvokeCtx(ctx, ReplicaIface.Ops["repl_depart"], []any{r.Node})
+			cancel()
+			if err != nil {
+				r.logf("naming: depart announce to %s failed: %v", p.addr, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(r.done)
+	r.wg.Wait()
+	r.pushWg.Wait()
+}
+
+// Invoke implements orb.Servant: the public Context operations with
+// replication, plus the peer-facing protocol ops.
+func (r *Replica) Invoke(op string, args []any) (any, []any, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch op {
+	case "bind", "rebind", "unbind":
+		if r.drain {
+			// Departing: send writers to a surviving replica. TRANSIENT
+			// with CompletedNo is retried there by the client's policy.
+			return nil, nil, &orb.SystemException{Name: "TRANSIENT", Completed: orb.CompletedNo}
+		}
+	}
+	switch op {
+	case "bind":
+		name := args[0].(string)
+		if e, ok := r.table[name]; ok && !e.deleted {
+			return nil, nil, &orb.UserException{Type: TCAlreadyBound, Fields: []any{name}}
+		}
+		r.mutateLocked(opBind, name, args[1].(ior.IOR))
+		return nil, nil, nil
+	case "rebind":
+		r.mutateLocked(opRebind, args[0].(string), args[1].(ior.IOR))
+		return nil, nil, nil
+	case "resolve":
+		name := args[0].(string)
+		e, ok := r.table[name]
+		if !ok || e.deleted {
+			return nil, nil, &orb.UserException{Type: TCNotFound, Fields: []any{name}}
+		}
+		return e.ref, nil, nil
+	case "unbind":
+		name := args[0].(string)
+		if e, ok := r.table[name]; !ok || e.deleted {
+			return nil, nil, &orb.UserException{Type: TCNotFound, Fields: []any{name}}
+		}
+		r.mutateLocked(opUnbind, name, ior.IOR{})
+		return nil, nil, nil
+	case "list":
+		prefix := args[0].(string)
+		var names []any
+		for n, e := range r.table {
+			if !e.deleted && strings.HasPrefix(n, prefix) {
+				names = append(names, n)
+			}
+		}
+		sort.Slice(names, func(i, j int) bool { return names[i].(string) < names[j].(string) })
+		return names, nil, nil
+
+	case "repl_apply":
+		op, ok := decodeRepOp(args[0])
+		if !ok {
+			return nil, nil, &orb.SystemException{Name: "BAD_PARAM"}
+		}
+		if r.applyLocked(op) {
+			r.persistLocked()
+		}
+		return nil, nil, nil
+	case "repl_pull":
+		from := args[0].(uint64)
+		return r.pullReplyLocked(from), nil, nil
+	case "repl_depart":
+		node := args[0].(uint32)
+		for _, p := range r.peers {
+			if NodeID(p.addr) == node || node == 0 {
+				p.down = true
+				p.cursor = 0 // it will restart with a fresh log
+				r.logf("naming: peer %s departed", p.addr)
+			}
+		}
+		return nil, nil, nil
+	default:
+		return nil, nil, &orb.SystemException{Name: "BAD_OPERATION"}
+	}
+}
+
+// mutateLocked stamps, applies, logs, persists, and pushes one local
+// mutation; the caller holds r.mu.
+func (r *Replica) mutateLocked(kind uint32, name string, ref ior.IOR) {
+	st := r.stampLocked()
+	op := r.recordLocked(kind, name, ref, st)
+	r.applyLocked(op)
+	r.persistLocked()
+	// Push outside the lock: the invocation machinery must not run
+	// under r.mu (a peer could be calling back into us concurrently).
+	r.mu.Unlock()
+	r.push(op)
+	r.mu.Lock()
+}
+
+// pullReplyLocked builds the repl_pull response for a follower whose
+// cursor is from; the caller holds r.mu.
+func (r *Replica) pullReplyLocked(from uint64) []any {
+	if from == 0 || from < r.baseSeq || from > r.nextSeq {
+		// Snapshot: the whole table (tombstones included) as ops.
+		ops := make([]any, 0, len(r.table))
+		for name, e := range r.table {
+			kind := opRebind
+			if e.deleted {
+				kind = opUnbind
+			}
+			ops = append(ops, encodeRepOp(rop{kind: kind, name: name, ref: e.ref, st: e.st}))
+		}
+		return []any{r.nextSeq, true, ops}
+	}
+	ops := make([]any, 0, r.nextSeq-from)
+	for _, op := range r.log[from-r.baseSeq:] {
+		ops = append(ops, encodeRepOp(op))
+	}
+	return []any{r.nextSeq, false, ops}
+}
+
+// --- persistence -----------------------------------------------------------
+
+// storedEntry is the JSON form of one stamped binding.
+type storedEntry struct {
+	IOR     string `json:"ior,omitempty"`
+	Epoch   uint64 `json:"epoch"`
+	Node    uint32 `json:"node"`
+	Deleted bool   `json:"deleted,omitempty"`
+}
+
+// Load reads the persisted stamped table (missing file is fine).
+func (r *Replica) Load() error {
+	if r.StorePath == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(r.StorePath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("naming: load store: %w", err)
+	}
+	var flat map[string]storedEntry
+	if err := json.Unmarshal(raw, &flat); err != nil {
+		return fmt.Errorf("naming: parse store: %w", err)
+	}
+	table := make(map[string]rentry, len(flat))
+	epoch := uint64(0)
+	for name, se := range flat {
+		e := rentry{st: stamp{epoch: se.Epoch, node: se.Node}, deleted: se.Deleted}
+		if !se.Deleted {
+			ref, err := ior.Parse(se.IOR)
+			if err != nil {
+				return fmt.Errorf("naming: stored binding %q: %w", name, err)
+			}
+			e.ref = ref
+		}
+		table[name] = e
+		if se.Epoch > epoch {
+			epoch = se.Epoch
+		}
+	}
+	r.mu.Lock()
+	r.table = table
+	if epoch > r.epoch {
+		r.epoch = epoch
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// persistLocked writes the stamped table; the caller holds r.mu.
+func (r *Replica) persistLocked() {
+	if r.StorePath == "" {
+		return
+	}
+	flat := make(map[string]storedEntry, len(r.table))
+	for name, e := range r.table {
+		se := storedEntry{Epoch: e.st.epoch, Node: e.st.node, Deleted: e.deleted}
+		if !e.deleted {
+			se.IOR = e.ref.String()
+		}
+		flat[name] = se
+	}
+	raw, err := json.MarshalIndent(flat, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp := r.StorePath + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, r.StorePath)
+}
+
+// --- bootstrap helpers -----------------------------------------------------
+
+// BootstrapIOR builds the multi-profile service reference clients use
+// to reach a replicated nameserver fleet: one IIOP profile per replica
+// control endpoint (host:port), all at equal priority so any replica
+// serves reads and client-side failover walks the survivors when one
+// dies.
+func BootstrapIOR(addrs []string) (ior.IOR, error) {
+	profs := make([]ior.IIOPProfile, 0, len(addrs))
+	for _, addr := range addrs {
+		host, port, err := splitHostPort(addr)
+		if err != nil {
+			return ior.IOR{}, fmt.Errorf("naming: bootstrap address %q: %w", addr, err)
+		}
+		profs = append(profs, ior.IIOPProfile{
+			Host: host, Port: port, ObjectKey: []byte(DefaultKey),
+			Components: []ior.TaggedComponent{
+				ior.PriorityWeight{Priority: 0, Weight: 1}.Encode(),
+			},
+		})
+	}
+	return ior.NewMultiIIOP(RepoID, profs...), nil
+}
+
+// splitHostPort parses "host:port" with a numeric port.
+func splitHostPort(addr string) (string, uint16, error) {
+	i := strings.LastIndexByte(addr, ':')
+	if i < 0 {
+		return "", 0, fmt.Errorf("missing port")
+	}
+	host := strings.Trim(addr[:i], "[]")
+	var port uint16
+	if _, err := fmt.Sscanf(addr[i+1:], "%d", &port); err != nil || port == 0 {
+		return "", 0, fmt.Errorf("bad port %q", addr[i+1:])
+	}
+	return host, port, nil
+}

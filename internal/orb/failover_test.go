@@ -1,0 +1,201 @@
+package orb
+
+import (
+	"testing"
+	"time"
+
+	"zcorba/internal/ior"
+	"zcorba/internal/transport"
+)
+
+// The failover suite exercises the multi-profile reference path: a
+// reference listing several IIOP profiles (ordered by the
+// PriorityWeight component) must keep invoking through surviving
+// endpoints when the preferred one dies — at dial time without any
+// retry policy, and mid-traffic through the retry machinery.
+
+// multiRef builds a client reference whose IOR carries one IIOP
+// profile per backend ref, each tagged with the given priority.
+func multiRef(t *testing.T, client *ORB, pris []uint16, refs ...*ObjectRef) *ObjectRef {
+	t.Helper()
+	profs := make([]ior.IIOPProfile, 0, len(refs))
+	for i, r := range refs {
+		p, ok := r.IOR().IIOP()
+		if !ok {
+			t.Fatal("backend ref has no IIOP profile")
+		}
+		p.Components = append(p.Components,
+			ior.PriorityWeight{Priority: pris[i], Weight: 1}.Encode())
+		profs = append(profs, p)
+	}
+	return client.ObjectFromIOR(ior.NewMultiIIOP(refs[0].IOR().TypeID, profs...))
+}
+
+// twoServers starts two independent server ORBs each serving a
+// storeServant under the key "store".
+func twoServers(t *testing.T) (s1, s2 *ORB, r1, r2 *ObjectRef) {
+	t.Helper()
+	for i := 0; i < 2; i++ {
+		s, err := New(Options{Transport: &transport.TCP{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Shutdown)
+		ref, err := s.Activate("store", newStoreServant())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			s1, r1 = s, ref
+		} else {
+			s2, r2 = s, ref
+		}
+	}
+	return s1, s2, r1, r2
+}
+
+// TestFailoverPrefersPrimary proves the dial order: with every profile
+// healthy, all traffic lands on the priority-0 endpoint.
+func TestFailoverPrefersPrimary(t *testing.T) {
+	s1, s2, r1, r2 := twoServers(t)
+	client, err := New(Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	// The backup is listed first in the IOR; priority must win.
+	ref := multiRef(t, client, []uint16{1, 0}, r1, r2)
+	for i := 0; i < 4; i++ {
+		if _, _, err := ref.Invoke(storeIface.Ops["put_std"], []any{pattern(64)}); err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+	}
+	if n := s2.Stats().RequestsServed.Load(); n != 4 {
+		t.Fatalf("priority-0 backend served %d of 4", n)
+	}
+	if n := s1.Stats().RequestsServed.Load(); n != 0 {
+		t.Fatalf("backup served %d requests while primary healthy", n)
+	}
+	if n := client.Stats().Failovers.Load(); n != 0 {
+		t.Fatalf("failovers with healthy primary: %d", n)
+	}
+}
+
+// TestFailoverDeadPrimaryDial kills the primary before the first call:
+// the dial loop must walk to the backup profile without any retry
+// policy configured, and later calls stay pinned there.
+func TestFailoverDeadPrimaryDial(t *testing.T) {
+	s1, s2, r1, r2 := twoServers(t)
+	client, err := New(Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	ref := multiRef(t, client, []uint16{0, 1}, r1, r2)
+	s1.Shutdown()
+
+	data := pattern(128)
+	res, _, err := ref.Invoke(storeIface.Ops["put_std"], []any{data})
+	if err != nil {
+		t.Fatalf("invoke after primary death: %v", err)
+	}
+	if res.(uint32) != checksum(data) {
+		t.Fatal("checksum mismatch through backup")
+	}
+	if n := client.Stats().Failovers.Load(); n < 1 {
+		t.Fatalf("Failovers = %d, want >= 1", n)
+	}
+	// Steady state: pinned to the survivor, no further failovers.
+	before := client.Stats().Failovers.Load()
+	for i := 0; i < 3; i++ {
+		if _, _, err := ref.Invoke(storeIface.Ops["put_std"], []any{data}); err != nil {
+			t.Fatalf("pinned invoke %d: %v", i, err)
+		}
+	}
+	if n := client.Stats().Failovers.Load(); n != before {
+		t.Fatalf("failovers kept firing at steady state: %d -> %d", before, n)
+	}
+	if n := s2.Stats().RequestsServed.Load(); n != 4 {
+		t.Fatalf("backup served %d of 4", n)
+	}
+}
+
+// TestFailoverMidTrafficKill kills the primary while the client is
+// mid-conversation: the established connection dies, and the retry
+// policy must fail the attempt over to the backup profile.
+func TestFailoverMidTrafficKill(t *testing.T) {
+	s1, s2, r1, r2 := twoServers(t)
+	client, err := New(Options{
+		Transport:   &transport.TCP{},
+		CallTimeout: 5 * time.Second,
+		Retry: RetryPolicy{MaxAttempts: 4, InitialBackoff: time.Millisecond,
+			MaxBackoff: 20 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	ref := multiRef(t, client, []uint16{0, 1}, r1, r2)
+
+	data := pattern(256)
+	if _, _, err := ref.Invoke(storeIface.Ops["put"], []any{data}); err != nil {
+		t.Fatalf("warm-up through primary: %v", err)
+	}
+	if n := s1.Stats().RequestsServed.Load(); n != 1 {
+		t.Fatalf("warm-up went to the wrong backend (primary served %d)", n)
+	}
+
+	s1.Shutdown()
+	res, _, err := ref.Invoke(storeIface.Ops["put"], []any{data})
+	if err != nil {
+		t.Fatalf("invoke across mid-traffic kill: %v", err)
+	}
+	if res.(uint32) != checksum(data) {
+		t.Fatal("checksum mismatch after failover")
+	}
+	if n := client.Stats().Failovers.Load(); n < 1 {
+		t.Fatalf("Failovers = %d, want >= 1", n)
+	}
+	if n := s2.Stats().RequestsServed.Load(); n < 1 {
+		t.Fatal("backup never served the failed-over call")
+	}
+}
+
+// TestFailoverAllDead proves the failure shape when every profile is
+// gone: a clean COMM_FAILURE, not a hang.
+func TestFailoverAllDead(t *testing.T) {
+	s1, s2, r1, r2 := twoServers(t)
+	client, err := New(Options{Transport: &transport.TCP{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(client.Shutdown)
+	ref := multiRef(t, client, []uint16{0, 1}, r1, r2)
+	s1.Shutdown()
+	s2.Shutdown()
+	_, _, err = ref.Invoke(storeIface.Ops["put_std"], []any{pattern(16)})
+	var sys *SystemException
+	if !asErr(err, &sys) || sys.Name != "COMM_FAILURE" {
+		t.Fatalf("want COMM_FAILURE with all profiles dead, got %v", err)
+	}
+}
+
+// TestSingleProfileUnchanged pins the legacy behavior: a plain
+// single-profile reference never counts a failover, even under the
+// retry policy.
+func TestSingleProfileUnchanged(t *testing.T) {
+	p := newPair(t,
+		Options{Transport: &transport.TCP{}},
+		Options{Transport: &transport.TCP{},
+			Retry: RetryPolicy{MaxAttempts: 3, InitialBackoff: time.Millisecond}})
+	if _, _, err := p.ref.Invoke(storeIface.Ops["put_std"], []any{pattern(32)}); err != nil {
+		t.Fatal(err)
+	}
+	p.server.Shutdown()
+	if _, _, err := p.ref.Invoke(storeIface.Ops["put_std"], []any{pattern(32)}); err == nil {
+		t.Fatal("invoke against dead single-profile server must fail")
+	}
+	if n := p.client.Stats().Failovers.Load(); n != 0 {
+		t.Fatalf("single-profile ref counted %d failovers", n)
+	}
+}
