@@ -72,7 +72,7 @@ race-all:
 # Regenerates bench_output.txt and the machine-readable BENCH_orb.json
 # (name -> ns/op, MB/s, B/op, allocs/op) used as the perf gate record.
 bench:
-	$(GO) test -run '^$$' -bench 'Fig5|Fig6|RequestRate|Shm|Kzc' -benchmem . 2>&1 | tee bench_output.txt
+	$(GO) test -run '^$$' -bench 'Fig5|Fig6|RequestRate|Shm|Kzc|Gather' -benchmem . 2>&1 | tee bench_output.txt
 	$(GO) test -run '^$$' -bench 'Generated|Interpreter|StructMarshal|StructDemarshal|GeneralMarshal|GeneralDemarshal' -benchmem ./internal/gentest/ ./internal/typecode/ 2>&1 | tee -a bench_output.txt
 	$(GO) test -run '^$$' -bench 'EventsFanout' -benchmem ./internal/events/ 2>&1 | tee -a bench_output.txt
 	$(GO) test -run '^$$' -bench 'Resolve' -benchmem ./internal/naming/ 2>&1 | tee -a bench_output.txt

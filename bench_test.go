@@ -94,6 +94,111 @@ func benchCorba(b *testing.B, mk func() transport.Transport, zeroCopy bool) {
 	}
 }
 
+// --- Gathered deposits: SendBuffers trains vs sequential deposits ---------
+
+// gatherBlock is the per-segment payload of the gather series (the
+// acceptance point is 8×128 KiB per train).
+const gatherBlock = 128 << 10
+
+// benchGatherTrain measures one SendBuffers train of segs registered
+// buffers per op on the tcp:// plane: one vectored data write and one
+// reply per train, with per-buffer completions gating reuse. Trains run
+// with window 2 — the per-buffer completion callbacks exist precisely
+// so the next train's buffers can be reused while the previous train's
+// kernel references drain. The run asserts the single-writev-per-train
+// contract from the client's transport counters: exactly one control
+// write plus one data-plane gather write per train.
+func benchGatherTrain(b *testing.B, segs, block int) {
+	cst := &transport.Stats{}
+	sink, err := ttcp.NewCorbaSinkConfig(ttcp.SinkConfig{
+		Transport: zcStack(), ZeroCopy: true, GatherSegs: segs,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sink.Close()
+	client, err := orb.New(orb.Options{Transport: &transport.TCP{Stats: cst}, ZeroCopy: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Shutdown()
+	// Warm the connection and pools so the counter window below covers
+	// steady-state trains only.
+	if _, err := ttcp.CorbaSendGather(client, sink.GatherIOR, block, 4, segs, 2); err != nil {
+		b.Fatal(err)
+	}
+	w0 := cst.Snapshot().Writes
+	b.SetBytes(int64(segs) * int64(block))
+	b.ResetTimer()
+	if _, err := ttcp.CorbaSendGather(client, sink.GatherIOR, block, b.N, segs, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if n := client.Stats().PayloadCopyBytes.Load() +
+		sink.ORB.Stats().PayloadCopyBytes.Load(); n != 0 {
+		b.Fatalf("gather bench copied %d payload bytes", n)
+	}
+	// One GIOP control write + one vectored data write per train; any
+	// more means a train was split into multiple data-plane syscalls.
+	if dw := cst.Snapshot().Writes - w0; dw != int64(2*b.N) {
+		b.Fatalf("%d writes for %d trains, want exactly 2 per train", dw, b.N)
+	}
+}
+
+func BenchmarkGather_2seg(b *testing.B)  { benchGatherTrain(b, 2, gatherBlock) }
+func BenchmarkGather_8seg(b *testing.B)  { benchGatherTrain(b, 8, gatherBlock) }
+func BenchmarkGather_32seg(b *testing.B) { benchGatherTrain(b, 32, gatherBlock) }
+
+// BenchmarkGatherSmall_8seg is the overhead-dominated point of the
+// series: 8×16 KiB trains, where the per-request costs the train
+// amortizes (request marshal, dispatch, reply, lease bookkeeping)
+// outweigh the payload copies. This is the regime the paper's
+// crossover argument targets; the 128 KiB points above are
+// memory-bandwidth-bound on a loopback host (see docs/PERF.md).
+func BenchmarkGatherSmall_8seg(b *testing.B) { benchGatherTrain(b, 8, 16<<10) }
+
+// BenchmarkGather_Sequential8 is the baseline the 8-segment train is
+// measured against: the same 8×128 KiB payload sent as 8 sequential
+// single-buffer deposits (one zput round trip each). The acceptance
+// bar is Gather_8seg ≥ 2× this configuration's ops/sec.
+func BenchmarkGather_Sequential8(b *testing.B) {
+	sink, err := ttcp.NewCorbaSink(zcStack(), true, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sink.Close()
+	client, err := orb.New(orb.Options{Transport: zcStack(), ZeroCopy: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Shutdown()
+	b.SetBytes(8 * gatherBlock)
+	b.ResetTimer()
+	if _, err := ttcp.CorbaSend(client, sink.IOR, gatherBlock, 8*b.N, true); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkGatherSmall_Sequential8 is the sequential baseline for the
+// 16 KiB train point.
+func BenchmarkGatherSmall_Sequential8(b *testing.B) {
+	sink, err := ttcp.NewCorbaSink(zcStack(), true, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sink.Close()
+	client, err := orb.New(orb.Options{Transport: zcStack(), ZeroCopy: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Shutdown()
+	b.SetBytes(8 * 16 << 10)
+	b.ResetTimer()
+	if _, err := ttcp.CorbaSend(client, sink.IOR, 16<<10, 8*b.N, true); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // --- Figure 5: raw TCP vs unmodified CORBA (standard stack) ---------------
 
 func BenchmarkFig5_RawTCP(b *testing.B)        { benchSocket(b, stdStack()) }

@@ -30,7 +30,10 @@
 // (tcp://, inproc://, shm://); a bare host:port stays TCP. A sweep
 // over the paper's block sizes runs with -sweep, and
 // -window N pipelines up to N CORBA requests in flight; every summary
-// line reports requests/s alongside Mbit/s. -chaos injects a seeded
+// line reports requests/s alongside Mbit/s. -segs N (both sides) runs
+// the gathered-deposit tier: each request carries N registered buffers
+// as one deposit train (SendBuffers — a single vectored write per
+// train, per-buffer completions gating reuse). -chaos injects a seeded
 // transport fault schedule (see -chaos-seed) into the CORBA client and
 // enables the retry policy, reporting fired faults and recoveries.
 //
@@ -84,6 +87,7 @@ func main() {
 	sweep := flag.Bool("sweep", false, "client: sweep the paper's block sizes 4K..16M")
 	target := flag.Int64("bytes", 32<<20, "sweep: bytes per point")
 	window := flag.Int("window", 1, "CORBA client: pipelined in-flight requests (1 = synchronous)")
+	segs := flag.Int("segs", 0, "CORBA mode: gather this many registered buffers per request into one deposit train (SendBuffers); both sides need the same value (implies -zerocopy)")
 	chaos := flag.Bool("chaos", false, "CORBA client: inject seeded transport faults and enable the retry policy")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault schedule seed for -chaos")
 	eventsN := flag.Int("events", 0, "fan-out mode: run a pub/sub benchmark with this many co-located subscribers")
@@ -98,8 +102,8 @@ func main() {
 	if *shm && *kzc {
 		fatal(fmt.Errorf("-shm and -kzc are mutually exclusive"))
 	}
-	if *shm || *kzc {
-		*zerocopy = true // both planes are the zero-copy path by construction
+	if *shm || *kzc || *segs > 0 {
+		*zerocopy = true // these tiers are the zero-copy path by construction
 	}
 
 	var tracer *trace.Tracer
@@ -164,20 +168,27 @@ func main() {
 			MaxInFlight: *maxInFlight,
 			Dispatchers: *dispatchers,
 			MaxConns:    *maxConns,
+			GatherSegs:  *segs,
 		})
 		if err != nil {
 			fatal(err)
+		}
+		// With -segs the published IOR is the gather sink's, so a
+		// -segs client pointed at it sends zputv trains directly.
+		ior := sink.IOR
+		if *segs > 0 {
+			ior = sink.GatherIOR
 		}
 		stopDebug := startDebug(*debugAddr, tracer, sink.ORB)
 		defer stopDebug()
 		defer dumpTrace(*traceFile, tracer)
 		if *iorFile != "" {
-			if err := os.WriteFile(*iorFile, []byte(sink.IOR), 0o644); err != nil {
+			if err := os.WriteFile(*iorFile, []byte(ior), 0o644); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("ttcp: CORBA sink up (zerocopy=%v shm=%v kzc=%v engine=%v), IOR written to %s\n", *zerocopy, *shm, *kzc, *engine, *iorFile)
+			fmt.Printf("ttcp: CORBA sink up (zerocopy=%v shm=%v kzc=%v engine=%v segs=%d), IOR written to %s\n", *zerocopy, *shm, *kzc, *engine, *segs, *iorFile)
 		} else {
-			fmt.Println(sink.IOR)
+			fmt.Println(ior)
 		}
 		waitInterrupt()
 		sink.Close()
@@ -220,16 +231,26 @@ func main() {
 			if *sweep {
 				b = ttcp.BlocksFor(s, *target, 4)
 			}
-			mode := ttcp.ModeCorba
-			switch {
-			case *shm:
-				mode = ttcp.ModeShmCorba
-			case *kzc:
-				mode = ttcp.ModeKzcCorba
-			case *zerocopy:
-				mode = ttcp.ModeZCCorba
+			var res ttcp.Result
+			var err error
+			if *segs > 0 {
+				trains := b / *segs
+				if trains < 1 {
+					trains = 1
+				}
+				res, err = ttcp.CorbaSendGather(client, *iorStr, s, trains, *segs, *window)
+			} else {
+				mode := ttcp.ModeCorba
+				switch {
+				case *shm:
+					mode = ttcp.ModeShmCorba
+				case *kzc:
+					mode = ttcp.ModeKzcCorba
+				case *zerocopy:
+					mode = ttcp.ModeZCCorba
+				}
+				res, err = ttcp.CorbaSendWindowMode(client, *iorStr, s, b, *window, *zerocopy, mode)
 			}
-			res, err := ttcp.CorbaSendWindowMode(client, *iorStr, s, b, *window, *zerocopy, mode)
 			if err != nil {
 				fatal(err)
 			}
@@ -239,6 +260,11 @@ func main() {
 		fmt.Printf("ttcp: client payload copies=%d (%d bytes), deposits=%d (%d bytes), fallbacks=%d\n",
 			st.PayloadCopies.Load(), st.PayloadCopyBytes.Load(),
 			st.DepositsSent.Load(), st.DepositBytesSent.Load(), st.ZCFallbacks.Load())
+		if *segs > 0 {
+			fmt.Printf("ttcp: gather trains=%d (%d segments, %d gathered bytes), completions=%d\n",
+				st.GatherDeposits.Load(), st.GatherSegments.Load(),
+				st.PayloadGatherBytes.Load(), st.GatherCompletions.Load())
+		}
 		if *shm {
 			fmt.Printf("ttcp: shm deposits=%d (%d bytes), claims=%d, misses=%d\n",
 				st.ShmDeposits.Load(), st.ShmDepositBytes.Load(),

@@ -8,7 +8,9 @@
 // to encoder objects (each in its own ORB, as cluster nodes would be)
 // through CORBA requests, and collects the MPEG-4 output. With the
 // default zero-copy ORBs every frame travels by direct deposit; pass
-// -standard to force the copying marshal path and compare.
+// -standard to force the copying marshal path and compare, or -gather
+// to ship each frame's metadata and payload as one gathered deposit
+// train (encode_zc via SendBuffers: a single vectored write per frame).
 package main
 
 import (
@@ -30,8 +32,12 @@ func main() {
 	height := flag.Int("h", 544, "frame height (multiple of 8)")
 	quality := flag.Int("q", 4, "encoder quantization step")
 	standard := flag.Bool("standard", false, "disable the zero-copy extension (standard marshaling)")
+	gather := flag.Bool("gather", false, "send frame metadata and payload as one gathered deposit train (encode_zc via SendBuffers)")
 	flag.Parse()
 	zc := !*standard
+	if *gather && *standard {
+		log.Fatal("-gather needs the zero-copy extension; drop -standard")
+	}
 
 	// Naming service for worker discovery.
 	nsORB, err := orb.New(orb.Options{Transport: &transport.TCP{}})
@@ -77,6 +83,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	farm.Gather = *gather
+	if *gather {
+		fmt.Println("farm: gathered deposits on (frame+metadata = one vectored write)")
+	}
 
 	src := mpeg.NewMPEG2Source(*width, *height)
 	work, err := framework.SourceFrames(src, *frames)
@@ -116,6 +126,11 @@ func main() {
 	fmt.Printf("\nmaster ORB: deposits sent=%d (%d bytes), payload copies=%d (%d bytes), fallbacks=%d\n",
 		ms.DepositsSent.Load(), ms.DepositBytesSent.Load(),
 		ms.PayloadCopies.Load(), ms.PayloadCopyBytes.Load(), ms.ZCFallbacks.Load())
+	if *gather {
+		fmt.Printf("master ORB: gather trains=%d (%d segments, %d gathered bytes), completions=%d\n",
+			ms.GatherDeposits.Load(), ms.GatherSegments.Load(),
+			ms.PayloadGatherBytes.Load(), ms.GatherCompletions.Load())
+	}
 	if zc && ms.PayloadCopyBytes.Load() == 0 {
 		fmt.Println("zero-copy regime held: no user-space payload copies end to end")
 	}

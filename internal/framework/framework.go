@@ -7,6 +7,7 @@
 package framework
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -89,6 +90,18 @@ func (s *EncoderServant) Encode(info media.Media_FrameInfo, frame *zcbuf.Buffer)
 	return zcbuf.Wrap(coded), nil
 }
 
+// Encode_zc implements Media_EncoderHandler: the gathered form of
+// Encode. The metadata arrives as its own deposited segment (one
+// SendBuffers train carries meta and frame), so both sides of the
+// frame+metadata send share a single vectored write.
+func (s *EncoderServant) Encode_zc(meta, frame *zcbuf.Buffer) (*zcbuf.Buffer, error) {
+	info, err := media.UnmarshalFrameInfo(meta)
+	if err != nil {
+		return nil, &media.Media_TransferError{Reason: err.Error(), Code: 3}
+	}
+	return s.Encode(info, frame)
+}
+
 // Busy implements Media_EncoderHandler: current queue depth, used for
 // load-aware scheduling.
 func (s *EncoderServant) Busy() (uint32, error) {
@@ -121,6 +134,11 @@ type Farm struct {
 	// "frame": submit to completed result, spanning queueing, transfer
 	// and remote encode) plus the frame-latency histogram.
 	Tracer *trace.Tracer
+	// Gather switches frame delivery to encode_zc via SendBuffers: the
+	// marshaled FrameInfo and the frame payload leave as one gathered
+	// deposit train (a single vectored write on the data plane) instead
+	// of a marshaled header plus a separate single-segment deposit.
+	Gather bool
 }
 
 // recordFrame emits the frame span for one completed work item.
@@ -229,11 +247,7 @@ func (f *Farm) Transcode(frames []Frame) ([]Result, Stats, error) {
 		inflight = 1
 	}
 	results := make([]Result, len(frames))
-	type job struct {
-		idx int
-		f   Frame
-	}
-	queue := make(chan job)
+	queue := make(chan encJob)
 	var wg sync.WaitGroup
 	var inBytes, outBytes atomic.Int64
 
@@ -242,6 +256,10 @@ func (f *Farm) Transcode(frames []Frame) ([]Result, Stats, error) {
 		wg.Add(1)
 		go func(wi int, stub media.Media_EncoderStub) {
 			defer wg.Done()
+			if f.Gather {
+				f.gatherWorker(wi, stub, inflight, queue, results, &inBytes, &outBytes)
+				return
+			}
 			p := stub.Ref.Pipeline(media.EncodeOp, inflight)
 			for j := range queue {
 				idx, info, data := j.idx, j.f.Info, j.f.Data
@@ -273,7 +291,7 @@ func (f *Farm) Transcode(frames []Frame) ([]Result, Stats, error) {
 		}(wi, stub)
 	}
 	for i, fr := range frames {
-		queue <- job{idx: i, f: fr}
+		queue <- encJob{idx: i, f: fr}
 	}
 	close(queue)
 	wg.Wait()
@@ -292,6 +310,82 @@ func (f *Farm) Transcode(frames []Frame) ([]Result, Stats, error) {
 		}
 	}
 	return results, st, nil
+}
+
+// encJob is one indexed unit of Transcode work.
+type encJob struct {
+	idx int
+	f   Frame
+}
+
+// gatherWorker drains queue through encode_zc: each frame's marshaled
+// metadata and its payload leave as one SendBuffers deposit train (a
+// single vectored write), with up to inflight trains outstanding per
+// worker. Replies are reaped oldest-first, which bounds the window the
+// same way the pipelined path does.
+func (f *Farm) gatherWorker(wi int, stub media.Media_EncoderStub, inflight int,
+	queue <-chan encJob, results []Result, inBytes, outBytes *atomic.Int64) {
+	type pending struct {
+		idx       int
+		info      media.Media_FrameInfo
+		data      *zcbuf.Buffer
+		call      *orb.Call
+		submitted int64
+	}
+	window := make([]pending, 0, inflight)
+	reap := func(p pending) {
+		res, _, err := p.call.Wait()
+		r := Result{Info: p.info, Worker: wi, Err: media.EncodeError(err)}
+		if err == nil {
+			r.Data = res.(*zcbuf.Buffer)
+			outBytes.Add(int64(r.Data.Len()))
+		}
+		f.recordFrame(wi, p.submitted, int64(p.data.Len()), err != nil)
+		// Keep the buffer alive for redeliver when the failure is worth
+		// another worker.
+		if !reassignable(r.Err) {
+			p.data.Release()
+		}
+		results[p.idx] = r
+	}
+	fail := func(j encJob, err error) {
+		if !reassignable(err) {
+			j.f.Data.Release()
+		}
+		results[j.idx] = Result{Info: j.f.Info, Worker: wi, Err: err}
+	}
+	for j := range queue {
+		meta, err := media.MarshalFrameInfo(j.f.Info)
+		if err != nil {
+			fail(j, err)
+			continue
+		}
+		if len(window) == inflight {
+			reap(window[0])
+			window = window[1:]
+		}
+		inBytes.Add(int64(j.f.Data.Len()))
+		submitted := trace.Now()
+		// The per-buffer completion releases the metadata segment the
+		// moment the train no longer needs it; the frame buffer's own
+		// reference is released at reap (or kept for redeliver).
+		call, err := stub.Ref.SendBuffers(context.Background(), media.EncodeZCOp,
+			[]*zcbuf.Buffer{meta, j.f.Data}, func(i int, _ error) {
+				if i == 0 {
+					meta.Release()
+				}
+			})
+		if err != nil {
+			meta.Release()
+			fail(j, err)
+			continue
+		}
+		window = append(window, pending{idx: j.idx, info: j.f.Info,
+			data: j.f.Data, call: call, submitted: submitted})
+	}
+	for _, p := range window {
+		reap(p)
+	}
 }
 
 // TranscodeStream is the streaming form of Transcode for live sources

@@ -131,6 +131,60 @@ func TestFarmZeroCopyMakesNoPayloadCopies(t *testing.T) {
 	}
 }
 
+// TestFarmGatherTranscodesFrames drives the farm in gather mode: every
+// frame's metadata and payload travel as one encode_zc deposit train,
+// still copy-free end to end.
+func TestFarmGatherTranscodesFrames(t *testing.T) {
+	master, nc := cluster(t, 2, true)
+	farm, err := Discover(master, nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm.Gather = true
+	src := mpeg.NewMPEG2Source(320, 240)
+	frames, err := SourceFrames(src, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, st, err := farm.Transcode(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frames != 8 || st.InBytes != int64(8*320*240) {
+		t.Fatalf("stats %+v", st)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("frame %d: %v", i, r.Err)
+		}
+		if r.Info.Seq != uint32(i) {
+			t.Fatalf("result %d has seq %d", i, r.Info.Seq)
+		}
+		w, h, back, err := mpeg.Decode(r.Data.Bytes())
+		if err != nil || w != 320 || h != 240 {
+			t.Fatalf("frame %d decode: %v", i, err)
+		}
+		orig := mpeg.SyntheticFrame(320, 240, r.Info.Seq)
+		if psnr := mpeg.PSNR(orig, back); psnr < 20 {
+			t.Fatalf("frame %d PSNR %.1f", i, psnr)
+		}
+		r.Data.Release()
+	}
+	ms := master.Stats()
+	if got := ms.GatherDeposits.Load(); got != 8 {
+		t.Fatalf("GatherDeposits=%d, want 8 (one train per frame)", got)
+	}
+	if got := ms.GatherSegments.Load(); got != 16 {
+		t.Fatalf("GatherSegments=%d, want 16 (meta+frame per train)", got)
+	}
+	if got := ms.GatherCompletions.Load(); got != 16 {
+		t.Fatalf("GatherCompletions=%d, want 16", got)
+	}
+	if n := ms.PayloadCopyBytes.Load(); n != 0 {
+		t.Fatalf("master copied %d payload bytes in gather mode", n)
+	}
+}
+
 func TestFarmErrorPropagation(t *testing.T) {
 	master, nc := cluster(t, 1, false)
 	farm, err := Discover(master, nc)

@@ -486,6 +486,17 @@ func DecodeDepositInfo(data []byte) (DepositInfo, error) {
 		if di.Sizes[i], err = d.ReadULong(); err != nil {
 			return di, fmt.Errorf("giop: deposit size: %w", err)
 		}
+		// Zero-length deposit blocks are rejected here, in defensive
+		// parity with the MaxMessageSize bound: a legitimate sender
+		// never announces one (empty ZC values take the marshaled
+		// path), so a vector of zero sizes is a hostile shape that
+		// would otherwise spin the receiver through empty deposit-loop
+		// iterations, allocating a lease and buffer envelope per entry
+		// for no payload. An EMPTY vector stays legal — it is the pure
+		// data-channel announcement.
+		if di.Sizes[i] == 0 {
+			return di, fmt.Errorf("giop: zero-length deposit block %d of %d", i, n)
+		}
 	}
 	return di, nil
 }

@@ -236,3 +236,29 @@ func TestPropertyRequestHeaderRobust(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDepositInfoRejectsZeroBlocks: zero-length deposit blocks are a
+// hostile wire shape (a legit sender never announces one) and must be
+// rejected at decode, while the empty vector — the pure data-channel
+// announcement — stays decodable.
+func TestDepositInfoRejectsZeroBlocks(t *testing.T) {
+	for _, bad := range [][]uint32{
+		{0},
+		{4096, 0},
+		{0, 0, 0},
+		{1, 0, 1 << 20},
+	} {
+		data := DepositInfo{Arch: "amd64/little/go", Token: 7, Sizes: bad}.Encode().Data
+		if _, err := DecodeDepositInfo(data); err == nil {
+			t.Fatalf("sizes %v decoded without error", bad)
+		}
+	}
+	data := DepositInfo{Arch: "amd64/little/go", Token: 7}.Encode().Data
+	di, err := DecodeDepositInfo(data)
+	if err != nil {
+		t.Fatalf("announcement (empty vector) rejected: %v", err)
+	}
+	if len(di.Sizes) != 0 {
+		t.Fatalf("announcement sizes %v", di.Sizes)
+	}
+}

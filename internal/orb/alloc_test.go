@@ -65,3 +65,76 @@ func TestInvokeAllocsGate(t *testing.T) {
 		t.Fatal("alloc gate measured with tracing inert")
 	}
 }
+
+// gatherAllocBudget gates the steady-state allocation count of one
+// 8-segment SendBuffers train (client and server combined, tracing
+// on). The per-train ledger (gatherState and its slices) plus the
+// per-segment deposit bookkeeping must stay within the same budget as
+// a single-buffer invoke: coalescing eight segments may not cost
+// per-segment garbage.
+const gatherAllocBudget = 35
+
+// TestGatherAllocsGate is the allocation regression gate for the
+// scatter/gather deposit path.
+func TestGatherAllocsGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate skipped in -short mode")
+	}
+	if raceDetectorEnabled {
+		t.Skip("alloc gate skipped under -race: instrumentation skews the count")
+	}
+	p, ct, _ := tracedTCPPair(t, true)
+	op := storeIface.Ops["put8"]
+	var pl zcbuf.Pool
+	bufs := make([]*zcbuf.Buffer, 8)
+	var want uint32
+	for i := range bufs {
+		b, err := pl.Get(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Release()
+		for j := range b.Bytes() {
+			b.Bytes()[j] = byte(i + j)
+		}
+		want += checksum(b.Bytes())
+		bufs[i] = b
+	}
+
+	run := func() error {
+		call, err := p.ref.SendBuffers(t.Context(), op, bufs, nil)
+		if err != nil {
+			return err
+		}
+		res, _, err := call.Wait()
+		if err != nil {
+			return err
+		}
+		if res.(uint32) != want {
+			t.Fatalf("checksum: got %v want %d", res, want)
+		}
+		return nil
+	}
+	for i := 0; i < 64; i++ {
+		if err := run(); err != nil {
+			t.Fatalf("warmup: %v", err)
+		}
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := run(); err != nil {
+				b.Fatalf("SendBuffers: %v", err)
+			}
+		}
+	})
+	if allocs := res.AllocsPerOp(); allocs > gatherAllocBudget {
+		t.Fatalf("steady-state 8-segment gather send allocates %d objects/op, budget %d",
+			allocs, gatherAllocBudget)
+	} else {
+		t.Logf("steady-state 8-segment gather send: %d allocs/op, %d B/op (budget %d)",
+			allocs, res.AllocedBytesPerOp(), gatherAllocBudget)
+	}
+	if ct.SpanCount(trace.KindGatherSend) == 0 {
+		t.Fatal("alloc gate measured without gather_send spans")
+	}
+}

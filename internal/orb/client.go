@@ -360,6 +360,15 @@ func (r *ObjectRef) doneCall(op *Operation, result any, outs []any, err error,
 // GIOP service context so the server's spans join the same trace.
 func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any,
 	tc trace.Context, attempt uint16) *Call {
+	return r.startCtxG(ctx, op, args, tc, attempt, nil)
+}
+
+// startCtxG is startCtx with an optional gather-completion ledger
+// attached (orb.SendBuffers): deposit segments carry g so the data
+// plane can report per-buffer completion; the terminal outcome is
+// reported by the SendBuffers caller via g.finish.
+func (r *ObjectRef) startCtxG(ctx context.Context, op *Operation, args []any,
+	tc trace.Context, attempt uint16, g *gatherState) *Call {
 	o := r.orb
 	start := int64(0)
 	if tc.Valid() {
@@ -432,11 +441,23 @@ func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any,
 		Principal:        []byte{},
 	}
 	var deposits []depositSeg
+	skipZC := false
 	if useZC {
 		var sizes []uint32
-		deposits, sizes, err = collectDeposits(inTypes, args)
+		var zcOK bool
+		deposits, sizes, zcOK, err = collectDeposits(inTypes, args)
 		if err != nil {
 			return r.failedCall(op, args, &SystemException{Name: "MARSHAL", Completed: CompletedNo}, tc, start, attempt)
+		}
+		// A zero-length ZC value is not deposit-eligible (the wire
+		// protocol forbids zero-length deposit blocks): the whole call
+		// takes the marshaled path, keeping the empty announcement.
+		skipZC = zcOK
+		if g != nil {
+			for i := range deposits {
+				deposits[i].idx = i
+				deposits[i].g = g
+			}
 		}
 		// Announce the data channel on every request (even with no ZC
 		// parameters) so the server can deposit zero-copy replies.
@@ -451,7 +472,7 @@ func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any,
 	}
 	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 	req.Marshal(e)
-	if err := o.marshalValues(e, inTypes, args, useZC); err != nil {
+	if err := o.marshalValues(e, inTypes, args, skipZC); err != nil {
 		cdr.PutEncoder(e)
 		return r.failedCall(op, args, &SystemException{Name: "MARSHAL", Completed: CompletedNo}, tc, start, attempt)
 	}
@@ -499,7 +520,7 @@ func (r *ObjectRef) startCtx(ctx context.Context, op *Operation, args []any,
 			if ch != nil {
 				r.dropAbandoned(c, req.RequestID, ch)
 			}
-			return r.startCtx(ctx, op, args, tc, attempt)
+			return r.startCtxG(ctx, op, args, tc, attempt, g)
 		}
 		if ch != nil {
 			c.unregister(req.RequestID)

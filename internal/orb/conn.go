@@ -443,6 +443,19 @@ func (c *conn) send(t giop.MsgType, body []byte, deposits []depositSeg,
 		case kzcUsed:
 			kind = trace.KindKzcDeposit
 		}
+		if len(deposits) >= 2 {
+			// A multi-segment train: one data-plane batch carried N
+			// payload blocks (the scatter/gather coalescing win).
+			c.orb.stats.GatherDeposits.Add(1)
+			c.orb.stats.GatherSegments.Add(int64(len(deposits)))
+			c.orb.stats.PayloadGatherBytes.Add(n)
+			if tc.Valid() {
+				tr.Record(trace.Span{
+					Trace: tc.Trace, Parent: tc.Span, Kind: trace.KindGatherSend,
+					Op: op, Bytes: n, Start: t0, Dur: trace.Now() - t0,
+				})
+			}
+		}
 		if tc.Valid() {
 			tr.Record(trace.Span{
 				Trace: tc.Trace, Parent: tc.Span, Kind: kind,
@@ -461,7 +474,7 @@ func (c *conn) send(t giop.MsgType, body []byte, deposits []depositSeg,
 // segments go disk→wire with sendfile. kzc reports whether any
 // kernel-assist path was taken.
 func (c *conn) writeDepositsLocked(deposits []depositSeg) (n int64, kzc bool, err error) {
-	for i := range deposits {
+	for i := 0; i < len(deposits); i++ {
 		seg := &deposits[i]
 		switch {
 		case seg.file != nil && c.fsend != nil:
@@ -478,6 +491,28 @@ func (c *conn) writeDepositsLocked(deposits []depositSeg) (n int64, kzc bool, er
 		case seg.buf != nil && c.zcw != nil && len(seg.b) >= c.zcw.ZeroCopyThreshold():
 			if err = c.flushDsegsLocked(); err != nil {
 				return n, kzc, err
+			}
+			// Coalesce a run of consecutive zero-copy-eligible segments
+			// into one vectored MSG_ZEROCOPY send: one syscall, one
+			// completion sequence, N pinned buffers.
+			j := i + 1
+			for j < len(deposits) {
+				s := &deposits[j]
+				if s.buf == nil || s.file != nil || len(s.b) < c.zcw.ZeroCopyThreshold() {
+					break
+				}
+				j++
+			}
+			if zgw, ok := c.zcw.(transport.ZeroCopyGatherWriter); ok && j-i >= 2 && c.orb.leaseTTL() > 0 {
+				var m int64
+				m, err = c.sendZCRunLocked(zgw, deposits[i:j])
+				n += m
+				if err != nil {
+					return n, kzc, err
+				}
+				kzc = true
+				i = j - 1
+				continue
 			}
 			if err = c.sendZCSeg(seg); err != nil {
 				return n, kzc, err
@@ -533,19 +568,7 @@ func (c *conn) sendZCSeg(seg *depositSeg) error {
 		_, err := c.data.Write(seg.b)
 		return err
 	}
-	var notify func(expired bool)
-	if o.opts.DebugReuseGuard {
-		sum := crc32.Checksum(seg.b, crcTab)
-		b := seg.buf
-		notify = func(expired bool) {
-			if crc32.Checksum(b.Bytes(), crcTab) != sum {
-				o.stats.KzcReuseWarnings.Add(1)
-				o.logf("orb: kzc reuse guard: deposit buffer modified before "+
-					"zero-copy completion (expired=%v)", expired)
-			}
-		}
-	}
-	lid := o.leases.GrantNotify(seg.buf, time.Now().Add(ttl), c.onLeaseExpire, notify)
+	lid := o.leases.GrantNotify(seg.buf, time.Now().Add(ttl), c.onLeaseExpire, c.segNotify(seg))
 	ok, err := c.zcw.WriteZeroCopy(seg.b, func(copied bool) {
 		if o.leases.Settle(lid) {
 			o.stats.KzcCompletions.Add(1)
@@ -568,6 +591,93 @@ func (c *conn) sendZCSeg(seg *depositSeg) error {
 		o.stats.KzcDepositBytes.Add(int64(len(seg.b)))
 	}
 	return err
+}
+
+// errCompletionExpired is the per-buffer completion outcome when the
+// lease sweeper reclaimed a deposit buffer before its zero-copy
+// completion arrived (the transfer stalled or aborted).
+var errCompletionExpired = errors.New("orb: deposit lease expired before zero-copy completion")
+
+// segNotify builds the lease-release notification for one zero-copy
+// deposit segment: the DebugReuseGuard checksum check, and — for
+// SendBuffers segments — the gather ledger's asyncDone, which drives
+// the per-buffer completion callback. Returns nil when neither
+// applies (GrantNotify accepts a nil notify).
+func (c *conn) segNotify(seg *depositSeg) func(expired bool) {
+	o := c.orb
+	var guard func(expired bool)
+	if o.opts.DebugReuseGuard {
+		sum := crc32.Checksum(seg.b, crcTab)
+		b := seg.buf
+		guard = func(expired bool) {
+			if crc32.Checksum(b.Bytes(), crcTab) != sum {
+				o.stats.KzcReuseWarnings.Add(1)
+				o.logf("orb: kzc reuse guard: deposit buffer modified before "+
+					"zero-copy completion (expired=%v)", expired)
+			}
+		}
+	}
+	if seg.g == nil {
+		return guard
+	}
+	g, idx := seg.g, seg.idx
+	g.markAsync(idx)
+	return func(expired bool) {
+		if guard != nil {
+			guard(expired)
+		}
+		var err error
+		if expired {
+			err = errCompletionExpired
+		}
+		g.asyncDone(idx, err)
+	}
+}
+
+// sendZCRunLocked transmits a run of zero-copy-eligible segments as
+// one vectored MSG_ZEROCOPY send (sendMu held): a single sendmsg
+// covers every segment, a single kernel completion settles every
+// lease. Each buffer still gets its own lease (the sweeper backstop
+// stays per-buffer) and its own completion notification.
+func (c *conn) sendZCRunLocked(zgw transport.ZeroCopyGatherWriter, run []depositSeg) (int64, error) {
+	o := c.orb
+	ttl := o.leaseTTL()
+	segs := make([][]byte, len(run))
+	lids := make([]zcbuf.LeaseID, len(run))
+	var total int64
+	exp := time.Now().Add(ttl)
+	for i := range run {
+		seg := &run[i]
+		segs[i] = seg.b
+		total += int64(len(seg.b))
+		lids[i] = o.leases.GrantNotify(seg.buf, exp, c.onLeaseExpire, c.segNotify(seg))
+	}
+	ok, err := zgw.WriteZeroCopyGather(segs, func(copied bool) {
+		for _, lid := range lids {
+			if o.leases.Settle(lid) {
+				o.stats.KzcCompletions.Add(1)
+				if copied {
+					o.stats.KzcCopiedCompletions.Add(1)
+				}
+			}
+		}
+	})
+	if !ok {
+		// Nothing was written and done will never fire: drop the leases
+		// here and let the caller degrade to the marshaled path.
+		for _, lid := range lids {
+			o.leases.Settle(lid)
+		}
+		if err == nil {
+			err = transport.ErrZeroCopyUnavailable
+		}
+		return 0, err
+	}
+	if err == nil {
+		o.stats.KzcDeposits.Add(int64(len(run)))
+		o.stats.KzcDepositBytes.Add(total)
+	}
+	return total, err
 }
 
 // sendFileSeg transmits one file-backed segment disk→wire.
@@ -779,6 +889,9 @@ func (c *conn) readDeposits(contexts []giop.ServiceContext, tc trace.Context,
 		bufs = append(bufs, b)
 		c.orb.stats.DepositsReceived.Add(1)
 		c.orb.stats.DepositBytesRecv.Add(int64(size))
+	}
+	if len(di.Sizes) >= 2 {
+		c.orb.stats.GatherScatters.Add(1)
 	}
 	c.recordDepositRecv(tc, op, t0, got, false, direct)
 	if tc.Valid() {

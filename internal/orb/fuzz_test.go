@@ -60,6 +60,32 @@ func FuzzConnReadLoop(f *testing.F) {
 	var frag [giop.HeaderSize]byte
 	giop.EncodeHeader(frag[:], giop.Header{Major: 1, Type: giop.MsgFragment, Size: 4})
 	f.Add(append(frag[:], 0xDE, 0xAD, 0xBE, 0xEF))
+	// Request announcing a multi-segment deposit train: a DepositInfo
+	// service context with several size-vector entries. The server must
+	// route it through the scatter path (or reject it cleanly) without
+	// a data channel ever delivering the announced segments.
+	train := func(sizes []uint32) []byte {
+		te := cdr.NewEncoder(cdr.NativeOrder, giop.HeaderSize)
+		tr := giop.RequestHeader{
+			RequestID: 2, ResponseExpected: true,
+			ObjectKey: []byte("store"), Operation: "put8", Principal: []byte{},
+			ServiceContexts: []giop.ServiceContext{
+				giop.DepositInfo{Arch: "test", Token: 7, Sizes: sizes}.Encode(),
+			},
+		}
+		tr.Marshal(te)
+		var th [giop.HeaderSize]byte
+		giop.EncodeHeader(th[:], giop.Header{Major: 1, Flags: byte(cdr.NativeOrder),
+			Type: giop.MsgRequest, Size: uint32(len(te.Bytes()))})
+		return append(append([]byte{}, th[:]...), te.Bytes()...)
+	}
+	f.Add(train([]uint32{4096, 4096, 4096, 4096, 4096, 4096, 4096, 4096}))
+	// Zero-length entry inside the vector: decode must reject, never
+	// panic or leak a partial claim.
+	f.Add(train([]uint32{4096, 0, 4096}))
+	// Hostile sizes: huge entries and a long vector.
+	f.Add(train([]uint32{1 << 31, 1, 1 << 30}))
+	f.Add(train(make([]uint32, 255)))
 
 	tr := &transport.InProc{}
 	o, err := New(Options{Transport: tr, ZeroCopy: true,

@@ -1,0 +1,156 @@
+package orb
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"zcorba/internal/transport"
+	"zcorba/internal/zcbuf"
+)
+
+// TestSendBuffersTruncateMidTrain cuts the data channel partway
+// through an 8-segment deposit train (after ~2.5 segments' worth of
+// bytes). The invocation must complete on the marshaled fallback, the
+// server must reclaim the partially received buffers, and every
+// per-buffer callback must still fire exactly once — completion means
+// the fallback consumed the bytes, so the error is nil.
+func TestSendBuffersTruncateMidTrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+	inj := transport.NewFaultInjector(404).Add(transport.Rule{
+		Op: transport.OpWrite, Class: transport.ClassData,
+		Kind: transport.FaultTruncate, Nth: 2, TruncateAt: 40 << 10,
+	})
+	p := chaosPair(t, &transport.InProc{}, inj,
+		Options{ZeroCopy: true},
+		Options{ZeroCopy: true, CallTimeout: 5 * time.Second})
+
+	var pl zcbuf.Pool
+	bufs, want := gatherBufs(t, &pl, 8, 16<<10)
+	defer releaseBufs(bufs)
+	log := newCompletionLog()
+	call, err := p.ref.SendBuffers(t.Context(), storeIface.Ops["put8"], bufs, log.cb)
+	if err != nil {
+		t.Fatalf("SendBuffers: %v", err)
+	}
+	res, _, err := call.Wait()
+	if err != nil {
+		t.Fatalf("Wait after truncated train: %v", err)
+	}
+	if res.(uint32) != want {
+		t.Fatal("checksum mismatch after fallback")
+	}
+	for i, e := range log.assertOnce(t, 8) {
+		if e != nil {
+			t.Fatalf("buffer %d completion error after successful fallback: %v", i, e)
+		}
+	}
+	if got := p.client.Stats().DataChanFallbacks.Load(); got < 1 {
+		t.Fatalf("client DataChanFallbacks = %d, want >= 1", got)
+	}
+	if got := p.server.Stats().DepositAborts.Load(); got < 1 {
+		t.Fatalf("server DepositAborts = %d, want >= 1", got)
+	}
+	if n := p.server.leases.Pending(); n != 0 {
+		t.Fatalf("server deposit leases outstanding: %d", n)
+	}
+	if n := p.client.leases.Pending(); n != 0 {
+		t.Fatalf("client deposit leases outstanding: %d", n)
+	}
+	if n := pendingTotal(p.ref); n != 0 {
+		t.Fatalf("pending entries leaked: %d", n)
+	}
+	p.client.Shutdown()
+	p.server.Shutdown()
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestSendBuffersStallMidTrainLeaseExpires stalls the train's data
+// write long past the server's deposit-lease TTL: the server's sweeper
+// reclaims the partially announced train (releasing every granted
+// buffer), the data channel is retired, and the call completes on the
+// marshaled path with all callbacks fired.
+func TestSendBuffersStallMidTrainLeaseExpires(t *testing.T) {
+	before := runtime.NumGoroutine()
+	inj := transport.NewFaultInjector(505).Add(transport.Rule{
+		Op: transport.OpWrite, Class: transport.ClassData,
+		Kind: transport.FaultStall, Nth: 2, Delay: 600 * time.Millisecond,
+	})
+	p := chaosPair(t, &transport.InProc{}, inj,
+		Options{ZeroCopy: true, DepositLeaseTTL: 30 * time.Millisecond,
+			CallTimeout: 5 * time.Second},
+		Options{ZeroCopy: true, CallTimeout: 5 * time.Second})
+
+	var pl zcbuf.Pool
+	bufs, want := gatherBufs(t, &pl, 8, 16<<10)
+	defer releaseBufs(bufs)
+	log := newCompletionLog()
+	call, err := p.ref.SendBuffers(t.Context(), storeIface.Ops["put8"], bufs, log.cb)
+	if err != nil {
+		t.Fatalf("SendBuffers: %v", err)
+	}
+	res, _, err := call.Wait()
+	if err != nil {
+		t.Fatalf("Wait after stalled train: %v", err)
+	}
+	if res.(uint32) != want {
+		t.Fatal("checksum mismatch after fallback")
+	}
+	for i, e := range log.assertOnce(t, 8) {
+		if e != nil {
+			t.Fatalf("buffer %d completion error after successful fallback: %v", i, e)
+		}
+	}
+	if got := p.server.Stats().LeaseExpiries.Load(); got < 1 {
+		t.Fatalf("server LeaseExpiries = %d, want >= 1", got)
+	}
+	if got := p.client.Stats().DataChanFallbacks.Load(); got < 1 {
+		t.Fatalf("client DataChanFallbacks = %d, want >= 1", got)
+	}
+	if n := p.server.leases.Pending(); n != 0 {
+		t.Fatalf("server deposit leases outstanding: %d", n)
+	}
+	if n := pendingTotal(p.ref); n != 0 {
+		t.Fatalf("pending entries leaked: %d", n)
+	}
+	p.client.Shutdown()
+	p.server.Shutdown()
+	assertNoGoroutineLeak(t, before)
+}
+
+// TestSendBuffersControlResetReportsErrors kills the control stream on
+// the request write, before any fallback is possible: the call fails
+// with COMM_FAILURE and every per-buffer callback fires exactly once
+// with a non-nil error.
+func TestSendBuffersControlResetReportsErrors(t *testing.T) {
+	inj := transport.NewFaultInjector(606).Add(transport.Rule{
+		Op: transport.OpWrite, Class: transport.ClassControl,
+		Kind: transport.FaultReset, Nth: 1,
+	})
+	p := chaosPair(t, &transport.InProc{}, inj,
+		Options{ZeroCopy: true},
+		Options{ZeroCopy: true, CallTimeout: 2 * time.Second})
+
+	var pl zcbuf.Pool
+	bufs, _ := gatherBufs(t, &pl, 4, 8<<10)
+	defer releaseBufs(bufs)
+	log := newCompletionLog()
+	call, err := p.ref.SendBuffers(t.Context(), storeIface.Ops["put2"],
+		bufs[:2], log.cb)
+	if err != nil {
+		t.Fatalf("SendBuffers: %v", err)
+	}
+	if _, _, err := call.Wait(); err == nil {
+		t.Fatal("call succeeded through a reset control stream")
+	}
+	for i, e := range log.assertOnce(t, 2) {
+		if e == nil {
+			t.Fatalf("buffer %d completed without error after a failed train", i)
+		}
+	}
+	for i, b := range bufs[:2] {
+		if b.Refs() != 1 {
+			t.Fatalf("buffer %d refs = %d after failed train, want 1", i, b.Refs())
+		}
+	}
+}

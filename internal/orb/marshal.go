@@ -46,13 +46,33 @@ type depositSeg struct {
 	b    []byte
 	buf  *zcbuf.Buffer
 	file *zcbuf.File
+	// idx/g carry the per-buffer completion plumbing of SendBuffers:
+	// g.complete(idx, err) fires the application callback exactly once
+	// when this segment's bytes are safe to reuse. Both are zero for
+	// ordinary invokes.
+	idx int
+	g   *gatherState
 }
 
 // collectDeposits gathers the payload segments for every ZC octet
 // stream among vals — by reference, never copying (the marshaling
 // bypass of §4.4). It performs no CDR work at all; file-backed
-// payloads stay on disk here.
-func collectDeposits(types []*typecode.TypeCode, vals []any) (segs []depositSeg, sizes []uint32, err error) {
+// payloads stay on disk here. ok reports whether every ZC value is
+// deposit-eligible: a zero-length ZC value returns ok=false (segs and
+// sizes nil), because the wire protocol forbids zero-length deposit
+// blocks — the caller must marshal the whole call instead.
+func collectDeposits(types []*typecode.TypeCode, vals []any) (segs []depositSeg, sizes []uint32, ok bool, err error) {
+	nzc := 0
+	for _, tc := range types {
+		if tc.IsZCOctetSeq() {
+			nzc++
+		}
+	}
+	if nzc == 0 {
+		return nil, nil, true, nil
+	}
+	segs = make([]depositSeg, 0, nzc)
+	sizes = make([]uint32, 0, nzc)
 	for i, tc := range types {
 		if !tc.IsZCOctetSeq() {
 			continue
@@ -68,10 +88,13 @@ func collectDeposits(types []*typecode.TypeCode, vals []any) (segs []depositSeg,
 			segs = append(segs, depositSeg{file: x})
 			sizes = append(sizes, uint32(x.Len()))
 		default:
-			return nil, nil, fmt.Errorf("orb: parameter %d: %T is not a ZC octet stream", i, vals[i])
+			return nil, nil, false, fmt.Errorf("orb: parameter %d: %T is not a ZC octet stream", i, vals[i])
+		}
+		if sizes[len(sizes)-1] == 0 {
+			return nil, nil, false, nil
 		}
 	}
-	return segs, sizes, nil
+	return segs, sizes, true, nil
 }
 
 // depositBytes totals the payload bytes of a deposit list.

@@ -351,6 +351,19 @@ type Stats struct {
 	// KzcReuseWarnings counts deposit buffers the DebugReuseGuard
 	// found modified before their zero-copy completion fired.
 	KzcReuseWarnings atomic.Int64
+	// GatherDeposits counts multi-segment deposit trains (two or more
+	// payload blocks coalesced into one data-plane batch);
+	// GatherSegments counts the segments inside them and
+	// PayloadGatherBytes the bytes they carried.
+	GatherDeposits     atomic.Int64
+	GatherSegments     atomic.Int64
+	PayloadGatherBytes atomic.Int64
+	// GatherCompletions counts per-buffer completion callbacks fired
+	// for buffers handed to SendBuffers.
+	GatherCompletions atomic.Int64
+	// GatherScatters counts multi-segment trains scattered into
+	// per-buffer claims on the receive side.
+	GatherScatters atomic.Int64
 	// GeneratedMarshals/GeneratedDemarshals count parameters handled by
 	// idlgen-emitted compiled marshalers instead of the typecode
 	// interpreter (docs/IDL.md "Compiled marshalers").
@@ -437,8 +450,8 @@ type ORB struct {
 	dataHost string
 	dataPort uint16
 
-	mu          sync.Mutex
-	servants    map[string]Servant
+	mu       sync.Mutex
+	servants map[string]Servant
 	// extraComps holds per-object IOR components registered through
 	// ActivateWithComponents (e.g. the ZC-SHM-BCAST profile an event
 	// channel advertises); merged into every reference minted for the
@@ -796,6 +809,11 @@ func (o *ORB) RegisterMetrics(x *trace.Exporter) {
 		{"kzc_copied_completions_total", "Zero-copy completions the kernel reported as copied.", &s.KzcCopiedCompletions},
 		{"kzc_fallbacks_total", "Invocations degraded from kernel zero-copy to the marshaled path.", &s.KzcFallbacks},
 		{"kzc_reuse_warnings_total", "Deposit buffers modified before their zero-copy completion.", &s.KzcReuseWarnings},
+		{"gather_deposits_total", "Multi-segment deposit trains sent.", &s.GatherDeposits},
+		{"gather_segments_total", "Segments inside multi-segment deposit trains.", &s.GatherSegments},
+		{"payload_gather_bytes_total", "Bytes sent inside multi-segment deposit trains.", &s.PayloadGatherBytes},
+		{"gather_completions_total", "Per-buffer completion callbacks fired.", &s.GatherCompletions},
+		{"gather_scatters_total", "Multi-segment trains scattered on the receive side.", &s.GatherScatters},
 		{"generated_marshals_total", "Parameters marshaled by compiled marshalers.", &s.GeneratedMarshals},
 		{"generated_demarshals_total", "Parameters demarshaled by compiled marshalers.", &s.GeneratedDemarshals},
 		{"engine_wakeups_total", "Epoll waits that returned ready connections.", &s.EngineWakeups},

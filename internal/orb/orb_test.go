@@ -77,7 +77,25 @@ var storeIface = NewInterface("IDL:test/Store:1.0", "Store",
 		Name:   "slow",
 		Result: typecode.TCVoid,
 	},
+	putManyOp(2),
+	putManyOp(8),
+	putManyOp(32),
 )
+
+// putManyOp builds a putN operation taking n ZC octet streams — the
+// scatter/gather deposit surface exercised by the SendBuffers tests.
+func putManyOp(n int) *Operation {
+	params := make([]Param, n)
+	for i := range params {
+		params[i] = Param{Name: fmt.Sprintf("d%d", i), Type: typecode.TCZCOctetSeq, Dir: In}
+	}
+	return &Operation{
+		Name:       fmt.Sprintf("put%d", n),
+		Idempotent: true,
+		Params:     params,
+		Result:     typecode.TCULong,
+	}
+}
 
 // storeServant sums bytes, serves blocks, echoes buffers.
 type storeServant struct {
@@ -113,6 +131,15 @@ func (s *storeServant) Invoke(op string, args []any) (any, []any, error) {
 	case "put_std":
 		data := args[0].([]byte)
 		return checksum(data), nil, nil
+	case "put2", "put8", "put32":
+		var sum uint32
+		for _, a := range args {
+			sum += checksum(a.(*zcbuf.Buffer).Bytes())
+		}
+		s.mu.Lock()
+		s.lastSum = sum
+		s.mu.Unlock()
+		return sum, nil, nil
 	case "get":
 		n := int(args[0].(uint32))
 		out := make([]byte, n)

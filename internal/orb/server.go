@@ -185,14 +185,19 @@ func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
 	useZC := c.usableData()
 
 	var deposits []depositSeg
+	skipZC := false
 	if useZC {
 		var sizes []uint32
+		var zcOK bool
 		var err error
-		deposits, sizes, err = collectDeposits(types, vals)
+		deposits, sizes, zcOK, err = collectDeposits(types, vals)
 		if err != nil {
 			o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes}, tc)
 			return
 		}
+		// zcOK=false (a zero-length ZC value, which the wire protocol
+		// cannot deposit): marshal the reply values into the body.
+		skipZC = zcOK
 		if len(sizes) > 0 {
 			rep.ServiceContexts = append(rep.ServiceContexts, giop.DepositInfo{
 				Arch: o.arch, Token: c.dataToken, Sizes: sizes,
@@ -205,7 +210,7 @@ func (o *ORB) replyValues(c *conn, req giop.RequestHeader, op *Operation,
 
 	e := cdr.GetEncoder(cdr.NativeOrder, giop.HeaderSize)
 	rep.Marshal(e)
-	if err := o.marshalValues(e, types, vals, useZC); err != nil {
+	if err := o.marshalValues(e, types, vals, skipZC); err != nil {
 		cdr.PutEncoder(e)
 		o.logf("orb: reply marshal: %v", err)
 		o.replySystemException(c, req, &SystemException{Name: "MARSHAL", Completed: CompletedYes}, tc)

@@ -198,6 +198,92 @@ func (p *Producer) Write(b []byte) (int, error) {
 	return len(b), nil
 }
 
+// WriteVec deposits each segment as its own record — the multi-slot
+// lease behind gathered deposits. Unlike a loop of Write calls, the
+// slot runs (including wrap padding) for a whole batch are credited in
+// ONE reservation and the descriptors published with ONE release-store
+// of the shared head, so the consumer observes the train atomically
+// and a partially credited train can never wedge between records.
+// Batches whose combined slot need exceeds the ring capacity are split
+// at record boundaries (each flush is still one reservation).
+func (p *Producer) WriteVec(segs [][]byte) (int64, error) {
+	r := p.r
+	slotSize := r.cfg.SlotSize
+	for _, b := range segs {
+		if len(b) > r.cfg.MaxPayload() {
+			return 0, ErrTooLarge
+		}
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0, ErrClosed
+	}
+	if atomic.LoadUint32(r.consClosed()) != 0 || (p.Dead != nil && p.Dead.Load()) {
+		return 0, ErrPeerDead
+	}
+
+	var total int64
+	cap64 := uint64(r.cfg.SlotCount)
+	for batch := 0; batch < len(segs); {
+		// Walk forward from the current head simulating slot layout
+		// (data runs never wrap; a pad record fills the tail) until the
+		// batch would exceed ring capacity.
+		head := p.head
+		need := uint64(0)
+		end := batch
+		for ; end < len(segs); end++ {
+			n := (len(segs[end]) + slotSize - 1) / slotSize
+			if n == 0 {
+				n = 1
+			}
+			start := int((head + need) % cap64)
+			pad := 0
+			if start+n > r.cfg.SlotCount {
+				pad = r.cfg.SlotCount - start
+			}
+			if end > batch && need+uint64(pad+n) > cap64 {
+				break
+			}
+			need += uint64(pad + n)
+		}
+		if err := p.waitCredit(need); err != nil {
+			return total, err
+		}
+		head = p.head
+		for _, b := range segs[batch:end] {
+			n := (len(b) + slotSize - 1) / slotSize
+			if n == 0 {
+				n = 1
+			}
+			start := int(head % cap64)
+			if start+n > r.cfg.SlotCount {
+				w0, w1 := r.descAt(start)
+				*w0 = packDesc(kindPad, (r.cfg.SlotCount-start)*slotSize)
+				*w1 = head
+				head += uint64(r.cfg.SlotCount - start)
+				start = 0
+			}
+			copy(r.data[start*slotSize:], b)
+			w0, w1 := r.descAt(start)
+			*w0 = packDesc(kindData, len(b))
+			tag := head
+			if p.corruptNext.CompareAndSwap(true, false) {
+				tag = ^head
+			}
+			*w1 = tag
+			head += uint64(n)
+			total += int64(len(b))
+		}
+		// One release-store publishes every record of the batch.
+		atomic.StoreUint64(r.head(), head)
+		p.head = head
+		batch = end
+	}
+	return total, nil
+}
+
 // waitCredit blocks until need slots of credit are available. The
 // caller holds p.mu.
 func (p *Producer) waitCredit(need uint64) error {

@@ -79,6 +79,10 @@ const (
 	// path abandoned the current IIOP profile and re-pinned the
 	// reference to the next one in dial order (docs/NAMING.md).
 	KindFailover
+	// KindGatherSend covers one multi-segment deposit train (two or
+	// more payload blocks coalesced into a single data-plane batch by
+	// orb.SendBuffers or a multi-ZC-param invoke).
+	KindGatherSend
 	numKinds
 )
 
@@ -86,6 +90,7 @@ var kindNames = [numKinds]string{
 	"invoke", "marshal", "control_send", "deposit_send", "deposit_recv",
 	"unmarshal", "dispatch", "reply_send", "retry", "fallback", "lease",
 	"frame", "shm.deposit", "shm.claim", "kzc.deposit", "shed", "failover",
+	"gather_send",
 }
 
 // String returns the span kind's wire/log name.
@@ -158,6 +163,10 @@ type Tracer struct {
 	RetryBackoffNS Histogram
 	// FrameLatencyNS observes farm frame round trips.
 	FrameLatencyNS Histogram
+	// CompletionLatencyNS observes the delay between handing a
+	// registered buffer to SendBuffers and its per-buffer completion
+	// callback firing (the buffer-reuse window).
+	CompletionLatencyNS Histogram
 }
 
 // DefaultSlabSpans is the slab capacity used by New when cap <= 0.
@@ -282,7 +291,7 @@ func (t *Tracer) Reset() {
 	}
 	for _, h := range []*Histogram{
 		&t.InvokeLatencyNS, &t.DispatchLatencyNS, &t.DepositBytes,
-		&t.RetryBackoffNS, &t.FrameLatencyNS,
+		&t.RetryBackoffNS, &t.FrameLatencyNS, &t.CompletionLatencyNS,
 	} {
 		for i := range h.counts {
 			h.counts[i].Store(0)

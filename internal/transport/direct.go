@@ -65,3 +65,14 @@ type ZeroCopyWriter interface {
 type FileSender interface {
 	SendFile(f *os.File, off, n int64) (int64, error)
 }
+
+// ZeroCopyGatherWriter is implemented by zero-copy connections that
+// can send a whole scatter/gather train in one vectored MSG_ZEROCOPY
+// sendmsg: the segments share a single completion sequence, so one
+// errqueue range completes the entire train (the caller fans that out
+// to per-buffer callbacks). Semantics of ok/err/done match
+// ZeroCopyWriter, with done firing once for the train.
+type ZeroCopyGatherWriter interface {
+	ZeroCopyWriter
+	WriteZeroCopyGather(segs [][]byte, done func(copied bool)) (ok bool, err error)
+}

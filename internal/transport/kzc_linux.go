@@ -177,6 +177,16 @@ func newKzcConn(t *KZC, tc *net.TCPConn, dialer bool) (*kzcConn, error) {
 		c.sendN, c.sendErr = syscall.SendmsgN(int(fd), c.sendBuf, nil, nil, msgZeroCopy)
 		return c.sendErr != syscall.EAGAIN
 	}
+	c.sendVecFn = func(fd uintptr) bool {
+		n, _, e := syscall.Syscall(syscall.SYS_SENDMSG, fd,
+			uintptr(unsafe.Pointer(&c.sendMsg)), uintptr(msgZeroCopy))
+		if e != 0 {
+			c.sendN, c.sendErr = 0, e
+		} else {
+			c.sendN, c.sendErr = int(n), nil
+		}
+		return c.sendErr != syscall.EAGAIN
+	}
 	c.reapFn = func(fd uintptr) {
 		_, c.reapN, _, _, c.reapErr = syscall.Recvmsg(int(fd), c.reapDummy[:],
 			c.oob[:], syscall.MSG_ERRQUEUE|syscall.MSG_DONTWAIT)
@@ -231,6 +241,12 @@ type kzcConn struct {
 	sendBuf []byte
 	sendN   int
 	sendErr error
+	// Vectored zero-copy scratch (wmu held): the iovec array and
+	// msghdr for WriteZeroCopyGather's sendmsg, plus its prebuilt
+	// callback.
+	sendVecFn func(fd uintptr) bool
+	sendVec   []syscall.Iovec
+	sendMsg   syscall.Msghdr
 
 	rmu      sync.Mutex
 	probed   bool   // acceptor: promotion probe done
@@ -504,6 +520,125 @@ func (c *kzcConn) WriteZeroCopy(p []byte, done func(copied bool)) (bool, error) 
 	c.closePending(pd, false)
 	c.reapOnce() // opportunistic non-blocking drain
 	return true, nil
+}
+
+// plainWriteVecLocked writes segs without zero-copy (wmu held): the
+// ENOBUFS and fault degradation path of the gather send.
+func (c *kzcConn) plainWriteVecLocked(segs [][]byte) error {
+	bufs := c.gbufs[:0]
+	for _, s := range segs {
+		if len(s) > 0 {
+			bufs = append(bufs, s)
+		}
+	}
+	c.gbufs = bufs
+	nsegs := len(bufs)
+	n, err := bufs.WriteTo(c.tc)
+	clear(c.gbufs[:nsegs])
+	c.gbufs = c.gbufs[:0]
+	c.countWrite(n, 0)
+	return err
+}
+
+// WriteZeroCopyGather implements ZeroCopyGatherWriter: the whole train
+// goes out in vectored MSG_ZEROCOPY sendmsgs (normally exactly one —
+// one syscall, one completion sequence for N segments), and done fires
+// exactly once when the kernel releases every page. The completion
+// range the reaper sees covers the single shared sequence, which is
+// how per-buffer callbacks stay cheap: the caller fans the one train
+// completion out to its segments.
+func (c *kzcConn) WriteZeroCopyGather(segs [][]byte, done func(copied bool)) (bool, error) {
+	if !c.zcOn.Load() || c.zcDown.Load() {
+		return false, ErrZeroCopyUnavailable
+	}
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	if total == 0 {
+		done(false)
+		return true, nil
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.t.Faults != nil {
+		if r := c.t.Faults.decide(OpWrite, ClassKzc); r != nil {
+			switch r.Kind {
+			case FaultENOBUFS:
+				err := c.plainWriteVecLocked(segs)
+				done(true)
+				return true, err
+			case FaultDropCompletion:
+				return true, c.plainWriteVecLocked(segs)
+			case FaultReset, FaultPeerKill:
+				done(true)
+				_ = c.Close()
+				return true, fmt.Errorf("kzcconn: injected %s on zero-copy gather send", r.Kind)
+			case FaultStall, FaultSlow:
+				time.Sleep(r.Delay)
+			}
+		}
+	}
+	pd := c.reservePending(done)
+	sent := 0
+	for sent < total {
+		// Rebuild the iovec view of the unsent tail (a partial sendmsg
+		// re-vectors from the new offset) and reserve the sequence this
+		// sendmsg will consume before issuing it, as in WriteZeroCopy.
+		iovs := c.sendVec[:0]
+		skip := sent
+		for _, s := range segs {
+			if skip >= len(s) {
+				skip -= len(s)
+				continue
+			}
+			rest := s[skip:]
+			skip = 0
+			iovs = append(iovs, syscall.Iovec{
+				Base: &rest[0], Len: uint64(len(rest)),
+			})
+		}
+		c.sendVec = iovs
+		c.sendMsg = syscall.Msghdr{Iov: &iovs[0], Iovlen: uint64(len(iovs))}
+		c.reserveSeq(pd)
+		werr := c.raw.Write(c.sendVecFn)
+		n, serr := c.sendN, c.sendErr
+		c.sendMsg = syscall.Msghdr{}
+		clear(c.sendVec)
+		c.sendVec = c.sendVec[:0]
+		if werr != nil && serr == nil {
+			serr = werr
+		}
+		if serr != nil {
+			c.unreserveSeq(pd)
+			if serr == syscall.ENOBUFS {
+				perr := c.plainWriteVecLocked(tailSegs(segs, sent))
+				c.closePending(pd, true)
+				return true, perr
+			}
+			c.closePending(pd, true)
+			return true, fmt.Errorf("transport: kzc zero-copy gather send: %w", serr)
+		}
+		sent += n
+	}
+	c.countWrite(int64(total), len(segs))
+	c.closePending(pd, false)
+	c.reapOnce()
+	return true, nil
+}
+
+// tailSegs returns the segment list with the first skip bytes removed.
+func tailSegs(segs [][]byte, skip int) [][]byte {
+	out := make([][]byte, 0, len(segs))
+	for _, s := range segs {
+		if skip >= len(s) {
+			skip -= len(s)
+			continue
+		}
+		out = append(out, s[skip:])
+		skip = 0
+	}
+	return out
 }
 
 // reservePending registers an open pending entry before a write's

@@ -584,3 +584,53 @@ func TestKZCReaperWakesAfterIdle(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 }
+
+// TestKZCWriteZeroCopyGather: a vectored train goes out in one
+// MSG_ZEROCOPY sendmsg, arrives byte-identical and in order, and the
+// single train completion fires exactly once.
+func TestKZCWriteZeroCopyGather(t *testing.T) {
+	cli, srv := kzcPair(t, &KZC{Threshold: 4096})
+	promoteKzc(t, cli, srv)
+	segs := [][]byte{
+		bytes.Repeat([]byte{0x11}, 64<<10),
+		bytes.Repeat([]byte{0x22}, 7),
+		nil,
+		bytes.Repeat([]byte{0x33}, 128<<10),
+	}
+	var want []byte
+	for _, s := range segs {
+		want = append(want, s...)
+	}
+	var fired atomic.Int32
+	got := make([]byte, len(want))
+	rdone := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(srv, got)
+		rdone <- err
+	}()
+	zgw, okIface := Conn(cli).(ZeroCopyGatherWriter)
+	if !okIface {
+		t.Fatal("kzc conn does not implement ZeroCopyGatherWriter")
+	}
+	ok, err := zgw.WriteZeroCopyGather(segs, func(copied bool) { fired.Add(1) })
+	if !ok || err != nil {
+		t.Fatalf("WriteZeroCopyGather: ok=%v err=%v", ok, err)
+	}
+	if err := <-rdone; err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("train corrupted through vectored MSG_ZEROCOPY")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("train completion never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("train completion fired %d times, want 1", n)
+	}
+}

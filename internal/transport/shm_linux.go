@@ -542,20 +542,22 @@ func (c *shmConn) WriteGather(segs ...[]byte) (int64, error) {
 	if err := c.faultWrite(); err != nil {
 		return 0, err
 	}
-	var total int64
+	// Multi-slot lease: the whole train's descriptor slots are credited
+	// in one ring reservation and published with one head store, so the
+	// peer's scatter loop sees all N records at once.
+	bufs := c.gbufs[:0]
 	for _, s := range segs {
-		if len(s) == 0 {
-			continue
-		}
-		n, err := rp.prod.Write(s)
-		total += int64(n)
-		if err != nil {
-			c.countWrite(total, len(segs))
-			return total, err
+		if len(s) > 0 {
+			bufs = append(bufs, s)
 		}
 	}
+	c.gbufs = bufs
+	nsegs := len(bufs)
+	total, err := rp.prod.WriteVec(bufs)
+	clear(c.gbufs[:nsegs])
+	c.gbufs = c.gbufs[:0]
 	c.countWrite(total, len(segs))
-	return total, nil
+	return total, err
 }
 
 func (c *shmConn) streamGatherLocked(segs [][]byte) (int64, error) {

@@ -133,11 +133,23 @@ func (t *TCP) Dial(addr string) (Conn, error) {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
-		// Latency matters for the control path; the data path sends
-		// large gathers that fill frames anyway.
-		_ = tc.SetNoDelay(true)
+		tuneTCP(tc)
 	}
 	return &tcpConn{c: c, stats: t.Stats}, nil
+}
+
+// tcpSockBuf sizes each socket buffer to hold a whole deposit train so a
+// gather writev returns without lock-stepping the writer and reader
+// through the kernel's (small) autotuned default. Clamped by the kernel
+// to net.core.{r,w}mem_max; oversizing is harmless.
+const tcpSockBuf = 4 << 20
+
+func tuneTCP(tc *net.TCPConn) {
+	// Latency matters for the control path; the data path sends
+	// large gathers that fill frames anyway.
+	_ = tc.SetNoDelay(true)
+	_ = tc.SetReadBuffer(tcpSockBuf)
+	_ = tc.SetWriteBuffer(tcpSockBuf)
 }
 
 type tcpListener struct {
@@ -151,7 +163,7 @@ func (l *tcpListener) Accept() (Conn, error) {
 		return nil, err
 	}
 	if tc, ok := c.(*net.TCPConn); ok {
-		_ = tc.SetNoDelay(true)
+		tuneTCP(tc)
 	}
 	return &tcpConn{c: c, stats: l.stats}, nil
 }

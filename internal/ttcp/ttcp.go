@@ -12,6 +12,7 @@
 package ttcp
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -22,6 +23,7 @@ import (
 	"zcorba/internal/orb"
 	"zcorba/internal/trace"
 	"zcorba/internal/transport"
+	"zcorba/internal/typecode"
 	"zcorba/internal/zcbuf"
 )
 
@@ -44,6 +46,11 @@ const (
 	// MSG_ZEROCOPY (pages pinned until the errqueue completion), the
 	// rest plain-written on the same channel.
 	ModeKzcCorba Mode = "kzc-corba"
+	// ModeGatherCorba is the CORBA TTCP using gathered deposits: each
+	// request carries N registered buffers as one deposit train
+	// (orb.ObjectRef.SendBuffers — a single vectored write per train,
+	// per-buffer completion callbacks gating reuse).
+	ModeGatherCorba Mode = "gather-corba"
 )
 
 // Result is one benchmark measurement.
@@ -215,6 +222,9 @@ func SocketSend(tr transport.Transport, addr string, blockSize, blocks int) (Res
 type CorbaSink struct {
 	ORB *orb.ORB
 	IOR string
+	// GatherIOR names the gather sink (SinkConfig.GatherSegs); empty
+	// when the gather tier is off.
+	GatherIOR string
 }
 
 // sinkServant discards received blocks. Requests dispatch concurrently
@@ -279,6 +289,10 @@ type SinkConfig struct {
 	// MaxConns pauses the accept loop above this many live inbound
 	// connections (orb.Options.MaxConns). 0 = unlimited.
 	MaxConns int
+	// GatherSegs additionally serves a gather sink — a zputv operation
+	// taking this many ZC octet-stream segments per request — whose IOR
+	// lands in CorbaSink.GatherIOR. 0 disables it.
+	GatherSegs int
 }
 
 // NewCorbaSinkConfig starts a sink ORB from the full configuration.
@@ -299,7 +313,17 @@ func NewCorbaSinkConfig(cfg SinkConfig) (*CorbaSink, error) {
 		o.Shutdown()
 		return nil, fmt.Errorf("ttcp: activate sink: %w", err)
 	}
-	return &CorbaSink{ORB: o, IOR: ref.String()}, nil
+	s := &CorbaSink{ORB: o, IOR: ref.String()}
+	if cfg.GatherSegs > 0 {
+		gref, err := o.Activate("ttcp-gather-sink",
+			&gatherSinkServant{iface: GatherStoreIface(cfg.GatherSegs)})
+		if err != nil {
+			o.Shutdown()
+			return nil, fmt.Errorf("ttcp: activate gather sink: %w", err)
+		}
+		s.GatherIOR = gref.String()
+	}
+	return s, nil
 }
 
 // Close shuts the sink ORB down.
@@ -393,6 +417,168 @@ func CorbaSendWindowMode(client *orb.ORB, iorStr string, blockSize, blocks, wind
 	}
 	res.Elapsed = time.Since(start)
 	res.Bytes = int64(blockSize) * int64(blocks)
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Gathered-deposit variant
+
+// GatherStoreIface returns the runtime contract of the gather sink: a
+// single zputv operation carrying segs ZC octet-stream parameters, so
+// one request scatters segs blocks on the receive side.
+func GatherStoreIface(segs int) *orb.Interface {
+	params := make([]orb.Param, segs)
+	for i := range params {
+		params[i] = orb.Param{Name: fmt.Sprintf("d%d", i),
+			Type: typecode.TCZCOctetSeq, Dir: orb.In}
+	}
+	return orb.NewInterface(
+		fmt.Sprintf("IDL:zcorba/Media/GatherStore%d:1.0", segs), "GatherStore",
+		&orb.Operation{Name: "zputv", Idempotent: true, Params: params,
+			Result: typecode.TCULong})
+}
+
+// gatherSinkServant acknowledges zputv trains with the total byte
+// count, like sinkServant does for single blocks.
+type gatherSinkServant struct {
+	iface    *orb.Interface
+	received atomic.Uint64
+}
+
+func (g *gatherSinkServant) Interface() *orb.Interface { return g.iface }
+
+func (g *gatherSinkServant) Invoke(op string, args []any) (any, []any, error) {
+	if op != "zputv" {
+		return nil, nil, &orb.SystemException{Name: "BAD_OPERATION"}
+	}
+	var n uint32
+	for _, a := range args {
+		b, ok := a.(*zcbuf.Buffer)
+		if !ok {
+			return nil, nil, &orb.SystemException{Name: "BAD_PARAM"}
+		}
+		n += uint32(b.Len())
+	}
+	g.received.Add(uint64(n))
+	return n, nil, nil
+}
+
+// CorbaSendGather transmits trains of segs registered buffers through
+// the gather sink: each train is one SendBuffers invocation (a single
+// vectored write carries all segs blocks), with up to window trains in
+// flight. A train's buffers are reused only after its per-buffer
+// completion callbacks report them safe, so the registered set cycles
+// without copies. Blocks in the result counts blocks (trains × segs).
+func CorbaSendGather(client *orb.ORB, iorStr string, blockSize, trains, segs, window int) (Result, error) {
+	if segs < 1 {
+		segs = 1
+	}
+	if window < 1 {
+		window = 1
+	}
+	if trains < 1 {
+		trains = 1
+	}
+	if window > trains {
+		window = trains
+	}
+	res := Result{Mode: ModeGatherCorba, Stack: "orb",
+		BlockSize: blockSize, Blocks: trains * segs, Window: window}
+	ref, err := client.StringToObject(iorStr)
+	if err != nil {
+		return res, err
+	}
+	op := GatherStoreIface(segs).Ops["zputv"]
+	want := uint32(blockSize) * uint32(segs)
+
+	// One registered buffer set per window slot; a slot is reused only
+	// after its previous train's reply AND completions arrive.
+	type slot struct {
+		bufs []*zcbuf.Buffer
+		regs []*zcbuf.Registration
+		call *orb.Call
+		free chan struct{} // one token per completed buffer
+	}
+	var pool zcbuf.Pool
+	slots := make([]*slot, window)
+	defer func() {
+		for _, s := range slots {
+			if s == nil {
+				continue
+			}
+			for _, r := range s.regs {
+				r.Close()
+			}
+			for _, b := range s.bufs {
+				b.Release()
+			}
+		}
+	}()
+	for k := range slots {
+		s := &slot{free: make(chan struct{}, segs)}
+		for i := 0; i < segs; i++ {
+			b, err := pool.Get(blockSize)
+			if err != nil {
+				return res, err
+			}
+			p := b.Bytes()
+			for j := range p {
+				p[j] = byte(j)
+			}
+			s.bufs = append(s.bufs, b)
+			r, err := zcbuf.Register(b)
+			if err != nil {
+				b.Release()
+				s.bufs = s.bufs[:len(s.bufs)-1]
+				return res, err
+			}
+			s.regs = append(s.regs, r)
+		}
+		slots[k] = s
+	}
+
+	reap := func(s *slot) error {
+		r, _, err := s.call.Wait()
+		s.call = nil
+		if err != nil {
+			return err
+		}
+		if n, _ := r.(uint32); n != want {
+			return fmt.Errorf("acknowledged %d of %d bytes", n, want)
+		}
+		for i := 0; i < segs; i++ {
+			<-s.free
+		}
+		return nil
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	for t := 0; t < trains; t++ {
+		s := slots[t%window]
+		if s.call != nil {
+			if err := reap(s); err != nil {
+				return res, fmt.Errorf("ttcp: train %d: %w", t-window, err)
+			}
+		}
+		call, err := ref.SendBuffers(ctx, op, s.bufs,
+			func(int, error) { s.free <- struct{}{} })
+		if err != nil {
+			return res, fmt.Errorf("ttcp: train %d: %w", t, err)
+		}
+		s.call = call
+	}
+	for k := 0; k < window; k++ {
+		s := slots[(trains+k)%window]
+		if s.call == nil {
+			continue
+		}
+		if err := reap(s); err != nil {
+			return res, fmt.Errorf("ttcp: drain: %w", err)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Bytes = int64(blockSize) * int64(segs) * int64(trains)
 	return res, nil
 }
 

@@ -83,6 +83,57 @@ func TestCorbaBenchStandardAndZC(t *testing.T) {
 	}
 }
 
+// TestCorbaBenchGather runs the gathered-deposit tier end to end: the
+// sink serves a zputv gather sink, and each windowed train carries its
+// registered buffers copy-free through one SendBuffers invocation.
+func TestCorbaBenchGather(t *testing.T) {
+	sink, err := NewCorbaSinkConfig(SinkConfig{
+		Transport: &transport.TCP{}, ZeroCopy: true, GatherSegs: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	if sink.GatherIOR == "" {
+		t.Fatal("gather sink IOR not published")
+	}
+	client, err := orb.New(orb.Options{Transport: &transport.TCP{}, ZeroCopy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Shutdown()
+	res, err := CorbaSendGather(client, sink.GatherIOR, 32<<10, 6, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeGatherCorba {
+		t.Fatalf("mode %q", res.Mode)
+	}
+	if res.Bytes != 6*4*32<<10 {
+		t.Fatalf("bytes=%d", res.Bytes)
+	}
+	if res.Blocks != 24 {
+		t.Fatalf("blocks=%d", res.Blocks)
+	}
+	st := client.Stats()
+	if got := st.GatherDeposits.Load(); got != 6 {
+		t.Fatalf("GatherDeposits=%d, want 6", got)
+	}
+	if got := st.GatherSegments.Load(); got != 24 {
+		t.Fatalf("GatherSegments=%d, want 24", got)
+	}
+	if got := st.GatherCompletions.Load(); got != 24 {
+		t.Fatalf("GatherCompletions=%d, want 24", got)
+	}
+	copies := st.PayloadCopyBytes.Load() + sink.ORB.Stats().PayloadCopyBytes.Load()
+	if copies != 0 {
+		t.Fatalf("gather bench copied %d payload bytes", copies)
+	}
+	if got := sink.ORB.Stats().GatherScatters.Load(); got != 6 {
+		t.Fatalf("sink GatherScatters=%d, want 6", got)
+	}
+}
+
 func TestResultFormatting(t *testing.T) {
 	r := Result{Mode: ModeCorba, Stack: "orb", BlockSize: 4096, Blocks: 2,
 		Bytes: 1e6, Elapsed: time.Second}

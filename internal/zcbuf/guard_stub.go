@@ -1,0 +1,9 @@
+//go:build !linux
+
+package zcbuf
+
+func guardSupported() error { return ErrGuardUnsupported }
+
+func protectRO(p []byte) error { return ErrGuardUnsupported }
+
+func protectRW(p []byte) error { return ErrGuardUnsupported }

@@ -1,0 +1,209 @@
+package zcbuf
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrGuardUnsupported reports that the mprotect write guard is not
+// available on this platform. Registration and completion callbacks
+// work everywhere; only the debug guard is linux-gated.
+var ErrGuardUnsupported = errors.New("zcbuf: write guard requires linux (mprotect)")
+
+// This file implements the registered-buffer API: an application pins
+// a Buffer once and then passes it to any number of scatter/gather
+// zero-copy sends (orb.SendBuffers), reclaiming it per send through a
+// completion callback instead of blocking — the CkSendBuffer shape of
+// the Charm++ Ncpy API. Registration also hosts the optional
+// mprotect-based write guard (Power's memory-protection technique):
+// while a registered buffer has sends in flight, its pages are mapped
+// read-only, so a reuse-before-completion bug faults loudly at the
+// offending store instead of silently corrupting the in-flight
+// payload.
+
+// registry is the process-wide registration table: the ORB's send path
+// looks up a deposit buffer here to drive the guard transitions of
+// registered buffers without threading Registration handles through
+// every layer.
+var registry struct {
+	mu    sync.Mutex
+	table map[*Buffer]*Registration
+	bytes atomic.Int64
+	count atomic.Int64
+}
+
+// Registration pins a Buffer for repeated zero-copy use. It holds one
+// reference for the lifetime of the registration (the pin), tracks how
+// many sends currently have the buffer's pages handed to a transport,
+// and — when the write guard is enabled — maps the pages read-only
+// while that count is nonzero.
+type Registration struct {
+	b *Buffer
+
+	mu      sync.Mutex
+	sends   int  // sends in flight (guard depth)
+	guarded bool // DebugWriteGuard armed
+	closed  bool
+}
+
+// Register pins b: the buffer gains a reference held until Close, and
+// the registration is entered into the process-wide table so the ORB's
+// send path can find it. Registering an already registered buffer
+// returns the existing Registration.
+func Register(b *Buffer) (*Registration, error) {
+	if b == nil {
+		return nil, fmt.Errorf("zcbuf: Register(nil)")
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.table == nil {
+		registry.table = make(map[*Buffer]*Registration)
+	}
+	if r, ok := registry.table[b]; ok {
+		return r, nil
+	}
+	r := &Registration{b: b.Retain()}
+	registry.table[b] = r
+	registry.bytes.Add(int64(b.Cap()))
+	registry.count.Add(1)
+	return r, nil
+}
+
+// Lookup returns the Registration of b, if any.
+func Lookup(b *Buffer) (*Registration, bool) {
+	registry.mu.Lock()
+	r, ok := registry.table[b]
+	registry.mu.Unlock()
+	return r, ok
+}
+
+// RegisteredBuffers reports how many buffers are currently registered.
+func RegisteredBuffers() int64 { return registry.count.Load() }
+
+// RegisteredBytes reports the registered capacity in bytes.
+func RegisteredBytes() int64 { return registry.bytes.Load() }
+
+// Buffer returns the pinned buffer.
+func (r *Registration) Buffer() *Buffer { return r.b }
+
+// Guarded reports whether the write guard is enabled.
+func (r *Registration) Guarded() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.guarded
+}
+
+// EnableWriteGuard arms the DebugWriteGuard: while the buffer has
+// sends in flight (BeginSend .. EndSend), its pages are mprotect'ed
+// PROT_READ, so an application write during that window faults at the
+// store. With runtime/debug.SetPanicOnFault the fault surfaces as a
+// recoverable panic on the writing goroutine; either way the write
+// never lands, so the in-flight payload cannot be corrupted. The
+// buffer's window must be page-aligned with a capacity that is a
+// multiple of the page size (pool buffers always are); on other
+// platforms EnableWriteGuard returns ErrGuardUnsupported.
+func (r *Registration) EnableWriteGuard() error {
+	if !r.b.IsPageAligned() || r.b.Cap()%PageSize != 0 {
+		return fmt.Errorf("zcbuf: write guard needs a page-aligned, page-multiple window (cap %d)", r.b.Cap())
+	}
+	if err := guardSupported(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return fmt.Errorf("zcbuf: registration closed")
+	}
+	r.guarded = true
+	if r.sends > 0 {
+		return protectRO(r.window())
+	}
+	return nil
+}
+
+// DisableWriteGuard disarms the guard, restoring write access.
+func (r *Registration) DisableWriteGuard() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.guarded {
+		return nil
+	}
+	r.guarded = false
+	if r.sends > 0 {
+		return protectRW(r.window())
+	}
+	return nil
+}
+
+// window returns the full aligned window (capacity, not effective
+// length): mprotect works in whole pages, and the guard must never
+// touch memory outside the buffer's own pages.
+func (r *Registration) window() []byte {
+	return r.b.data[:r.b.Cap()]
+}
+
+// BeginSend marks one send in flight. The first overlapping send arms
+// the guard (pages go read-only) when it is enabled. The transport
+// layer calls this before the buffer's pages are handed to the kernel;
+// applications normally never call it directly.
+func (r *Registration) BeginSend() {
+	r.mu.Lock()
+	r.sends++
+	first := r.sends == 1
+	g := r.guarded
+	r.mu.Unlock()
+	if first && g {
+		// Reads (the send itself, marshaling fallbacks, guard checks)
+		// stay legal; only stores fault.
+		_ = protectRO(r.window())
+	}
+}
+
+// EndSend marks one send complete; the last one disarms the guard.
+func (r *Registration) EndSend() {
+	r.mu.Lock()
+	if r.sends > 0 {
+		r.sends--
+	}
+	last := r.sends == 0
+	g := r.guarded
+	r.mu.Unlock()
+	if last && g {
+		_ = protectRW(r.window())
+	}
+}
+
+// InFlight reports how many sends currently hold the buffer.
+func (r *Registration) InFlight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sends
+}
+
+// Close deregisters the buffer and drops the pin reference. Sends in
+// flight keep their own references; Close only forbids new guarded
+// sends through this registration. Close is idempotent.
+func (r *Registration) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	if r.guarded && r.sends > 0 {
+		_ = protectRW(r.window())
+	}
+	r.guarded = false
+	r.mu.Unlock()
+
+	registry.mu.Lock()
+	if registry.table[r.b] == r {
+		delete(registry.table, r.b)
+		registry.bytes.Add(-int64(r.b.Cap()))
+		registry.count.Add(-1)
+	}
+	registry.mu.Unlock()
+	r.b.Release()
+}

@@ -1,0 +1,146 @@
+package zcbuf
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+)
+
+func TestRegisterPinsAndCloseUnpins(t *testing.T) {
+	var p Pool
+	b, err := p.Get(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := RegisteredBuffers()
+	r, err := Register(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Refs() != 2 {
+		t.Fatalf("refs after Register = %d, want 2", b.Refs())
+	}
+	if got := RegisteredBuffers(); got != base+1 {
+		t.Fatalf("RegisteredBuffers = %d, want %d", got, base+1)
+	}
+	if r2, err := Register(b); err != nil || r2 != r {
+		t.Fatalf("re-Register returned (%p, %v), want existing %p", r2, err, r)
+	}
+	if lr, ok := Lookup(b); !ok || lr != r {
+		t.Fatalf("Lookup = (%p, %v)", lr, ok)
+	}
+	r.Close()
+	r.Close() // idempotent
+	if b.Refs() != 1 {
+		t.Fatalf("refs after Close = %d, want 1", b.Refs())
+	}
+	if _, ok := Lookup(b); ok {
+		t.Fatal("Lookup found buffer after Close")
+	}
+	if got := RegisteredBuffers(); got != base {
+		t.Fatalf("RegisteredBuffers after Close = %d, want %d", got, base)
+	}
+	b.Release()
+}
+
+func TestRegisterSendDepth(t *testing.T) {
+	var p Pool
+	b, err := p.Get(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release()
+	r, err := Register(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.BeginSend()
+	r.BeginSend()
+	if r.InFlight() != 2 {
+		t.Fatalf("InFlight = %d, want 2", r.InFlight())
+	}
+	r.EndSend()
+	r.EndSend()
+	if r.InFlight() != 0 {
+		t.Fatalf("InFlight = %d, want 0", r.InFlight())
+	}
+}
+
+func TestWriteGuardRejectsUnalignedWindow(t *testing.T) {
+	// A Wrap of an odd-sized heap slice is (almost surely) not a
+	// page-aligned page-multiple window; use an explicitly misaligned
+	// sub-slice to make it deterministic.
+	raw := make([]byte, 3*PageSize)
+	off := 1
+	if Aligned(raw[1:]) {
+		off = 2
+	}
+	b := Wrap(raw[off : off+PageSize])
+	defer b.Release()
+	r, err := Register(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.EnableWriteGuard(); err == nil {
+		t.Fatal("EnableWriteGuard accepted a misaligned window")
+	}
+}
+
+// TestWriteGuardFaultsEarlyWrite is the zcbuf-level half of the
+// DebugWriteGuard contract: a store into a registered buffer between
+// BeginSend and EndSend faults (surfacing as a recoverable panic under
+// SetPanicOnFault) and does not land, while reads keep working.
+func TestWriteGuardFaultsEarlyWrite(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("write guard is linux-only (mprotect)")
+	}
+	var p Pool
+	b, err := p.Get(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release()
+	r, err := Register(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.EnableWriteGuard(); err != nil {
+		t.Fatalf("EnableWriteGuard: %v", err)
+	}
+	b.Bytes()[0] = 0xA5 // not in flight: writable
+
+	r.BeginSend()
+	faulted := writeFaults(b.Bytes())
+	if !faulted {
+		r.EndSend()
+		t.Fatal("store into a guarded in-flight buffer did not fault")
+	}
+	if b.Bytes()[0] != 0xA5 {
+		r.EndSend()
+		t.Fatalf("guarded byte changed to %#x: the faulting store landed", b.Bytes()[0])
+	}
+	_ = b.Bytes()[0] // loads stay legal while guarded
+	r.EndSend()
+
+	b.Bytes()[0] = 0x5A // completion restores write access
+	if b.Bytes()[0] != 0x5A {
+		t.Fatal("buffer not writable after EndSend")
+	}
+}
+
+// writeFaults attempts p[0] = 0xFF and reports whether the store
+// faulted instead of landing.
+func writeFaults(p []byte) (faulted bool) {
+	old := debug.SetPanicOnFault(true)
+	defer debug.SetPanicOnFault(old)
+	defer func() {
+		if recover() != nil {
+			faulted = true
+		}
+	}()
+	p[0] = 0xFF
+	return false
+}
